@@ -1,0 +1,95 @@
+//! E9 kernels: real PoW grinding, block validation, the attack models.
+
+use agora_chain::{
+    double_spend_race, mine_block, selfish_mining, ChainParams, Ledger, Transaction, TxPayload,
+};
+use agora_crypto::{sha256, SimKeyPair};
+use agora_sim::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_mining(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_mine_block");
+    g.sample_size(10);
+    for bits in [8u32, 12, 16] {
+        g.bench_function(format!("{bits}_bits"), |b| {
+            let mut rng = SimRng::new(bits as u64);
+            let mut h = 0u64;
+            b.iter(|| {
+                h += 1;
+                black_box(mine_block(
+                    sha256(&h.to_be_bytes()),
+                    1,
+                    sha256(b"miner"),
+                    vec![],
+                    0,
+                    bits,
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    // Build a block with 50 txs once; bench submitting it to a fresh ledger.
+    let alice = SimKeyPair::from_seed(b"bench");
+    let premine = vec![(alice.public().id(), 1_000_000)];
+    let make_ledger = || Ledger::new("bench", ChainParams::test(), &premine);
+    let ledger = make_ledger();
+    let txs: Vec<Transaction> = (0..50)
+        .map(|i| {
+            Transaction::create(
+                &alice,
+                i,
+                1,
+                TxPayload::Transfer { to: sha256(b"bob"), amount: 1 },
+            )
+        })
+        .collect();
+    let mut rng = SimRng::new(3);
+    let bits = ledger.next_difficulty(&ledger.best_tip());
+    let (block, _) = mine_block(
+        ledger.best_tip(),
+        1,
+        sha256(b"miner"),
+        txs,
+        1_000_000,
+        bits,
+        &mut rng,
+    );
+    c.bench_function("e9_validate_block_50tx", |b| {
+        b.iter(|| {
+            let mut l = make_ledger();
+            black_box(l.submit_block(block.clone()).expect("valid"))
+        })
+    });
+    c.bench_function("e9_tx_create_and_verify", |b| {
+        let mut nonce = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            let tx = Transaction::create(
+                &alice,
+                nonce,
+                1,
+                TxPayload::Transfer { to: sha256(b"bob"), amount: 1 },
+            );
+            black_box(tx.verify_signature())
+        })
+    });
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    c.bench_function("e9_double_spend_race_1000", |b| {
+        let mut rng = SimRng::new(4);
+        b.iter(|| black_box(double_spend_race(0.3, 6, 1000, &mut rng)))
+    });
+    c.bench_function("e9_selfish_mining_50k_blocks", |b| {
+        let mut rng = SimRng::new(5);
+        b.iter(|| black_box(selfish_mining(0.33, 0.5, 50_000, &mut rng)))
+    });
+}
+
+criterion_group!(chain, bench_mining, bench_validation, bench_attacks);
+criterion_main!(chain);

@@ -1,0 +1,129 @@
+//! E3/E4 kernels: the group-communication workloads per architecture, and
+//! the double-ratchet session.
+
+use agora_comm::{
+    CentralNode, FedNode, ModerationPolicy, PostLabel, RatchetSession, ReplicationMode,
+    SocialNode,
+};
+use agora_crypto::sha256;
+use agora_sim::{DeviceClass, NodeId, SimDuration, Simulation};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// One round of the centralized workload: 10 clients post once each.
+fn central_round(seed: u64) -> u64 {
+    let mut sim = Simulation::new(seed);
+    let server = sim.add_node(
+        CentralNode::server(ModerationPolicy::none()),
+        DeviceClass::DatacenterServer,
+    );
+    let clients: Vec<NodeId> = (0..10)
+        .map(|_| sim.add_node(CentralNode::client(server), DeviceClass::PersonalComputer))
+        .collect();
+    for &c in &clients {
+        sim.with_ctx(c, |n, ctx| n.join(ctx, 1));
+    }
+    sim.run_for(SimDuration::from_secs(2));
+    for &c in &clients {
+        sim.with_ctx(c, |n, ctx| {
+            n.post(ctx, 1, 200, PostLabel::Legit);
+        });
+    }
+    sim.run_for(SimDuration::from_secs(20));
+    sim.metrics().counter("comm.posts_delivered")
+}
+
+fn federated_round(seed: u64, mode: ReplicationMode) -> u64 {
+    let mut sim = Simulation::new(seed);
+    let i0 = NodeId(0);
+    let i1 = NodeId(1);
+    sim.add_node(
+        FedNode::instance(vec![i1], mode, ModerationPolicy::none()),
+        DeviceClass::DatacenterServer,
+    );
+    sim.add_node(
+        FedNode::instance(vec![i0], mode, ModerationPolicy::none()),
+        DeviceClass::DatacenterServer,
+    );
+    let clients: Vec<NodeId> = (0..10)
+        .map(|i| {
+            let home = if i % 2 == 0 { i0 } else { i1 };
+            sim.add_node(FedNode::client(home), DeviceClass::PersonalComputer)
+        })
+        .collect();
+    for &c in &clients {
+        sim.with_ctx(c, |n, ctx| n.join(ctx, 1));
+        sim.run_for(SimDuration::from_millis(50));
+    }
+    for &c in &clients {
+        sim.with_ctx(c, |n, ctx| n.post(ctx, 1, 200, PostLabel::Legit));
+    }
+    sim.run_for(SimDuration::from_secs(20));
+    sim.metrics().counter("comm.posts_delivered")
+}
+
+fn social_round(seed: u64) -> u64 {
+    let mut sim = Simulation::new(seed);
+    let n = 10usize;
+    let ids: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    for i in 0..n {
+        let mut friends = Vec::new();
+        for d in 1..=3 {
+            friends.push(ids[(i + d) % n]);
+            friends.push(ids[(i + n - d) % n]);
+        }
+        sim.add_node(SocialNode::new(friends, true), DeviceClass::PersonalComputer);
+    }
+    for &id in &ids {
+        sim.with_ctx(id, |node, ctx| node.post(ctx, 200, PostLabel::Legit));
+    }
+    sim.run_for(SimDuration::from_secs(20));
+    sim.metrics().counter("comm.posts_delivered")
+}
+
+fn bench_architectures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_post_delivery_round");
+    g.sample_size(20);
+    let mut seed = 0u64;
+    g.bench_function("centralized", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(central_round(seed))
+        })
+    });
+    g.bench_function("federated_single_home", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(federated_round(seed, ReplicationMode::SingleHome))
+        })
+    });
+    g.bench_function("federated_replicated", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(federated_round(seed, ReplicationMode::FullReplication))
+        })
+    });
+    g.bench_function("social_p2p", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(social_round(seed))
+        })
+    });
+    g.finish();
+}
+
+fn bench_ratchet(c: &mut Criterion) {
+    c.bench_function("e4_ratchet_encrypt_decrypt", |b| {
+        let secret = sha256(b"session");
+        let mut alice = RatchetSession::initiator(&secret);
+        let mut bob = RatchetSession::responder(&secret);
+        let msg = vec![0u8; 256];
+        b.iter(|| {
+            let sealed = alice.encrypt(&msg);
+            black_box(bob.decrypt(&sealed).expect("in sync"))
+        })
+    });
+}
+
+criterion_group!(comm, bench_architectures, bench_ratchet);
+criterion_main!(comm);

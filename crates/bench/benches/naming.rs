@@ -1,0 +1,81 @@
+//! E1/E2 kernels: registrar ops vs chain naming, and the attack games.
+
+use agora_crypto::{sha256, SimKeyPair};
+use agora_naming::{
+    front_running_game, name_theft_by_rewrite, CentralRegistrar, NameDb, NameOp, NamingRules,
+};
+use agora_sim::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_registrar(c: &mut Criterion) {
+    c.bench_function("e1_central_registrar_register", |b| {
+        let mut i = 0u64;
+        let mut reg = CentralRegistrar::new();
+        b.iter(|| {
+            i += 1;
+            black_box(reg.register(&format!("user-{i}"), sha256(&i.to_be_bytes()), sha256(b"z")).is_ok())
+        })
+    });
+}
+
+fn bench_name_ops(c: &mut Criterion) {
+    let rules = NamingRules {
+        preorder_required: true,
+        min_preorder_age: 1,
+        preorder_ttl: 1000,
+        expiry_blocks: 100_000,
+    };
+    c.bench_function("e1_namedb_preorder_register_pair", |b| {
+        let alice = sha256(b"alice");
+        let mut i = 0u64;
+        let mut db = NameDb::default();
+        b.iter(|| {
+            i += 1;
+            let name = format!("user-{i}.agora");
+            let commitment = NameOp::commitment(&name, i, &alice);
+            db.apply(NameOp::Preorder { commitment }, alice, 2 * i, &rules);
+            db.apply(
+                NameOp::Register { name, salt: i, zone_hash: sha256(b"z") },
+                alice,
+                2 * i + 1,
+                &rules,
+            );
+        })
+    });
+    c.bench_function("e1_name_op_tx_encode_sign", |b| {
+        let keys = SimKeyPair::from_seed(b"bench");
+        let mut nonce = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            black_box(
+                NameOp::Register {
+                    name: "user.agora".into(),
+                    salt: nonce,
+                    zone_hash: sha256(b"z"),
+                }
+                .into_tx(&keys, nonce, 1),
+            )
+        })
+    });
+}
+
+fn bench_attack_games(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2");
+    g.bench_function("front_running_no_preorder_100", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| black_box(front_running_game(false, 0.9, 100, &mut rng)))
+    });
+    g.bench_function("front_running_with_preorder_100", |b| {
+        let mut rng = SimRng::new(2);
+        b.iter(|| black_box(front_running_game(true, 0.9, 100, &mut rng)))
+    });
+    g.bench_function("rewrite_theft_alpha30_500", |b| {
+        let mut rng = SimRng::new(3);
+        b.iter(|| black_box(name_theft_by_rewrite(0.3, 6, 500, &mut rng)))
+    });
+    g.finish();
+}
+
+criterion_group!(naming, bench_registrar, bench_name_ops, bench_attack_games);
+criterion_main!(naming);

@@ -1,0 +1,129 @@
+//! Substrate kernels: the from-scratch primitives everything rides on.
+
+use agora_crypto::{sha256, MerkleTree, SimKeyPair, WotsKeyPair};
+use agora_dht::{Contact, RoutingTable};
+use agora_sim::{SimRng, ZipfTable};
+use agora_storage::ReedSolomon;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 4096, 1 << 20] {
+        let data = vec![0xaau8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| b.iter(|| black_box(sha256(&data))));
+    }
+    g.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let leaves: Vec<_> = (0..1024u32).map(|i| sha256(&i.to_be_bytes())).collect();
+    c.bench_function("merkle_build_1024", |b| {
+        b.iter(|| black_box(MerkleTree::from_leaf_hashes(leaves.clone())))
+    });
+    let tree = MerkleTree::from_leaf_hashes(leaves.clone());
+    c.bench_function("merkle_prove_and_verify", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            let p = tree.prove(i).expect("in range");
+            black_box(p.verify(leaves[i], tree.root()))
+        })
+    });
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    c.bench_function("simsig_sign_verify", |b| {
+        let kp = SimKeyPair::from_seed(b"bench");
+        let pk = kp.public();
+        b.iter(|| {
+            let sig = kp.sign(b"message");
+            black_box(pk.verify(b"message", &sig))
+        })
+    });
+    let mut g = c.benchmark_group("wots");
+    g.sample_size(10);
+    g.bench_function("keygen_h4", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(WotsKeyPair::generate(sha256(&i.to_be_bytes()), 4))
+        })
+    });
+    g.bench_function("sign_verify_h10", |b| {
+        let mut kp = WotsKeyPair::generate(sha256(b"bench"), 10);
+        let mut pk = kp.public();
+        b.iter(|| {
+            // One-time keys are finite by design; refresh outside the common
+            // path when the 2^10 capacity runs dry (adds rare outliers
+            // rather than a panic).
+            if kp.remaining() == 0 {
+                kp = WotsKeyPair::generate(sha256(b"bench"), 10);
+                pk = kp.public();
+            }
+            let sig = kp.sign(b"message").expect("capacity");
+            black_box(pk.verify(b"message", &sig))
+        })
+    });
+    g.finish();
+}
+
+fn bench_erasure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reed_solomon");
+    let data = vec![0x5au8; 1 << 20];
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for (k, m) in [(4usize, 2usize), (10, 20)] {
+        let rs = ReedSolomon::new(k, m).expect("valid");
+        g.bench_function(format!("encode_1M_rs_{k}_{m}"), |b| {
+            b.iter(|| black_box(rs.encode(&data)))
+        });
+        let shards = rs.encode(&data);
+        // Reconstruct from the *last* k shards (forces matrix inversion).
+        let avail: Vec<(usize, Vec<u8>)> = (m..m + k).map(|i| (i, shards[i].clone())).collect();
+        g.bench_function(format!("reconstruct_1M_rs_{k}_{m}"), |b| {
+            b.iter(|| black_box(rs.reconstruct(&avail, data.len()).expect("ok")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dht_routing(c: &mut Criterion) {
+    let mut table = RoutingTable::new(sha256(b"me"), 20);
+    for i in 0..10_000u32 {
+        table.observe(Contact {
+            key: sha256(&i.to_be_bytes()),
+            addr: agora_sim::NodeId(i),
+        });
+    }
+    c.bench_function("dht_closest_of_10k_observed", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            black_box(table.closest(&sha256(&i.to_be_bytes()), 20))
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng_next_u64", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    c.bench_function("rng_zipf_table_sample", |b| {
+        let mut rng = SimRng::new(2);
+        let table = ZipfTable::new(10_000, 1.0);
+        b.iter(|| black_box(table.sample(&mut rng)))
+    });
+}
+
+criterion_group!(
+    substrates,
+    bench_sha256,
+    bench_merkle,
+    bench_signatures,
+    bench_erasure,
+    bench_dht_routing,
+    bench_rng
+);
+criterion_main!(substrates);

@@ -1,0 +1,39 @@
+//! T1/T2/T3: regenerate each of the paper's tables under the timer, so the
+//! tables in EXPERIMENTS.md always come from exactly this code.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_t1(c: &mut Criterion) {
+    c.bench_function("t1_table1_from_registry", |b| {
+        b.iter(|| black_box(agora::t1_taxonomy()))
+    });
+}
+
+fn bench_t2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2");
+    g.sample_size(10); // includes real sealing work
+    g.bench_function("table2_with_mechanism_checks", |b| {
+        b.iter(|| black_box(agora::t2_storage_systems()))
+    });
+    g.bench_function("table2_render_only", |b| {
+        b.iter(|| black_box(agora_storage::render_table2()))
+    });
+    g.finish();
+}
+
+fn bench_t3(c: &mut Criterion) {
+    use agora_feasibility::{sensitivity_sweep, Assumptions};
+    c.bench_function("t3_table3_model", |b| {
+        b.iter(|| {
+            let a = Assumptions::default();
+            black_box((a.cloud(), a.user_devices(), a.sufficiency()))
+        })
+    });
+    c.bench_function("t3_sensitivity_sweep", |b| {
+        b.iter(|| black_box(sensitivity_sweep(&[0.25, 0.5, 1.0, 2.0, 4.0])))
+    });
+}
+
+criterion_group!(tables, bench_t1, bench_t2, bench_t3);
+criterion_main!(tables);

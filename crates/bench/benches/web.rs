@@ -1,0 +1,54 @@
+//! E7 kernels: site publishing and full swarm visits.
+
+use agora_sim::{DeviceClass, SimDuration, Simulation};
+use agora_web::{SitePublisher, SwarmNode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_publish(c: &mut Criterion) {
+    c.bench_function("e7_publish_100k_site", |b| {
+        let content = vec![42u8; 100_000];
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            let mut p = SitePublisher::new(format!("site-{v}").as_bytes());
+            black_box(p.publish(&[("index.html", content.as_slice())]))
+        })
+    });
+}
+
+/// One full visit: tracker discovery, manifest fetch, piece exchange,
+/// verification, re-seeding.
+fn visit_cycle(seed: u64) -> bool {
+    let mut sim = Simulation::new(seed);
+    let tracker = sim.add_node(SwarmNode::tracker(), DeviceClass::DatacenterServer);
+    let origin = sim.add_node(SwarmNode::peer(tracker), DeviceClass::PersonalComputer);
+    let visitor = sim.add_node(SwarmNode::peer(tracker), DeviceClass::PersonalComputer);
+    let mut p = SitePublisher::new(b"bench-site");
+    let content = vec![7u8; 64_000];
+    let bundle = p.publish(&[("index.html", content.as_slice())]);
+    let site = p.site_id();
+    sim.with_ctx(origin, |n, ctx| n.host_site(ctx, &bundle));
+    sim.run_for(SimDuration::from_secs(2));
+    let op = sim
+        .with_ctx(visitor, |n, ctx| n.start_visit(ctx, site))
+        .expect("up");
+    sim.run_for(SimDuration::from_mins(2));
+    sim.node_mut(visitor).take_result(op).is_some()
+}
+
+fn bench_visit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_visit");
+    g.sample_size(20);
+    let mut seed = 0u64;
+    g.bench_function("full_visit_64k_site", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(visit_cycle(seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(web, bench_publish, bench_visit);
+criterion_main!(web);

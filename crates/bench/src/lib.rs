@@ -1,0 +1,18 @@
+//! # agora-bench — benchmark harness
+//!
+//! Criterion benches regenerating every table of the paper and timing the
+//! kernels behind every experiment in EXPERIMENTS.md:
+//!
+//! | bench target | covers |
+//! |---|---|
+//! | `tables` | T1, T2, T3 (the paper's three tables) |
+//! | `naming` | E1 (consensus vs registrar), E2 (attack games) |
+//! | `comm` | E3/E4 (architecture workloads) |
+//! | `storage` | E5 (proof games), E6 (durability), E8 (quality vs quantity) |
+//! | `web` | E7 (swarm visits) |
+//! | `chain` | E9 (mining, validation, selfish mining) |
+//! | `substrates` | SHA-256, Merkle, WOTS, RS coding, ratchet, DHT routing |
+//!
+//! Run with `cargo bench --workspace`.
+
+#![forbid(unsafe_code)]

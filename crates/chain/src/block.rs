@@ -1,0 +1,183 @@
+//! Blocks and headers, with real (simulator-scale) proof-of-work.
+
+use agora_crypto::{tagged_hash, Enc, Hash256, MerkleTree};
+
+use crate::tx::Transaction;
+
+/// A block header. Hashing the header (with its nonce) yields the PoW digest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Height above genesis (genesis = 0).
+    pub height: u64,
+    /// Hash of the parent block header.
+    pub prev: Hash256,
+    /// Merkle root over transaction ids (coinbase account first).
+    pub merkle_root: Hash256,
+    /// Simulated timestamp (microseconds) the block was mined.
+    pub time_micros: u64,
+    /// Required leading zero bits of the header hash.
+    pub difficulty_bits: u32,
+    /// PoW nonce.
+    pub nonce: u64,
+}
+
+impl BlockHeader {
+    /// Canonical encoding used for hashing.
+    pub fn encode(&self) -> Vec<u8> {
+        Enc::new()
+            .u64(self.height)
+            .hash(&self.prev)
+            .hash(&self.merkle_root)
+            .u64(self.time_micros)
+            .u32(self.difficulty_bits)
+            .u64(self.nonce)
+            .done()
+    }
+
+    /// The block hash (PoW digest).
+    pub fn hash(&self) -> Hash256 {
+        tagged_hash("block-header", &self.encode())
+    }
+
+    /// Whether the hash meets the declared difficulty.
+    pub fn meets_difficulty(&self) -> bool {
+        self.hash().leading_zero_bits() >= self.difficulty_bits
+    }
+
+    /// Work contributed by a block at this difficulty (2^bits expected
+    /// hashes), as an f64 for total-work comparison.
+    pub fn work(&self) -> f64 {
+        2f64.powi(self.difficulty_bits as i32)
+    }
+
+    /// Wire size in bytes.
+    pub const WIRE_SIZE: u64 = 8 + 32 + 32 + 8 + 4 + 8;
+}
+
+/// A full block: header plus ordered transactions. The miner's coinbase
+/// reward is implicit (credited to `miner` by state application).
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// The header.
+    pub header: BlockHeader,
+    /// Account credited with the block reward and fees.
+    pub miner: Hash256,
+    /// Ordered transactions.
+    pub txs: Vec<Transaction>,
+}
+
+impl Block {
+    /// Compute the Merkle root over miner + transaction ids.
+    pub fn compute_merkle_root(miner: &Hash256, txs: &[Transaction]) -> Hash256 {
+        let mut leaves = vec![*miner];
+        leaves.extend(txs.iter().map(|t| t.id()));
+        MerkleTree::from_leaf_hashes(leaves).root()
+    }
+
+    /// Whether the header's Merkle root matches the body.
+    pub fn merkle_valid(&self) -> bool {
+        Self::compute_merkle_root(&self.miner, &self.txs) == self.header.merkle_root
+    }
+
+    /// Block hash (header hash).
+    pub fn hash(&self) -> Hash256 {
+        self.header.hash()
+    }
+
+    /// Ledger size of this block in bytes (for endless-ledger accounting).
+    pub fn wire_size(&self) -> u64 {
+        BlockHeader::WIRE_SIZE + 32 + self.txs.iter().map(|t| t.wire_size()).sum::<u64>()
+    }
+
+    /// Build the deterministic genesis block for a chain tag.
+    pub fn genesis(chain_tag: &str) -> Block {
+        let miner = tagged_hash("genesis-miner", chain_tag.as_bytes());
+        let header = BlockHeader {
+            height: 0,
+            prev: Hash256::ZERO,
+            merkle_root: Block::compute_merkle_root(&miner, &[]),
+            time_micros: 0,
+            difficulty_bits: 0,
+            nonce: 0,
+        };
+        Block {
+            header,
+            miner,
+            txs: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::{Transaction, TxPayload};
+    use agora_crypto::SimKeyPair;
+
+    fn sample_tx(seed: &str, nonce: u64) -> Transaction {
+        Transaction::create(
+            &SimKeyPair::from_seed(seed.as_bytes()),
+            nonce,
+            1,
+            TxPayload::App { tag: 1, data: vec![nonce as u8] },
+        )
+    }
+
+    #[test]
+    fn genesis_is_deterministic_and_valid() {
+        let a = Block::genesis("main");
+        let b = Block::genesis("main");
+        assert_eq!(a.hash(), b.hash());
+        assert!(a.merkle_valid());
+        assert!(a.header.meets_difficulty()); // 0 bits
+        let c = Block::genesis("other");
+        assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn merkle_root_binds_txs_and_miner() {
+        let miner = agora_crypto::sha256(b"miner");
+        let txs = vec![sample_tx("a", 0), sample_tx("b", 0)];
+        let root = Block::compute_merkle_root(&miner, &txs);
+        let header = BlockHeader {
+            height: 1,
+            prev: Hash256::ZERO,
+            merkle_root: root,
+            time_micros: 5,
+            difficulty_bits: 0,
+            nonce: 0,
+        };
+        let mut block = Block { header, miner, txs };
+        assert!(block.merkle_valid());
+        block.txs.push(sample_tx("c", 0));
+        assert!(!block.merkle_valid(), "adding a tx breaks the root");
+        block.txs.pop();
+        block.miner = agora_crypto::sha256(b"thief");
+        assert!(!block.merkle_valid(), "changing miner breaks the root");
+    }
+
+    #[test]
+    fn nonce_changes_hash() {
+        let mut h = Block::genesis("main").header;
+        let h0 = h.hash();
+        h.nonce = 1;
+        assert_ne!(h.hash(), h0);
+    }
+
+    #[test]
+    fn work_grows_exponentially() {
+        let mut h = Block::genesis("main").header;
+        h.difficulty_bits = 10;
+        let w10 = h.work();
+        h.difficulty_bits = 12;
+        assert_eq!(h.work(), 4.0 * w10);
+    }
+
+    #[test]
+    fn wire_size_counts_txs() {
+        let mut b = Block::genesis("main");
+        let empty = b.wire_size();
+        b.txs.push(sample_tx("a", 0));
+        assert!(b.wire_size() > empty + 64);
+    }
+}

@@ -1,0 +1,40 @@
+//! # agora-chain — blockchain substrate
+//!
+//! A complete simulated proof-of-work blockchain in the role the paper
+//! assigns to blockchains: "a slow, but consistent and verifiable public
+//! ledger" (§3.3) that naming systems and storage contracts ride on.
+//!
+//! * [`params`] — consensus parameters (block interval, difficulty bounds,
+//!   payload limits — the paper's "limits on data storage").
+//! * [`tx`] — account-model transactions; application payloads for naming
+//!   and storage contracts.
+//! * [`block`] — headers with real SHA-256 proof-of-work.
+//! * [`ledger`] — validation, heaviest-work fork choice, reorgs, account
+//!   state, and the endless-ledger growth metric.
+//! * [`mining`] — honest grinding plus exponential block-time sampling.
+//! * [`node`] — a full node as an `agora-sim` protocol: gossip, mempool,
+//!   mining, outage recovery.
+//! * [`spv`] — header-only light clients and Merkle inclusion proofs.
+//! * [`attacks`] — the 51% double-spend race (checked against Nakamoto's
+//!   closed form) and selfish mining (Eyal–Sirer).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod block;
+pub mod ledger;
+pub mod mining;
+pub mod node;
+pub mod params;
+pub mod spv;
+pub mod tx;
+
+pub use attacks::{double_spend_race, nakamoto_probability, selfish_mining};
+pub use block::{Block, BlockHeader};
+pub use ledger::{Accepted, BlockError, ChainState, Ledger, TxError};
+pub use mining::{mine_block, sample_mining_time};
+pub use node::{ChainMsg, ChainNode, MinerConfig};
+pub use params::ChainParams;
+pub use spv::{InclusionProof, SpvClient, SpvError};
+pub use tx::{Transaction, TxPayload, APP_NAMING, APP_STORAGE};

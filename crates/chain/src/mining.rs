@@ -1,0 +1,125 @@
+//! Proof-of-work mining.
+//!
+//! Blocks are mined by *really* grinding SHA-256 over the header nonce —
+//! validation checks are honest — at simulator-scale difficulties (2^4–2^24
+//! expected hashes) so host cost stays bounded. The returned hash count is
+//! the energy proxy used by experiment E9 ("wasteful mining computation").
+
+use agora_crypto::Hash256;
+use agora_sim::SimRng;
+
+use crate::block::{Block, BlockHeader};
+use crate::tx::Transaction;
+
+/// Mine a block on `parent` containing `txs`, stamped `time_micros`, at
+/// `difficulty_bits`. Returns the valid block and the number of hash
+/// attempts spent. The nonce search starts at a random offset so concurrent
+/// miners find different solutions.
+pub fn mine_block(
+    parent: Hash256,
+    height: u64,
+    miner: Hash256,
+    txs: Vec<Transaction>,
+    time_micros: u64,
+    difficulty_bits: u32,
+    rng: &mut SimRng,
+) -> (Block, u64) {
+    let merkle_root = Block::compute_merkle_root(&miner, &txs);
+    let mut header = BlockHeader {
+        height,
+        prev: parent,
+        merkle_root,
+        time_micros,
+        difficulty_bits,
+        nonce: rng.next_u64(),
+    };
+    let mut attempts = 1u64;
+    while !header.meets_difficulty() {
+        header.nonce = header.nonce.wrapping_add(1);
+        attempts += 1;
+    }
+    (
+        Block {
+            header,
+            miner,
+            txs,
+        },
+        attempts,
+    )
+}
+
+/// Sample the simulated time a miner with `hashrate` (hashes/sec of
+/// simulated compute) takes to find a block at `difficulty_bits`.
+/// Exponentially distributed, consistent with memoryless PoW.
+pub fn sample_mining_time(
+    difficulty_bits: u32,
+    hashrate: f64,
+    rng: &mut SimRng,
+) -> agora_sim::SimDuration {
+    let expected_hashes = 2f64.powi(difficulty_bits as i32);
+    let mean_secs = expected_hashes / hashrate.max(1e-9);
+    agora_sim::SimDuration::from_secs_f64(rng.exp(mean_secs).max(1e-6))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agora_crypto::sha256;
+
+    #[test]
+    fn mined_block_meets_difficulty() {
+        let mut rng = SimRng::new(1);
+        let (block, attempts) =
+            mine_block(Hash256::ZERO, 1, sha256(b"m"), vec![], 0, 8, &mut rng);
+        assert!(block.header.meets_difficulty());
+        assert!(block.merkle_valid());
+        assert!(attempts >= 1);
+    }
+
+    #[test]
+    fn attempts_scale_with_difficulty() {
+        let mut rng = SimRng::new(2);
+        // Average over several trials: 12 bits should need ~16x the hashes
+        // of 8 bits; allow generous slack for variance.
+        let avg = |bits: u32, rng: &mut SimRng| -> f64 {
+            let n = 20;
+            let total: u64 = (0..n)
+                .map(|i| {
+                    mine_block(sha256(&[i as u8]), 1, sha256(b"m"), vec![], 0, bits, rng).1
+                })
+                .sum();
+            total as f64 / n as f64
+        };
+        let easy = avg(6, &mut rng);
+        let hard = avg(10, &mut rng);
+        assert!(hard > 4.0 * easy, "easy {easy}, hard {hard}");
+    }
+
+    #[test]
+    fn zero_difficulty_first_try() {
+        let mut rng = SimRng::new(3);
+        let (_, attempts) = mine_block(Hash256::ZERO, 1, sha256(b"m"), vec![], 0, 0, &mut rng);
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn sample_mining_time_mean() {
+        let mut rng = SimRng::new(4);
+        // 2^10 hashes at 1024 h/s ⇒ mean 1 s.
+        let n = 2000;
+        let total: f64 = (0..n)
+            .map(|_| sample_mining_time(10, 1024.0, &mut rng).secs_f64())
+            .sum();
+        let mean = total / n as f64;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn different_rng_states_find_different_nonces() {
+        let mut r1 = SimRng::new(5);
+        let mut r2 = SimRng::new(6);
+        let (b1, _) = mine_block(Hash256::ZERO, 1, sha256(b"m"), vec![], 0, 4, &mut r1);
+        let (b2, _) = mine_block(Hash256::ZERO, 1, sha256(b"m"), vec![], 0, 4, &mut r2);
+        assert_ne!(b1.header.nonce, b2.header.nonce);
+    }
+}

@@ -1,0 +1,90 @@
+//! Consensus parameters.
+
+use agora_sim::SimDuration;
+
+/// Tunable consensus parameters of a simulated chain.
+///
+/// Defaults give a Namecoin-flavoured chain scaled for simulation: 10-minute
+/// blocks, low absolute difficulty (so proof-of-work is *really* ground with
+/// SHA-256 but stays cheap on the host), periodic retargeting.
+#[derive(Clone, Debug)]
+pub struct ChainParams {
+    /// Desired interval between blocks.
+    pub target_block_interval: SimDuration,
+    /// Initial PoW difficulty in leading zero bits of the block hash.
+    pub initial_difficulty_bits: u32,
+    /// Lower clamp for retargeting.
+    pub min_difficulty_bits: u32,
+    /// Upper clamp for retargeting (keeps host-side grinding affordable).
+    pub max_difficulty_bits: u32,
+    /// Blocks per retarget window.
+    pub retarget_window: u64,
+    /// Coinbase reward per block (in the chain's native token).
+    pub block_reward: u64,
+    /// Maximum transactions per block (excluding coinbase).
+    pub max_block_txs: usize,
+    /// Maximum bytes of application payload per transaction (the paper notes
+    /// blockchains impose "limits on data storage" — this is that limit).
+    pub max_payload_bytes: usize,
+    /// Blocks of depth before a transaction is considered confirmed.
+    pub confirmation_depth: u64,
+}
+
+impl Default for ChainParams {
+    fn default() -> ChainParams {
+        ChainParams {
+            target_block_interval: SimDuration::from_mins(10),
+            initial_difficulty_bits: 12,
+            min_difficulty_bits: 4,
+            max_difficulty_bits: 24,
+            retarget_window: 16,
+            block_reward: 50,
+            max_block_txs: 256,
+            max_payload_bytes: 4096,
+            confirmation_depth: 6,
+        }
+    }
+}
+
+impl ChainParams {
+    /// A fast-confirming test chain: 1-second blocks, trivial difficulty.
+    pub fn test() -> ChainParams {
+        ChainParams {
+            target_block_interval: SimDuration::from_secs(1),
+            initial_difficulty_bits: 4,
+            min_difficulty_bits: 1,
+            max_difficulty_bits: 16,
+            retarget_window: 8,
+            confirmation_depth: 2,
+            ..ChainParams::default()
+        }
+    }
+
+    /// Expected hash attempts to find one block at `bits` difficulty.
+    pub fn expected_hashes(bits: u32) -> f64 {
+        2f64.powi(bits as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let p = ChainParams::default();
+        assert!(p.min_difficulty_bits <= p.initial_difficulty_bits);
+        assert!(p.initial_difficulty_bits <= p.max_difficulty_bits);
+        assert!(p.retarget_window > 0);
+        assert!(p.confirmation_depth > 0);
+    }
+
+    #[test]
+    fn expected_hashes_doubles_per_bit() {
+        assert_eq!(ChainParams::expected_hashes(10), 1024.0);
+        assert_eq!(
+            ChainParams::expected_hashes(11),
+            2.0 * ChainParams::expected_hashes(10)
+        );
+    }
+}

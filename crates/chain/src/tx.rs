@@ -1,0 +1,226 @@
+//! Transactions: value transfers and application payloads.
+//!
+//! The chain is an account-model ledger (balances + nonces). Application
+//! layers (naming, storage contracts) ride in [`TxPayload::App`] with an
+//! opaque byte body and a numeric tag identifying the application; the chain
+//! orders and timestamps them but does not interpret them — exactly the
+//! "slow but consistent and verifiable public ledger" role the paper assigns
+//! to blockchains.
+
+use agora_crypto::{Enc, Hash256, SimKeyPair, SimPublicKey, SimSignature, SIG_WIRE_SIZE};
+
+/// Application tag for naming operations (see `agora-naming`).
+pub const APP_NAMING: u32 = 1;
+/// Application tag for storage contracts (see `agora-storage`).
+pub const APP_STORAGE: u32 = 2;
+
+/// What a transaction does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxPayload {
+    /// Move `amount` tokens to `to` (an account = public key fingerprint).
+    Transfer {
+        /// Receiving account.
+        to: Hash256,
+        /// Token amount.
+        amount: u64,
+    },
+    /// Carry opaque application data (name ops, storage contracts, ...).
+    App {
+        /// Application identifier ([`APP_NAMING`], [`APP_STORAGE`], ...).
+        tag: u32,
+        /// Application-encoded body.
+        data: Vec<u8>,
+    },
+}
+
+impl TxPayload {
+    fn encode(&self) -> Vec<u8> {
+        match self {
+            TxPayload::Transfer { to, amount } => {
+                Enc::new().u8(0).hash(to).u64(*amount).done()
+            }
+            TxPayload::App { tag, data } => Enc::new().u8(1).u32(*tag).bytes(data).done(),
+        }
+    }
+
+    /// Size of the application body (0 for transfers).
+    pub fn payload_len(&self) -> usize {
+        match self {
+            TxPayload::Transfer { .. } => 0,
+            TxPayload::App { data, .. } => data.len(),
+        }
+    }
+}
+
+/// A signed transaction.
+#[derive(Clone, Debug)]
+pub struct Transaction {
+    /// Sender's public key (the account is its fingerprint).
+    pub sender: SimPublicKey,
+    /// Sender's transaction counter; must equal the account's current nonce.
+    pub nonce: u64,
+    /// Miner fee.
+    pub fee: u64,
+    /// What the transaction does.
+    pub payload: TxPayload,
+    /// Signature over the canonical encoding of the above.
+    pub signature: SimSignature,
+}
+
+impl Transaction {
+    /// Build and sign a transaction.
+    pub fn create(keys: &SimKeyPair, nonce: u64, fee: u64, payload: TxPayload) -> Transaction {
+        let sender = keys.public();
+        let body = Self::signing_bytes(&sender, nonce, fee, &payload);
+        Transaction {
+            sender,
+            nonce,
+            fee,
+            payload,
+            signature: keys.sign(&body),
+        }
+    }
+
+    fn signing_bytes(
+        sender: &SimPublicKey,
+        nonce: u64,
+        fee: u64,
+        payload: &TxPayload,
+    ) -> Vec<u8> {
+        Enc::new()
+            .hash(&sender.id())
+            .u64(nonce)
+            .u64(fee)
+            .bytes(&payload.encode())
+            .done()
+    }
+
+    /// Transaction id: hash of the canonical encoding.
+    pub fn id(&self) -> Hash256 {
+        agora_crypto::tagged_hash(
+            "tx",
+            &Self::signing_bytes(&self.sender, self.nonce, self.fee, &self.payload),
+        )
+    }
+
+    /// Check the signature.
+    pub fn verify_signature(&self) -> bool {
+        let body = Self::signing_bytes(&self.sender, self.nonce, self.fee, &self.payload);
+        self.sender.verify(&body, &self.signature)
+    }
+
+    /// Sending account.
+    pub fn sender_account(&self) -> Hash256 {
+        self.sender.id()
+    }
+
+    /// Tokens leaving the sender's account (amount + fee).
+    pub fn total_debit(&self) -> u64 {
+        let amount = match &self.payload {
+            TxPayload::Transfer { amount, .. } => *amount,
+            TxPayload::App { .. } => 0,
+        };
+        amount.saturating_add(self.fee)
+    }
+
+    /// Wire/ledger size in bytes (canonical encoding + signature).
+    pub fn wire_size(&self) -> u64 {
+        Self::signing_bytes(&self.sender, self.nonce, self.fee, &self.payload).len() as u64
+            + SIG_WIRE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(name: &str) -> SimKeyPair {
+        SimKeyPair::from_seed(name.as_bytes())
+    }
+
+    #[test]
+    fn create_and_verify() {
+        let k = keys("alice");
+        let tx = Transaction::create(
+            &k,
+            0,
+            1,
+            TxPayload::Transfer {
+                to: keys("bob").public().id(),
+                amount: 10,
+            },
+        );
+        assert!(tx.verify_signature());
+        assert_eq!(tx.total_debit(), 11);
+    }
+
+    #[test]
+    fn tampering_invalidates_signature() {
+        let k = keys("alice");
+        let mut tx = Transaction::create(
+            &k,
+            0,
+            1,
+            TxPayload::Transfer {
+                to: keys("bob").public().id(),
+                amount: 10,
+            },
+        );
+        tx.fee = 0;
+        assert!(!tx.verify_signature());
+    }
+
+    #[test]
+    fn ids_unique_per_content() {
+        let k = keys("alice");
+        let t1 = Transaction::create(&k, 0, 1, TxPayload::App { tag: APP_NAMING, data: vec![1] });
+        let t2 = Transaction::create(&k, 1, 1, TxPayload::App { tag: APP_NAMING, data: vec![1] });
+        let t3 = Transaction::create(&k, 0, 1, TxPayload::App { tag: APP_NAMING, data: vec![2] });
+        assert_ne!(t1.id(), t2.id());
+        assert_ne!(t1.id(), t3.id());
+        // Same content ⇒ same id (deterministic signing).
+        let t4 = Transaction::create(&k, 0, 1, TxPayload::App { tag: APP_NAMING, data: vec![1] });
+        assert_eq!(t1.id(), t4.id());
+    }
+
+    #[test]
+    fn app_payload_debits_only_fee() {
+        let k = keys("alice");
+        let tx = Transaction::create(
+            &k,
+            0,
+            3,
+            TxPayload::App {
+                tag: APP_STORAGE,
+                data: vec![0u8; 100],
+            },
+        );
+        assert_eq!(tx.total_debit(), 3);
+        assert_eq!(tx.payload.payload_len(), 100);
+    }
+
+    #[test]
+    fn wire_size_grows_with_payload() {
+        let k = keys("alice");
+        let small = Transaction::create(&k, 0, 1, TxPayload::App { tag: 1, data: vec![0; 10] });
+        let big = Transaction::create(&k, 0, 1, TxPayload::App { tag: 1, data: vec![0; 1000] });
+        assert!(big.wire_size() > small.wire_size() + 900);
+    }
+
+    #[test]
+    fn forged_sender_fails() {
+        let alice = keys("alice");
+        let mallory = keys("mallory");
+        // Mallory signs a tx but claims Alice as sender.
+        let payload = TxPayload::Transfer { to: mallory.public().id(), amount: 100 };
+        let body = Transaction::signing_bytes(&alice.public(), 0, 1, &payload);
+        let tx = Transaction {
+            sender: alice.public(),
+            nonce: 0,
+            fee: 1,
+            payload,
+            signature: mallory.sign(&body),
+        };
+        assert!(!tx.verify_signature());
+    }
+}

@@ -1,0 +1,375 @@
+//! The centralized OSN/messaging baseline: one operator, one policy, one
+//! point of control — the "feudal" architecture of §2.
+//!
+//! The operator's server sees every post and all its metadata
+//! (`comm.metadata_observed`), applies the single platform-wide moderation
+//! policy, and can unilaterally deplatform users — all of which the paper
+//! identifies as the price of the architecture's excellent availability and
+//! abuse handling.
+
+use std::collections::HashMap;
+
+use agora_sim::{Ctx, NodeId, Protocol, SimDuration};
+
+use crate::moderation::{ModerationPolicy, ModerationStats, PostLabel};
+use crate::posts::{Post, ReadResult};
+
+/// Wire messages.
+#[derive(Clone, Debug)]
+pub enum CentralMsg {
+    /// Client joins a room.
+    Join {
+        /// Room id.
+        room: u32,
+    },
+    /// Client submits a post.
+    Submit(Post),
+    /// Server pushes a post to a member.
+    Deliver(Post),
+    /// Client asks for a room's history length.
+    Read {
+        /// Room id.
+        room: u32,
+        /// Client op id.
+        op: u64,
+    },
+    /// Server's read response.
+    ReadResp {
+        /// Echoed op id.
+        op: u64,
+        /// Number of posts, or None if the room is unknown.
+        count: Option<usize>,
+    },
+}
+
+impl CentralMsg {
+    fn wire_size(&self) -> u64 {
+        match self {
+            CentralMsg::Join { .. } => 8,
+            CentralMsg::Submit(p) | CentralMsg::Deliver(p) => p.wire_size(),
+            CentralMsg::Read { .. } => 16,
+            CentralMsg::ReadResp { .. } => 24,
+        }
+    }
+}
+
+struct Room {
+    posts: Vec<Post>,
+    members: Vec<NodeId>,
+}
+
+/// Server-side state.
+pub struct ServerState {
+    rooms: HashMap<u32, Room>,
+    policy: ModerationPolicy,
+    stats: ModerationStats,
+    banned: Vec<NodeId>,
+}
+
+/// Client-side state.
+pub struct ClientState {
+    server: NodeId,
+    next_seq: u64,
+    next_op: u64,
+    reads: HashMap<u64, ReadResult>,
+    delivered: u64,
+}
+
+enum Role {
+    Server(ServerState),
+    Client(ClientState),
+}
+
+/// A participant in the centralized architecture.
+pub struct CentralNode {
+    role: Role,
+}
+
+const READ_TIMEOUT: SimDuration = SimDuration::from_secs(10);
+
+impl CentralNode {
+    /// The operator's server with its platform-wide policy.
+    pub fn server(policy: ModerationPolicy) -> CentralNode {
+        CentralNode {
+            role: Role::Server(ServerState {
+                rooms: HashMap::new(),
+                policy,
+                stats: ModerationStats::default(),
+                banned: Vec::new(),
+            }),
+        }
+    }
+
+    /// A client of the platform.
+    pub fn client(server: NodeId) -> CentralNode {
+        CentralNode {
+            role: Role::Client(ClientState {
+                server,
+                next_seq: 0,
+                next_op: 0,
+                reads: HashMap::new(),
+                delivered: 0,
+            }),
+        }
+    }
+
+    /// Operator action: deplatform a user ("access to the platform can be
+    /// unequivocally revoked"). Their submissions are dropped from now on.
+    pub fn ban(&mut self, user: NodeId) {
+        if let Role::Server(s) = &mut self.role {
+            if !s.banned.contains(&user) {
+                s.banned.push(user);
+            }
+        }
+    }
+
+    /// Server moderation statistics.
+    pub fn moderation_stats(&self) -> Option<ModerationStats> {
+        match &self.role {
+            Role::Server(s) => Some(s.stats),
+            Role::Client(_) => None,
+        }
+    }
+
+    /// Posts delivered to this client so far.
+    pub fn delivered_count(&self) -> u64 {
+        match &self.role {
+            Role::Client(c) => c.delivered,
+            Role::Server(_) => 0,
+        }
+    }
+
+    /// Client action: join a room.
+    pub fn join(&mut self, ctx: &mut Ctx<'_, CentralMsg>, room: u32) {
+        let Role::Client(c) = &self.role else { return };
+        ctx.send(c.server, CentralMsg::Join { room }, 8);
+    }
+
+    /// Client action: post to a room. Returns the post's sequence number.
+    pub fn post(
+        &mut self,
+        ctx: &mut Ctx<'_, CentralMsg>,
+        room: u32,
+        bytes: u64,
+        label: PostLabel,
+    ) -> u64 {
+        let Role::Client(c) = &mut self.role else {
+            panic!("post on server")
+        };
+        let post = Post {
+            author: ctx.id(),
+            room,
+            seq: c.next_seq,
+            bytes,
+            label,
+            sent_at_micros: ctx.now().micros(),
+        };
+        c.next_seq += 1;
+        let size = post.wire_size();
+        ctx.send(c.server, CentralMsg::Submit(post), size);
+        post.seq
+    }
+
+    /// Client action: read a room's history. Poll [`CentralNode::take_read`].
+    pub fn read(&mut self, ctx: &mut Ctx<'_, CentralMsg>, room: u32) -> u64 {
+        let Role::Client(c) = &mut self.role else {
+            panic!("read on server")
+        };
+        let op = c.next_op;
+        c.next_op += 1;
+        ctx.send(c.server, CentralMsg::Read { room, op }, 16);
+        ctx.set_timer(READ_TIMEOUT, op);
+        op
+    }
+
+    /// Collect a read outcome.
+    pub fn take_read(&mut self, op: u64) -> Option<ReadResult> {
+        match &mut self.role {
+            Role::Client(c) => c.reads.remove(&op),
+            Role::Server(_) => None,
+        }
+    }
+}
+
+impl Protocol for CentralNode {
+    type Msg = CentralMsg;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, CentralMsg>, from: NodeId, msg: CentralMsg) {
+        match (&mut self.role, msg) {
+            (Role::Server(s), CentralMsg::Join { room }) => {
+                let r = s.rooms.entry(room).or_insert(Room {
+                    posts: Vec::new(),
+                    members: Vec::new(),
+                });
+                if !r.members.contains(&from) {
+                    r.members.push(from);
+                }
+            }
+            (Role::Server(s), CentralMsg::Submit(post)) => {
+                // The operator observes everything: full metadata exposure.
+                ctx.metrics().incr("comm.metadata_observed", 1);
+                if s.banned.contains(&from) {
+                    ctx.metrics().incr("comm.banned_drops", 1);
+                    return;
+                }
+                let blocked = s.policy.blocks(post.label, ctx.rng());
+                s.stats.record(post.label, blocked);
+                if blocked {
+                    ctx.metrics().incr("comm.posts_blocked", 1);
+                    return;
+                }
+                let Some(r) = s.rooms.get_mut(&post.room) else {
+                    return;
+                };
+                r.posts.push(post);
+                let members = r.members.clone();
+                for m in members {
+                    if m != post.author {
+                        let msg = CentralMsg::Deliver(post);
+                        let size = msg.wire_size();
+                        ctx.send(m, msg, size);
+                    }
+                }
+            }
+            (Role::Server(s), CentralMsg::Read { room, op }) => {
+                let count = s.rooms.get(&room).map(|r| r.posts.len());
+                ctx.send(from, CentralMsg::ReadResp { op, count }, 24);
+            }
+            (Role::Client(c), CentralMsg::Deliver(post)) => {
+                c.delivered += 1;
+                ctx.metrics().incr("comm.posts_delivered", 1);
+                if matches!(post.label, PostLabel::Abuse(_)) {
+                    ctx.metrics().incr("comm.abuse_delivered", 1);
+                }
+                let latency = (ctx.now().micros() - post.sent_at_micros) as f64 / 1e6;
+                ctx.metrics().sample("comm.delivery_secs", latency);
+            }
+            (Role::Client(c), CentralMsg::ReadResp { op, count }) => {
+                c.reads.entry(op).or_insert(match count {
+                    Some(n) => ReadResult::Ok(n),
+                    None => ReadResult::Unavailable,
+                });
+                ctx.metrics().incr("comm.reads_ok", 1);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, CentralMsg>, op: u64) {
+        let Role::Client(c) = &mut self.role else { return };
+        if let std::collections::hash_map::Entry::Vacant(e) = c.reads.entry(op) {
+            if op < c.next_op {
+                e.insert(ReadResult::Unavailable);
+                ctx.metrics().incr("comm.reads_failed", 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moderation::AbuseKind;
+    use agora_sim::{DeviceClass, Simulation};
+
+    fn build(n_clients: usize, policy: ModerationPolicy, seed: u64) -> (Simulation<CentralNode>, NodeId, Vec<NodeId>) {
+        let mut sim = Simulation::new(seed);
+        let server = sim.add_node(CentralNode::server(policy), DeviceClass::DatacenterServer);
+        let mut clients = Vec::new();
+        for _ in 0..n_clients {
+            clients.push(sim.add_node(
+                CentralNode::client(server),
+                DeviceClass::PersonalComputer,
+            ));
+        }
+        for &c in &clients {
+            sim.with_ctx(c, |n, ctx| n.join(ctx, 1)).unwrap();
+        }
+        sim.run_for(SimDuration::from_secs(2));
+        (sim, server, clients)
+    }
+
+    #[test]
+    fn post_reaches_all_members() {
+        let (mut sim, _server, clients) = build(5, ModerationPolicy::none(), 1);
+        sim.with_ctx(clients[0], |n, ctx| {
+            n.post(ctx, 1, 200, PostLabel::Legit);
+        })
+        .unwrap();
+        sim.run_for(SimDuration::from_secs(5));
+        for &c in &clients[1..] {
+            assert_eq!(sim.node(c).delivered_count(), 1);
+        }
+        assert_eq!(sim.node(clients[0]).delivered_count(), 0, "no self-echo");
+        assert_eq!(sim.metrics().counter("comm.metadata_observed"), 1);
+    }
+
+    #[test]
+    fn read_returns_history_length() {
+        let (mut sim, _server, clients) = build(3, ModerationPolicy::none(), 2);
+        for i in 0..4 {
+            sim.with_ctx(clients[i % 3], |n, ctx| {
+                n.post(ctx, 1, 100, PostLabel::Legit);
+            })
+            .unwrap();
+        }
+        sim.run_for(SimDuration::from_secs(5));
+        let op = sim
+            .with_ctx(clients[0], |n, ctx| n.read(ctx, 1))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(5));
+        assert_eq!(
+            sim.node_mut(clients[0]).take_read(op),
+            Some(ReadResult::Ok(4))
+        );
+    }
+
+    #[test]
+    fn server_down_means_total_outage() {
+        let (mut sim, server, clients) = build(3, ModerationPolicy::none(), 3);
+        sim.kill(server);
+        let op = sim
+            .with_ctx(clients[0], |n, ctx| n.read(ctx, 1))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(30));
+        assert_eq!(
+            sim.node_mut(clients[0]).take_read(op),
+            Some(ReadResult::Unavailable)
+        );
+        // Posts during the outage vanish too.
+        sim.with_ctx(clients[1], |n, ctx| {
+            n.post(ctx, 1, 100, PostLabel::Legit);
+        })
+        .unwrap();
+        sim.run_for(SimDuration::from_secs(5));
+        assert_eq!(sim.metrics().counter("comm.posts_delivered"), 0);
+    }
+
+    #[test]
+    fn platform_policy_blocks_abuse() {
+        let (mut sim, server, clients) = build(3, ModerationPolicy::platform_default(), 4);
+        for _ in 0..50 {
+            sim.with_ctx(clients[0], |n, ctx| {
+                n.post(ctx, 1, 100, PostLabel::Abuse(AbuseKind::Spam));
+            })
+            .unwrap();
+        }
+        sim.run_for(SimDuration::from_secs(10));
+        let stats = sim.node(server).moderation_stats().unwrap();
+        assert!(stats.abuse_blocked > 35, "blocked {}", stats.abuse_blocked);
+        assert!(stats.abuse_leak_rate() < 0.3);
+    }
+
+    #[test]
+    fn banned_user_is_silenced() {
+        let (mut sim, server, clients) = build(3, ModerationPolicy::none(), 5);
+        sim.node_mut(server).ban(clients[0]);
+        sim.with_ctx(clients[0], |n, ctx| {
+            n.post(ctx, 1, 100, PostLabel::Legit);
+        })
+        .unwrap();
+        sim.run_for(SimDuration::from_secs(5));
+        assert_eq!(sim.metrics().counter("comm.banned_drops"), 1);
+        assert_eq!(sim.metrics().counter("comm.posts_delivered"), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # agora-comm — group communication architectures
+//!
+//! §3.2's design space, executable: the same workload (rooms, posts, reads,
+//! abuse) can run on four architectures and be compared on connectedness,
+//! abuse handling, and privacy — the section's three required properties.
+//!
+//! * [`centralized`] — the feudal baseline: one operator, total metadata
+//!   visibility, one policy, unilateral deplatforming, single point of
+//!   failure.
+//! * [`federated`] — OStatus-style single-home vs Matrix-style full
+//!   replication, with per-instance moderation policies.
+//! * [`social`] — socially-aware P2P (PrPl/Persona/Lockr class): trust-gated
+//!   access, owner-held data, optional friend caching.
+//! * [`ratchet`] — a double-ratchet-style E2E session (forward secrecy,
+//!   out-of-order tolerance) built on the in-repo HKDF.
+//! * [`guerrilla`] — §5.3's "encrypted services on the cloud": a
+//!   capability-gated untrusted relay decoupling authority from
+//!   infrastructure.
+//! * [`moderation`] — abuse labels and per-authority moderation policies.
+//! * [`posts`] — the shared post/read types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centralized;
+pub mod guerrilla;
+pub mod federated;
+pub mod moderation;
+pub mod posts;
+pub mod ratchet;
+pub mod social;
+
+pub use centralized::{CentralMsg, CentralNode};
+pub use federated::{FedMsg, FedNode, ReplicationMode};
+pub use guerrilla::{mint_capability, RelayMsg, RelayNode, RelayResult};
+pub use moderation::{AbuseKind, ModerationPolicy, ModerationStats, PostLabel};
+pub use posts::{Post, ReadResult};
+pub use ratchet::{RatchetError, RatchetSession, Sealed};
+pub use social::{SocialMsg, SocialNode};

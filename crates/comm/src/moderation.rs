@@ -1,0 +1,205 @@
+//! Abuse and moderation models.
+//!
+//! §3.2 requires "Abuse Prevention: platforms should have mechanisms that
+//! handle abuse, however abuse is defined", and observes that centralized
+//! platforms impose one operator-defined norm while federations (Mastodon,
+//! Matrix apps) let each instance define its own rules. This module models
+//! abuse as labeled traffic and moderation as an imperfect classifier with a
+//! per-authority policy, so architectures can be compared on spam-blocked /
+//! legitimate-suppressed rates.
+
+use agora_sim::SimRng;
+
+/// Categories of abuse the paper names (spam, hate speech, brigading, ...).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbuseKind {
+    /// Bulk unsolicited content.
+    Spam,
+    /// Hate speech.
+    HateSpeech,
+    /// Coordinated harassment.
+    Brigading,
+}
+
+/// Ground-truth label carried by simulated posts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PostLabel {
+    /// Legitimate content.
+    Legit,
+    /// Abusive content of the given kind.
+    Abuse(AbuseKind),
+}
+
+/// A moderation policy: which kinds an authority moderates, and how well.
+#[derive(Clone, Debug)]
+pub struct ModerationPolicy {
+    /// Kinds this authority acts on (an instance may tolerate some).
+    pub moderated_kinds: Vec<AbuseKind>,
+    /// P(block | abusive content of a moderated kind) — recall.
+    pub detection_rate: f64,
+    /// P(block | legitimate content) — the over-moderation / censorship rate
+    /// the paper worries about ("moderation is often in direct tension with
+    /// freedom of expression").
+    pub false_positive_rate: f64,
+}
+
+impl ModerationPolicy {
+    /// No moderation at all.
+    pub fn none() -> ModerationPolicy {
+        ModerationPolicy {
+            moderated_kinds: Vec::new(),
+            detection_rate: 0.0,
+            false_positive_rate: 0.0,
+        }
+    }
+
+    /// A centralized-platform-style policy: moderates everything, decent
+    /// recall, non-trivial collateral damage.
+    pub fn platform_default() -> ModerationPolicy {
+        ModerationPolicy {
+            moderated_kinds: vec![AbuseKind::Spam, AbuseKind::HateSpeech, AbuseKind::Brigading],
+            detection_rate: 0.9,
+            false_positive_rate: 0.02,
+        }
+    }
+
+    /// A strict policy (government-pressured operator): high recall, high
+    /// collateral suppression.
+    pub fn strict() -> ModerationPolicy {
+        ModerationPolicy {
+            moderated_kinds: vec![AbuseKind::Spam, AbuseKind::HateSpeech, AbuseKind::Brigading],
+            detection_rate: 0.98,
+            false_positive_rate: 0.15,
+        }
+    }
+
+    /// Spam-only policy (a tolerant federation instance).
+    pub fn spam_only() -> ModerationPolicy {
+        ModerationPolicy {
+            moderated_kinds: vec![AbuseKind::Spam],
+            detection_rate: 0.85,
+            false_positive_rate: 0.01,
+        }
+    }
+
+    /// Decide whether this authority blocks a post with the given label.
+    pub fn blocks(&self, label: PostLabel, rng: &mut SimRng) -> bool {
+        match label {
+            PostLabel::Legit => rng.chance(self.false_positive_rate),
+            PostLabel::Abuse(kind) => {
+                self.moderated_kinds.contains(&kind) && rng.chance(self.detection_rate)
+            }
+        }
+    }
+}
+
+/// Aggregate moderation outcomes for one run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ModerationStats {
+    /// Abusive posts delivered (missed).
+    pub abuse_delivered: u64,
+    /// Abusive posts blocked.
+    pub abuse_blocked: u64,
+    /// Legitimate posts delivered.
+    pub legit_delivered: u64,
+    /// Legitimate posts blocked (suppression).
+    pub legit_blocked: u64,
+}
+
+impl ModerationStats {
+    /// Record one decision.
+    pub fn record(&mut self, label: PostLabel, blocked: bool) {
+        match (label, blocked) {
+            (PostLabel::Legit, false) => self.legit_delivered += 1,
+            (PostLabel::Legit, true) => self.legit_blocked += 1,
+            (PostLabel::Abuse(_), false) => self.abuse_delivered += 1,
+            (PostLabel::Abuse(_), true) => self.abuse_blocked += 1,
+        }
+    }
+
+    /// Fraction of abuse that got through.
+    pub fn abuse_leak_rate(&self) -> f64 {
+        let total = self.abuse_delivered + self.abuse_blocked;
+        if total == 0 {
+            0.0
+        } else {
+            self.abuse_delivered as f64 / total as f64
+        }
+    }
+
+    /// Fraction of legitimate traffic suppressed.
+    pub fn suppression_rate(&self) -> f64 {
+        let total = self.legit_delivered + self.legit_blocked;
+        if total == 0 {
+            0.0
+        } else {
+            self.legit_blocked as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_policy_blocks_nothing() {
+        let mut rng = SimRng::new(1);
+        let p = ModerationPolicy::none();
+        for _ in 0..100 {
+            assert!(!p.blocks(PostLabel::Abuse(AbuseKind::Spam), &mut rng));
+            assert!(!p.blocks(PostLabel::Legit, &mut rng));
+        }
+    }
+
+    #[test]
+    fn platform_policy_blocks_most_abuse() {
+        let mut rng = SimRng::new(2);
+        let p = ModerationPolicy::platform_default();
+        let blocked = (0..1000)
+            .filter(|_| p.blocks(PostLabel::Abuse(AbuseKind::HateSpeech), &mut rng))
+            .count();
+        assert!((850..=950).contains(&blocked), "blocked {blocked}");
+    }
+
+    #[test]
+    fn unmoderated_kind_passes() {
+        let mut rng = SimRng::new(3);
+        let p = ModerationPolicy::spam_only();
+        for _ in 0..100 {
+            assert!(!p.blocks(PostLabel::Abuse(AbuseKind::Brigading), &mut rng));
+        }
+        let spam_blocked = (0..1000)
+            .filter(|_| p.blocks(PostLabel::Abuse(AbuseKind::Spam), &mut rng))
+            .count();
+        assert!(spam_blocked > 700);
+    }
+
+    #[test]
+    fn strict_policy_suppresses_more_legit_speech() {
+        let mut rng = SimRng::new(4);
+        let strict = ModerationPolicy::strict();
+        let normal = ModerationPolicy::platform_default();
+        let count = |p: &ModerationPolicy, rng: &mut SimRng| {
+            (0..2000).filter(|_| p.blocks(PostLabel::Legit, rng)).count()
+        };
+        let s = count(&strict, &mut rng);
+        let n = count(&normal, &mut rng);
+        assert!(s > n * 3, "strict {s} vs normal {n}");
+    }
+
+    #[test]
+    fn stats_rates() {
+        let mut st = ModerationStats::default();
+        st.record(PostLabel::Legit, false);
+        st.record(PostLabel::Legit, true);
+        st.record(PostLabel::Abuse(AbuseKind::Spam), false);
+        st.record(PostLabel::Abuse(AbuseKind::Spam), true);
+        st.record(PostLabel::Abuse(AbuseKind::Spam), true);
+        assert!((st.abuse_leak_rate() - 1.0 / 3.0).abs() < 1e-9);
+        assert!((st.suppression_rate() - 0.5).abs() < 1e-9);
+        let empty = ModerationStats::default();
+        assert_eq!(empty.abuse_leak_rate(), 0.0);
+        assert_eq!(empty.suppression_rate(), 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Shared post/feed types for the group-communication architectures.
+
+use agora_sim::NodeId;
+
+use crate::moderation::PostLabel;
+
+/// A group-communication post (room message or feed entry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Post {
+    /// Authoring client node.
+    pub author: NodeId,
+    /// Room / feed id.
+    pub room: u32,
+    /// Author-local sequence number (unique per author).
+    pub seq: u64,
+    /// Body size in bytes (content itself is not simulated).
+    pub bytes: u64,
+    /// Ground-truth abuse label.
+    pub label: PostLabel,
+    /// Simulated send time in microseconds.
+    pub sent_at_micros: u64,
+}
+
+impl Post {
+    /// Wire size of the post envelope.
+    pub fn wire_size(&self) -> u64 {
+        self.bytes + 32
+    }
+}
+
+/// Result of a history-read operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadResult {
+    /// History served; this many posts visible.
+    Ok(usize),
+    /// The authority that owns the history was unreachable.
+    Unavailable,
+    /// Read refused (access control).
+    Denied,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_includes_envelope() {
+        let p = Post {
+            author: NodeId(1),
+            room: 0,
+            seq: 0,
+            bytes: 100,
+            label: PostLabel::Legit,
+            sent_at_micros: 0,
+        };
+        assert_eq!(p.wire_size(), 132);
+    }
+}

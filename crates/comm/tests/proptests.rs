@@ -1,0 +1,86 @@
+//! Property-based tests for the ratchet and moderation models.
+
+use agora_comm::{ModerationPolicy, PostLabel, RatchetSession};
+use agora_crypto::sha256;
+use agora_sim::SimRng;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary conversations in arbitrary delivery orders decrypt exactly
+    /// once each, as long as reordering stays within the skip window.
+    #[test]
+    fn ratchet_survives_reordering(
+        msgs in proptest::collection::vec(any::<Vec<u8>>(), 1..40),
+        order_seed in any::<u64>(),
+    ) {
+        let secret = sha256(b"prop-session");
+        let mut alice = RatchetSession::initiator(&secret);
+        let mut bob = RatchetSession::responder(&secret);
+        let mut sealed: Vec<_> = msgs.iter().map(|m| alice.encrypt(m)).collect();
+        // Shuffle delivery.
+        let mut rng = SimRng::new(order_seed);
+        let mut order: Vec<usize> = (0..sealed.len()).collect();
+        rng.shuffle(&mut order);
+        let mut decrypted = vec![false; msgs.len()];
+        for &i in &order {
+            let got = bob.decrypt(&sealed[i]).expect("within skip window");
+            prop_assert_eq!(&got, &msgs[i]);
+            decrypted[i] = true;
+        }
+        prop_assert!(decrypted.iter().all(|&d| d));
+        // Replays all fail (keys destroyed).
+        for s in sealed.drain(..) {
+            prop_assert!(bob.decrypt(&s).is_err());
+        }
+    }
+
+    /// Bidirectional interleaved traffic stays in sync.
+    #[test]
+    fn ratchet_bidirectional(pattern in proptest::collection::vec(any::<bool>(), 1..60)) {
+        let secret = sha256(b"prop-bidir");
+        let mut alice = RatchetSession::initiator(&secret);
+        let mut bob = RatchetSession::responder(&secret);
+        for (i, &a_sends) in pattern.iter().enumerate() {
+            let msg = format!("m{i}");
+            if a_sends {
+                let s = alice.encrypt(msg.as_bytes());
+                prop_assert_eq!(bob.decrypt(&s).expect("sync"), msg.as_bytes());
+            } else {
+                let s = bob.encrypt(msg.as_bytes());
+                prop_assert_eq!(alice.decrypt(&s).expect("sync"), msg.as_bytes());
+            }
+        }
+    }
+
+    /// Tampering with the binding always fails decryption and never
+    /// desynchronizes the genuine stream.
+    #[test]
+    fn ratchet_tamper_rejected(msg in any::<Vec<u8>>(), evil in any::<u64>()) {
+        let secret = sha256(b"prop-tamper");
+        let mut alice = RatchetSession::initiator(&secret);
+        let mut bob = RatchetSession::responder(&secret);
+        let mut sealed = alice.encrypt(&msg);
+        let original = sealed.clone();
+        sealed.binding = sha256(&evil.to_be_bytes());
+        prop_assert!(bob.decrypt(&sealed).is_err());
+        prop_assert_eq!(bob.decrypt(&original).expect("genuine still works"), msg);
+    }
+
+    /// Moderation rates converge to the configured probabilities.
+    #[test]
+    fn moderation_rates_converge(seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        let p = ModerationPolicy::platform_default();
+        let n = 2000;
+        let blocked_abuse = (0..n)
+            .filter(|_| p.blocks(PostLabel::Abuse(agora_comm::AbuseKind::Spam), &mut rng))
+            .count() as f64 / n as f64;
+        let blocked_legit = (0..n)
+            .filter(|_| p.blocks(PostLabel::Legit, &mut rng))
+            .count() as f64 / n as f64;
+        prop_assert!((blocked_abuse - p.detection_rate).abs() < 0.05,
+            "abuse block rate {blocked_abuse}");
+        prop_assert!((blocked_legit - p.false_positive_rate).abs() < 0.02,
+            "legit block rate {blocked_legit}");
+    }
+}

@@ -1,0 +1,153 @@
+//! E9: the costs of blockchains — wasteful mining, the endless ledger,
+//! and attack exposure — measured on a running chain.
+
+use agora_chain::{
+    selfish_mining, ChainNode, ChainParams, MinerConfig, Transaction, TxPayload,
+};
+use agora_crypto::{sha256, Hash256, SimKeyPair};
+use agora_sim::{DeviceClass, NodeId, SimDuration, SimRng, Simulation};
+
+use super::Report;
+
+/// E9 results.
+#[derive(Clone, Debug)]
+pub struct E9Result {
+    /// Hash attempts ground per confirmed transaction (energy proxy).
+    pub hashes_per_confirmed_tx: f64,
+    /// Ledger bytes accumulated per simulated day (endless-ledger rate).
+    pub ledger_bytes_per_day: f64,
+    /// Total confirmed transactions in the run.
+    pub confirmed_txs: u64,
+    /// Reorgs observed among competing miners.
+    pub reorgs: u64,
+    /// (alpha, selfish revenue share, fair share) at gamma = 0.5.
+    pub selfish_curve: Vec<(f64, f64, f64)>,
+}
+
+/// E9: run a multi-miner chain for a simulated day under transaction load,
+/// then report the §3.1-cited costs.
+pub fn e9_chain_costs(seed: u64) -> (E9Result, Report) {
+    let mut params = ChainParams::default();
+    params.target_block_interval = SimDuration::from_secs(120);
+    params.initial_difficulty_bits = 10;
+    let user = SimKeyPair::from_seed(b"e9-user");
+    let premine: Vec<(Hash256, u64)> = vec![(user.public().id(), 10_000_000)];
+
+    let mut sim: Simulation<ChainNode> = Simulation::new(seed);
+    let mut ids: Vec<NodeId> = Vec::new();
+    for i in 0..5 {
+        let miner = if i < 3 {
+            Some(MinerConfig {
+                account: sha256(format!("e9-miner-{i}").as_bytes()),
+                // Three equal miners sharing the 120 s target.
+                hashrate: 1024.0 / 360.0,
+            })
+        } else {
+            None
+        };
+        ids.push(sim.add_node(
+            ChainNode::new("e9", params.clone(), &premine, miner),
+            DeviceClass::DatacenterServer,
+        ));
+    }
+    for &id in &ids {
+        let peers = ids.clone();
+        sim.node_mut(id).set_peers(peers);
+    }
+
+    // A simulated day of steady application traffic.
+    let bob = sha256(b"e9-bob");
+    let mut nonce = 0u64;
+    for hour in 0..24 {
+        for _ in 0..4 {
+            let tx = Transaction::create(
+                &user,
+                nonce,
+                1,
+                TxPayload::Transfer { to: bob, amount: 1 },
+            );
+            nonce += 1;
+            sim.with_ctx(ids[3], |n, ctx| {
+                n.submit_tx(ctx, tx);
+            });
+            sim.run_for(SimDuration::from_mins(15));
+        }
+        let _ = hour;
+    }
+    sim.run_for(SimDuration::from_hours(1));
+
+    let ledger = sim.node(ids[3]).ledger();
+    let confirmed = (0..nonce)
+        .filter(|_| true) // placeholder for readability; count via state below
+        .count() as u64;
+    // Count actually-confirmed transfers via the recipient balance.
+    let confirmed_txs = ledger.state().balance(&bob);
+    let hashes = sim.metrics().counter("chain.hashes_ground");
+    let days = sim.now().secs_f64() / 86_400.0;
+    let _ = confirmed;
+
+    let mut rng = SimRng::new(seed + 1);
+    let mut selfish_curve = Vec::new();
+    for alpha in [0.1, 0.25, 0.33, 0.4] {
+        let r = selfish_mining(alpha, 0.5, 150_000, &mut rng);
+        selfish_curve.push((alpha, r.revenue_share, r.fair_share));
+    }
+
+    let result = E9Result {
+        hashes_per_confirmed_tx: hashes as f64 / confirmed_txs.max(1) as f64,
+        ledger_bytes_per_day: ledger.total_ledger_bytes as f64 / days.max(1e-9),
+        confirmed_txs,
+        reorgs: sim.metrics().counter("chain.reorgs"),
+        selfish_curve,
+    };
+    let mut body = format!(
+        "One simulated day, 3 miners, 96 transfers submitted:\n\
+         \x20 confirmed transfers       : {}\n\
+         \x20 hashes per confirmed tx   : {:.0}  (PoW energy proxy; scales with difficulty)\n\
+         \x20 ledger growth             : {:.0} bytes/day and never shrinks (endless ledger)\n\
+         \x20 reorgs among equal miners : {}\n\n\
+         Selfish mining (gamma = 0.5):\n",
+        result.confirmed_txs,
+        result.hashes_per_confirmed_tx,
+        result.ledger_bytes_per_day,
+        result.reorgs,
+    );
+    for (alpha, share, fair) in &result.selfish_curve {
+        body.push_str(&format!(
+            "  alpha {:>4.2} → revenue share {:>5.3} (fair {:>4.2}){}\n",
+            alpha,
+            share,
+            fair,
+            if share > fair { "  ← profitable deviation" } else { "" }
+        ));
+    }
+    (
+        result,
+        Report {
+            id: "E9",
+            title: "Blockchain costs: mining waste, endless ledger, incentive attacks",
+            claim: "blockchains suffer the 51% attack, limits on data storage, \
+                    wasteful mining computation, the endless ledger problem \
+                    (§3.1)",
+            body,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_costs_measured() {
+        let (r, report) = e9_chain_costs(61);
+        assert!(r.confirmed_txs > 50, "{r:?}");
+        // Each tx costs vastly more than one hash — that's the waste.
+        assert!(r.hashes_per_confirmed_tx > 100.0, "{r:?}");
+        assert!(r.ledger_bytes_per_day > 1000.0, "{r:?}");
+        // Selfish mining profitable at 1/3 with gamma 0.5.
+        let at_33 = r.selfish_curve.iter().find(|(a, _, _)| *a == 0.33).unwrap();
+        assert!(at_33.1 > at_33.2, "selfish should beat fair at 0.33: {at_33:?}");
+        assert!(report.body.contains("endless ledger"));
+    }
+}

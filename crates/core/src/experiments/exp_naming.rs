@@ -1,0 +1,330 @@
+//! E1 (the blockchain performance trade) and E2 (naming attack matrix).
+
+use agora_chain::{ChainNode, ChainParams, MinerConfig};
+use agora_crypto::{sha256, Hash256, SimKeyPair};
+use agora_naming::{
+    front_running_game, name_theft_by_rewrite, CentralRegistrar, CertAuthority, NameDb, NameOp,
+    NamingRules, WebOfTrust,
+};
+use agora_sim::{DeviceClass, NodeId, SimDuration, SimRng, Simulation};
+
+use super::Report;
+
+/// E1 results: registration latency/throughput across schemes.
+#[derive(Clone, Debug)]
+pub struct E1Result {
+    /// Centralized registrar round-trip (seconds, simulated PC↔datacenter).
+    pub central_latency_secs: f64,
+    /// Median blockchain registration-to-confirmation latency (seconds).
+    pub chain_latency_secs: f64,
+    /// Centralized ops/sec (bounded only by the round trip here).
+    pub central_throughput_ops_per_sec: f64,
+    /// Chain registrations/sec ceiling (block size / interval).
+    pub chain_throughput_ops_per_sec: f64,
+    /// How many of the submitted registrations confirmed.
+    pub confirmed: usize,
+    /// How many were submitted.
+    pub submitted: usize,
+}
+
+impl E1Result {
+    /// Latency penalty factor of consensus over the registrar.
+    pub fn latency_factor(&self) -> f64 {
+        self.chain_latency_secs / self.central_latency_secs.max(1e-9)
+    }
+}
+
+/// E1: measure "blockchains essentially trade scalability and performance
+/// for global consensus and security" (§3.1).
+///
+/// The registrar baseline is a request/response over simulated consumer
+/// access links; the blockchain path runs a real mining network with
+/// 60-second blocks (scaled from Namecoin's 10 minutes; the report notes
+/// the scale factor) and waits for the params' confirmation depth.
+pub fn e1_naming_tradeoff(seed: u64) -> (E1Result, Report) {
+    // --- centralized baseline -------------------------------------------
+    let mut registrar = CentralRegistrar::new();
+    let pc = DeviceClass::PersonalComputer.profile();
+    let dc = DeviceClass::DatacenterServer.profile();
+    // One round trip over the access links (jitter-free expectation).
+    let central_latency_secs =
+        2.0 * (pc.base_latency.secs_f64() + dc.base_latency.secs_f64());
+    let n_central = 200;
+    for i in 0..n_central {
+        registrar
+            .register(&format!("user-{i}"), sha256(&[i as u8]), sha256(b"z"))
+            .expect("fresh name");
+    }
+    let central_throughput = 1.0 / central_latency_secs;
+
+    // --- blockchain path --------------------------------------------------
+    let mut params = ChainParams::default();
+    params.target_block_interval = SimDuration::from_secs(60); // 10x scale
+    params.initial_difficulty_bits = 10;
+    params.confirmation_depth = 6;
+    let user = SimKeyPair::from_seed(b"e1-user");
+    let premine: Vec<(Hash256, u64)> = vec![(user.public().id(), 1_000_000)];
+
+    let mut sim: Simulation<ChainNode> = Simulation::new(seed);
+    let mut ids: Vec<NodeId> = Vec::new();
+    for i in 0..4 {
+        let miner = if i == 0 {
+            Some(MinerConfig {
+                account: sha256(b"e1-miner"),
+                // 2^10 hashes / 60 s target.
+                hashrate: 1024.0 / 60.0,
+            })
+        } else {
+            None
+        };
+        ids.push(sim.add_node(
+            ChainNode::new("e1", params.clone(), &premine, miner),
+            DeviceClass::DatacenterServer,
+        ));
+    }
+    for &id in &ids {
+        let peers = ids.clone();
+        sim.node_mut(id).set_peers(peers);
+    }
+    sim.run_for(SimDuration::from_mins(5));
+
+    let rules = NamingRules {
+        min_preorder_age: 1,
+        ..NamingRules::default()
+    };
+    let submitted = 10usize;
+    let mut nonce = 0u64;
+    let mut submit_times = Vec::new();
+    let mut reg_txids = Vec::new();
+    for i in 0..submitted {
+        let name = format!("user-{i}.agora");
+        let salt = i as u64;
+        let account = user.public().id();
+        let pre = NameOp::Preorder {
+            commitment: NameOp::commitment(&name, salt, &account),
+        }
+        .into_tx(&user, nonce, 1);
+        nonce += 1;
+        sim.with_ctx(ids[1], |n, ctx| n.submit_tx(ctx, pre));
+        // Wait for the preorder to land before revealing.
+        sim.run_for(SimDuration::from_mins(3));
+        let reg = NameOp::Register {
+            name,
+            salt,
+            zone_hash: sha256(b"zone"),
+        }
+        .into_tx(&user, nonce, 1);
+        nonce += 1;
+        let txid = reg.id();
+        submit_times.push(sim.now());
+        reg_txids.push(txid);
+        sim.with_ctx(ids[1], |n, ctx| n.submit_tx(ctx, reg));
+        sim.run_for(SimDuration::from_mins(2));
+    }
+    // Let confirmations accumulate.
+    let mut latencies = Vec::new();
+    let mut confirmed = 0usize;
+    let deadline = sim.now() + SimDuration::from_hours(3);
+    let mut pending: Vec<(usize, Hash256)> = reg_txids.iter().copied().enumerate().collect();
+    while !pending.is_empty() && sim.now() < deadline {
+        sim.run_for(SimDuration::from_mins(1));
+        pending.retain(|(i, txid)| {
+            if sim.node(ids[0]).ledger().is_confirmed(txid) {
+                latencies.push(sim.now().since(submit_times[*i]).secs_f64());
+                confirmed += 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let chain_latency = latencies
+        .get(latencies.len() / 2)
+        .copied()
+        .unwrap_or(f64::INFINITY);
+    let chain_throughput = params.max_block_txs as f64
+        / params.target_block_interval.secs_f64();
+
+    // Check the names actually resolve via the derived NameDb.
+    let db = NameDb::from_ledger(sim.node(ids[0]).ledger(), &rules);
+    let resolvable = (0..submitted)
+        .filter(|i| {
+            db.resolve(&format!("user-{i}.agora"), sim.node(ids[0]).ledger().best_height())
+                .is_some()
+        })
+        .count();
+
+    let result = E1Result {
+        central_latency_secs,
+        chain_latency_secs: chain_latency,
+        central_throughput_ops_per_sec: central_throughput,
+        chain_throughput_ops_per_sec: chain_throughput,
+        confirmed,
+        submitted,
+    };
+    let body = format!(
+        "Centralized registrar : {:>10.3} s/op   {:>10.1} ops/s  ({} names registered)\n\
+         Blockchain naming     : {:>10.1} s/op   {:>10.2} ops/s  ({}/{} confirmed, {} resolvable)\n\
+         Latency penalty factor: {:.0}x  (at 60 s blocks; Namecoin's 600 s blocks ⇒ ~{:.0}x)\n",
+        result.central_latency_secs,
+        result.central_throughput_ops_per_sec,
+        n_central,
+        result.chain_latency_secs,
+        result.chain_throughput_ops_per_sec,
+        confirmed,
+        submitted,
+        resolvable,
+        result.latency_factor(),
+        result.latency_factor() * 10.0,
+    );
+    (
+        result,
+        Report {
+            id: "E1",
+            title: "Name registration: consensus vs registrar",
+            claim: "blockchains essentially trade scalability and performance \
+                    for global consensus and security (§3.1)",
+            body,
+        },
+    )
+}
+
+/// E2 results: the attack matrix.
+#[derive(Clone, Debug)]
+pub struct E2Result {
+    /// Steal rate without preorders at 0.9 attacker priority.
+    pub front_run_no_preorder: f64,
+    /// Steal rate with preorders at 0.9 attacker priority.
+    pub front_run_with_preorder: f64,
+    /// (alpha, theft probability) for chain rewrites at 6 confirmations.
+    pub rewrite_curve: Vec<(f64, f64)>,
+    /// Whether a compromised CA's rogue cert was accepted.
+    pub ca_compromise_succeeds: bool,
+    /// Sybil acceptance at quorum 1 / 2 with one bridged endorsement.
+    pub wot_sybil_q1: bool,
+    /// Sybil acceptance at quorum 2 with one bridged endorsement.
+    pub wot_sybil_q2: bool,
+}
+
+/// E2: attack every naming scheme with the §3.1-cited attacks.
+pub fn e2_naming_attacks(seed: u64) -> (E2Result, Report) {
+    let mut rng = SimRng::new(seed);
+    let no_pre = front_running_game(false, 0.9, 2000, &mut rng).steal_rate;
+    let with_pre = front_running_game(true, 0.9, 2000, &mut rng).steal_rate;
+
+    let mut rewrite_curve = Vec::new();
+    for alpha in [0.1, 0.2, 0.3, 0.4, 0.45, 0.51] {
+        let p = name_theft_by_rewrite(alpha, 6, 3000, &mut rng);
+        rewrite_curve.push((alpha, p));
+    }
+
+    // CA compromise, actually executed.
+    let mut ca = CertAuthority::new(b"e2-root");
+    let _legit = ca.issue("bank.example", sha256(b"bank-key"));
+    let stolen = ca.compromise();
+    let rogue_body = agora_crypto::Enc::new()
+        .str("bank.example")
+        .hash(&sha256(b"attacker-key"))
+        .u64(999)
+        .done();
+    let rogue = agora_naming::Certificate {
+        name: "bank.example".into(),
+        subject_key: sha256(b"attacker-key"),
+        issuer: ca.public(),
+        serial: 999,
+        signature: stolen.sign(&rogue_body),
+    };
+    let ca_compromise_succeeds = rogue.verify(&ca.public());
+
+    // WoT Sybil, actually executed.
+    let mut wot = WebOfTrust::new();
+    let anchor = sha256(b"anchor");
+    let honest = sha256(b"honest");
+    wot.endorse(anchor, honest);
+    let sybils: Vec<Hash256> = (0..8u8)
+        .map(|i| sha256(format!("sybil-{i}").as_bytes()))
+        .collect();
+    let rogue_id = sha256(b"rogue");
+    for s in &sybils {
+        wot.endorse(*s, rogue_id);
+        for t in &sybils {
+            if s != t {
+                wot.endorse(*s, *t);
+            }
+        }
+    }
+    wot.claim(rogue_id, "bank.example", sha256(b"attacker-key"));
+    wot.endorse(honest, sybils[0]); // one social-engineered keysigning
+    let wot_sybil_q1 = wot.verify(&[anchor], rogue_id, "bank.example", sha256(b"attacker-key"), 4, 1);
+    let wot_sybil_q2 = wot.verify(&[anchor], rogue_id, "bank.example", sha256(b"attacker-key"), 4, 2);
+
+    let result = E2Result {
+        front_run_no_preorder: no_pre,
+        front_run_with_preorder: with_pre,
+        rewrite_curve,
+        ca_compromise_succeeds,
+        wot_sybil_q1,
+        wot_sybil_q2,
+    };
+    let mut body = format!(
+        "Front-running (attacker priority 0.9):\n\
+         \x20 without preorder : {:>5.1}% of names stolen\n\
+         \x20 with preorder    : {:>5.1}% of names stolen\n\n\
+         Chain-rewrite name theft (6 confirmations):\n",
+        100.0 * result.front_run_no_preorder,
+        100.0 * result.front_run_with_preorder,
+    );
+    for (alpha, p) in &result.rewrite_curve {
+        body.push_str(&format!("  alpha {:>4.2} → theft probability {:>6.3}\n", alpha, p));
+    }
+    body.push_str(&format!(
+        "\nCA compromise mints accepted rogue cert : {}\n\
+         WoT Sybil (1 bridge) fools quorum-1      : {}\n\
+         WoT Sybil (1 bridge) fools quorum-2      : {}\n",
+        result.ca_compromise_succeeds, result.wot_sybil_q1, result.wot_sybil_q2
+    ));
+    (
+        result,
+        Report {
+            id: "E2",
+            title: "Naming attack matrix",
+            claim: "CAs and WoT suffer compromise/Sybil weaknesses; \
+                    blockchain naming resists below 51% (§3.1)",
+            body,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_chain_orders_of_magnitude_slower() {
+        let (r, report) = e1_naming_tradeoff(11);
+        assert!(r.confirmed >= r.submitted / 2, "{r:?}");
+        assert!(
+            r.latency_factor() > 100.0,
+            "consensus should cost orders of magnitude: {r:?}"
+        );
+        assert!(r.central_throughput_ops_per_sec > r.chain_throughput_ops_per_sec);
+        assert!(report.body.contains("Latency penalty"));
+    }
+
+    #[test]
+    fn e2_attack_matrix_shape() {
+        let (r, report) = e2_naming_attacks(13);
+        assert!(r.front_run_no_preorder > 0.8);
+        assert_eq!(r.front_run_with_preorder, 0.0);
+        assert!(r.ca_compromise_succeeds);
+        assert!(r.wot_sybil_q1);
+        assert!(!r.wot_sybil_q2);
+        // Theft curve is monotone and jumps to ~1 past 50%.
+        let first = r.rewrite_curve.first().unwrap().1;
+        let last = r.rewrite_curve.last().unwrap().1;
+        assert!(first < 0.05);
+        assert!(last > 0.9);
+        assert!(report.body.contains("alpha"));
+    }
+}

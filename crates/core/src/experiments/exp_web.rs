@@ -1,0 +1,116 @@
+//! E7: hostless-site availability as a function of visitor seeding.
+
+use agora_sim::{DeviceClass, SimDuration, Simulation};
+use agora_web::{SitePublisher, SwarmNode, VisitResult};
+
+use super::Report;
+
+/// E7 results.
+#[derive(Clone, Debug)]
+pub struct E7Result {
+    /// (prior visitors, post-origin-death visit success rate).
+    pub survival_by_seeders: Vec<(usize, f64)>,
+}
+
+/// E7: publish a site, let `w` visitors fetch it, kill the origin, then
+/// measure whether fresh visitors can still load the site — §3.4's "seeded
+/// and served by visitors" property, quantified.
+pub fn e7_web_availability(seed: u64) -> (E7Result, Report) {
+    let mut survival_by_seeders = Vec::new();
+    for first_wave in [0usize, 1, 3, 5] {
+        let mut sim = Simulation::new(seed + first_wave as u64);
+        let tracker = sim.add_node(SwarmNode::tracker(), DeviceClass::DatacenterServer);
+        let origin = sim.add_node(SwarmNode::peer(tracker), DeviceClass::PersonalComputer);
+        let mut peers = Vec::new();
+        for _ in 0..8 {
+            peers.push(sim.add_node(SwarmNode::peer(tracker), DeviceClass::PersonalComputer));
+        }
+        let mut publisher = SitePublisher::new(b"e7-site");
+        let content = vec![42u8; 80_000];
+        let bundle = publisher.publish(&[("index.html", content.as_slice())]);
+        let site = publisher.site_id();
+        sim.with_ctx(origin, |n, ctx| n.host_site(ctx, &bundle));
+        sim.run_for(SimDuration::from_secs(5));
+
+        // First wave visits while the origin is alive.
+        let mut wave_ops = Vec::new();
+        for &p in peers.iter().take(first_wave) {
+            if let Some(op) = sim.with_ctx(p, |n, ctx| n.start_visit(ctx, site)) {
+                wave_ops.push((p, op));
+            }
+        }
+        sim.run_for(SimDuration::from_mins(5));
+        for (p, op) in wave_ops {
+            let _ = sim.node_mut(p).take_result(op);
+        }
+
+        // Origin dies.
+        sim.kill(origin);
+        sim.run_for(SimDuration::from_secs(5));
+
+        // Second wave: three fresh visitors.
+        let second: Vec<_> = peers.iter().skip(5).copied().collect();
+        let mut ok = 0usize;
+        let mut total = 0usize;
+        for p in second {
+            total += 1;
+            if let Some(op) = sim.with_ctx(p, |n, ctx| n.start_visit(ctx, site)) {
+                sim.run_for(SimDuration::from_mins(5));
+                if matches!(
+                    sim.node_mut(p).take_result(op),
+                    Some(VisitResult::Ok { .. })
+                ) {
+                    ok += 1;
+                }
+            }
+        }
+        survival_by_seeders.push((first_wave, ok as f64 / total as f64));
+    }
+    let result = E7Result { survival_by_seeders };
+    let mut body = String::from(
+        "Origin publishes an 80 KB site, N visitors fetch it, origin dies,\n\
+         then 3 fresh visitors try to load it:\n",
+    );
+    for (n, rate) in &result.survival_by_seeders {
+        body.push_str(&format!(
+            "  prior visitors = {:>2} → post-death visit success {:>5.1}%\n",
+            n,
+            rate * 100.0
+        ));
+    }
+    (
+        result,
+        Report {
+            id: "E7",
+            title: "Hostless web apps: availability via visitor seeding",
+            claim: "web applications are seeded and served by visitors via the \
+                    BitTorrent protocol (§3.4): the site outlives its origin \
+                    iff visitors seed it",
+            body,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_seeding_threshold() {
+        let (r, report) = e7_web_availability(51);
+        let rate = |n: usize| {
+            r.survival_by_seeders
+                .iter()
+                .find(|(w, _)| *w == n)
+                .unwrap()
+                .1
+        };
+        // With no prior visitors the site dies with its origin.
+        assert_eq!(rate(0), 0.0);
+        // With several prior visitors it survives.
+        assert!(rate(5) > 0.9, "{:?}", r.survival_by_seeders);
+        // Monotone in seeders.
+        assert!(rate(5) >= rate(1));
+        assert!(report.body.contains("prior visitors"));
+    }
+}

@@ -1,0 +1,57 @@
+//! # agora — a simulation framework for studying re-democratized Internet
+//! architectures
+//!
+//! A full reproduction of *"The Barriers to Overthrowing Internet Feudalism"*
+//! (Liu, Tariq, Chen & Raghavan — HotNets-XVI 2017). The paper is a position
+//! paper: it surveys the systems people build to decentralize naming, group
+//! communication, storage and web hosting, and asks what stands in their way.
+//! This workspace implements working simulated instances of every mechanism
+//! class the paper discusses and turns its claims into experiments:
+//!
+//! * [`taxonomy`] — the two-axis (distribution × control) model and the
+//!   Table 1 registry, backed by the implementing modules.
+//! * [`properties`] — the §2.1/§3.2 property rubric scored across the five
+//!   architecture families.
+//! * [`experiments`] — the harness regenerating every table (T1–T3) and
+//!   running every derived experiment (E1–E9) of EXPERIMENTS.md.
+//! * [`stack`] — the composed stack: names on the chain, zone files in the
+//!   DHT, sites in the swarm, every hand-off cryptographically verified.
+//!
+//! Substrates live in sibling crates: `agora-sim` (deterministic DES),
+//! `agora-crypto`, `agora-chain`, `agora-dht`, `agora-naming`,
+//! `agora-storage`, `agora-comm`, `agora-web`, `agora-feasibility`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use agora::stack::demo_full_stack;
+//! let out = demo_full_stack(7, "alice.agora").expect("end-to-end stack");
+//! assert_eq!(out.site_version, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod properties;
+pub mod stack;
+pub mod taxonomy;
+
+pub use experiments::{t1_taxonomy, t2_storage_systems, t3_feasibility, Report};
+pub use properties::{render_property_matrix, Architecture, Property};
+pub use stack::{demo_full_stack, FullStackOutcome, StackError};
+pub use taxonomy::{render_table1, table1_registry, Problem, ProjectEntry};
+
+/// Re-export of the Zooko-triangle comparison table from `agora-naming`.
+pub use agora_naming::render_zooko_table as naming_zooko_table;
+
+// Re-export the substrate crates so downstream users need only one dependency.
+pub use agora_chain as chain;
+pub use agora_naming as naming;
+pub use agora_comm as comm;
+pub use agora_crypto as crypto;
+pub use agora_dht as dht;
+pub use agora_feasibility as feasibility;
+pub use agora_sim as sim;
+pub use agora_storage as storage;
+pub use agora_web as web;

@@ -1,0 +1,246 @@
+//! The paper's property framework (§2.1, §2.2, §3.2), as a scoring rubric
+//! applied to the implemented architectures.
+//!
+//! §2.1 names the forces that keep users and operators on centralized
+//! platforms (convenience, homogeneity, cost; performance, security,
+//! financing); §3.2 adds the communication-specific requirements
+//! (connectedness, abuse prevention, privacy). Scores here are graded
+//! 0–2 and each carries a mechanism-level rationale pointing at the module
+//! (and usually the test or experiment) that backs it.
+
+/// The properties of §2.1 (user-facing and operator-facing) and §3.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Property {
+    /// Always-on, no self-hosted maintenance (§2.1 user).
+    Convenience,
+    /// Same platform everywhere; network effects (§2.1 user).
+    Homogeneity,
+    /// Cheap or free to end users (§2.1 user).
+    Cost,
+    /// Scale and latency (§2.1 operator).
+    Performance,
+    /// Simple trust model, fast uniform patching (§2.1 operator).
+    Security,
+    /// Economies of scale, monetization (§2.1 operator).
+    Financing,
+    /// Communication survives node failures (§3.2).
+    Connectedness,
+    /// Abuse is handled, however defined (§3.2).
+    AbusePrevention,
+    /// No identifying information leaks to unauthorized parties (§3.2).
+    Privacy,
+}
+
+impl Property {
+    /// All properties.
+    pub fn all() -> [Property; 9] {
+        [
+            Property::Convenience,
+            Property::Homogeneity,
+            Property::Cost,
+            Property::Performance,
+            Property::Security,
+            Property::Financing,
+            Property::Connectedness,
+            Property::AbusePrevention,
+            Property::Privacy,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Property::Convenience => "Convenience",
+            Property::Homogeneity => "Homogeneity",
+            Property::Cost => "Cost",
+            Property::Performance => "Performance",
+            Property::Security => "Security",
+            Property::Financing => "Financing",
+            Property::Connectedness => "Connectedness",
+            Property::AbusePrevention => "Abuse prevention",
+            Property::Privacy => "Privacy",
+        }
+    }
+}
+
+/// The architecture families compared throughout the workspace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// One operator, one platform (§2).
+    Centralized,
+    /// Federated instances, single-homed history (OStatus class).
+    FederatedSingleHome,
+    /// Federated instances, fully replicated history (Matrix class).
+    FederatedReplicated,
+    /// Socially-aware P2P (PrPl/Persona class).
+    SocialP2p,
+    /// Blockchain-anchored systems (Namecoin/Sia/Filecoin class).
+    BlockchainBacked,
+}
+
+impl Architecture {
+    /// All architectures.
+    pub fn all() -> [Architecture; 5] {
+        [
+            Architecture::Centralized,
+            Architecture::FederatedSingleHome,
+            Architecture::FederatedReplicated,
+            Architecture::SocialP2p,
+            Architecture::BlockchainBacked,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Architecture::Centralized => "Centralized",
+            Architecture::FederatedSingleHome => "Federated (single-home)",
+            Architecture::FederatedReplicated => "Federated (replicated)",
+            Architecture::SocialP2p => "Socially-aware P2P",
+            Architecture::BlockchainBacked => "Blockchain-backed",
+        }
+    }
+
+    /// Score a property 0 (poor) / 1 (partial) / 2 (strong), with the
+    /// mechanism-level rationale.
+    pub fn score(self, p: Property) -> (u8, &'static str) {
+        use Architecture as A;
+        use Property as P;
+        match (self, p) {
+            (A::Centralized, P::Convenience) => (2, "operator runs everything (§2.1)"),
+            (A::Centralized, P::Homogeneity) => (2, "single platform, full network effects"),
+            (A::Centralized, P::Cost) => (2, "free at point of use; paid with data"),
+            (A::Centralized, P::Performance) => (2, "co-designed datacenter stack (§2.1)"),
+            (A::Centralized, P::Security) => (1, "uniform patching, but single point of compromise"),
+            (A::Centralized, P::Financing) => (2, "economies of scale + monetized users"),
+            (A::Centralized, P::Connectedness) => (1, "excellent until the operator fails or revokes access (comm::centralized::server_down_means_total_outage)"),
+            (A::Centralized, P::AbusePrevention) => (2, "one enforced policy (comm experiments E3)"),
+            (A::Centralized, P::Privacy) => (0, "operator observes all metadata and monetizes it (E4)"),
+
+            (A::FederatedSingleHome, P::Convenience) => (1, "someone must run each instance"),
+            (A::FederatedSingleHome, P::Homogeneity) => (1, "protocol-level compat, instance-level variation"),
+            (A::FederatedSingleHome, P::Cost) => (1, "volunteer-funded instances"),
+            (A::FederatedSingleHome, P::Performance) => (1, "instance-sized scaling"),
+            (A::FederatedSingleHome, P::Security) => (1, "per-instance practice varies"),
+            (A::FederatedSingleHome, P::Financing) => (0, "donations; the paper's hard problem"),
+            (A::FederatedSingleHome, P::Connectedness) => (0, "origin instance is a SPOF (E3: origin_failure_kills_single_home_reads)"),
+            (A::FederatedSingleHome, P::AbusePrevention) => (1, "per-instance policies (federated::per_instance_policies_differ)"),
+            (A::FederatedSingleHome, P::Privacy) => (1, "home instance sees metadata"),
+
+            (A::FederatedReplicated, P::Convenience) => (1, "someone must run each instance"),
+            (A::FederatedReplicated, P::Homogeneity) => (1, "protocol-level compat"),
+            (A::FederatedReplicated, P::Cost) => (1, "replication multiplies instance cost"),
+            (A::FederatedReplicated, P::Performance) => (1, "replication traffic overhead (E3 bytes)"),
+            (A::FederatedReplicated, P::Security) => (1, "E2E possible (comm::ratchet), instances vary"),
+            (A::FederatedReplicated, P::Financing) => (0, "donations; the paper's hard problem"),
+            (A::FederatedReplicated, P::Connectedness) => (2, "history survives any instance failure (E3)"),
+            (A::FederatedReplicated, P::AbusePrevention) => (1, "per-application policies (§3.2 Matrix)"),
+            (A::FederatedReplicated, P::Privacy) => (1, "bodies E2E-encrypted, metadata visible to instances (E4)"),
+
+            (A::SocialP2p, P::Convenience) => (0, "users run their own nodes; tedious trust setup (§3.2)"),
+            (A::SocialP2p, P::Homogeneity) => (0, "fragmented small networks"),
+            (A::SocialP2p, P::Cost) => (2, "users' existing devices"),
+            (A::SocialP2p, P::Performance) => (0, "consumer uplinks and device churn (E8)"),
+            (A::SocialP2p, P::Security) => (1, "trust-gated connections shrink the attack surface"),
+            (A::SocialP2p, P::Financing) => (1, "no infrastructure to finance"),
+            (A::SocialP2p, P::Connectedness) => (0, "owner offline ⇒ data unavailable (E4/social tests); caching only partially helps"),
+            (A::SocialP2p, P::AbusePrevention) => (1, "trust gating blocks strangers, not misbehaving friends"),
+            (A::SocialP2p, P::Privacy) => (2, "only chosen friends ever observe anything (E4)"),
+
+            (A::BlockchainBacked, P::Convenience) => (1, "global, always-on, but keys/fees on users"),
+            (A::BlockchainBacked, P::Homogeneity) => (2, "one global consensus namespace"),
+            (A::BlockchainBacked, P::Cost) => (0, "fees + wasteful mining (E9)"),
+            (A::BlockchainBacked, P::Performance) => (0, "consensus trades performance away (E1: minutes vs ms)"),
+            (A::BlockchainBacked, P::Security) => (2, "forgery needs 51% of hash power (E2)"),
+            (A::BlockchainBacked, P::Financing) => (2, "token incentives fund providers (Table 2 systems)"),
+            (A::BlockchainBacked, P::Connectedness) => (2, "ledger replicated everywhere (chain tests)"),
+            (A::BlockchainBacked, P::AbusePrevention) => (0, "append-only, nobody can moderate (§3.2 n3)"),
+            (A::BlockchainBacked, P::Privacy) => (0, "public ledger; pseudonymous at best"),
+        }
+    }
+
+    /// Sum of all property scores (max 18).
+    pub fn total_score(self) -> u8 {
+        Property::all().iter().map(|&p| self.score(p).0).sum()
+    }
+}
+
+/// Render the property comparison matrix.
+pub fn render_property_matrix() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<17}", "Property"));
+    for a in Architecture::all() {
+        out.push_str(&format!(" | {:>23}", a.label()));
+    }
+    out.push('\n');
+    out.push_str(&format!("{}\n", "-".repeat(17 + 26 * 5)));
+    for p in Property::all() {
+        out.push_str(&format!("{:<17}", p.label()));
+        for a in Architecture::all() {
+            out.push_str(&format!(" | {:>23}", a.score(p).0));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<17}", "TOTAL"));
+    for a in Architecture::all() {
+        out.push_str(&format!(" | {:>23}", a.total_score()));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_scored_with_rationale() {
+        for a in Architecture::all() {
+            for p in Property::all() {
+                let (s, why) = a.score(p);
+                assert!(s <= 2, "{:?}/{:?}", a, p);
+                assert!(!why.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn papers_core_tensions_encoded() {
+        use Architecture as A;
+        use Property as P;
+        // Centralized wins privacy-for-convenience trade; P2P the reverse.
+        assert!(A::Centralized.score(P::Convenience).0 > A::SocialP2p.score(P::Convenience).0);
+        assert!(A::SocialP2p.score(P::Privacy).0 > A::Centralized.score(P::Privacy).0);
+        // Blockchains trade performance for security (§3.1).
+        assert!(A::BlockchainBacked.score(P::Security).0 > A::BlockchainBacked.score(P::Performance).0);
+        // Full replication beats single-home on connectedness (§3.2).
+        assert!(
+            A::FederatedReplicated.score(P::Connectedness).0
+                > A::FederatedSingleHome.score(P::Connectedness).0
+        );
+        // Financing is the decentralized architectures' weak spot (§5.3).
+        assert_eq!(A::FederatedSingleHome.score(P::Financing).0, 0);
+        assert_eq!(A::FederatedReplicated.score(P::Financing).0, 0);
+    }
+
+    #[test]
+    fn no_architecture_dominates() {
+        // The paper's whole point: nothing scores 2 everywhere.
+        for a in Architecture::all() {
+            assert!(
+                Property::all().iter().any(|&p| a.score(p).0 < 2),
+                "{} dominates — the trade-off structure is broken",
+                a.label()
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_renders() {
+        let m = render_property_matrix();
+        for a in Architecture::all() {
+            assert!(m.contains(a.label()));
+        }
+        assert!(m.contains("TOTAL"));
+    }
+}

@@ -1,0 +1,249 @@
+//! The paper's §2 taxonomy and the Table 1 registry.
+//!
+//! Two orthogonal axes: **distribution** (where the machines are) and
+//! **control** (who holds authority over them). The paper's thesis is that
+//! the Internet moved from partially-centralized/democratic to
+//! distributed/feudal, and the goal is distributed/democratic.
+//!
+//! Table 1 categorizes the surveyed projects by the decentralization problem
+//! they attack; here every project maps to the implemented mechanism class
+//! in this workspace that represents it, so the rendered table is backed by
+//! running code.
+
+/// The distribution axis: where the physical resources sit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// One machine / one site.
+    Centralized,
+    /// Many machines across the planet.
+    Distributed,
+}
+
+/// The control axis: who holds authority.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Control {
+    /// Authority spread across many individuals/organizations.
+    Democratic,
+    /// Authority held by a few.
+    Feudal,
+}
+
+/// A position in the two-axis space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ArchitecturePosition {
+    /// Distribution axis.
+    pub distribution: Distribution,
+    /// Control axis.
+    pub control: Control,
+}
+
+impl ArchitecturePosition {
+    /// Today's cloud Internet: distributed and feudal (§2).
+    pub fn todays_internet() -> ArchitecturePosition {
+        ArchitecturePosition {
+            distribution: Distribution::Distributed,
+            control: Control::Feudal,
+        }
+    }
+
+    /// The 1980s–90s Internet: partially centralized, democratic (§2 fn 2).
+    pub fn internet_of_the_past() -> ArchitecturePosition {
+        ArchitecturePosition {
+            distribution: Distribution::Centralized,
+            control: Control::Democratic,
+        }
+    }
+
+    /// The paper's goal: distributed *and* democratic.
+    pub fn goal() -> ArchitecturePosition {
+        ArchitecturePosition {
+            distribution: Distribution::Distributed,
+            control: Control::Democratic,
+        }
+    }
+}
+
+/// The four decentralization problem areas of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Problem {
+    /// Name registration (§3.1).
+    Naming,
+    /// Group communication: messaging + social networking (§3.2).
+    GroupCommunication,
+    /// Data storage (§3.3).
+    DataStorage,
+    /// Serverless/hostless web applications (§3.4).
+    WebApplications,
+}
+
+impl Problem {
+    /// All problems, in Table 1's row order.
+    pub fn all() -> [Problem; 4] {
+        [
+            Problem::Naming,
+            Problem::GroupCommunication,
+            Problem::DataStorage,
+            Problem::WebApplications,
+        ]
+    }
+
+    /// Table 1's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Problem::Naming => "Naming",
+            Problem::GroupCommunication => "Group Communication",
+            Problem::DataStorage => "Data storage",
+            Problem::WebApplications => "Web applications",
+        }
+    }
+}
+
+/// One surveyed project and the implemented mechanism class representing it.
+#[derive(Clone, Copy, Debug)]
+pub struct ProjectEntry {
+    /// Project name as in Table 1.
+    pub name: &'static str,
+    /// Which problem row it belongs to.
+    pub problem: Problem,
+    /// The module in this workspace implementing its mechanism class.
+    pub implemented_by: &'static str,
+}
+
+/// The Table 1 registry: every project row of the paper, each mapped to the
+/// workspace module that implements its mechanism class.
+pub fn table1_registry() -> Vec<ProjectEntry> {
+    use Problem::*;
+    let rows: [(&str, Problem, &str); 22] = [
+        // Naming.
+        ("Namecoin", Naming, "agora_naming::chain_naming (preorder/register on agora-chain)"),
+        ("Emercoin", Naming, "agora_naming::chain_naming (preorder/register on agora-chain)"),
+        ("Blockstack", Naming, "agora_naming::chain_naming + record::ZoneFile (off-chain zone files)"),
+        // Group communication.
+        ("Matrix", GroupCommunication, "agora_comm::federated (FullReplication) + ratchet"),
+        ("Riot", GroupCommunication, "agora_comm::federated (FullReplication) + ratchet"),
+        ("Ring", GroupCommunication, "agora_comm::social (P2P, trust-gated)"),
+        ("Nextcloud", GroupCommunication, "agora_comm::federated (SingleHome)"),
+        ("GNU social", GroupCommunication, "agora_comm::federated (SingleHome / OStatus class)"),
+        ("Mastodon", GroupCommunication, "agora_comm::federated (SingleHome) + per-instance moderation"),
+        ("Friendica", GroupCommunication, "agora_comm::federated (SingleHome) + moderation"),
+        ("Identi.ca", GroupCommunication, "agora_comm::federated (SingleHome / pump.io class)"),
+        // Data storage.
+        ("IPFS", DataStorage, "agora_storage (content addressing) + incentives::BitswapLedger + agora-dht"),
+        ("Blockstack (storage)", DataStorage, "agora_storage::profiles (NameBinding; delegated store)"),
+        ("Maidsafe", DataStorage, "agora_storage::incentives::ResourceScore + node audits"),
+        ("Secure-scuttlebutt", DataStorage, "agora_comm::social (append-only friend feeds)"),
+        ("Nextcloud (storage)", DataStorage, "agora_storage::node (single-provider placement)"),
+        ("Sia", DataStorage, "agora_storage::contract + proofs (proof-of-storage) + erasure"),
+        ("Storj", DataStorage, "agora_storage::proofs (proof-of-retrievability audits)"),
+        ("Swarm", DataStorage, "agora_storage::contract (SWEAR collateral slashing)"),
+        ("Filecoin", DataStorage, "agora_storage::proofs (seal/PoRep/PoSt) + attacks"),
+        // Web applications.
+        ("Beaker", WebApplications, "agora_web::site (fork/merge) + swarm"),
+        ("ZeroNet", WebApplications, "agora_web::site (key-addressed) + swarm (visitor seeding)"),
+    ];
+    rows.into_iter()
+        .map(|(name, problem, implemented_by)| ProjectEntry {
+            name,
+            problem,
+            implemented_by,
+        })
+        .collect()
+}
+
+/// Render Table 1 from the registry.
+pub fn render_table1() -> String {
+    let reg = table1_registry();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} | {}\n",
+        "Decentralization Problem", "Recent Projects"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(100)));
+    for p in Problem::all() {
+        let names: Vec<&str> = reg
+            .iter()
+            .filter(|e| e.problem == p)
+            .map(|e| e.name)
+            .collect();
+        out.push_str(&format!("{:<24} | {}\n", p.label(), names.join(", ")));
+    }
+    out
+}
+
+/// Freedom.js spans three problems (identity, storage, transport); the
+/// paper lists it under web applications. We expose it separately because a
+/// single mechanism class doesn't capture it.
+pub fn freedom_js_note() -> &'static str {
+    "freedom.js: identity → agora_naming, storage → agora_dht/agora_storage, \
+     transport → agora_sim links; listed under Web applications in Table 1"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axes_positions() {
+        assert_eq!(
+            ArchitecturePosition::todays_internet().control,
+            Control::Feudal
+        );
+        assert_eq!(
+            ArchitecturePosition::goal().distribution,
+            Distribution::Distributed
+        );
+        assert_ne!(
+            ArchitecturePosition::todays_internet(),
+            ArchitecturePosition::goal()
+        );
+        // The goal differs from the past on distribution, from the present
+        // on control — "not to undo the trend towards wide distribution".
+        let past = ArchitecturePosition::internet_of_the_past();
+        let goal = ArchitecturePosition::goal();
+        assert_eq!(past.control, goal.control);
+        assert_ne!(past.distribution, goal.distribution);
+    }
+
+    #[test]
+    fn every_problem_row_is_populated() {
+        let reg = table1_registry();
+        for p in Problem::all() {
+            let n = reg.iter().filter(|e| e.problem == p).count();
+            assert!(n >= 2, "{} has {n} projects", p.label());
+        }
+    }
+
+    #[test]
+    fn paper_headline_projects_present() {
+        let reg = table1_registry();
+        for name in [
+            "Namecoin", "Blockstack", "Matrix", "Mastodon", "IPFS", "Sia", "Storj", "Swarm",
+            "Filecoin", "Maidsafe", "Beaker", "ZeroNet",
+        ] {
+            assert!(
+                reg.iter().any(|e| e.name == name),
+                "{name} missing from registry"
+            );
+        }
+    }
+
+    #[test]
+    fn every_entry_maps_to_an_implementation() {
+        for e in table1_registry() {
+            assert!(
+                e.implemented_by.starts_with("agora_"),
+                "{} not mapped",
+                e.name
+            );
+        }
+    }
+
+    #[test]
+    fn rendered_table_has_all_rows() {
+        let t = render_table1();
+        for p in Problem::all() {
+            assert!(t.contains(p.label()));
+        }
+        assert!(t.contains("Namecoin, Emercoin, Blockstack"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Minimal canonical byte encoding.
+//!
+//! Transactions, block headers, name operations and storage contracts all
+//! need a stable byte representation to hash and to size wire messages. This
+//! is a deliberately tiny length-prefixed, big-endian codec — no reflection,
+//! no derive, no external dependency — so encodings are canonical by
+//! construction (one encoder, one decoder, both in this file).
+
+use crate::sha256::Hash256;
+
+/// Append-only byte writer.
+#[derive(Default, Clone, Debug)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Fresh encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// Single byte.
+    pub fn u8(mut self, v: u8) -> Enc {
+        self.buf.push(v);
+        self
+    }
+
+    /// Big-endian u32.
+    pub fn u32(mut self, v: u32) -> Enc {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Big-endian u64.
+    pub fn u64(mut self, v: u64) -> Enc {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// 32-byte hash.
+    pub fn hash(mut self, h: &Hash256) -> Enc {
+        self.buf.extend_from_slice(h.as_bytes());
+        self
+    }
+
+    /// Length-prefixed byte string (u32 length).
+    pub fn bytes(mut self, b: &[u8]) -> Enc {
+        self.buf.extend_from_slice(&(b.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(self, s: &str) -> Enc {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Finish, yielding the encoded bytes.
+    pub fn done(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Decoding errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the requested field.
+    Truncated,
+    /// A declared length exceeds remaining input.
+    BadLength,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// An enum discriminant was out of range.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input truncated"),
+            DecodeError::BadLength => write!(f, "declared length exceeds input"),
+            DecodeError::BadUtf8 => write!(f, "invalid utf-8"),
+            DecodeError::BadTag(t) => write!(f, "invalid tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Sequential byte reader matching [`Enc`].
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Read from a byte slice.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Single byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Big-endian u32.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Big-endian u64.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// 32-byte hash.
+    pub fn hash(&mut self) -> Result<Hash256, DecodeError> {
+        Ok(Hash256(self.take(32)?.try_into().expect("32")))
+    }
+
+    /// Length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let len = self.u32()? as usize;
+        if self.pos + len > self.buf.len() {
+            return Err(DecodeError::BadLength);
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        String::from_utf8(self.bytes()?).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    /// True when all input has been consumed.
+    pub fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Remaining unread byte count.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    #[test]
+    fn round_trip_all_types() {
+        let h = sha256(b"x");
+        let buf = Enc::new()
+            .u8(7)
+            .u32(1234)
+            .u64(u64::MAX)
+            .hash(&h)
+            .bytes(b"payload")
+            .str("name")
+            .done();
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 1234);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.hash().unwrap(), h);
+        assert_eq!(d.bytes().unwrap(), b"payload");
+        assert_eq!(d.str().unwrap(), "name");
+        assert!(d.finished());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let buf = Enc::new().u64(1).done();
+        let mut d = Dec::new(&buf[..4]);
+        assert_eq!(d.u64(), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_length_errors() {
+        // Declared length 100 but only 2 bytes follow.
+        let buf = Enc::new().u32(100).u8(1).u8(2).done();
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.bytes(), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn bad_utf8_errors() {
+        let buf = Enc::new().bytes(&[0xff, 0xfe]).done();
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.str(), Err(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn empty_bytes_and_strings() {
+        let buf = Enc::new().bytes(b"").str("").done();
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.bytes().unwrap(), Vec::<u8>::new());
+        assert_eq!(d.str().unwrap(), "");
+        assert!(d.finished());
+    }
+
+    #[test]
+    fn remaining_tracks_position() {
+        let buf = Enc::new().u32(1).u32(2).done();
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.remaining(), 8);
+        d.u32().unwrap();
+        assert_eq!(d.remaining(), 4);
+        assert!(!d.finished());
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        let a = Enc::new().str("alice").u64(5).done();
+        let b = Enc::new().str("alice").u64(5).done();
+        assert_eq!(a, b);
+        let c = Enc::new().u64(5).str("alice").done();
+        assert_ne!(a, c, "field order matters");
+    }
+}

@@ -1,0 +1,260 @@
+//! Merkle trees with inclusion proofs.
+//!
+//! Used for block transaction commitments (`agora-chain`), proof-of-storage
+//! challenges (`agora-storage`), site manifests (`agora-web`) and the
+//! many-time signature scheme (`wots`).
+//!
+//! Leaf and interior hashes are domain-separated (`0x00`/`0x01` prefixes) so a
+//! 64-byte leaf cannot masquerade as an interior node (the classic Merkle
+//! second-preimage pitfall). Odd nodes are promoted, not duplicated, avoiding
+//! the CVE-2012-2459 duplication ambiguity.
+
+use crate::sha256::{sha256_concat, Hash256};
+
+/// Hash a leaf's raw bytes (domain-separated).
+pub fn leaf_hash(data: &[u8]) -> Hash256 {
+    sha256_concat(&[&[0x00], data])
+}
+
+fn node_hash(left: &Hash256, right: &Hash256) -> Hash256 {
+    sha256_concat(&[&[0x01], left.as_bytes(), right.as_bytes()])
+}
+
+/// One step of an inclusion proof: a sibling hash and which side it sits on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProofStep {
+    /// The sibling hash to combine with.
+    pub sibling: Hash256,
+    /// True if the sibling is the *right* child at this level.
+    pub sibling_is_right: bool,
+}
+
+/// An inclusion proof for one leaf.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MerkleProof {
+    /// Bottom-up list of siblings.
+    pub steps: Vec<ProofStep>,
+}
+
+impl MerkleProof {
+    /// Recompute the root implied by this proof for the given leaf hash.
+    pub fn compute_root(&self, leaf: Hash256) -> Hash256 {
+        let mut acc = leaf;
+        for step in &self.steps {
+            acc = if step.sibling_is_right {
+                node_hash(&acc, &step.sibling)
+            } else {
+                node_hash(&step.sibling, &acc)
+            };
+        }
+        acc
+    }
+
+    /// Verify that `leaf` is included under `root`.
+    pub fn verify(&self, leaf: Hash256, root: Hash256) -> bool {
+        self.compute_root(leaf) == root
+    }
+
+    /// Wire size estimate in bytes (for simulated message sizing).
+    pub fn wire_size(&self) -> u64 {
+        self.steps.len() as u64 * 33
+    }
+}
+
+/// A Merkle tree over a list of leaf hashes. Stores all levels for O(log n)
+/// proof extraction.
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// levels[0] = leaves; last level has exactly one node (the root).
+    levels: Vec<Vec<Hash256>>,
+}
+
+impl MerkleTree {
+    /// Build from pre-hashed leaves. An empty leaf set yields a tree whose
+    /// root is the hash of the empty string under the leaf domain (a defined,
+    /// stable sentinel).
+    pub fn from_leaf_hashes(leaves: Vec<Hash256>) -> MerkleTree {
+        if leaves.is_empty() {
+            return MerkleTree {
+                levels: vec![vec![leaf_hash(b"")]],
+            };
+        }
+        let mut levels = vec![leaves];
+        while levels.last().expect("nonempty").len() > 1 {
+            let prev = levels.last().expect("nonempty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            let mut i = 0;
+            while i + 1 < prev.len() {
+                next.push(node_hash(&prev[i], &prev[i + 1]));
+                i += 2;
+            }
+            if i < prev.len() {
+                // Odd node: promote unchanged.
+                next.push(prev[i]);
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// Build from raw leaf data (hashes each leaf with the leaf domain).
+    pub fn from_data<D: AsRef<[u8]>>(items: &[D]) -> MerkleTree {
+        MerkleTree::from_leaf_hashes(items.iter().map(|d| leaf_hash(d.as_ref())).collect())
+    }
+
+    /// The root commitment.
+    pub fn root(&self) -> Hash256 {
+        self.levels.last().expect("root level")[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// True if built from zero leaves (sentinel tree).
+    pub fn is_empty(&self) -> bool {
+        self.levels.len() == 1 && self.levels[0].len() == 1 && self.levels[0][0] == leaf_hash(b"")
+    }
+
+    /// Leaf hash at an index.
+    pub fn leaf(&self, index: usize) -> Option<Hash256> {
+        self.levels[0].get(index).copied()
+    }
+
+    /// Inclusion proof for the leaf at `index`. `None` if out of range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.levels[0].len() {
+            return None;
+        }
+        let mut steps = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = idx ^ 1;
+            if sibling_idx < level.len() {
+                steps.push(ProofStep {
+                    sibling: level[sibling_idx],
+                    sibling_is_right: sibling_idx > idx,
+                });
+            }
+            // If no sibling (odd promoted node) the node carries up unchanged
+            // and contributes no step.
+            idx /= 2;
+        }
+        Some(MerkleProof { steps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    fn leaves(n: usize) -> Vec<Hash256> {
+        (0..n).map(|i| sha256(format!("leaf-{i}").as_bytes())).collect()
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf() {
+        let l = leaves(1);
+        let t = MerkleTree::from_leaf_hashes(l.clone());
+        assert_eq!(t.root(), l[0]);
+        assert_eq!(t.len(), 1);
+        let p = t.prove(0).unwrap();
+        assert!(p.steps.is_empty());
+        assert!(p.verify(l[0], t.root()));
+    }
+
+    #[test]
+    fn all_proofs_verify_for_many_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33, 100] {
+            let l = leaves(n);
+            let t = MerkleTree::from_leaf_hashes(l.clone());
+            for (i, leaf) in l.iter().enumerate() {
+                let p = t.prove(i).unwrap_or_else(|| panic!("proof {i}/{n}"));
+                assert!(p.verify(*leaf, t.root()), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_fails() {
+        let l = leaves(8);
+        let t = MerkleTree::from_leaf_hashes(l.clone());
+        let p = t.prove(3).unwrap();
+        assert!(!p.verify(l[4], t.root()));
+        assert!(!p.verify(sha256(b"forged"), t.root()));
+    }
+
+    #[test]
+    fn tampered_proof_fails() {
+        let l = leaves(8);
+        let t = MerkleTree::from_leaf_hashes(l.clone());
+        let mut p = t.prove(2).unwrap();
+        p.steps[1].sibling = sha256(b"evil");
+        assert!(!p.verify(l[2], t.root()));
+        let mut p2 = t.prove(2).unwrap();
+        p2.steps[0].sibling_is_right = !p2.steps[0].sibling_is_right;
+        assert!(!p2.verify(l[2], t.root()));
+    }
+
+    #[test]
+    fn out_of_range_proof_is_none() {
+        let t = MerkleTree::from_leaf_hashes(leaves(4));
+        assert!(t.prove(4).is_none());
+    }
+
+    #[test]
+    fn different_leaf_sets_different_roots() {
+        let a = MerkleTree::from_leaf_hashes(leaves(4));
+        let mut other = leaves(4);
+        other[2] = sha256(b"changed");
+        let b = MerkleTree::from_leaf_hashes(other);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn order_matters() {
+        let l = leaves(2);
+        let a = MerkleTree::from_leaf_hashes(vec![l[0], l[1]]);
+        let b = MerkleTree::from_leaf_hashes(vec![l[1], l[0]]);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn from_data_uses_leaf_domain() {
+        let t = MerkleTree::from_data(&[b"a".as_slice(), b"b".as_slice()]);
+        assert_eq!(t.leaf(0).unwrap(), leaf_hash(b"a"));
+        // Raw sha256 of the data is NOT the leaf hash (domain separation).
+        assert_ne!(t.leaf(0).unwrap(), sha256(b"a"));
+    }
+
+    #[test]
+    fn empty_tree_sentinel() {
+        let t = MerkleTree::from_leaf_hashes(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.root(), leaf_hash(b""));
+        let t2 = MerkleTree::from_data::<&[u8]>(&[]);
+        assert_eq!(t2.root(), t.root());
+    }
+
+    #[test]
+    fn proof_wire_size_logarithmic() {
+        let t = MerkleTree::from_leaf_hashes(leaves(1024));
+        let p = t.prove(512).unwrap();
+        assert_eq!(p.steps.len(), 10);
+        assert_eq!(p.wire_size(), 330);
+    }
+
+    #[test]
+    fn leaf_cannot_fake_interior() {
+        // An attacker who controls leaf *data* equal to two concatenated
+        // hashes cannot produce an interior node, because domains differ.
+        let l = leaves(2);
+        let t = MerkleTree::from_leaf_hashes(l.clone());
+        let mut fake = vec![0x01u8];
+        fake.extend_from_slice(l[0].as_bytes());
+        fake.extend_from_slice(l[1].as_bytes());
+        assert_ne!(leaf_hash(&fake[1..]), t.root());
+    }
+}

@@ -1,0 +1,370 @@
+//! SHA-256, implemented from scratch per FIPS 180-4.
+//!
+//! This is a real, test-vector-checked implementation — content addressing,
+//! Merkle proofs and proof-of-work in the rest of the workspace are honest
+//! because this hash is. Both a one-shot [`sha256`] and an incremental
+//! [`Sha256`] API are provided.
+
+use std::fmt;
+
+/// A 256-bit hash value. The universal identifier type of the workspace:
+/// content addresses, node IDs, transaction IDs, name hashes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Hash256(pub [u8; 32]);
+
+impl Hash256 {
+    /// The all-zero hash (useful as a sentinel, e.g. genesis prev-hash).
+    pub const ZERO: Hash256 = Hash256([0u8; 32]);
+
+    /// Interpret the first 8 bytes as a big-endian integer (for PoW targets
+    /// and sampling).
+    pub fn prefix_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+
+    /// Number of leading zero bits — the proof-of-work difficulty measure.
+    pub fn leading_zero_bits(&self) -> u32 {
+        let mut n = 0;
+        for &b in &self.0 {
+            if b == 0 {
+                n += 8;
+            } else {
+                n += b.leading_zeros();
+                break;
+            }
+        }
+        n
+    }
+
+    /// Hex string (lowercase, 64 chars).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Short hex prefix for logs.
+    pub fn short(&self) -> String {
+        self.to_hex()[..12].to_owned()
+    }
+
+    /// XOR distance to another hash (Kademlia metric), as a 256-bit value in
+    /// byte array form.
+    pub fn xor(&self, other: &Hash256) -> Hash256 {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = self.0[i] ^ other.0[i];
+        }
+        Hash256(out)
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hash256({})", self.short())
+    }
+}
+
+impl fmt::Display for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Hash256 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+impl Sha256 {
+    /// Fresh hasher.
+    pub fn new() -> Sha256 {
+        Sha256 {
+            state: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, mut data: &[u8]) -> &mut Self {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let block: [u8; 64] = data[..64].try_into().expect("64 bytes");
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+        self
+    }
+
+    /// Finish and produce the digest.
+    pub fn finalize(mut self) -> Hash256 {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 8-byte big-endian bit length.
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            120 - self.buf_len
+        };
+        pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        self.update(&pad[..pad_len + 8]);
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 32];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        Hash256(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256.
+pub fn sha256(data: &[u8]) -> Hash256 {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Hash the concatenation of several byte slices (saves allocating).
+pub fn sha256_concat(parts: &[&[u8]]) -> Hash256 {
+    let mut h = Sha256::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+/// Domain-separated hash: `sha256(tag-len || tag || data)`. Used everywhere a
+/// hash must not collide with a hash of the same bytes in another role.
+pub fn tagged_hash(tag: &str, data: &[u8]) -> Hash256 {
+    let mut h = Sha256::new();
+    h.update(&[tag.len() as u8]);
+    h.update(tag.as_bytes());
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(h: Hash256) -> String {
+        h.to_hex()
+    }
+
+    // NIST / well-known vectors.
+    #[test]
+    fn empty_string() {
+        assert_eq!(
+            hex(sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            hex(sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            hex(sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(sha256(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn exactly_55_56_63_64_65_bytes() {
+        // Padding boundary cases: compare incremental against one-shot on
+        // lengths that straddle the 56-byte and 64-byte boundaries.
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 127, 128] {
+            let data: Vec<u8> = (0..len as u32).map(|i| (i % 251) as u8).collect();
+            let oneshot = sha256(&data);
+            let mut inc = Sha256::new();
+            for chunk in data.chunks(7) {
+                inc.update(chunk);
+            }
+            assert_eq!(inc.finalize(), oneshot, "len {len}");
+        }
+    }
+
+    #[test]
+    fn incremental_equals_oneshot_random_splits() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 31 % 256) as u8).collect();
+        let expect = sha256(&data);
+        for split in [1usize, 3, 63, 64, 65, 500, 999] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), expect, "split {split}");
+        }
+    }
+
+    #[test]
+    fn concat_helper_matches_manual() {
+        let whole = sha256(b"hello world");
+        assert_eq!(sha256_concat(&[b"hello", b" ", b"world"]), whole);
+    }
+
+    #[test]
+    fn tagged_hash_separates_domains() {
+        assert_ne!(tagged_hash("a", b"x"), tagged_hash("b", b"x"));
+        assert_ne!(tagged_hash("a", b"x"), sha256(b"x"));
+        // And is deterministic.
+        assert_eq!(tagged_hash("a", b"x"), tagged_hash("a", b"x"));
+    }
+
+    #[test]
+    fn leading_zero_bits() {
+        assert_eq!(Hash256::ZERO.leading_zero_bits(), 256);
+        let mut h = [0u8; 32];
+        h[0] = 0b0001_0000;
+        assert_eq!(Hash256(h).leading_zero_bits(), 3);
+        h[0] = 0;
+        h[1] = 0b1000_0000;
+        assert_eq!(Hash256(h).leading_zero_bits(), 8);
+    }
+
+    #[test]
+    fn xor_metric_properties() {
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        assert_eq!(a.xor(&a), Hash256::ZERO);
+        assert_eq!(a.xor(&b), b.xor(&a));
+        let c = sha256(b"c");
+        // XOR associativity ⇒ (a^b)^(b^c) = a^c.
+        assert_eq!(a.xor(&b).xor(&b.xor(&c)), a.xor(&c));
+    }
+
+    #[test]
+    fn display_and_short() {
+        let h = sha256(b"abc");
+        assert_eq!(format!("{h}").len(), 64);
+        assert_eq!(h.short().len(), 12);
+        assert!(format!("{h:?}").starts_with("Hash256("));
+    }
+
+    #[test]
+    fn prefix_u64_big_endian() {
+        let mut b = [0u8; 32];
+        b[7] = 1;
+        assert_eq!(Hash256(b).prefix_u64(), 1);
+        b[0] = 0x80;
+        assert!(Hash256(b).prefix_u64() > u64::MAX / 2);
+    }
+}

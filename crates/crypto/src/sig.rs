@@ -1,0 +1,221 @@
+//! Fast interface-faithful signature *simulation* for high-volume protocols.
+//!
+//! ## What this is (and is not)
+//!
+//! The real hash-based scheme in [`crate::wots`] is genuinely unforgeable but
+//! costs tens of thousands of hashes per keypair and is capacity-bounded.
+//! Protocol simulations that mint thousands of identities and sign millions
+//! of messages need something with ed25519-like costs. Real elliptic-curve
+//! crypto is out of scope (and out of spirit) for a deterministic simulator,
+//! so this module provides an **in-model** signature scheme:
+//!
+//! * `sign(sk, m) = H(seed ‖ m)`, `pk = H("pub" ‖ seed)`.
+//! * Verification recomputes the MAC using the seed, which travels *inside*
+//!   [`SimPublicKey`] as a private field. Module privacy is the security
+//!   boundary: honest code (everything outside explicit attack models) can
+//!   only reach the seed through [`SimPublicKey::leak_seed_for_attack_model`],
+//!   which is loudly named for exactly that purpose.
+//!
+//! Within the simulation this gives the properties experiments rely on —
+//! only the keyholder produces valid signatures, any bit-flip in message or
+//! signature verifies false, identities are unlinkable hashes — at one hash
+//! per operation. Wire sizes are reported as ed25519-like (64-byte
+//! signatures, 32-byte keys) so message-size accounting stays realistic.
+//!
+//! **Never use this outside a simulation.**
+
+use crate::sha256::{sha256_concat, tagged_hash, Hash256};
+
+/// Wire size of a simulated signature (ed25519-like).
+pub const SIG_WIRE_SIZE: u64 = 64;
+/// Wire size of a simulated public key (ed25519-like).
+pub const PK_WIRE_SIZE: u64 = 32;
+
+/// A signing keypair. Hold this privately; hand out [`SimPublicKey`]s.
+#[derive(Clone, Debug)]
+pub struct SimKeyPair {
+    seed: Hash256,
+}
+
+/// A public key / identity. `Eq`/`Hash`/`Ord` and display use only the
+/// fingerprint, so the embedded seed never influences observable identity.
+#[derive(Clone, Copy, Debug)]
+pub struct SimPublicKey {
+    fingerprint: Hash256,
+    seed: Hash256,
+}
+
+impl PartialEq for SimPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.fingerprint == other.fingerprint
+    }
+}
+impl Eq for SimPublicKey {}
+impl PartialOrd for SimPublicKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SimPublicKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.fingerprint.cmp(&other.fingerprint)
+    }
+}
+impl std::hash::Hash for SimPublicKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.fingerprint.hash(state);
+    }
+}
+
+impl std::fmt::Display for SimPublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pk:{}", self.fingerprint.short())
+    }
+}
+
+/// A signature over a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SimSignature {
+    signer: Hash256,
+    mac: Hash256,
+}
+
+impl SimKeyPair {
+    /// Derive a keypair deterministically from arbitrary seed material.
+    pub fn from_seed(material: &[u8]) -> SimKeyPair {
+        SimKeyPair {
+            seed: tagged_hash("simsig-seed", material),
+        }
+    }
+
+    /// The corresponding public key.
+    pub fn public(&self) -> SimPublicKey {
+        SimPublicKey {
+            fingerprint: tagged_hash("simsig-pub", self.seed.as_bytes()),
+            seed: self.seed,
+        }
+    }
+
+    /// Sign a message.
+    pub fn sign(&self, msg: &[u8]) -> SimSignature {
+        SimSignature {
+            signer: tagged_hash("simsig-pub", self.seed.as_bytes()),
+            mac: sha256_concat(&[b"simsig-mac", self.seed.as_bytes(), msg]),
+        }
+    }
+}
+
+impl SimPublicKey {
+    /// The identity fingerprint (safe to share, compare, store).
+    pub fn id(&self) -> Hash256 {
+        self.fingerprint
+    }
+
+    /// Verify a signature over `msg`.
+    pub fn verify(&self, msg: &[u8], sig: &SimSignature) -> bool {
+        sig.signer == self.fingerprint
+            && sig.mac == sha256_concat(&[b"simsig-mac", self.seed.as_bytes(), msg])
+    }
+
+    /// **Attack-model escape hatch**: recover the seed, as a key-compromise
+    /// event would. Using this anywhere but an explicit attack scenario is a
+    /// bug; the name is deliberately unwieldy.
+    pub fn leak_seed_for_attack_model(&self) -> SimKeyPair {
+        SimKeyPair { seed: self.seed }
+    }
+}
+
+impl SimSignature {
+    /// Fingerprint of the claimed signer.
+    pub fn signer_id(&self) -> Hash256 {
+        self.signer
+    }
+
+    /// Construct a forgery attempt with arbitrary MAC bytes (for negative
+    /// tests and adversary models). Will not verify under any real key unless
+    /// the MAC happens to be correct.
+    pub fn forged(signer: Hash256, mac: Hash256) -> SimSignature {
+        SimSignature { signer, mac }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let kp = SimKeyPair::from_seed(b"alice");
+        let pk = kp.public();
+        let sig = kp.sign(b"hello");
+        assert!(pk.verify(b"hello", &sig));
+    }
+
+    #[test]
+    fn wrong_message_fails() {
+        let kp = SimKeyPair::from_seed(b"alice");
+        let sig = kp.sign(b"hello");
+        assert!(!kp.public().verify(b"other", &sig));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let alice = SimKeyPair::from_seed(b"alice");
+        let bob = SimKeyPair::from_seed(b"bob");
+        let sig = alice.sign(b"msg");
+        assert!(!bob.public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn forgery_without_seed_fails() {
+        let alice = SimKeyPair::from_seed(b"alice").public();
+        // Adversary knows the public fingerprint and the message but not the
+        // seed; any MAC it can compute from public data fails.
+        let forged = SimSignature::forged(alice.id(), sha256(b"msg"));
+        assert!(!alice.verify(b"msg", &forged));
+        let forged2 = SimSignature::forged(
+            alice.id(),
+            sha256_concat(&[b"simsig-mac", alice.id().as_bytes(), b"msg"]),
+        );
+        assert!(!alice.verify(b"msg", &forged2));
+    }
+
+    #[test]
+    fn key_compromise_enables_forgery() {
+        let alice = SimKeyPair::from_seed(b"alice");
+        let pk = alice.public();
+        // The attack-model hatch restores full signing power — exactly what a
+        // key compromise means.
+        let stolen = pk.leak_seed_for_attack_model();
+        let sig = stolen.sign(b"evil");
+        assert!(pk.verify(b"evil", &sig));
+    }
+
+    #[test]
+    fn identity_is_stable_and_distinct() {
+        let a1 = SimKeyPair::from_seed(b"alice").public();
+        let a2 = SimKeyPair::from_seed(b"alice").public();
+        let b = SimKeyPair::from_seed(b"bob").public();
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(a1.id(), a2.id());
+    }
+
+    #[test]
+    fn signature_binds_signer() {
+        let alice = SimKeyPair::from_seed(b"alice");
+        let bob = SimKeyPair::from_seed(b"bob");
+        let sig = alice.sign(b"msg");
+        assert_eq!(sig.signer_id(), alice.public().id());
+        assert_ne!(sig.signer_id(), bob.public().id());
+    }
+
+    #[test]
+    fn display_uses_fingerprint_prefix() {
+        let pk = SimKeyPair::from_seed(b"alice").public();
+        let s = format!("{pk}");
+        assert!(s.starts_with("pk:"));
+        assert_eq!(s.len(), 3 + 12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the cryptographic substrate.
+
+use agora_crypto::{
+    hmac_sha256, leaf_hash, sha256, Dec, Enc, Hash256, MerkleTree, Sha256, SimKeyPair,
+    WotsKeyPair,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hashing equals one-shot for every chunking of the input.
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        cuts in proptest::collection::vec(any::<prop::sample::Index>(), 0..8),
+    ) {
+        let expect = sha256(&data);
+        let mut positions: Vec<usize> = cuts.iter().map(|c| c.index(data.len() + 1)).collect();
+        positions.push(0);
+        positions.push(data.len());
+        positions.sort_unstable();
+        positions.dedup();
+        let mut h = Sha256::new();
+        for w in positions.windows(2) {
+            h.update(&data[w[0]..w[1]]);
+        }
+        prop_assert_eq!(h.finalize(), expect);
+    }
+
+    /// SHA-256 behaves injectively on distinct small inputs (no accidental
+    /// state-sharing bugs between calls).
+    #[test]
+    fn sha256_distinct_inputs_distinct_digests(a in any::<Vec<u8>>(), b in any::<Vec<u8>>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(sha256(&a), sha256(&b));
+    }
+
+    /// HMAC differs under different keys and different messages.
+    #[test]
+    fn hmac_key_and_message_sensitivity(
+        k1 in proptest::collection::vec(any::<u8>(), 1..100),
+        k2 in proptest::collection::vec(any::<u8>(), 1..100),
+        msg in any::<Vec<u8>>(),
+        msg2 in any::<Vec<u8>>(),
+    ) {
+        if k1 != k2 {
+            prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
+        }
+        if msg != msg2 {
+            prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k1, &msg2));
+        }
+    }
+
+    /// Every leaf of every tree proves; proofs do not transfer to other
+    /// leaves or other roots.
+    #[test]
+    fn merkle_proofs_sound_and_bound(
+        n in 1usize..64,
+        pick in any::<prop::sample::Index>(),
+        other in any::<prop::sample::Index>(),
+    ) {
+        let leaves: Vec<Hash256> = (0..n).map(|i| sha256(&(i as u64).to_be_bytes())).collect();
+        let tree = MerkleTree::from_leaf_hashes(leaves.clone());
+        let i = pick.index(n);
+        let proof = tree.prove(i).expect("in range");
+        prop_assert!(proof.verify(leaves[i], tree.root()));
+        let j = other.index(n);
+        if j != i {
+            prop_assert!(!proof.verify(leaves[j], tree.root()), "proof transfer i={i} j={j}");
+        }
+        prop_assert!(!proof.verify(leaves[i], sha256(b"other-root")));
+    }
+
+    /// Leaf-domain hashing never collides with raw hashing.
+    #[test]
+    fn leaf_domain_separated(data in any::<Vec<u8>>()) {
+        prop_assert_ne!(leaf_hash(&data), sha256(&data));
+    }
+
+    /// The codec round-trips arbitrary field sequences.
+    #[test]
+    fn codec_round_trip(
+        a in any::<u8>(),
+        b in any::<u32>(),
+        c in any::<u64>(),
+        bytes in any::<Vec<u8>>(),
+        text in "\\PC{0,64}",
+    ) {
+        let h = sha256(&bytes);
+        let buf = Enc::new().u8(a).u32(b).u64(c).hash(&h).bytes(&bytes).str(&text).done();
+        let mut d = Dec::new(&buf);
+        prop_assert_eq!(d.u8().unwrap(), a);
+        prop_assert_eq!(d.u32().unwrap(), b);
+        prop_assert_eq!(d.u64().unwrap(), c);
+        prop_assert_eq!(d.hash().unwrap(), h);
+        prop_assert_eq!(d.bytes().unwrap(), bytes);
+        prop_assert_eq!(d.str().unwrap(), text);
+        prop_assert!(d.finished());
+    }
+
+    /// Truncating an encoding at any point yields an error, never a panic
+    /// or a silent wrong value.
+    #[test]
+    fn codec_truncation_safe(
+        c in any::<u64>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..100),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let buf = Enc::new().u64(c).bytes(&bytes).done();
+        let cut_at = cut.index(buf.len()); // strictly less than full length
+        let mut d = Dec::new(&buf[..cut_at]);
+        // Either the u64 fails, or the bytes fail; nothing panics.
+        match d.u64() {
+            Err(_) => {}
+            Ok(v) => {
+                prop_assert_eq!(v, c);
+                prop_assert!(d.bytes().is_err());
+            }
+        }
+    }
+
+    /// SimSig: valid signatures verify; any other (key, message) pair fails.
+    #[test]
+    fn simsig_eufcma_in_model(
+        seed1 in any::<Vec<u8>>(),
+        seed2 in any::<Vec<u8>>(),
+        msg1 in any::<Vec<u8>>(),
+        msg2 in any::<Vec<u8>>(),
+    ) {
+        let k1 = SimKeyPair::from_seed(&seed1);
+        let sig = k1.sign(&msg1);
+        prop_assert!(k1.public().verify(&msg1, &sig));
+        if msg1 != msg2 {
+            prop_assert!(!k1.public().verify(&msg2, &sig));
+        }
+        if seed1 != seed2 {
+            let k2 = SimKeyPair::from_seed(&seed2);
+            prop_assert!(!k2.public().verify(&msg1, &sig));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))] // keygen is pricey
+
+    /// WOTS: arbitrary messages sign and verify; cross-verification fails.
+    #[test]
+    fn wots_arbitrary_messages(msgs in proptest::collection::vec(any::<Vec<u8>>(), 1..4)) {
+        let mut kp = WotsKeyPair::generate(sha256(b"prop-wots"), 2);
+        let pk = kp.public();
+        let mut sigs = Vec::new();
+        for m in &msgs {
+            sigs.push(kp.sign(m).expect("capacity 4"));
+        }
+        for (m, s) in msgs.iter().zip(&sigs) {
+            prop_assert!(pk.verify(m, s));
+        }
+        // A signature for message i must not verify message j != i.
+        if msgs.len() >= 2 && msgs[0] != msgs[1] {
+            prop_assert!(!pk.verify(&msgs[1], &sigs[0]));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # agora-dht — Kademlia distributed hash table
+//!
+//! The peer-to-peer routing and storage substrate that IPFS-like content
+//! addressing, ZeroNet/Beaker-style peer discovery (`agora-web`) and
+//! off-chain zone-file storage (`agora-naming`) build on.
+//!
+//! * [`routing`] — the XOR-metric k-bucket routing table.
+//! * [`node`] — the full protocol over `agora-sim`: iterative FIND_NODE /
+//!   FIND_VALUE lookups with α-parallelism, STORE replication to the k
+//!   closest nodes, origin republish, TTL expiry, and churn recovery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod routing;
+
+pub use node::{DhtConfig, DhtMsg, DhtNode, DhtResult};
+pub use routing::{Contact, RoutingTable};

@@ -1,0 +1,734 @@
+//! A Kademlia node as a simulated protocol: iterative lookups, STORE /
+//! FIND_VALUE, replication to the k closest, origin republish, TTL expiry.
+//!
+//! Lookups are asynchronous: the harness calls [`DhtNode::start_get`] /
+//! [`DhtNode::start_put`] / [`DhtNode::start_find_node`] inside
+//! `Simulation::with_ctx`, receives an operation id, runs the simulation,
+//! and collects the outcome with [`DhtNode::take_result`].
+
+use std::collections::HashMap;
+
+use agora_crypto::Hash256;
+use agora_sim::{Ctx, NodeId, Protocol, SimDuration, SimTime};
+
+use crate::routing::{Contact, RoutingTable};
+
+/// Protocol configuration.
+#[derive(Clone, Debug)]
+pub struct DhtConfig {
+    /// Bucket size / replication factor.
+    pub k: usize,
+    /// Lookup parallelism.
+    pub alpha: usize,
+    /// Per-RPC timeout before a contact is considered failed.
+    pub rpc_timeout: SimDuration,
+    /// Lookup progress tick.
+    pub tick: SimDuration,
+    /// Abort a lookup after this many ticks.
+    pub max_ticks: u32,
+    /// How often the origin republishes its values.
+    pub republish_interval: SimDuration,
+    /// How long replicas hold a value without hearing from the origin.
+    pub value_ttl: SimDuration,
+}
+
+impl Default for DhtConfig {
+    fn default() -> DhtConfig {
+        DhtConfig {
+            k: 8,
+            alpha: 3,
+            rpc_timeout: SimDuration::from_millis(1500),
+            tick: SimDuration::from_millis(500),
+            max_ticks: 60,
+            republish_interval: SimDuration::from_mins(30),
+            value_ttl: SimDuration::from_mins(75),
+        }
+    }
+}
+
+/// Wire messages.
+#[derive(Clone, Debug)]
+pub enum DhtMsg {
+    /// Find the k closest contacts to a target key.
+    FindNode {
+        /// Operation id at the initiator.
+        op: u64,
+        /// Key being located.
+        target: Hash256,
+        /// Sender's overlay key (for the receiver's routing table).
+        sender_key: Hash256,
+    },
+    /// Reply to `FindNode` / value-less reply to `FindValue`.
+    Nodes {
+        /// Initiator's operation id, echoed.
+        op: u64,
+        /// Responder's overlay key.
+        sender_key: Hash256,
+        /// The closest contacts the responder knows.
+        closer: Vec<Contact>,
+    },
+    /// Find a value; falls back to `Nodes` when the responder lacks it.
+    FindValue {
+        /// Operation id at the initiator.
+        op: u64,
+        /// Key being fetched.
+        target: Hash256,
+        /// Sender's overlay key.
+        sender_key: Hash256,
+    },
+    /// Value reply.
+    Value {
+        /// Initiator's operation id, echoed.
+        op: u64,
+        /// Responder's overlay key.
+        sender_key: Hash256,
+        /// The value bytes.
+        data: Vec<u8>,
+    },
+    /// Store a value at the receiver.
+    Store {
+        /// Key under which to store.
+        key: Hash256,
+        /// Value bytes.
+        data: Vec<u8>,
+        /// Sender's overlay key.
+        sender_key: Hash256,
+    },
+}
+
+impl DhtMsg {
+    fn wire_size(&self) -> u64 {
+        match self {
+            DhtMsg::FindNode { .. } | DhtMsg::FindValue { .. } => 8 + 32 + 32 + 16,
+            DhtMsg::Nodes { closer, .. } => 8 + 32 + 16 + closer.len() as u64 * 36,
+            DhtMsg::Value { data, .. } => 8 + 32 + 16 + data.len() as u64,
+            DhtMsg::Store { data, .. } => 32 + 32 + 16 + data.len() as u64,
+        }
+    }
+}
+
+/// Outcome of a completed operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DhtResult {
+    /// FIND_VALUE succeeded.
+    Found {
+        /// The fetched bytes.
+        data: Vec<u8>,
+        /// Lookup hop count (RPC rounds consumed).
+        hops: u32,
+    },
+    /// FIND_VALUE exhausted the search without locating the value.
+    NotFound,
+    /// PUT stored the value at this many replicas.
+    Stored {
+        /// Number of replicas that received a STORE.
+        replicas: usize,
+    },
+    /// FIND_NODE completed with these closest contacts.
+    Closest(Vec<Contact>),
+    /// The operation timed out entirely.
+    TimedOut,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PeerState {
+    Unqueried,
+    Pending(SimTime),
+    Responded,
+    Failed,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum OpKind {
+    FindNode,
+    Get,
+    Put,
+}
+
+struct Lookup {
+    kind: OpKind,
+    target: Hash256,
+    put_data: Option<Vec<u8>>,
+    shortlist: Vec<(Contact, PeerState)>,
+    started: SimTime,
+    ticks: u32,
+    hops: u32,
+}
+
+struct StoredValue {
+    data: Vec<u8>,
+    refreshed_at: SimTime,
+}
+
+const TAG_MAINT: u64 = u64::MAX;
+
+/// A Kademlia node.
+pub struct DhtNode {
+    key: Hash256,
+    cfg: DhtConfig,
+    table: RoutingTable,
+    store: HashMap<Hash256, StoredValue>,
+    origin_values: HashMap<Hash256, Vec<u8>>,
+    lookups: HashMap<u64, Lookup>,
+    results: HashMap<u64, DhtResult>,
+    next_op: u64,
+    bootstrap: Vec<Contact>,
+}
+
+impl DhtNode {
+    /// Create a node with the given overlay key and bootstrap contacts.
+    pub fn new(key: Hash256, cfg: DhtConfig, bootstrap: Vec<Contact>) -> DhtNode {
+        let table = RoutingTable::new(key, cfg.k);
+        DhtNode {
+            key,
+            cfg,
+            table,
+            store: HashMap::new(),
+            origin_values: HashMap::new(),
+            lookups: HashMap::new(),
+            results: HashMap::new(),
+            next_op: 0,
+            bootstrap,
+        }
+    }
+
+    /// This node's overlay key.
+    pub fn key(&self) -> Hash256 {
+        self.key
+    }
+
+    /// Routing-table size (diagnostics).
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Number of values this node holds as a replica.
+    pub fn replica_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether this node currently stores `key` locally.
+    pub fn holds(&self, key: &Hash256) -> bool {
+        self.store.contains_key(key)
+    }
+
+    /// Begin an iterative FIND_NODE. Returns the operation id.
+    pub fn start_find_node(&mut self, ctx: &mut Ctx<'_, DhtMsg>, target: Hash256) -> u64 {
+        self.begin(ctx, OpKind::FindNode, target, None)
+    }
+
+    /// Begin a GET (iterative FIND_VALUE).
+    pub fn start_get(&mut self, ctx: &mut Ctx<'_, DhtMsg>, key: Hash256) -> u64 {
+        self.begin(ctx, OpKind::Get, key, None)
+    }
+
+    /// Begin a PUT: locate the k closest nodes, then STORE at each. The
+    /// origin keeps the value and republishes it periodically.
+    pub fn start_put(&mut self, ctx: &mut Ctx<'_, DhtMsg>, key: Hash256, data: Vec<u8>) -> u64 {
+        self.origin_values.insert(key, data.clone());
+        self.begin(ctx, OpKind::Put, key, Some(data))
+    }
+
+    /// Collect the outcome of a finished operation, if any.
+    pub fn take_result(&mut self, op: u64) -> Option<DhtResult> {
+        self.results.remove(&op)
+    }
+
+    fn begin(
+        &mut self,
+        ctx: &mut Ctx<'_, DhtMsg>,
+        kind: OpKind,
+        target: Hash256,
+        put_data: Option<Vec<u8>>,
+    ) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        let mut seeds = self.table.closest(&target, self.cfg.k);
+        if seeds.is_empty() {
+            seeds = self.bootstrap.clone();
+        }
+        let shortlist = seeds
+            .into_iter()
+            .filter(|c| c.key != self.key)
+            .map(|c| (c, PeerState::Unqueried))
+            .collect();
+        self.lookups.insert(
+            op,
+            Lookup {
+                kind,
+                target,
+                put_data,
+                shortlist,
+                started: ctx.now(),
+                ticks: 0,
+                hops: 0,
+            },
+        );
+        self.drive(ctx, op);
+        ctx.set_timer(self.cfg.tick, op);
+        op
+    }
+
+    /// Issue queries / check termination for one lookup.
+    fn drive(&mut self, ctx: &mut Ctx<'_, DhtMsg>, op: u64) {
+        let Some(lk) = self.lookups.get_mut(&op) else { return };
+        let now = ctx.now();
+
+        // Expire stale pending queries and prune them from the table.
+        let timeout = self.cfg.rpc_timeout;
+        let mut failed_keys = Vec::new();
+        for (c, st) in lk.shortlist.iter_mut() {
+            if let PeerState::Pending(since) = *st {
+                if now.since(since) > timeout {
+                    *st = PeerState::Failed;
+                    failed_keys.push(c.key);
+                }
+            }
+        }
+
+        // Sort by distance so "k closest" is a prefix.
+        let target = lk.target;
+        lk.shortlist.sort_by_key(|(c, _)| c.key.xor(&target));
+
+        // Termination: the k closest entries have all resolved (responded or
+        // failed) and none is pending/unqueried.
+        let k = self.cfg.k;
+        let alpha = self.cfg.alpha;
+        let head = lk.shortlist.iter().take(k);
+        let done = lk
+            .shortlist
+            .iter()
+            .take(k)
+            .all(|(_, st)| matches!(st, PeerState::Responded | PeerState::Failed))
+            && head.clone().any(|(_, st)| *st == PeerState::Responded)
+            || lk.shortlist.is_empty();
+
+        if done {
+            self.finish(ctx, op);
+            for k in failed_keys {
+                self.table.remove(&k);
+            }
+            return;
+        }
+
+        // Issue up to alpha concurrent queries to the closest unqueried.
+        let in_flight = lk
+            .shortlist
+            .iter()
+            .filter(|(_, st)| matches!(st, PeerState::Pending(_)))
+            .count();
+        let mut to_query = Vec::new();
+        if in_flight < alpha {
+            for (c, st) in lk.shortlist.iter_mut().take(k + alpha) {
+                if *st == PeerState::Unqueried && to_query.len() + in_flight < alpha {
+                    *st = PeerState::Pending(now);
+                    to_query.push(*c);
+                }
+            }
+        }
+        if !to_query.is_empty() {
+            lk.hops += 1;
+        }
+        let kind = lk.kind;
+        let my_key = self.key;
+        for c in to_query {
+            let msg = match kind {
+                OpKind::Get => DhtMsg::FindValue { op, target, sender_key: my_key },
+                _ => DhtMsg::FindNode { op, target, sender_key: my_key },
+            };
+            let size = msg.wire_size();
+            ctx.send(c.addr, msg, size);
+            ctx.metrics().incr("dht.rpc_sent", 1);
+        }
+        for k in failed_keys {
+            self.table.remove(&k);
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx<'_, DhtMsg>, op: u64) {
+        let Some(lk) = self.lookups.remove(&op) else { return };
+        let k = self.cfg.k;
+        let responded: Vec<Contact> = lk
+            .shortlist
+            .iter()
+            .filter(|(_, st)| *st == PeerState::Responded)
+            .map(|(c, _)| *c)
+            .take(k)
+            .collect();
+        let result = match lk.kind {
+            OpKind::FindNode => {
+                if responded.is_empty() {
+                    DhtResult::TimedOut
+                } else {
+                    DhtResult::Closest(responded)
+                }
+            }
+            OpKind::Get => {
+                ctx.metrics().incr("dht.get_notfound", 1);
+                if responded.is_empty() {
+                    DhtResult::TimedOut
+                } else {
+                    DhtResult::NotFound
+                }
+            }
+            OpKind::Put => {
+                let data = lk.put_data.clone().unwrap_or_default();
+                // Store at the k closest responders — and locally if we are
+                // among the k closest overall.
+                for c in &responded {
+                    let msg = DhtMsg::Store {
+                        key: lk.target,
+                        data: data.clone(),
+                        sender_key: self.key,
+                    };
+                    let size = msg.wire_size();
+                    ctx.send(c.addr, msg, size);
+                }
+                ctx.metrics().incr("dht.puts", 1);
+                self.store.insert(
+                    lk.target,
+                    StoredValue { data, refreshed_at: ctx.now() },
+                );
+                DhtResult::Stored { replicas: responded.len() }
+            }
+        };
+        let elapsed = ctx.now().since(lk.started).secs_f64();
+        ctx.metrics().sample("dht.lookup_secs", elapsed);
+        ctx.metrics().sample("dht.lookup_hops", lk.hops as f64);
+        self.results.insert(op, result);
+    }
+
+    fn handle_reply(&mut self, ctx: &mut Ctx<'_, DhtMsg>, op: u64, sender_key: Hash256, closer: Vec<Contact>, value: Option<Vec<u8>>) {
+        let Some(lk) = self.lookups.get_mut(&op) else { return };
+        // Mark the responder.
+        for (c, st) in lk.shortlist.iter_mut() {
+            if c.key == sender_key {
+                *st = PeerState::Responded;
+            }
+        }
+        if let Some(data) = value {
+            if lk.kind == OpKind::Get {
+                let hops = lk.hops;
+                let started = lk.started;
+                self.lookups.remove(&op);
+                ctx.metrics().incr("dht.get_found", 1);
+                let elapsed = ctx.now().since(started).secs_f64();
+                ctx.metrics().sample("dht.lookup_secs", elapsed);
+                ctx.metrics().sample("dht.lookup_hops", hops as f64);
+                self.results.insert(op, DhtResult::Found { data, hops });
+                return;
+            }
+        }
+        // Merge new contacts.
+        let my_key = self.key;
+        let lk = self.lookups.get_mut(&op).expect("still present");
+        for c in closer {
+            if c.key == my_key {
+                continue;
+            }
+            if !lk.shortlist.iter().any(|(e, _)| e.key == c.key) {
+                lk.shortlist.push((c, PeerState::Unqueried));
+            }
+        }
+        self.drive(ctx, op);
+    }
+
+    fn maintenance(&mut self, ctx: &mut Ctx<'_, DhtMsg>) {
+        let now = ctx.now();
+        // Expire replicas the origin stopped refreshing.
+        let ttl = self.cfg.value_ttl;
+        self.store.retain(|k, v| {
+            now.since(v.refreshed_at) <= ttl || self.origin_values.contains_key(k)
+        });
+        // Republish everything we originated.
+        let originals: Vec<(Hash256, Vec<u8>)> = self
+            .origin_values
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        for (key, data) in originals {
+            self.begin(ctx, OpKind::Put, key, Some(data));
+        }
+        ctx.set_timer(self.cfg.republish_interval, TAG_MAINT);
+    }
+}
+
+impl Protocol for DhtNode {
+    type Msg = DhtMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, DhtMsg>) {
+        // Join: learn bootstrap contacts and look up our own key.
+        for c in self.bootstrap.clone() {
+            if c.key != self.key {
+                self.table.observe(c);
+            }
+        }
+        if !self.table.is_empty() {
+            let target = self.key;
+            self.begin(ctx, OpKind::FindNode, target, None);
+        }
+        ctx.set_timer(self.cfg.republish_interval, TAG_MAINT);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, DhtMsg>, from: NodeId, msg: DhtMsg) {
+        match msg {
+            DhtMsg::FindNode { op, target, sender_key } => {
+                self.table.observe(Contact { key: sender_key, addr: from });
+                let mut closer = self.table.closest(&target, self.cfg.k);
+                closer.retain(|c| c.key != sender_key);
+                let reply = DhtMsg::Nodes { op, sender_key: self.key, closer };
+                let size = reply.wire_size();
+                ctx.send(from, reply, size);
+            }
+            DhtMsg::FindValue { op, target, sender_key } => {
+                self.table.observe(Contact { key: sender_key, addr: from });
+                if let Some(v) = self.store.get(&target) {
+                    let reply = DhtMsg::Value { op, sender_key: self.key, data: v.data.clone() };
+                    let size = reply.wire_size();
+                    ctx.send(from, reply, size);
+                } else {
+                    let mut closer = self.table.closest(&target, self.cfg.k);
+                    closer.retain(|c| c.key != sender_key);
+                    let reply = DhtMsg::Nodes { op, sender_key: self.key, closer };
+                    let size = reply.wire_size();
+                    ctx.send(from, reply, size);
+                }
+            }
+            DhtMsg::Nodes { op, sender_key, closer } => {
+                self.table.observe(Contact { key: sender_key, addr: from });
+                for c in &closer {
+                    if c.key != self.key {
+                        self.table.observe(*c);
+                    }
+                }
+                self.handle_reply(ctx, op, sender_key, closer, None);
+            }
+            DhtMsg::Value { op, sender_key, data } => {
+                self.table.observe(Contact { key: sender_key, addr: from });
+                self.handle_reply(ctx, op, sender_key, Vec::new(), Some(data));
+            }
+            DhtMsg::Store { key, data, sender_key } => {
+                self.table.observe(Contact { key: sender_key, addr: from });
+                ctx.metrics().incr("dht.stores_received", 1);
+                self.store.insert(
+                    key,
+                    StoredValue { data, refreshed_at: ctx.now() },
+                );
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, DhtMsg>, tag: u64) {
+        if tag == TAG_MAINT {
+            self.maintenance(ctx);
+            return;
+        }
+        // Lookup tick.
+        let op = tag;
+        let Some(lk) = self.lookups.get_mut(&op) else { return };
+        lk.ticks += 1;
+        if lk.ticks > self.cfg.max_ticks {
+            self.finish(ctx, op);
+            return;
+        }
+        self.drive(ctx, op);
+        if self.lookups.contains_key(&op) {
+            ctx.set_timer(self.cfg.tick, op);
+        }
+    }
+
+    fn on_up(&mut self, ctx: &mut Ctx<'_, DhtMsg>) {
+        // Rejoin after an outage: refresh our neighbourhood.
+        if !self.table.is_empty() || !self.bootstrap.is_empty() {
+            for c in self.bootstrap.clone() {
+                if c.key != self.key {
+                    self.table.observe(c);
+                }
+            }
+            let target = self.key;
+            self.begin(ctx, OpKind::FindNode, target, None);
+        }
+        ctx.set_timer(self.cfg.republish_interval, TAG_MAINT);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agora_crypto::sha256;
+    use agora_sim::{DeviceClass, SimDuration, Simulation};
+
+    /// Build an n-node DHT where every node bootstraps off node 0.
+    fn build(n: usize, seed: u64) -> (Simulation<DhtNode>, Vec<NodeId>, Vec<Hash256>) {
+        let mut sim = Simulation::new(seed);
+        let mut ids = Vec::new();
+        let mut keys = Vec::new();
+        let boot_key = sha256(b"node-0");
+        for i in 0..n {
+            let key = sha256(format!("node-{i}").as_bytes());
+            let bootstrap = if i == 0 {
+                vec![]
+            } else {
+                vec![Contact { key: boot_key, addr: NodeId(0) }]
+            };
+            let node = DhtNode::new(key, DhtConfig::default(), bootstrap);
+            ids.push(sim.add_node(node, DeviceClass::PersonalComputer));
+            keys.push(key);
+        }
+        // Let joins settle.
+        sim.run_for(SimDuration::from_secs(30));
+        (sim, ids, keys)
+    }
+
+    #[test]
+    fn join_populates_routing_tables() {
+        let (sim, ids, _) = build(20, 1);
+        for &id in &ids {
+            assert!(
+                sim.node(id).table_len() >= 3,
+                "node {id} has {} contacts",
+                sim.node(id).table_len()
+            );
+        }
+    }
+
+    #[test]
+    fn put_then_get_from_another_node() {
+        let (mut sim, ids, _) = build(20, 2);
+        let key = sha256(b"the-key");
+        let put_op = sim
+            .with_ctx(ids[3], |n, ctx| n.start_put(ctx, key, b"hello dht".to_vec()))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(30));
+        match sim.node_mut(ids[3]).take_result(put_op) {
+            Some(DhtResult::Stored { replicas }) => assert!(replicas >= 2, "replicas {replicas}"),
+            other => panic!("put failed: {other:?}"),
+        }
+        let get_op = sim
+            .with_ctx(ids[15], |n, ctx| n.start_get(ctx, key))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(30));
+        match sim.node_mut(ids[15]).take_result(get_op) {
+            Some(DhtResult::Found { data, .. }) => assert_eq!(data, b"hello dht"),
+            other => panic!("get failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_missing_value_is_notfound() {
+        let (mut sim, ids, _) = build(15, 3);
+        let op = sim
+            .with_ctx(ids[5], |n, ctx| n.start_get(ctx, sha256(b"missing")))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(40));
+        assert_eq!(
+            sim.node_mut(ids[5]).take_result(op),
+            Some(DhtResult::NotFound)
+        );
+    }
+
+    #[test]
+    fn find_node_returns_closest() {
+        let (mut sim, ids, keys) = build(25, 4);
+        let target = sha256(b"somewhere");
+        let op = sim
+            .with_ctx(ids[2], |n, ctx| n.start_find_node(ctx, target))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(30));
+        match sim.node_mut(ids[2]).take_result(op) {
+            Some(DhtResult::Closest(contacts)) => {
+                assert!(!contacts.is_empty());
+                // The returned head should be the globally closest live key
+                // (all nodes are up in this test).
+                let mut all = keys.clone();
+                all.sort_by_key(|k| k.xor(&target));
+                let returned_best = contacts[0].key.xor(&target);
+                let global_best = all[0].xor(&target);
+                // Initiator excludes itself; allow the second-best too.
+                let global_second = all[1].xor(&target);
+                assert!(
+                    returned_best == global_best || returned_best == global_second,
+                    "lookup converged to a non-closest node"
+                );
+            }
+            other => panic!("find_node failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_survives_churn_with_republish() {
+        let (mut sim, ids, _) = build(25, 5);
+        let key = sha256(b"durable");
+        sim.with_ctx(ids[1], |n, ctx| n.start_put(ctx, key, b"v".to_vec()))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(30));
+        // Kill half the network (not the origin).
+        for &id in ids.iter().skip(13) {
+            sim.kill(id);
+        }
+        // Run past a republish interval so the origin re-replicates.
+        sim.run_for(SimDuration::from_mins(35));
+        let get_op = sim
+            .with_ctx(ids[2], |n, ctx| n.start_get(ctx, key))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(60));
+        match sim.node_mut(ids[2]).take_result(get_op) {
+            Some(DhtResult::Found { data, .. }) => assert_eq!(data, b"v"),
+            other => panic!("value lost under churn: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replicas_expire_without_republish() {
+        let mut cfg = DhtConfig::default();
+        cfg.value_ttl = SimDuration::from_secs(10);
+        cfg.republish_interval = SimDuration::from_hours(100); // effectively never
+        let mut sim: Simulation<DhtNode> = Simulation::new(6);
+        let boot_key = sha256(b"node-0");
+        let mut ids = Vec::new();
+        for i in 0..10 {
+            let key = sha256(format!("node-{i}").as_bytes());
+            let bootstrap = if i == 0 {
+                vec![]
+            } else {
+                vec![Contact { key: boot_key, addr: NodeId(0) }]
+            };
+            ids.push(sim.add_node(
+                DhtNode::new(key, cfg.clone(), bootstrap),
+                DeviceClass::PersonalComputer,
+            ));
+        }
+        sim.run_for(SimDuration::from_secs(20));
+        let key = sha256(b"ephemeral");
+        sim.with_ctx(ids[1], |n, ctx| n.start_put(ctx, key, b"v".to_vec()))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(10));
+        let holders_before: usize = ids.iter().filter(|&&id| sim.node(id).holds(&key)).count();
+        assert!(holders_before >= 2);
+        // Kill the origin so it cannot refresh, then outlive the TTL.
+        sim.kill(ids[1]);
+        sim.run_for(SimDuration::from_hours(99));
+        // TTL pruning happens lazily at maintenance; force it by waiting
+        // beyond the republish interval of the *other* nodes.
+        sim.run_for(SimDuration::from_hours(2));
+        let holders_after: usize = ids
+            .iter()
+            .filter(|&&id| id != ids[1] && sim.node(id).holds(&key))
+            .count();
+        assert_eq!(holders_after, 0, "replicas should expire");
+    }
+
+    #[test]
+    fn lookup_metrics_recorded() {
+        let (mut sim, ids, _) = build(20, 7);
+        let key = sha256(b"metric-key");
+        sim.with_ctx(ids[0], |n, ctx| n.start_put(ctx, key, vec![1]))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(20));
+        let op = sim.with_ctx(ids[9], |n, ctx| n.start_get(ctx, key)).unwrap();
+        sim.run_for(SimDuration::from_secs(20));
+        assert!(sim.node_mut(ids[9]).take_result(op).is_some());
+        assert!(sim.metrics().histogram("dht.lookup_hops").is_some());
+        assert!(sim.metrics().counter("dht.rpc_sent") > 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Kademlia routing table: 256 XOR-distance buckets of `k` contacts each.
+
+use agora_crypto::Hash256;
+use agora_sim::NodeId;
+
+/// A DHT contact: overlay key plus transport address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Contact {
+    /// Overlay key (position in XOR space).
+    pub key: Hash256,
+    /// Simulator transport address.
+    pub addr: NodeId,
+}
+
+/// The routing table of one node.
+#[derive(Clone, Debug)]
+pub struct RoutingTable {
+    own_key: Hash256,
+    k: usize,
+    buckets: Vec<Vec<Contact>>,
+}
+
+impl RoutingTable {
+    /// Create an empty table for a node with the given overlay key.
+    pub fn new(own_key: Hash256, k: usize) -> RoutingTable {
+        RoutingTable {
+            own_key,
+            k: k.max(1),
+            buckets: vec![Vec::new(); 256],
+        }
+    }
+
+    /// Bucket index for a key: floor(log2(distance)). `None` for self.
+    fn bucket_index(&self, key: &Hash256) -> Option<usize> {
+        let dist = self.own_key.xor(key);
+        let lz = dist.leading_zero_bits();
+        if lz == 256 {
+            None // distance zero: never store self
+        } else {
+            Some(255 - lz as usize)
+        }
+    }
+
+    /// Record that a contact is alive. Known contacts move to the bucket's
+    /// most-recently-seen end; new contacts fill free slots. Full buckets
+    /// drop the newcomer (classic Kademlia favours long-lived contacts;
+    /// failures are pruned via [`RoutingTable::remove`]).
+    pub fn observe(&mut self, contact: Contact) {
+        let Some(idx) = self.bucket_index(&contact.key) else {
+            return;
+        };
+        let bucket = &mut self.buckets[idx];
+        if let Some(pos) = bucket.iter().position(|c| c.key == contact.key) {
+            let c = bucket.remove(pos);
+            bucket.push(c);
+        } else if bucket.len() < self.k {
+            bucket.push(contact);
+        }
+    }
+
+    /// Remove a contact that failed to respond.
+    pub fn remove(&mut self, key: &Hash256) {
+        if let Some(idx) = self.bucket_index(key) {
+            self.buckets[idx].retain(|c| &c.key != key);
+        }
+    }
+
+    /// The `n` known contacts closest to `target` (by XOR distance).
+    pub fn closest(&self, target: &Hash256, n: usize) -> Vec<Contact> {
+        let mut all: Vec<Contact> = self.buckets.iter().flatten().copied().collect();
+        all.sort_by_key(|c| c.key.xor(target));
+        all.truncate(n);
+        all
+    }
+
+    /// Total contacts stored.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).sum()
+    }
+
+    /// True if no contacts are known.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a key is present.
+    pub fn contains(&self, key: &Hash256) -> bool {
+        self.bucket_index(key)
+            .is_some_and(|i| self.buckets[i].iter().any(|c| &c.key == key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agora_crypto::sha256;
+
+    fn contact(i: u32) -> Contact {
+        Contact {
+            key: sha256(&i.to_be_bytes()),
+            addr: NodeId(i),
+        }
+    }
+
+    #[test]
+    fn self_key_never_stored() {
+        let own = sha256(b"me");
+        let mut t = RoutingTable::new(own, 20);
+        t.observe(Contact { key: own, addr: NodeId(0) });
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn observe_and_contains() {
+        let mut t = RoutingTable::new(sha256(b"me"), 20);
+        let c = contact(1);
+        t.observe(c);
+        assert!(t.contains(&c.key));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn full_bucket_drops_newcomer() {
+        let own = sha256(b"me");
+        let mut t = RoutingTable::new(own, 2);
+        // Find several keys landing in the same bucket.
+        let mut same_bucket = Vec::new();
+        let mut i = 0u32;
+        let target_idx = {
+            let c = contact(0);
+            let lz = own.xor(&c.key).leading_zero_bits();
+            255 - lz as usize
+        };
+        while same_bucket.len() < 4 {
+            let c = contact(i);
+            let lz = own.xor(&c.key).leading_zero_bits() as usize;
+            if lz < 256 && 255 - lz == target_idx {
+                same_bucket.push(c);
+            }
+            i += 1;
+        }
+        for c in &same_bucket {
+            t.observe(*c);
+        }
+        assert_eq!(t.len(), 2, "bucket capacity enforced");
+        assert!(t.contains(&same_bucket[0].key), "oldest kept");
+        assert!(!t.contains(&same_bucket[3].key), "newcomer dropped");
+    }
+
+    #[test]
+    fn remove_prunes_failures() {
+        let mut t = RoutingTable::new(sha256(b"me"), 20);
+        let c = contact(1);
+        t.observe(c);
+        t.remove(&c.key);
+        assert!(!t.contains(&c.key));
+    }
+
+    #[test]
+    fn closest_orders_by_xor_distance() {
+        let own = sha256(b"me");
+        let mut t = RoutingTable::new(own, 20);
+        for i in 0..50 {
+            t.observe(contact(i));
+        }
+        let target = sha256(b"target");
+        let got = t.closest(&target, 5);
+        assert_eq!(got.len(), 5);
+        for w in got.windows(2) {
+            assert!(w[0].key.xor(&target) <= w[1].key.xor(&target));
+        }
+        // The first result really is the global minimum among stored.
+        let all = t.closest(&target, 100);
+        assert_eq!(got[0].key, all[0].key);
+    }
+
+    #[test]
+    fn re_observe_moves_to_most_recent() {
+        // With k=1 the bucket keeps its single occupant; re-observing it
+        // must not duplicate.
+        let mut t = RoutingTable::new(sha256(b"me"), 1);
+        let c = contact(1);
+        t.observe(c);
+        t.observe(c);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn closest_on_empty_table() {
+        let t = RoutingTable::new(sha256(b"me"), 20);
+        assert!(t.closest(&sha256(b"x"), 3).is_empty());
+    }
+}

@@ -1,0 +1,330 @@
+//! # agora-feasibility — the paper's §4 infrastructure-feasibility model
+//!
+//! "Even if an ideal democratized Internet service architecture were to be
+//! developed, would the capacity exist for it to operate at service levels
+//! comparable to today?" §4 answers with a back-of-the-envelope comparison
+//! of global cloud capacity against the unproductive capacity of user
+//! devices; Table 3 is its output.
+//!
+//! This crate encodes §4's constants as a typed, documented
+//! [`Assumptions`] set with provenance notes, reproduces Table 3 *exactly*,
+//! and extends the analysis with the sensitivity sweeps and duty-cycle
+//! discounts the paper's §5.2 "quality vs quantity" discussion calls for.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// One resource triple: bandwidth, compute, storage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Capacity {
+    /// Aggregate bandwidth in terabits per second.
+    pub bandwidth_tbps: f64,
+    /// Server-equivalent cores, in millions.
+    pub cores_millions: f64,
+    /// Storage in exabytes.
+    pub storage_eb: f64,
+}
+
+/// §4's input assumptions, with provenance.
+#[derive(Clone, Debug)]
+pub struct Assumptions {
+    // -- cloud side ---------------------------------------------------------
+    /// Google's extrapolated core count (paper: 1 M servers circa 2011
+    /// reports → "we might extrapolate that today Google has about 100
+    /// million cores").
+    pub google_cores: f64,
+    /// Google's extrapolated storage in EB (10 EB reported → 20 EB today).
+    pub google_storage_eb: f64,
+    /// Global Internet traffic in Tbps (Cisco VNI: "a little over 200 Tbps
+    /// in 2016").
+    pub internet_traffic_tbps: f64,
+    /// Google's share of Internet traffic (Espresso announcement: 1/4).
+    pub google_traffic_share: f64,
+
+    // -- device side (Statista device counts) --------------------------------
+    /// Personal computers in use worldwide.
+    pub personal_computers: f64,
+    /// Smartphones in use worldwide.
+    pub smartphones: f64,
+    /// Tablets in use worldwide.
+    pub tablets: f64,
+
+    // -- per-device resources (§4's assumed values) ---------------------------
+    /// Unutilized cores per PC.
+    pub pc_spare_cores: f64,
+    /// Free storage per PC in GB.
+    pub pc_free_storage_gb: f64,
+    /// Free storage per tablet in GB.
+    pub tablet_free_storage_gb: f64,
+    /// Upstream bandwidth per device in Mbps ("slow broadband" / "slow 3G").
+    pub uplink_mbps: f64,
+    /// Derating factor turning PC cores into server-equivalent cores
+    /// ("reduce their estimated capacity by a factor of 8").
+    pub pc_core_derate: f64,
+    /// Whether battery-constrained devices (phones, tablets) contribute
+    /// compute (§4: they do not).
+    pub battery_devices_compute: bool,
+}
+
+impl Default for Assumptions {
+    /// Exactly the paper's numbers.
+    fn default() -> Assumptions {
+        Assumptions {
+            google_cores: 100e6,
+            google_storage_eb: 20.0,
+            internet_traffic_tbps: 200.0,
+            google_traffic_share: 0.25,
+            personal_computers: 2e9,
+            smartphones: 2e9,
+            tablets: 1e9,
+            pc_spare_cores: 2.0,
+            pc_free_storage_gb: 100.0,
+            tablet_free_storage_gb: 10.0,
+            uplink_mbps: 1.0,
+            pc_core_derate: 8.0,
+            battery_devices_compute: false,
+        }
+    }
+}
+
+impl Assumptions {
+    /// The cloud column of Table 3: scale Google's estimated resources by
+    /// the inverse of its traffic share.
+    pub fn cloud(&self) -> Capacity {
+        let scale = 1.0 / self.google_traffic_share;
+        Capacity {
+            // Google carries share × traffic; all-cloud ≈ total traffic.
+            bandwidth_tbps: self.internet_traffic_tbps * self.google_traffic_share * scale,
+            cores_millions: self.google_cores * scale / 1e6,
+            storage_eb: self.google_storage_eb * scale,
+        }
+    }
+
+    /// The user-device column of Table 3.
+    pub fn user_devices(&self) -> Capacity {
+        let devices = self.personal_computers + self.smartphones + self.tablets;
+        let bandwidth_tbps = devices * self.uplink_mbps / 1e6; // Mbps → Tbps
+        let mut cores = self.personal_computers * self.pc_spare_cores / self.pc_core_derate;
+        if self.battery_devices_compute {
+            cores += (self.smartphones + self.tablets) * 1.0 / self.pc_core_derate;
+        }
+        let storage_eb = (self.personal_computers * self.pc_free_storage_gb
+            + self.tablets * self.tablet_free_storage_gb)
+            / 1e9; // GB → EB
+        Capacity {
+            bandwidth_tbps,
+            cores_millions: cores / 1e6,
+            storage_eb,
+        }
+    }
+
+    /// Ratios (user-device ÷ cloud) per resource; ≥ 1.0 means the paper's
+    /// "sufficient capacity among existing devices" claim holds for it.
+    pub fn sufficiency(&self) -> Capacity {
+        let c = self.cloud();
+        let u = self.user_devices();
+        Capacity {
+            bandwidth_tbps: u.bandwidth_tbps / c.bandwidth_tbps,
+            cores_millions: u.cores_millions / c.cores_millions,
+            storage_eb: u.storage_eb / c.storage_eb,
+        }
+    }
+
+    /// §5.2 extension: discount user-device capacity by availability duty
+    /// cycles (the paper's quality-vs-quantity caveat, made quantitative).
+    /// `pc_duty`, `mobile_duty` ∈ [0, 1].
+    pub fn effective_user_devices(&self, pc_duty: f64, mobile_duty: f64) -> Capacity {
+        let raw = self.user_devices();
+        let pc_frac_bw = self.personal_computers
+            / (self.personal_computers + self.smartphones + self.tablets);
+        let bw_duty = pc_frac_bw * pc_duty + (1.0 - pc_frac_bw) * mobile_duty;
+        let pc_storage = self.personal_computers * self.pc_free_storage_gb;
+        let tab_storage = self.tablets * self.tablet_free_storage_gb;
+        let storage_duty = (pc_storage * pc_duty + tab_storage * mobile_duty)
+            / (pc_storage + tab_storage);
+        Capacity {
+            bandwidth_tbps: raw.bandwidth_tbps * bw_duty,
+            cores_millions: raw.cores_millions * pc_duty, // compute is PC-only
+            storage_eb: raw.storage_eb * storage_duty,
+        }
+    }
+}
+
+/// Render Table 3 ("Estimated capacity of global cloud infrastructure and
+/// unused user resources") from the model.
+pub fn render_table3(a: &Assumptions) -> String {
+    let cloud = a.cloud();
+    let user = a.user_devices();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} | {:>20} | {:>14}\n",
+        "", "Cloud Infrastructure", "User Devices"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(52)));
+    out.push_str(&format!(
+        "{:<10} | {:>15} Tbps | {:>9} Tbps\n",
+        "Bandwidth", cloud.bandwidth_tbps as u64, user.bandwidth_tbps as u64
+    ));
+    out.push_str(&format!(
+        "{:<10} | {:>18} M | {:>12} M\n",
+        "Cores", cloud.cores_millions as u64, user.cores_millions as u64
+    ));
+    out.push_str(&format!(
+        "{:<10} | {:>17} EB | {:>11} EB\n",
+        "Storage", cloud.storage_eb as u64, user.storage_eb as u64
+    ));
+    out
+}
+
+/// One row of a sensitivity sweep.
+#[derive(Clone, Debug)]
+pub struct SensitivityRow {
+    /// Which assumption was varied.
+    pub assumption: &'static str,
+    /// Multiplier applied.
+    pub factor: f64,
+    /// Resulting sufficiency ratios.
+    pub sufficiency: Capacity,
+}
+
+/// Sweep each load-bearing assumption by the given factors and report how
+/// the sufficiency ratios move (experiment T3's sensitivity panel).
+pub fn sensitivity_sweep(factors: &[f64]) -> Vec<SensitivityRow> {
+    let mut rows = Vec::new();
+    type Setter = fn(&mut Assumptions, f64);
+    let knobs: [(&'static str, Setter); 6] = [
+        ("uplink_mbps", |a, f| a.uplink_mbps *= f),
+        ("pc_free_storage_gb", |a, f| a.pc_free_storage_gb *= f),
+        ("pc_core_derate", |a, f| a.pc_core_derate *= f),
+        ("google_traffic_share", |a, f| {
+            a.google_traffic_share = (a.google_traffic_share * f).min(1.0)
+        }),
+        ("personal_computers", |a, f| a.personal_computers *= f),
+        ("google_cores", |a, f| a.google_cores *= f),
+    ];
+    for (name, set) in knobs {
+        for &f in factors {
+            let mut a = Assumptions::default();
+            set(&mut a, f);
+            rows.push(SensitivityRow {
+                assumption: name,
+                factor: f,
+                sufficiency: a.sufficiency(),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_cloud_column_matches_paper() {
+        let c = Assumptions::default().cloud();
+        assert_eq!(c.bandwidth_tbps.round() as u64, 200);
+        assert_eq!(c.cores_millions.round() as u64, 400);
+        assert_eq!(c.storage_eb.round() as u64, 80);
+    }
+
+    #[test]
+    fn table3_user_column_matches_paper() {
+        let u = Assumptions::default().user_devices();
+        assert_eq!(u.bandwidth_tbps.round() as u64, 5000);
+        assert_eq!(u.cores_millions.round() as u64, 500);
+        assert_eq!(u.storage_eb.round() as u64, 210);
+    }
+
+    #[test]
+    fn paper_conclusion_sufficient_capacity() {
+        // "Roughly speaking, there appears to be sufficient capacity among
+        // existing devices" — every ratio ≥ 1.
+        let s = Assumptions::default().sufficiency();
+        assert!(s.bandwidth_tbps >= 1.0);
+        assert!(s.cores_millions >= 1.0);
+        assert!(s.storage_eb >= 1.0);
+        // Bandwidth is the biggest surplus (25×), cores the thinnest (1.25×).
+        assert!((s.bandwidth_tbps - 25.0).abs() < 0.01);
+        assert!((s.cores_millions - 1.25).abs() < 0.01);
+        assert!((s.storage_eb - 2.625).abs() < 0.01);
+    }
+
+    #[test]
+    fn rendered_table_contains_paper_numbers() {
+        let t = render_table3(&Assumptions::default());
+        for v in ["200", "5000", "400", "500", "80", "210"] {
+            assert!(t.contains(v), "missing {v} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn battery_inclusion_raises_cores() {
+        let mut a = Assumptions::default();
+        a.battery_devices_compute = true;
+        let with = a.user_devices().cores_millions;
+        let without = Assumptions::default().user_devices().cores_millions;
+        assert!(with > without);
+    }
+
+    #[test]
+    fn duty_cycle_discount_flips_the_conclusion_for_cores() {
+        // §5.2 made quantitative: at realistic duty cycles, compute no
+        // longer clears the bar even though raw counts did.
+        let a = Assumptions::default();
+        let eff = a.effective_user_devices(0.45, 0.3);
+        let cloud = a.cloud();
+        assert!(
+            eff.cores_millions < cloud.cores_millions,
+            "effective cores {} vs cloud {}",
+            eff.cores_millions,
+            cloud.cores_millions
+        );
+        // Bandwidth surplus is large enough to survive the discount.
+        assert!(eff.bandwidth_tbps > cloud.bandwidth_tbps);
+    }
+
+    #[test]
+    fn duty_cycle_one_is_identity() {
+        let a = Assumptions::default();
+        let raw = a.user_devices();
+        let eff = a.effective_user_devices(1.0, 1.0);
+        assert!((raw.bandwidth_tbps - eff.bandwidth_tbps).abs() < 1e-9);
+        assert!((raw.cores_millions - eff.cores_millions).abs() < 1e-9);
+        assert!((raw.storage_eb - eff.storage_eb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensitivity_monotonicity() {
+        let rows = sensitivity_sweep(&[0.5, 1.0, 2.0]);
+        // Doubling uplink doubles the bandwidth ratio.
+        let bw = |f: f64| {
+            rows.iter()
+                .find(|r| r.assumption == "uplink_mbps" && r.factor == f)
+                .unwrap()
+                .sufficiency
+                .bandwidth_tbps
+        };
+        assert!((bw(2.0) / bw(1.0) - 2.0).abs() < 1e-9);
+        assert!((bw(0.5) / bw(1.0) - 0.5).abs() < 1e-9);
+        // Halving the derate doubles the core ratio.
+        let cores = |f: f64| {
+            rows.iter()
+                .find(|r| r.assumption == "pc_core_derate" && r.factor == f)
+                .unwrap()
+                .sufficiency
+                .cores_millions
+        };
+        assert!((cores(0.5) / cores(1.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn google_share_cancels_in_bandwidth() {
+        // Cloud bandwidth = traffic × share ÷ share = traffic; the share
+        // assumption only moves cores and storage.
+        let mut a = Assumptions::default();
+        a.google_traffic_share = 0.5;
+        assert_eq!(a.cloud().bandwidth_tbps, 200.0);
+        assert_eq!(a.cloud().cores_millions, 200.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # agora-naming — decentralized name registration
+//!
+//! §3.1 of the paper, executable: blockchain naming (the Namecoin /
+//! Blockstack mechanism class) alongside the classical baselines it is
+//! compared against, with the attacks the paper cites as their weaknesses.
+//!
+//! * [`record`] — names, zone files, the on-chain/off-chain split.
+//! * [`chain_naming`] — preorder/register/update/transfer/renew/revoke on
+//!   `agora-chain`, with the derived [`NameDb`] view.
+//! * [`centralized`] — the registrar baseline (instant, censorable).
+//! * [`light`] — SPV thin-client resolution: verify a name with only the
+//!   header chain (Blockstack-style).
+//! * [`pki`] — CA PKI (compromise, revocation) and Web of Trust (Sybil).
+//! * [`zooko`] — Zooko's-Triangle scoring of every scheme, from mechanism.
+//! * [`attacks`] — front-running with/without preorders; 51% name theft.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod centralized;
+pub mod light;
+pub mod chain_naming;
+pub mod pki;
+pub mod record;
+pub mod zooko;
+
+pub use attacks::{front_running_game, name_theft_by_rewrite, FrontRunResult};
+pub use centralized::{CentralRegistrar, RegistrarError};
+pub use light::{build_name_proof, light_resolve, LightError, LightResolver, NameProof, ProvenOp};
+pub use chain_naming::{NameDb, NameOp, NamingRules};
+pub use pki::{verify_with_crl, CertAuthority, Certificate, WebOfTrust};
+pub use record::{valid_name, NameRecord, ZoneFile, MAX_NAME_LEN};
+pub use zooko::{render_zooko_table, NamingScheme, ZookoScore};

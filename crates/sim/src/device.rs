@@ -1,0 +1,222 @@
+//! Device classes, calibrated to the paper's §4 infrastructure assumptions.
+//!
+//! The paper's feasibility argument (and its §5.2 "quality vs quantity"
+//! discussion) rests on four coarse device classes: datacenter servers,
+//! personal computers, smartphones, and tablets. Each class here carries the
+//! resources §4 assumes (uplink bandwidth, spare cores, free storage) plus a
+//! quality model (availability duty cycle, session lengths, latency spread)
+//! used by the churn and link layers.
+
+use crate::time::SimDuration;
+
+/// The four device classes of the paper's §4 capacity model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceClass {
+    /// A datacenter server behind a fat pipe; the "cloud" side of Table 3.
+    DatacenterServer,
+    /// A home PC on consumer broadband (§4 assumes 1 Mbps upstream).
+    PersonalComputer,
+    /// A smartphone on a slow 3G link (1 Mbps upstream, no spare storage,
+    /// battery-constrained — §4 excludes phones from compute).
+    Smartphone,
+    /// A tablet (1 spare core, 10 GB free storage, 1 Mbps upstream).
+    Tablet,
+}
+
+/// Static resource and quality profile of a device class.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceProfile {
+    /// Which class this profile belongs to.
+    pub class: DeviceClass,
+    /// Upstream bandwidth in bits per second.
+    pub uplink_bps: u64,
+    /// Downstream bandwidth in bits per second.
+    pub downlink_bps: u64,
+    /// Spare (unutilized) CPU cores, before any server-equivalence discount.
+    pub spare_cores: u32,
+    /// Free storage in bytes available to democratized services.
+    pub free_storage_bytes: u64,
+    /// Long-run fraction of time the device is powered on and connected.
+    pub duty_cycle: f64,
+    /// Mean length of an online session (drives the churn process).
+    pub mean_session: SimDuration,
+    /// Base one-way latency to a random peer.
+    pub base_latency: SimDuration,
+    /// Latency jitter expressed as a log-normal sigma (0 = none). Consumer
+    /// access links show heavy-tailed latency; datacenters do not.
+    pub latency_sigma: f64,
+    /// Whether the battery model forbids sustained compute (phones/tablets).
+    pub battery_constrained: bool,
+}
+
+impl DeviceClass {
+    /// The profile the paper's assumptions imply for this class.
+    ///
+    /// Bandwidth and storage figures are exactly §4's ("1 Mbps upstream",
+    /// "100 GB free storage", "2 unutilized cores", ...). Quality figures
+    /// (duty cycle, session length, latency) are not given by the paper; we
+    /// choose values consistent with its characterization of user-device
+    /// infrastructure as intermittent and variable, and the sensitivity
+    /// experiments sweep them.
+    pub fn profile(self) -> DeviceProfile {
+        match self {
+            DeviceClass::DatacenterServer => DeviceProfile {
+                class: self,
+                uplink_bps: 10_000_000_000,
+                downlink_bps: 10_000_000_000,
+                spare_cores: 0, // cloud cores are the *productive* side
+                free_storage_bytes: 0,
+                duty_cycle: 0.9995, // EC2's advertised 99.95% region availability
+                mean_session: SimDuration::from_days(30),
+                base_latency: SimDuration::from_micros(500),
+                latency_sigma: 0.1,
+                battery_constrained: false,
+            },
+            DeviceClass::PersonalComputer => DeviceProfile {
+                class: self,
+                uplink_bps: 1_000_000, // §4: "slow broadband ... 1 Mbps upstream"
+                downlink_bps: 10_000_000,
+                spare_cores: 2,                          // §4
+                free_storage_bytes: 100_000_000_000,     // §4: 100 GB
+                duty_cycle: 0.45,
+                mean_session: SimDuration::from_hours(5),
+                base_latency: SimDuration::from_millis(20),
+                latency_sigma: 0.5,
+                battery_constrained: false,
+            },
+            DeviceClass::Smartphone => DeviceProfile {
+                class: self,
+                uplink_bps: 1_000_000, // §4: "slow 3G ... 1 Mbps upstream"
+                downlink_bps: 4_000_000,
+                spare_cores: 1,         // §4 (but battery-excluded from compute)
+                free_storage_bytes: 0,  // §4: "negligible free storage"
+                duty_cycle: 0.30,
+                mean_session: SimDuration::from_mins(30),
+                base_latency: SimDuration::from_millis(60),
+                latency_sigma: 0.8,
+                battery_constrained: true,
+            },
+            DeviceClass::Tablet => DeviceProfile {
+                class: self,
+                uplink_bps: 1_000_000,
+                downlink_bps: 4_000_000,
+                spare_cores: 1,                      // §4
+                free_storage_bytes: 10_000_000_000,  // §4: 10 GB
+                duty_cycle: 0.25,
+                mean_session: SimDuration::from_hours(1),
+                base_latency: SimDuration::from_millis(40),
+                latency_sigma: 0.7,
+                battery_constrained: true,
+            },
+        }
+    }
+
+    /// All classes, cloud first.
+    pub fn all() -> [DeviceClass; 4] {
+        [
+            DeviceClass::DatacenterServer,
+            DeviceClass::PersonalComputer,
+            DeviceClass::Smartphone,
+            DeviceClass::Tablet,
+        ]
+    }
+
+    /// Short human label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceClass::DatacenterServer => "server",
+            DeviceClass::PersonalComputer => "pc",
+            DeviceClass::Smartphone => "phone",
+            DeviceClass::Tablet => "tablet",
+        }
+    }
+}
+
+impl DeviceProfile {
+    /// Mean length of an offline gap implied by duty cycle and session length:
+    /// duty = up / (up + down)  ⇒  down = up * (1 - duty) / duty.
+    pub fn mean_offtime(&self) -> SimDuration {
+        if self.duty_cycle >= 1.0 {
+            return SimDuration::ZERO;
+        }
+        if self.duty_cycle <= 0.0 {
+            return SimDuration::from_days(365);
+        }
+        let up = self.mean_session.secs_f64();
+        SimDuration::from_secs_f64(up * (1.0 - self.duty_cycle) / self.duty_cycle)
+    }
+
+    /// Server-equivalent spare cores after the paper's §4 discounts: phones
+    /// and tablets contribute none (battery), PCs are derated 8× (weak CPUs
+    /// plus power management).
+    pub fn server_equivalent_cores(&self) -> f64 {
+        if self.battery_constrained {
+            return 0.0;
+        }
+        match self.class {
+            DeviceClass::DatacenterServer => self.spare_cores as f64,
+            _ => self.spare_cores as f64 / 8.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_encoded() {
+        let pc = DeviceClass::PersonalComputer.profile();
+        assert_eq!(pc.uplink_bps, 1_000_000);
+        assert_eq!(pc.spare_cores, 2);
+        assert_eq!(pc.free_storage_bytes, 100_000_000_000);
+
+        let phone = DeviceClass::Smartphone.profile();
+        assert_eq!(phone.uplink_bps, 1_000_000);
+        assert_eq!(phone.free_storage_bytes, 0);
+        assert!(phone.battery_constrained);
+
+        let tablet = DeviceClass::Tablet.profile();
+        assert_eq!(tablet.free_storage_bytes, 10_000_000_000);
+        assert_eq!(tablet.spare_cores, 1);
+    }
+
+    #[test]
+    fn server_equivalence_discounts() {
+        // §4: 4B PC cores / 8 = 500M server-equivalent; phones contribute 0.
+        let pc = DeviceClass::PersonalComputer.profile();
+        assert_eq!(pc.server_equivalent_cores(), 0.25);
+        assert_eq!(
+            DeviceClass::Smartphone.profile().server_equivalent_cores(),
+            0.0
+        );
+        assert_eq!(DeviceClass::Tablet.profile().server_equivalent_cores(), 0.0);
+    }
+
+    #[test]
+    fn offtime_consistent_with_duty_cycle() {
+        let pc = DeviceClass::PersonalComputer.profile();
+        let up = pc.mean_session.secs_f64();
+        let down = pc.mean_offtime().secs_f64();
+        let duty = up / (up + down);
+        assert!((duty - pc.duty_cycle).abs() < 1e-6, "duty {duty}");
+    }
+
+    #[test]
+    fn offtime_degenerate_duty_cycles() {
+        let mut p = DeviceClass::PersonalComputer.profile();
+        p.duty_cycle = 1.0;
+        assert_eq!(p.mean_offtime(), SimDuration::ZERO);
+        p.duty_cycle = 0.0;
+        assert!(p.mean_offtime().secs_f64() > 1e6);
+    }
+
+    #[test]
+    fn class_ordering_and_labels() {
+        let all = DeviceClass::all();
+        assert_eq!(all[0].label(), "server");
+        assert_eq!(all[1].label(), "pc");
+        assert_eq!(all[2].label(), "phone");
+        assert_eq!(all[3].label(), "tablet");
+    }
+}

@@ -1,0 +1,297 @@
+//! Lightweight metrics collection for simulation runs.
+//!
+//! Protocols record counters and sample distributions under string keys; the
+//! experiment harness reads them out at the end of a run. Everything is plain
+//! in-memory state — deterministic and allocation-cheap.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A sampled distribution with enough retained state for mean/percentiles.
+///
+/// Samples are kept exactly (simulation runs are bounded); percentile queries
+/// sort lazily.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample. Non-finite samples are ignored (they would poison
+    /// percentile math).
+    pub fn record(&mut self, v: f64) {
+        if v.is_finite() {
+            self.samples.push(v);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.samples.len() as f64
+        }
+    }
+
+    /// Minimum sample (+inf when empty).
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample (-inf when empty).
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Standard deviation (population).
+    pub fn std_dev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// Percentile in `[0, 100]` via nearest-rank. Returns 0 when empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * (self.samples.len() - 1) as f64).round() as usize;
+        self.samples[rank]
+    }
+
+    /// Median (nearest-rank p50).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Borrow the raw samples (unsorted order not guaranteed).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut h = self.clone();
+        write!(
+            f,
+            "n={} mean={:.3} p50={:.3} p99={:.3} max={:.3}",
+            h.count(),
+            h.mean(),
+            h.percentile(50.0),
+            h.percentile(99.0),
+            if h.is_empty() { 0.0 } else { h.max() }
+        )
+    }
+}
+
+/// Registry of named counters, gauges and histograms for one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Add `n` to a counter, creating it at zero if absent.
+    pub fn incr(&mut self, key: &str, n: u64) {
+        *self.counters.entry(key.to_owned()).or_insert(0) += n;
+    }
+
+    /// Read a counter (0 if never written).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to an absolute value.
+    pub fn gauge_set(&mut self, key: &str, v: f64) {
+        self.gauges.insert(key.to_owned(), v);
+    }
+
+    /// Read a gauge (0.0 if never written).
+    pub fn gauge(&self, key: &str) -> f64 {
+        self.gauges.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Record a sample into a named histogram.
+    pub fn sample(&mut self, key: &str, v: f64) {
+        self.histograms.entry(key.to_owned()).or_default().record(v);
+    }
+
+    /// Borrow a histogram mutably (created empty if absent) — for percentile
+    /// queries, which need to sort.
+    pub fn histogram_mut(&mut self, key: &str) -> &mut Histogram {
+        self.histograms.entry(key.to_owned()).or_default()
+    }
+
+    /// Borrow a histogram if present.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Iterate counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate histogram keys in order.
+    pub fn histogram_keys(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(String::as_str)
+    }
+
+    /// Merge another metrics set into this one (counters add, histograms
+    /// concatenate, gauges overwrite).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            let dst = self.histograms.entry(k.clone()).or_default();
+            for &s in h.samples() {
+                dst.record(s);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "counter {k} = {v}")?;
+        }
+        for (k, v) in &self.gauges {
+            writeln!(f, "gauge   {k} = {v:.4}")?;
+        }
+        for (k, h) in &self.histograms {
+            writeln!(f, "hist    {k}: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        assert_eq!(m.counter("x"), 0);
+        m.incr("x", 3);
+        m.incr("x", 4);
+        assert_eq!(m.counter("x"), 7);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = Metrics::new();
+        m.gauge_set("load", 0.5);
+        m.gauge_set("load", 0.9);
+        assert_eq!(m.gauge("load"), 0.9);
+        assert_eq!(m.gauge("missing"), 0.0);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(50.0), 3.0);
+        assert_eq!(h.percentile(100.0), 5.0);
+        assert!((h.std_dev() - 1.4142).abs() < 0.001);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(2.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 2.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn percentile_after_interleaved_records() {
+        let mut h = Histogram::new();
+        h.record(5.0);
+        assert_eq!(h.percentile(100.0), 5.0);
+        h.record(1.0); // must re-sort
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(100.0), 5.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Metrics::new();
+        a.incr("c", 1);
+        a.sample("h", 1.0);
+        let mut b = Metrics::new();
+        b.incr("c", 2);
+        b.sample("h", 3.0);
+        b.gauge_set("g", 7.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.gauge("g"), 7.0);
+    }
+}

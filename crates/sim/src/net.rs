@@ -1,0 +1,270 @@
+//! The network model: per-node access links with latency, bandwidth
+//! serialization, jitter, random loss and partitions.
+//!
+//! Topology is a star-of-access-links abstraction: every node reaches every
+//! other through its uplink and the receiver's downlink, with class-dependent
+//! propagation latency. This is the right fidelity for the paper's arguments,
+//! which are about access-link quality (1 Mbps consumer uplinks vs datacenter
+//! pipes), not about core routing.
+
+use crate::device::DeviceProfile;
+use crate::engine::NodeId;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+struct NodeNet {
+    profile: DeviceProfile,
+    up: bool,
+    partition: u32,
+    /// Earliest instant the uplink is free to begin a new transmission.
+    uplink_free: SimTime,
+    /// Earliest instant the downlink is free to complete a new reception.
+    downlink_free: SimTime,
+}
+
+/// Link-layer state for all nodes.
+pub struct Network {
+    nodes: Vec<NodeNet>,
+    loss_rate: f64,
+}
+
+impl Network {
+    pub(crate) fn new() -> Network {
+        Network {
+            nodes: Vec::new(),
+            loss_rate: 0.0,
+        }
+    }
+
+    pub(crate) fn add_node(&mut self, profile: DeviceProfile) {
+        self.nodes.push(NodeNet {
+            profile,
+            up: true,
+            partition: 0,
+            uplink_free: SimTime::ZERO,
+            downlink_free: SimTime::ZERO,
+        });
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub(crate) fn is_up(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].up
+    }
+
+    pub(crate) fn set_up(&mut self, id: NodeId, up: bool) {
+        self.nodes[id.index()].up = up;
+    }
+
+    pub(crate) fn profile(&self, id: NodeId) -> &DeviceProfile {
+        &self.nodes[id.index()].profile
+    }
+
+    pub(crate) fn set_partition(&mut self, id: NodeId, group: u32) {
+        self.nodes[id.index()].partition = group;
+    }
+
+    pub(crate) fn heal_partitions(&mut self) {
+        for n in &mut self.nodes {
+            n.partition = 0;
+        }
+    }
+
+    pub(crate) fn set_loss_rate(&mut self, p: f64) {
+        self.loss_rate = p.clamp(0.0, 1.0);
+    }
+
+    /// Compute the delivery instant for a `bytes`-sized message sent now from
+    /// `from` to `to`, reserving uplink/downlink serialization slots.
+    /// Returns `None` if the message is lost (random loss or partition).
+    /// Sender-side link state is charged even for lost messages — the bits
+    /// were transmitted.
+    pub(crate) fn transmit(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        rng: &mut SimRng,
+    ) -> Option<SimTime> {
+        let (fi, ti) = (from.index(), to.index());
+        let partitioned = self.nodes[fi].partition != self.nodes[ti].partition;
+
+        // Uplink serialization at the sender.
+        let up_bps = self.nodes[fi].profile.uplink_bps.max(1);
+        let tx = SimDuration::from_secs_f64(bytes as f64 * 8.0 / up_bps as f64);
+        let tx_start = self.nodes[fi].uplink_free.max(now);
+        let tx_end = tx_start + tx;
+        self.nodes[fi].uplink_free = tx_end;
+
+        if partitioned || rng.chance(self.loss_rate) {
+            return None;
+        }
+
+        // Propagation latency: sum of both endpoints' access latencies, each
+        // scaled by a log-normal jitter factor.
+        let lat_from = jittered(&self.nodes[fi].profile, rng);
+        let lat_to = jittered(&self.nodes[ti].profile, rng);
+
+        // Downlink serialization at the receiver.
+        let down_bps = self.nodes[ti].profile.downlink_bps.max(1);
+        let rx = SimDuration::from_secs_f64(bytes as f64 * 8.0 / down_bps as f64);
+        let arrival_earliest = tx_end + lat_from + lat_to;
+        let rx_end = self.nodes[ti].downlink_free.max(arrival_earliest) + rx;
+        self.nodes[ti].downlink_free = rx_end;
+
+        Some(rx_end)
+    }
+}
+
+fn jittered(profile: &DeviceProfile, rng: &mut SimRng) -> SimDuration {
+    let base = profile.base_latency.secs_f64();
+    if profile.latency_sigma <= 0.0 {
+        return profile.base_latency;
+    }
+    let factor = rng.log_normal(0.0, profile.latency_sigma);
+    SimDuration::from_secs_f64(base * factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceClass;
+
+    fn net_with(classes: &[DeviceClass]) -> Network {
+        let mut net = Network::new();
+        for &c in classes {
+            net.add_node(c.profile());
+        }
+        net
+    }
+
+    #[test]
+    fn datacenter_pair_is_fast() {
+        let mut net = net_with(&[DeviceClass::DatacenterServer, DeviceClass::DatacenterServer]);
+        let mut rng = SimRng::new(1);
+        let at = net
+            .transmit(SimTime::ZERO, NodeId(0), NodeId(1), 1500, &mut rng)
+            .expect("delivered");
+        // Sub-10ms for a packet between two datacenter nodes.
+        assert!(at.micros() < 10_000, "took {at:?}");
+    }
+
+    #[test]
+    fn consumer_uplink_serializes() {
+        let mut net = net_with(&[DeviceClass::PersonalComputer, DeviceClass::DatacenterServer]);
+        let mut rng = SimRng::new(2);
+        // 1 MB over 1 Mbps = 8 seconds of serialization minimum.
+        let at = net
+            .transmit(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000, &mut rng)
+            .expect("delivered");
+        assert!(at.secs_f64() >= 8.0, "took {at:?}");
+        assert!(at.secs_f64() < 12.0, "took {at:?}");
+    }
+
+    #[test]
+    fn back_to_back_sends_queue_behind_each_other() {
+        let mut net = net_with(&[DeviceClass::PersonalComputer, DeviceClass::DatacenterServer]);
+        let mut rng = SimRng::new(3);
+        let first = net
+            .transmit(SimTime::ZERO, NodeId(0), NodeId(1), 500_000, &mut rng)
+            .unwrap();
+        let second = net
+            .transmit(SimTime::ZERO, NodeId(0), NodeId(1), 500_000, &mut rng)
+            .unwrap();
+        assert!(second > first, "second must queue behind first");
+        assert!(second.secs_f64() >= 8.0, "two 4s transmissions serialize");
+    }
+
+    #[test]
+    fn partition_drops_but_charges_uplink() {
+        let mut net = net_with(&[DeviceClass::PersonalComputer, DeviceClass::PersonalComputer]);
+        let mut rng = SimRng::new(4);
+        net.set_partition(NodeId(1), 9);
+        assert!(net
+            .transmit(SimTime::ZERO, NodeId(0), NodeId(1), 125_000, &mut rng)
+            .is_none());
+        // Uplink time was consumed: a follow-up send starts after ~1 s.
+        net.heal_partitions();
+        let at = net
+            .transmit(SimTime::ZERO, NodeId(0), NodeId(1), 125, &mut rng)
+            .unwrap();
+        assert!(at.secs_f64() >= 1.0, "uplink should have been busy: {at:?}");
+    }
+
+    #[test]
+    fn loss_rate_bounds_clamped() {
+        let mut net = net_with(&[DeviceClass::DatacenterServer]);
+        net.set_loss_rate(7.0);
+        assert_eq!(net.loss_rate, 1.0);
+        net.set_loss_rate(-2.0);
+        assert_eq!(net.loss_rate, 0.0);
+    }
+
+    #[test]
+    fn jitter_disabled_when_sigma_zero() {
+        let mut profile = DeviceClass::DatacenterServer.profile();
+        profile.latency_sigma = 0.0;
+        let mut rng = SimRng::new(5);
+        let d = jittered(&profile, &mut rng);
+        assert_eq!(d, profile.base_latency);
+    }
+
+    #[test]
+    fn jitter_varies_when_sigma_positive() {
+        let profile = DeviceClass::Smartphone.profile();
+        let mut rng = SimRng::new(6);
+        let a = jittered(&profile, &mut rng);
+        let b = jittered(&profile, &mut rng);
+        assert_ne!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod loss_tests {
+    use super::*;
+    use crate::device::DeviceClass;
+
+    #[test]
+    fn fractional_loss_rate_converges() {
+        let mut net = Network::new();
+        net.add_node(DeviceClass::DatacenterServer.profile());
+        net.add_node(DeviceClass::DatacenterServer.profile());
+        net.set_loss_rate(0.25);
+        let mut rng = SimRng::new(42);
+        let trials = 4000;
+        let mut lost = 0;
+        for i in 0..trials {
+            if net
+                .transmit(SimTime(i * 1_000_000), NodeId(0), NodeId(1), 100, &mut rng)
+                .is_none()
+            {
+                lost += 1;
+            }
+        }
+        let rate = lost as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.03, "observed loss {rate}");
+    }
+
+    #[test]
+    fn delivery_time_monotone_with_size() {
+        let mut net = Network::new();
+        net.add_node(DeviceClass::PersonalComputer.profile());
+        net.add_node(DeviceClass::DatacenterServer.profile());
+        let mut rng = SimRng::new(7);
+        let small = net
+            .transmit(SimTime::ZERO, NodeId(0), NodeId(1), 1_000, &mut rng)
+            .unwrap();
+        // Fresh network so link state doesn't accumulate.
+        let mut net2 = Network::new();
+        net2.add_node(DeviceClass::PersonalComputer.profile());
+        net2.add_node(DeviceClass::DatacenterServer.profile());
+        let mut rng2 = SimRng::new(7);
+        let big = net2
+            .transmit(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000, &mut rng2)
+            .unwrap();
+        assert!(big > small, "bigger payloads must take longer");
+    }
+}

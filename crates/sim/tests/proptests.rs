@@ -1,0 +1,94 @@
+//! Property-based tests for the simulator substrate.
+
+use agora_sim::{DeviceClass, SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// RNG streams are deterministic per seed and distinct across seeds.
+    #[test]
+    fn rng_seed_determinism(seed in any::<u64>()) {
+        let a: Vec<u64> = {
+            let mut r = SimRng::new(seed);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SimRng::new(seed);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        prop_assert_eq!(a, b);
+    }
+
+    /// below(n) is always in range, for any n and any seed.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), n in 1u64..u64::MAX) {
+        let mut r = SimRng::new(seed);
+        for _ in 0..16 {
+            prop_assert!(r.below(n) < n);
+        }
+    }
+
+    /// sample_indices returns distinct, in-range indices of the right count.
+    #[test]
+    fn rng_sample_indices_sound(seed in any::<u64>(), n in 0usize..200, k in 0usize..220) {
+        let mut r = SimRng::new(seed);
+        let picks = r.sample_indices(n, k);
+        prop_assert_eq!(picks.len(), k.min(n));
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), picks.len(), "duplicates");
+        prop_assert!(picks.iter().all(|&i| i < n));
+    }
+
+    /// Time arithmetic: associativity of duration addition and consistency
+    /// of since/add.
+    #[test]
+    fn time_arithmetic(a in 0u64..1u64 << 40, d1 in 0u64..1u64 << 30, d2 in 0u64..1u64 << 30) {
+        let t = SimTime(a);
+        let x = t + SimDuration(d1) + SimDuration(d2);
+        let y = t + (SimDuration(d1) + SimDuration(d2));
+        prop_assert_eq!(x, y);
+        prop_assert_eq!(x.since(t), SimDuration(d1 + d2));
+        prop_assert_eq!(t.since(x), SimDuration::ZERO, "saturating");
+    }
+
+    /// Duration unit constructors agree for arbitrary values.
+    #[test]
+    fn duration_units(s in 0u64..1u64 << 18) {
+        prop_assert_eq!(SimDuration::from_secs(s), SimDuration::from_millis(s * 1000));
+        prop_assert_eq!(
+            SimDuration::from_secs_f64(s as f64),
+            SimDuration::from_secs(s)
+        );
+    }
+
+    /// Exponential samples are non-negative with roughly the right mean.
+    #[test]
+    fn rng_exp_sane(seed in any::<u64>(), mean in 0.01f64..100.0) {
+        let mut r = SimRng::new(seed);
+        let n = 3000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = r.exp(mean);
+            prop_assert!(v >= 0.0);
+            sum += v;
+        }
+        let observed = sum / n as f64;
+        prop_assert!((observed - mean).abs() < mean * 0.25,
+            "mean {mean} observed {observed}");
+    }
+}
+
+#[test]
+fn device_profiles_internally_consistent() {
+    for class in DeviceClass::all() {
+        let p = class.profile();
+        assert!(p.uplink_bps > 0);
+        assert!(p.downlink_bps >= p.uplink_bps, "{class:?}: asymmetric down < up");
+        assert!((0.0..=1.0).contains(&p.duty_cycle));
+        assert!(p.mean_session.micros() > 0);
+        if p.battery_constrained {
+            assert_eq!(p.server_equivalent_cores(), 0.0, "{class:?}");
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Storage contracts: the on-chain service agreement of §3.3.
+//!
+//! "a contract is an object that defines a service agreement between two
+//! parties: storage providers and consumers ... information about storage and
+//! retrieval, pricing, and proof-of-storage requirements." Contracts encode
+//! canonically (for anchoring in an `agora-chain` App transaction) and settle
+//! against a proof-of-spacetime record.
+
+use agora_crypto::{tagged_hash, Dec, DecodeError, Enc, Hash256};
+
+use crate::incentives::TokenBank;
+use crate::proofs::SpacetimeRecord;
+
+/// Which proof regime a contract enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProofScheme {
+    /// No proofs (service is best-effort / reciprocity-driven).
+    None,
+    /// Merkle proof-of-storage per window (Sia, Swarm).
+    ProofOfStorage,
+    /// Precomputed-audit proof-of-retrievability per window (Storj, MaidSafe).
+    ProofOfRetrievability,
+    /// Sealed proof-of-replication + spacetime windows (Filecoin).
+    ProofOfReplication,
+}
+
+impl ProofScheme {
+    fn tag(self) -> u8 {
+        match self {
+            ProofScheme::None => 0,
+            ProofScheme::ProofOfStorage => 1,
+            ProofScheme::ProofOfRetrievability => 2,
+            ProofScheme::ProofOfReplication => 3,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<ProofScheme, DecodeError> {
+        Ok(match t {
+            0 => ProofScheme::None,
+            1 => ProofScheme::ProofOfStorage,
+            2 => ProofScheme::ProofOfRetrievability,
+            3 => ProofScheme::ProofOfReplication,
+            other => return Err(DecodeError::BadTag(other)),
+        })
+    }
+}
+
+/// A storage service agreement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorageContract {
+    /// Paying client account.
+    pub client: Hash256,
+    /// Serving provider account.
+    pub provider: Hash256,
+    /// Object (or sealed-replica) commitment being stored.
+    pub object: Hash256,
+    /// Contracted size in bytes.
+    pub size_bytes: u64,
+    /// Tokens the provider earns per passed audit window.
+    pub price_per_window: u64,
+    /// Number of audit windows in the contract term.
+    pub windows: u32,
+    /// Provider collateral at risk (Swarm's SWEAR deposit; 0 if unused).
+    pub collateral: u64,
+    /// Proof regime.
+    pub proof: ProofScheme,
+}
+
+impl StorageContract {
+    /// Contract id.
+    pub fn id(&self) -> Hash256 {
+        tagged_hash("storage-contract", &self.encode())
+    }
+
+    /// Canonical encoding (for on-chain anchoring as an App payload).
+    pub fn encode(&self) -> Vec<u8> {
+        Enc::new()
+            .hash(&self.client)
+            .hash(&self.provider)
+            .hash(&self.object)
+            .u64(self.size_bytes)
+            .u64(self.price_per_window)
+            .u32(self.windows)
+            .u64(self.collateral)
+            .u8(self.proof.tag())
+            .done()
+    }
+
+    /// Decode from an on-chain payload.
+    pub fn decode(bytes: &[u8]) -> Result<StorageContract, DecodeError> {
+        let mut d = Dec::new(bytes);
+        let c = StorageContract {
+            client: d.hash()?,
+            provider: d.hash()?,
+            object: d.hash()?,
+            size_bytes: d.u64()?,
+            price_per_window: d.u64()?,
+            windows: d.u32()?,
+            collateral: d.u64()?,
+            proof: ProofScheme::from_tag(d.u8()?)?,
+        };
+        if !d.finished() {
+            return Err(DecodeError::BadLength);
+        }
+        Ok(c)
+    }
+
+    /// Maximum payout over the full term.
+    pub fn max_payout(&self) -> u64 {
+        self.price_per_window * self.windows as u64
+    }
+
+    /// Settle the contract against its audit record: the provider earns the
+    /// per-window price for each passed window; if the record fails the
+    /// contract (more misses than `grace`), the collateral is forfeited to
+    /// the client. Returns (provider_earnings, collateral_slashed).
+    pub fn settle(
+        &self,
+        record: &SpacetimeRecord,
+        grace: usize,
+        bank: &mut TokenBank,
+    ) -> (u64, u64) {
+        let passed =
+            (record.uptime_fraction() * record.window_count() as f64).round() as u64;
+        let earned = passed.min(self.windows as u64) * self.price_per_window;
+        bank.transfer(self.client, self.provider, earned as i64);
+        let slashed = if record.satisfied(grace) {
+            0
+        } else {
+            bank.transfer(self.provider, self.client, self.collateral as i64);
+            self.collateral
+        };
+        (earned, slashed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agora_crypto::sha256;
+
+    fn contract() -> StorageContract {
+        StorageContract {
+            client: sha256(b"client"),
+            provider: sha256(b"provider"),
+            object: sha256(b"object"),
+            size_bytes: 1 << 20,
+            price_per_window: 5,
+            windows: 10,
+            collateral: 100,
+            proof: ProofScheme::ProofOfReplication,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let c = contract();
+        let decoded = StorageContract::decode(&c.encode()).unwrap();
+        assert_eq!(decoded, c);
+        assert_eq!(decoded.id(), c.id());
+    }
+
+    #[test]
+    fn decode_rejects_junk() {
+        assert!(StorageContract::decode(&[1, 2, 3]).is_err());
+        let mut bytes = contract().encode();
+        bytes.push(0); // trailing garbage
+        assert_eq!(
+            StorageContract::decode(&bytes),
+            Err(DecodeError::BadLength)
+        );
+        let mut bytes = contract().encode();
+        let last = bytes.len() - 1;
+        bytes[last] = 9; // invalid proof tag
+        assert_eq!(StorageContract::decode(&bytes), Err(DecodeError::BadTag(9)));
+    }
+
+    #[test]
+    fn id_changes_with_fields() {
+        let c = contract();
+        let mut c2 = contract();
+        c2.price_per_window += 1;
+        assert_ne!(c.id(), c2.id());
+    }
+
+    #[test]
+    fn settle_pays_per_passed_window() {
+        let c = contract();
+        let mut rec = SpacetimeRecord::default();
+        for i in 0..10 {
+            rec.record(i != 3); // 9 passed, 1 missed
+        }
+        let mut bank = TokenBank::new();
+        let (earned, slashed) = c.settle(&rec, 1, &mut bank);
+        assert_eq!(earned, 45);
+        assert_eq!(slashed, 0);
+        assert_eq!(bank.balance(&c.provider), 45);
+        assert_eq!(bank.balance(&c.client), -45);
+    }
+
+    #[test]
+    fn settle_slashes_collateral_on_breach() {
+        let c = contract();
+        let mut rec = SpacetimeRecord::default();
+        for i in 0..10 {
+            rec.record(i < 5); // 5 misses
+        }
+        let mut bank = TokenBank::new();
+        let (earned, slashed) = c.settle(&rec, 1, &mut bank);
+        assert_eq!(earned, 25);
+        assert_eq!(slashed, 100);
+        // Provider nets 25 − 100.
+        assert_eq!(bank.balance(&c.provider), -75);
+        assert_eq!(bank.total(), 0);
+    }
+
+    #[test]
+    fn max_payout() {
+        assert_eq!(contract().max_payout(), 50);
+    }
+}

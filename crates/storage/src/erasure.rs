@@ -1,0 +1,482 @@
+//! Reed–Solomon erasure coding over GF(2^8), from scratch.
+//!
+//! `RS(k, m)` turns `k` data shards into `k + m` total shards such that *any*
+//! `k` of them reconstruct the data. This is the redundancy mechanism behind
+//! the §3.3 storage-system design space (replication is the special case
+//! RS(1, m)). Encoding uses a systematic Vandermonde-derived matrix;
+//! reconstruction inverts the surviving rows with Gaussian elimination.
+
+/// GF(2^8) with the AES polynomial x^8 + x^4 + x^3 + x + 1 (0x11b).
+mod gf {
+    /// Multiply without tables (carry-less, reduced mod 0x11b).
+    const fn mul_slow(mut a: u8, mut b: u8) -> u8 {
+        let mut acc = 0u8;
+        while b != 0 {
+            if b & 1 != 0 {
+                acc ^= a;
+            }
+            let hi = a & 0x80 != 0;
+            a <<= 1;
+            if hi {
+                a ^= 0x1b;
+            }
+            b >>= 1;
+        }
+        acc
+    }
+
+    /// exp/log tables built at compile time over generator 3.
+    const TABLES: ([u8; 512], [u8; 256]) = {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x = 1u8;
+        let mut i = 0;
+        while i < 255 {
+            exp[i] = x;
+            log[x as usize] = i as u8;
+            x = mul_slow(x, 3);
+            i += 1;
+        }
+        // Duplicate so exp[(a+b)] needs no mod.
+        let mut j = 255;
+        while j < 512 {
+            exp[j] = exp[j - 255];
+            j += 1;
+        }
+        (exp, log)
+    };
+
+    #[inline]
+    pub fn mul(a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let (exp, log) = (&TABLES.0, &TABLES.1);
+        exp[log[a as usize] as usize + log[b as usize] as usize]
+    }
+
+    #[inline]
+    pub fn inv(a: u8) -> u8 {
+        assert!(a != 0, "inverse of zero");
+        let (exp, log) = (&TABLES.0, &TABLES.1);
+        exp[255 - log[a as usize] as usize]
+    }
+
+    #[inline]
+    pub fn pow(base: u8, e: usize) -> u8 {
+        if base == 0 {
+            return if e == 0 { 1 } else { 0 };
+        }
+        let (exp, log) = (&TABLES.0, &TABLES.1);
+        exp[(log[base as usize] as usize * e) % 255]
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn field_axioms_spot_checks() {
+            // mul matches the slow reference on a grid.
+            for a in (0..=255u16).step_by(7) {
+                for b in (0..=255u16).step_by(11) {
+                    assert_eq!(mul(a as u8, b as u8), mul_slow(a as u8, b as u8));
+                }
+            }
+            // Inverses.
+            for a in 1..=255u16 {
+                assert_eq!(mul(a as u8, inv(a as u8)), 1, "a={a}");
+            }
+            // Distributivity sample.
+            assert_eq!(mul(7, 13 ^ 29), mul(7, 13) ^ mul(7, 29));
+        }
+
+        #[test]
+        fn pow_consistent() {
+            assert_eq!(pow(2, 0), 1);
+            assert_eq!(pow(2, 1), 2);
+            assert_eq!(pow(2, 2), mul(2, 2));
+            assert_eq!(pow(0, 0), 1);
+            assert_eq!(pow(0, 5), 0);
+        }
+    }
+}
+
+/// Errors from erasure coding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErasureError {
+    /// `k` must be ≥ 1 and `k + m` ≤ 255.
+    BadParameters,
+    /// Fewer than `k` shards available.
+    NotEnoughShards,
+    /// Shards have inconsistent lengths or indices out of range.
+    MalformedShards,
+}
+
+impl std::fmt::Display for ErasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+impl std::error::Error for ErasureError {}
+
+/// A Reed–Solomon code with `k` data shards and `m` parity shards.
+#[derive(Clone, Debug)]
+pub struct ReedSolomon {
+    k: usize,
+    m: usize,
+    /// (k + m) × k encode matrix; top k rows are the identity (systematic).
+    matrix: Vec<Vec<u8>>,
+}
+
+impl ReedSolomon {
+    /// Build a code. Fails unless `1 ≤ k` and `k + m ≤ 255`.
+    pub fn new(k: usize, m: usize) -> Result<ReedSolomon, ErasureError> {
+        if k == 0 || k + m > 255 {
+            return Err(ErasureError::BadParameters);
+        }
+        // Systematic matrix: Vandermonde rows reduced so the top k×k block is
+        // the identity. Build full Vandermonde (n × k), then column-reduce by
+        // the top square block's inverse.
+        let n = k + m;
+        let mut vand = vec![vec![0u8; k]; n];
+        for (r, row) in vand.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                // Row evaluation points 1..=n avoid the zero row.
+                *cell = gf::pow((r + 1) as u8, c);
+            }
+        }
+        let top: Vec<Vec<u8>> = vand[..k].to_vec();
+        let top_inv = invert(&top).ok_or(ErasureError::BadParameters)?;
+        let matrix = mat_mul(&vand, &top_inv);
+        Ok(ReedSolomon { k, m, matrix })
+    }
+
+    /// Data shards per stripe.
+    pub fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    /// Parity shards per stripe.
+    pub fn parity_shards(&self) -> usize {
+        self.m
+    }
+
+    /// Total shards per stripe.
+    pub fn total_shards(&self) -> usize {
+        self.k + self.m
+    }
+
+    /// Storage overhead factor (total / data).
+    pub fn overhead(&self) -> f64 {
+        (self.k + self.m) as f64 / self.k as f64
+    }
+
+    /// Encode `data` into `k + m` shards. The input is padded to a multiple
+    /// of `k`; the first `k` shards are the (padded) data itself.
+    pub fn encode(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        let shard_len = data.len().div_ceil(self.k).max(1);
+        let mut shards: Vec<Vec<u8>> = (0..self.k)
+            .map(|i| {
+                let mut s = vec![0u8; shard_len];
+                let start = i * shard_len;
+                if start < data.len() {
+                    let end = (start + shard_len).min(data.len());
+                    s[..end - start].copy_from_slice(&data[start..end]);
+                }
+                s
+            })
+            .collect();
+        for r in self.k..self.k + self.m {
+            let row = &self.matrix[r];
+            let mut parity = vec![0u8; shard_len];
+            for (c, shard) in shards[..self.k].iter().enumerate() {
+                let coef = row[c];
+                if coef == 0 {
+                    continue;
+                }
+                for (p, &s) in parity.iter_mut().zip(shard.iter()) {
+                    *p ^= gf::mul(coef, s);
+                }
+            }
+            shards.push(parity);
+        }
+        shards
+    }
+
+    /// Reconstruct the original data (of length `data_len`) from any `k`
+    /// shards, given as `(shard_index, bytes)` pairs.
+    pub fn reconstruct(
+        &self,
+        shards: &[(usize, Vec<u8>)],
+        data_len: usize,
+    ) -> Result<Vec<u8>, ErasureError> {
+        if shards.len() < self.k {
+            return Err(ErasureError::NotEnoughShards);
+        }
+        let use_shards = &shards[..self.k];
+        let shard_len = use_shards[0].1.len();
+        if shard_len == 0 {
+            return Err(ErasureError::MalformedShards);
+        }
+        for (idx, s) in use_shards {
+            if *idx >= self.k + self.m || s.len() != shard_len {
+                return Err(ErasureError::MalformedShards);
+            }
+        }
+        // Fast path: all k data shards present.
+        let mut have_all_data = true;
+        for want in 0..self.k {
+            if !use_shards.iter().any(|(i, _)| *i == want) {
+                have_all_data = false;
+                break;
+            }
+        }
+        let data_shards: Vec<Vec<u8>> = if have_all_data {
+            let mut out = vec![Vec::new(); self.k];
+            for (i, s) in use_shards {
+                if *i < self.k {
+                    out[*i] = s.clone();
+                }
+            }
+            out
+        } else {
+            // Solve: rows of the encode matrix for the present shards form a
+            // k×k system over the data shards.
+            let sub: Vec<Vec<u8>> = use_shards
+                .iter()
+                .map(|(i, _)| self.matrix[*i].clone())
+                .collect();
+            let inv = invert(&sub).ok_or(ErasureError::MalformedShards)?;
+            (0..self.k)
+                .map(|r| {
+                    let mut out = vec![0u8; shard_len];
+                    for (c, (_, shard)) in use_shards.iter().enumerate() {
+                        let coef = inv[r][c];
+                        if coef == 0 {
+                            continue;
+                        }
+                        for (o, &s) in out.iter_mut().zip(shard.iter()) {
+                            *o ^= gf::mul(coef, s);
+                        }
+                    }
+                    out
+                })
+                .collect()
+        };
+        let mut data = Vec::with_capacity(self.k * shard_len);
+        for s in data_shards {
+            data.extend_from_slice(&s);
+        }
+        if data_len > data.len() {
+            return Err(ErasureError::MalformedShards);
+        }
+        data.truncate(data_len);
+        Ok(data)
+    }
+}
+
+/// Multiply two matrices over GF(2^8).
+fn mat_mul(a: &[Vec<u8>], b: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let rows = a.len();
+    let inner = b.len();
+    let cols = b[0].len();
+    let mut out = vec![vec![0u8; cols]; rows];
+    for r in 0..rows {
+        for c in 0..cols {
+            let mut acc = 0u8;
+            for i in 0..inner {
+                acc ^= gf::mul(a[r][i], b[i][c]);
+            }
+            out[r][c] = acc;
+        }
+    }
+    out
+}
+
+/// Invert a square matrix over GF(2^8) by Gauss–Jordan. `None` if singular.
+fn invert(m: &[Vec<u8>]) -> Option<Vec<Vec<u8>>> {
+    let n = m.len();
+    // Augmented [M | I].
+    let mut aug: Vec<Vec<u8>> = m
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut r = row.clone();
+            r.resize(2 * n, 0);
+            r[n + i] = 1;
+            r
+        })
+        .collect();
+    for col in 0..n {
+        // Find pivot.
+        let pivot = (col..n).find(|&r| aug[r][col] != 0)?;
+        aug.swap(col, pivot);
+        // Normalize pivot row.
+        let inv_p = gf::inv(aug[col][col]);
+        for v in aug[col].iter_mut() {
+            *v = gf::mul(*v, inv_p);
+        }
+        // Eliminate other rows.
+        for r in 0..n {
+            if r != col && aug[r][col] != 0 {
+                let factor = aug[r][col];
+                for c in 0..2 * n {
+                    let sub = gf::mul(factor, aug[col][c]);
+                    aug[r][c] ^= sub;
+                }
+            }
+        }
+    }
+    Some(aug.into_iter().map(|row| row[n..].to_vec()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert_eq!(ReedSolomon::new(0, 3).unwrap_err(), ErasureError::BadParameters);
+        assert_eq!(
+            ReedSolomon::new(200, 60).unwrap_err(),
+            ErasureError::BadParameters
+        );
+        assert!(ReedSolomon::new(1, 0).is_ok());
+        assert!(ReedSolomon::new(100, 155).is_ok());
+    }
+
+    #[test]
+    fn encode_is_systematic() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data: Vec<u8> = (0..40).collect();
+        let shards = rs.encode(&data);
+        assert_eq!(shards.len(), 6);
+        // First k shards are the raw data split.
+        let rebuilt: Vec<u8> = shards[..4].concat();
+        assert_eq!(&rebuilt[..40], &data[..]);
+    }
+
+    #[test]
+    fn reconstruct_from_all_data_shards() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let data = b"hello erasure coded world".to_vec();
+        let shards = rs.encode(&data);
+        let avail: Vec<(usize, Vec<u8>)> =
+            (0..3).map(|i| (i, shards[i].clone())).collect();
+        assert_eq!(rs.reconstruct(&avail, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn reconstruct_from_any_k_of_n() {
+        let rs = ReedSolomon::new(4, 3).unwrap();
+        let data: Vec<u8> = (0..97).map(|i| (i * 31 % 256) as u8).collect();
+        let shards = rs.encode(&data);
+        // Every 4-subset of the 7 shards must reconstruct.
+        let n = shards.len();
+        for a in 0..n {
+            for b in a + 1..n {
+                for c in b + 1..n {
+                    for d in c + 1..n {
+                        let avail = vec![
+                            (a, shards[a].clone()),
+                            (b, shards[b].clone()),
+                            (c, shards[c].clone()),
+                            (d, shards[d].clone()),
+                        ];
+                        assert_eq!(
+                            rs.reconstruct(&avail, data.len()).unwrap(),
+                            data,
+                            "subset {a},{b},{c},{d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_few_shards_fails() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = vec![9u8; 64];
+        let shards = rs.encode(&data);
+        let avail: Vec<(usize, Vec<u8>)> =
+            (0..3).map(|i| (i + 2, shards[i + 2].clone())).collect();
+        assert_eq!(
+            rs.reconstruct(&avail, data.len()).unwrap_err(),
+            ErasureError::NotEnoughShards
+        );
+    }
+
+    #[test]
+    fn corrupt_metadata_detected() {
+        let rs = ReedSolomon::new(2, 1).unwrap();
+        let data = vec![1u8; 10];
+        let shards = rs.encode(&data);
+        // Out-of-range index.
+        let avail = vec![(0, shards[0].clone()), (9, shards[1].clone())];
+        assert_eq!(
+            rs.reconstruct(&avail, data.len()).unwrap_err(),
+            ErasureError::MalformedShards
+        );
+        // Mismatched lengths.
+        let avail = vec![(0, shards[0].clone()), (1, vec![0u8; 3])];
+        assert_eq!(
+            rs.reconstruct(&avail, data.len()).unwrap_err(),
+            ErasureError::MalformedShards
+        );
+    }
+
+    #[test]
+    fn replication_special_case() {
+        // RS(1, 3) = 4-way replication: any single shard is the data.
+        let rs = ReedSolomon::new(1, 3).unwrap();
+        let data = b"replicate me".to_vec();
+        let shards = rs.encode(&data);
+        assert_eq!(shards.len(), 4);
+        for i in 0..4 {
+            let got = rs
+                .reconstruct(&[(i, shards[i].clone())], data.len())
+                .unwrap();
+            assert_eq!(got, data, "replica {i}");
+        }
+    }
+
+    #[test]
+    fn tiny_and_unaligned_inputs() {
+        for len in [0usize, 1, 2, 3, 5, 7, 16, 17] {
+            let rs = ReedSolomon::new(3, 2).unwrap();
+            let data: Vec<u8> = (0..len as u32).map(|i| i as u8).collect();
+            let shards = rs.encode(&data);
+            let avail = vec![
+                (1, shards[1].clone()),
+                (3, shards[3].clone()),
+                (4, shards[4].clone()),
+            ];
+            assert_eq!(rs.reconstruct(&avail, len).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn overhead_reported() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        assert_eq!(rs.overhead(), 1.5);
+        assert_eq!(rs.total_shards(), 6);
+        assert_eq!(rs.data_shards(), 4);
+        assert_eq!(rs.parity_shards(), 2);
+    }
+
+    #[test]
+    fn corrupted_shard_changes_output() {
+        // RS without error *location* can't detect corruption by itself —
+        // integrity comes from content addressing; this documents that.
+        let rs = ReedSolomon::new(2, 2).unwrap();
+        let data = vec![7u8; 20];
+        let shards = rs.encode(&data);
+        let mut bad = shards[3].clone();
+        bad[0] ^= 0xff;
+        let avail = vec![(0, shards[0].clone()), (3, bad)];
+        let got = rs.reconstruct(&avail, data.len()).unwrap();
+        assert_ne!(got, data);
+    }
+}

@@ -1,0 +1,803 @@
+//! The decentralized storage network as a simulated protocol.
+//!
+//! Clients erasure-code objects across provider nodes, audit shards with
+//! proof-of-retrievability challenges, and repair lost redundancy by
+//! reconstructing from surviving shards — the §3.3 design space (replica
+//! counts, repair strategies, audit cadence) made executable. Providers can
+//! run cheating strategies (ack-then-discard, partial keep) to exercise the
+//! incentive/audit machinery.
+
+use std::collections::HashMap;
+
+use agora_crypto::{sha256, Hash256};
+use agora_sim::{Ctx, NodeId, Protocol, SimDuration};
+
+use crate::erasure::ReedSolomon;
+use crate::proofs::{por_make_audits, por_respond, por_verify, Audit};
+
+/// Wire messages.
+#[derive(Clone, Debug)]
+pub enum StorageMsg {
+    /// Store a shard.
+    PutShard {
+        /// Object id.
+        object: Hash256,
+        /// Shard index.
+        index: u32,
+        /// Shard bytes.
+        data: Vec<u8>,
+    },
+    /// Acknowledge a stored shard.
+    AckPut {
+        /// Object id.
+        object: Hash256,
+        /// Shard index.
+        index: u32,
+    },
+    /// Fetch a shard.
+    GetShard {
+        /// Object id.
+        object: Hash256,
+        /// Shard index.
+        index: u32,
+        /// Client request id.
+        req: u64,
+    },
+    /// Shard fetch response (None = not held).
+    ShardData {
+        /// Echoed request id.
+        req: u64,
+        /// Shard index.
+        index: u32,
+        /// The bytes, if held.
+        data: Option<Vec<u8>>,
+    },
+    /// Proof-of-retrievability challenge.
+    AuditChallenge {
+        /// Object id.
+        object: Hash256,
+        /// Shard index.
+        index: u32,
+        /// Audit nonce.
+        nonce: u64,
+        /// Client request id.
+        req: u64,
+    },
+    /// Audit response (None = shard not held).
+    AuditResponse {
+        /// Echoed request id.
+        req: u64,
+        /// `H(nonce ‖ shard)` if held.
+        digest: Option<Hash256>,
+    },
+}
+
+impl StorageMsg {
+    fn wire_size(&self) -> u64 {
+        match self {
+            StorageMsg::PutShard { data, .. } => 40 + data.len() as u64,
+            StorageMsg::AckPut { .. } => 40,
+            StorageMsg::GetShard { .. } => 48,
+            StorageMsg::ShardData { data, .. } => {
+                16 + data.as_ref().map_or(0, |d| d.len() as u64)
+            }
+            StorageMsg::AuditChallenge { .. } => 56,
+            StorageMsg::AuditResponse { .. } => 48,
+        }
+    }
+}
+
+/// How a provider (mis)behaves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProviderStrategy {
+    /// Stores and serves faithfully.
+    Honest,
+    /// Acknowledges PUTs but discards the bytes (classic freeloader).
+    DiscardAfterAck,
+    /// Keeps shards with the given percent probability, discards the rest.
+    PartialKeep(u8),
+}
+
+/// Outcome of a client operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageResult {
+    /// Object placed; all shards acknowledged.
+    Stored {
+        /// Object id.
+        object: Hash256,
+        /// Shards acknowledged.
+        shards: u32,
+    },
+    /// Object fetched and reconstructed.
+    Retrieved(Vec<u8>),
+    /// Retrieval failed (too few live shards).
+    Unavailable,
+    /// Put failed (not enough providers acknowledged in time).
+    PutFailed,
+}
+
+struct ShardPlace {
+    index: u32,
+    provider: NodeId,
+    audits: Vec<Audit>,
+    alive: bool,
+    acked: bool,
+}
+
+struct ObjectRecord {
+    data_len: usize,
+    k: usize,
+    m: usize,
+    shards: Vec<ShardPlace>,
+    audit_pos: usize,
+}
+
+enum OpState {
+    Put {
+        object: Hash256,
+        deadline_ticks: u32,
+    },
+    Get {
+        object: Hash256,
+        collected: Vec<(usize, Vec<u8>)>,
+        deadline_ticks: u32,
+        repair_index: Option<u32>,
+    },
+    AuditWait {
+        object: Hash256,
+        index: u32,
+        expected: Audit,
+        done: bool,
+    },
+}
+
+/// Client-side state.
+pub struct ClientState {
+    providers: Vec<NodeId>,
+    objects: HashMap<Hash256, ObjectRecord>,
+    ops: HashMap<u64, OpState>,
+    results: HashMap<u64, StorageResult>,
+    next_op: u64,
+    audit_interval: SimDuration,
+    audits_per_shard: usize,
+    repair_enabled: bool,
+}
+
+/// Provider-side state.
+pub struct ProviderState {
+    shards: HashMap<(Hash256, u32), Vec<u8>>,
+    strategy: ProviderStrategy,
+}
+
+enum Role {
+    Client(ClientState),
+    Provider(ProviderState),
+}
+
+/// A storage-network participant (client or provider).
+pub struct StorageNode {
+    role: Role,
+}
+
+const TAG_AUDIT_TICK: u64 = u64::MAX;
+const OP_TICK: SimDuration = SimDuration::from_secs(2);
+const MAX_OP_TICKS: u32 = 60;
+
+impl StorageNode {
+    /// A storage client that places objects on `providers`.
+    pub fn client(providers: Vec<NodeId>, audit_interval: SimDuration) -> StorageNode {
+        StorageNode {
+            role: Role::Client(ClientState {
+                providers,
+                objects: HashMap::new(),
+                ops: HashMap::new(),
+                results: HashMap::new(),
+                next_op: 0,
+                audit_interval,
+                audits_per_shard: 64,
+                repair_enabled: true,
+            }),
+        }
+    }
+
+    /// A storage provider with the given strategy.
+    pub fn provider(strategy: ProviderStrategy) -> StorageNode {
+        StorageNode {
+            role: Role::Provider(ProviderState {
+                shards: HashMap::new(),
+                strategy,
+            }),
+        }
+    }
+
+    /// Disable automatic repair (for ablation experiments).
+    pub fn set_repair(&mut self, enabled: bool) {
+        if let Role::Client(c) = &mut self.role {
+            c.repair_enabled = enabled;
+        }
+    }
+
+    /// Shards currently held (providers only).
+    pub fn shards_held(&self) -> usize {
+        match &self.role {
+            Role::Provider(p) => p.shards.len(),
+            Role::Client(_) => 0,
+        }
+    }
+
+    /// Live-shard count the client believes an object has.
+    pub fn live_shards(&self, object: &Hash256) -> usize {
+        match &self.role {
+            Role::Client(c) => c
+                .objects
+                .get(object)
+                .map_or(0, |o| o.shards.iter().filter(|s| s.alive).count()),
+            Role::Provider(_) => 0,
+        }
+    }
+
+    /// Store an object with RS(k, m). Returns the operation id; the object id
+    /// is `sha256(data)`.
+    pub fn start_put(
+        &mut self,
+        ctx: &mut Ctx<'_, StorageMsg>,
+        data: &[u8],
+        k: usize,
+        m: usize,
+    ) -> (u64, Hash256) {
+        let Role::Client(c) = &mut self.role else {
+            panic!("start_put on a provider");
+        };
+        let object = sha256(data);
+        let rs = ReedSolomon::new(k, m).expect("valid k/m");
+        let shards = rs.encode(data);
+        // Pick distinct providers round-robin from a shuffled order.
+        let mut order: Vec<NodeId> = c.providers.clone();
+        ctx.rng().shuffle(&mut order);
+        let mut places = Vec::new();
+        for (i, shard) in shards.iter().enumerate() {
+            let provider = order[i % order.len()];
+            let audits = por_make_audits(shard, c.audits_per_shard, ctx.rng());
+            let msg = StorageMsg::PutShard {
+                object,
+                index: i as u32,
+                data: shard.clone(),
+            };
+            let size = msg.wire_size();
+            ctx.send(provider, msg, size);
+            ctx.metrics().incr("storage.shard_bytes_up", shard.len() as u64);
+            places.push(ShardPlace {
+                index: i as u32,
+                provider,
+                audits,
+                alive: true,
+                acked: false,
+            });
+        }
+        c.objects.insert(
+            object,
+            ObjectRecord {
+                data_len: data.len(),
+                k,
+                m,
+                shards: places,
+                audit_pos: 0,
+            },
+        );
+        let op = c.next_op;
+        c.next_op += 1;
+        c.ops.insert(op, OpState::Put { object, deadline_ticks: MAX_OP_TICKS });
+        ctx.set_timer(OP_TICK, op);
+        (op, object)
+    }
+
+    /// Retrieve an object previously stored by this client.
+    pub fn start_get(&mut self, ctx: &mut Ctx<'_, StorageMsg>, object: Hash256) -> u64 {
+        let Role::Client(c) = &mut self.role else {
+            panic!("start_get on a provider");
+        };
+        let op = c.next_op;
+        c.next_op += 1;
+        let Some(rec) = c.objects.get(&object) else {
+            c.results.insert(op, StorageResult::Unavailable);
+            return op;
+        };
+        for s in rec.shards.iter().filter(|s| s.alive) {
+            let msg = StorageMsg::GetShard { object, index: s.index, req: op };
+            let size = msg.wire_size();
+            ctx.send(s.provider, msg, size);
+        }
+        c.ops.insert(
+            op,
+            OpState::Get {
+                object,
+                collected: Vec::new(),
+                deadline_ticks: MAX_OP_TICKS,
+                repair_index: None,
+            },
+        );
+        ctx.set_timer(OP_TICK, op);
+        op
+    }
+
+    /// Collect a finished operation's result.
+    pub fn take_result(&mut self, op: u64) -> Option<StorageResult> {
+        match &mut self.role {
+            Role::Client(c) => c.results.remove(&op),
+            Role::Provider(_) => None,
+        }
+    }
+
+    // -- client internals ---------------------------------------------------
+
+    fn client_audit_round(&mut self, ctx: &mut Ctx<'_, StorageMsg>) {
+        let Role::Client(c) = &mut self.role else { return };
+        let mut challenges = Vec::new();
+        for (object, rec) in c.objects.iter_mut() {
+            // Audit one live shard per object per round, rotating.
+            let live: Vec<usize> = (0..rec.shards.len())
+                .filter(|&i| rec.shards[i].alive)
+                .collect();
+            if live.is_empty() {
+                continue;
+            }
+            let pick = live[rec.audit_pos % live.len()];
+            rec.audit_pos += 1;
+            let place = &mut rec.shards[pick];
+            let Some(audit) = place.audits.pop() else {
+                continue; // audits exhausted; stop auditing this shard
+            };
+            let op = c.next_op;
+            c.next_op += 1;
+            challenges.push((op, *object, place.index, place.provider, audit));
+        }
+        for (op, object, index, provider, audit) in challenges {
+            let msg = StorageMsg::AuditChallenge {
+                object,
+                index,
+                nonce: audit.nonce,
+                req: op,
+            };
+            let size = msg.wire_size();
+            ctx.send(provider, msg, size);
+            ctx.metrics().incr("storage.audits_sent", 1);
+            c.ops.insert(
+                op,
+                OpState::AuditWait { object, index, expected: audit, done: false },
+            );
+            ctx.set_timer(OP_TICK.mul(3), op);
+        }
+        let interval = c.audit_interval;
+        ctx.set_timer(interval, TAG_AUDIT_TICK);
+    }
+
+    fn mark_shard_dead(
+        &mut self,
+        ctx: &mut Ctx<'_, StorageMsg>,
+        object: Hash256,
+        index: u32,
+    ) {
+        let Role::Client(c) = &mut self.role else { return };
+        let Some(rec) = c.objects.get_mut(&object) else { return };
+        let Some(place) = rec.shards.iter_mut().find(|s| s.index == index) else {
+            return;
+        };
+        if !place.alive {
+            return;
+        }
+        place.alive = false;
+        ctx.metrics().incr("storage.shards_lost_detected", 1);
+        if !c.repair_enabled {
+            return;
+        }
+        // Repair: fetch enough shards to reconstruct, then re-place `index`.
+        let op = c.next_op;
+        c.next_op += 1;
+        for s in rec.shards.iter().filter(|s| s.alive) {
+            let msg = StorageMsg::GetShard { object, index: s.index, req: op };
+            let size = msg.wire_size();
+            ctx.send(s.provider, msg, size);
+        }
+        c.ops.insert(
+            op,
+            OpState::Get {
+                object,
+                collected: Vec::new(),
+                deadline_ticks: MAX_OP_TICKS,
+                repair_index: Some(index),
+            },
+        );
+        ctx.set_timer(OP_TICK, op);
+        ctx.metrics().incr("storage.repairs_started", 1);
+    }
+
+    fn try_complete_get(&mut self, ctx: &mut Ctx<'_, StorageMsg>, op: u64) {
+        let Role::Client(c) = &mut self.role else { return };
+        let Some(OpState::Get { object, collected, repair_index, .. }) = c.ops.get(&op) else {
+            return;
+        };
+        let object = *object;
+        let repair_index = *repair_index;
+        let rec = c.objects.get(&object).expect("record exists");
+        if collected.len() < rec.k {
+            return;
+        }
+        let rs = ReedSolomon::new(rec.k, rec.m).expect("valid");
+        let shards: Vec<(usize, Vec<u8>)> = collected.clone();
+        let data_len = rec.data_len;
+        match rs.reconstruct(&shards, data_len) {
+            Ok(data) => {
+                c.ops.remove(&op);
+                match repair_index {
+                    None => {
+                        ctx.metrics().incr("storage.get_ok", 1);
+                        c.results.insert(op, StorageResult::Retrieved(data));
+                    }
+                    Some(index) => {
+                        // Regenerate the lost shard and place it on a fresh
+                        // provider.
+                        let all = rs.encode(&data);
+                        let shard = all[index as usize].clone();
+                        let rec = c.objects.get_mut(&object).expect("record");
+                        let used: Vec<NodeId> = rec
+                            .shards
+                            .iter()
+                            .filter(|s| s.alive)
+                            .map(|s| s.provider)
+                            .collect();
+                        let mut candidates: Vec<NodeId> = c
+                            .providers
+                            .iter()
+                            .copied()
+                            .filter(|p| !used.contains(p))
+                            .collect();
+                        let provider = if candidates.is_empty() {
+                            *ctx.rng().pick(&c.providers)
+                        } else {
+                            ctx.rng().shuffle(&mut candidates);
+                            candidates[0]
+                        };
+                        let audits = por_make_audits(&shard, c.audits_per_shard, ctx.rng());
+                        let msg = StorageMsg::PutShard { object, index, data: shard };
+                        let size = msg.wire_size();
+                        ctx.send(provider, msg, size);
+                        ctx.metrics().incr("storage.repair_bytes_up", size);
+                        ctx.metrics().incr("storage.repairs_completed", 1);
+                        if let Some(place) =
+                            rec.shards.iter_mut().find(|s| s.index == index)
+                        {
+                            place.provider = provider;
+                            place.audits = audits;
+                            place.alive = true;
+                            place.acked = false;
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                // Wait for more shards (corrupt metadata handled at timeout).
+            }
+        }
+    }
+}
+
+impl Protocol for StorageNode {
+    type Msg = StorageMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, StorageMsg>) {
+        if let Role::Client(c) = &self.role {
+            let interval = c.audit_interval;
+            ctx.set_timer(interval, TAG_AUDIT_TICK);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, StorageMsg>, from: NodeId, msg: StorageMsg) {
+        match (&mut self.role, msg) {
+            (Role::Provider(p), StorageMsg::PutShard { object, index, data }) => {
+                let keep = match p.strategy {
+                    ProviderStrategy::Honest => true,
+                    ProviderStrategy::DiscardAfterAck => false,
+                    ProviderStrategy::PartialKeep(pct) => ctx.rng().chance(pct as f64 / 100.0),
+                };
+                if keep {
+                    p.shards.insert((object, index), data);
+                }
+                let reply = StorageMsg::AckPut { object, index };
+                let size = reply.wire_size();
+                ctx.send(from, reply, size);
+            }
+            (Role::Provider(p), StorageMsg::GetShard { object, index, req }) => {
+                let data = p.shards.get(&(object, index)).cloned();
+                if let Some(d) = &data {
+                    ctx.metrics().incr("storage.shard_bytes_served", d.len() as u64);
+                }
+                let reply = StorageMsg::ShardData { req, index, data };
+                let size = reply.wire_size();
+                ctx.send(from, reply, size);
+            }
+            (Role::Provider(p), StorageMsg::AuditChallenge { object, index, nonce, req }) => {
+                let digest = p
+                    .shards
+                    .get(&(object, index))
+                    .map(|d| por_respond(nonce, d));
+                let reply = StorageMsg::AuditResponse { req, digest };
+                let size = reply.wire_size();
+                ctx.send(from, reply, size);
+            }
+            (Role::Client(c), StorageMsg::AckPut { object, index }) => {
+                if let Some(rec) = c.objects.get_mut(&object) {
+                    if let Some(p) = rec.shards.iter_mut().find(|s| s.index == index) {
+                        p.acked = true;
+                    }
+                    // Complete any pending Put op once all acks are in.
+                    if rec.shards.iter().all(|s| s.acked) {
+                        let done: Vec<u64> = c
+                            .ops
+                            .iter()
+                            .filter(|(_, st)| {
+                                matches!(st, OpState::Put { object: o, .. } if *o == object)
+                            })
+                            .map(|(op, _)| *op)
+                            .collect();
+                        let n = rec.shards.len() as u32;
+                        for op in done {
+                            c.ops.remove(&op);
+                            ctx.metrics().incr("storage.put_ok", 1);
+                            c.results
+                                .insert(op, StorageResult::Stored { object, shards: n });
+                        }
+                    }
+                }
+            }
+            (Role::Client(c), StorageMsg::ShardData { req, index, data }) => {
+                if let Some(OpState::Get { collected, .. }) = c.ops.get_mut(&req) {
+                    if let Some(d) = data {
+                        if !collected.iter().any(|(i, _)| *i == index as usize) {
+                            collected.push((index as usize, d));
+                        }
+                    }
+                    self.try_complete_get(ctx, req);
+                }
+            }
+            (Role::Client(c), StorageMsg::AuditResponse { req, digest }) => {
+                if let Some(OpState::AuditWait { object, index, expected, done }) =
+                    c.ops.get_mut(&req)
+                {
+                    if *done {
+                        return;
+                    }
+                    *done = true;
+                    let (object, index, expected) = (*object, *index, *expected);
+                    let pass = digest.is_some_and(|d| por_verify(&expected, &d));
+                    c.ops.remove(&req);
+                    if pass {
+                        ctx.metrics().incr("storage.audit_pass", 1);
+                    } else {
+                        ctx.metrics().incr("storage.audit_fail", 1);
+                        self.mark_shard_dead(ctx, object, index);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, StorageMsg>, tag: u64) {
+        if tag == TAG_AUDIT_TICK {
+            self.client_audit_round(ctx);
+            return;
+        }
+        let Role::Client(c) = &mut self.role else { return };
+        match c.ops.get_mut(&tag) {
+            Some(OpState::Put { object, deadline_ticks }) => {
+                let object = *object;
+                *deadline_ticks -= 1;
+                if *deadline_ticks == 0 {
+                    c.ops.remove(&tag);
+                    ctx.metrics().incr("storage.put_timeout", 1);
+                    let acked = c.objects.get(&object).map_or(0, |r| {
+                        r.shards.iter().filter(|s| s.acked).count() as u32
+                    });
+                    // Partial placement can still be durable; report what we got.
+                    let result = if acked > 0 {
+                        StorageResult::Stored { object, shards: acked }
+                    } else {
+                        StorageResult::PutFailed
+                    };
+                    c.results.insert(tag, result);
+                } else {
+                    ctx.set_timer(OP_TICK, tag);
+                }
+            }
+            Some(OpState::Get { deadline_ticks, .. }) => {
+                *deadline_ticks -= 1;
+                if *deadline_ticks == 0 {
+                    if let Some(OpState::Get { repair_index, .. }) = c.ops.remove(&tag) {
+                        ctx.metrics().incr("storage.get_timeout", 1);
+                        if repair_index.is_none() {
+                            c.results.insert(tag, StorageResult::Unavailable);
+                        }
+                    }
+                } else {
+                    ctx.set_timer(OP_TICK, tag);
+                }
+            }
+            Some(OpState::AuditWait { object, index, done, .. }) => {
+                // Timer fired before a response arrived: audit timed out.
+                if !*done {
+                    let (object, index) = (*object, *index);
+                    c.ops.remove(&tag);
+                    ctx.metrics().incr("storage.audit_timeout", 1);
+                    self.mark_shard_dead(ctx, object, index);
+                } else {
+                    c.ops.remove(&tag);
+                }
+            }
+            None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agora_sim::{DeviceClass, Simulation};
+
+    fn build(
+        n_providers: usize,
+        strategy: impl Fn(usize) -> ProviderStrategy,
+        seed: u64,
+    ) -> (Simulation<StorageNode>, NodeId, Vec<NodeId>) {
+        let mut sim = Simulation::new(seed);
+        let mut providers = Vec::new();
+        for i in 0..n_providers {
+            providers.push(sim.add_node(
+                StorageNode::provider(strategy(i)),
+                DeviceClass::PersonalComputer,
+            ));
+        }
+        let client = sim.add_node(
+            StorageNode::client(providers.clone(), SimDuration::from_secs(30)),
+            DeviceClass::PersonalComputer,
+        );
+        (sim, client, providers)
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let (mut sim, client, _) = build(8, |_| ProviderStrategy::Honest, 1);
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+        let (put_op, object) = sim
+            .with_ctx(client, |n, ctx| n.start_put(ctx, &data, 4, 2))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(60));
+        assert_eq!(
+            sim.node_mut(client).take_result(put_op),
+            Some(StorageResult::Stored { object, shards: 6 })
+        );
+        let get_op = sim
+            .with_ctx(client, |n, ctx| n.start_get(ctx, object))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(120));
+        match sim.node_mut(client).take_result(get_op) {
+            Some(StorageResult::Retrieved(got)) => assert_eq!(got, data),
+            other => panic!("get failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn survives_m_provider_failures() {
+        let (mut sim, client, providers) = build(6, |_| ProviderStrategy::Honest, 2);
+        let data = vec![7u8; 30_000];
+        let (_, object) = sim
+            .with_ctx(client, |n, ctx| n.start_put(ctx, &data, 4, 2))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(60));
+        // Kill two providers (up to m=2 shard losses tolerated) and disable
+        // repair so this tests pure redundancy.
+        sim.node_mut(client).set_repair(false);
+        sim.kill(providers[0]);
+        sim.kill(providers[1]);
+        let get_op = sim
+            .with_ctx(client, |n, ctx| n.start_get(ctx, object))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(200));
+        match sim.node_mut(client).take_result(get_op) {
+            Some(StorageResult::Retrieved(got)) => assert_eq!(got, data),
+            other => panic!("should survive m failures: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn audits_detect_discarding_provider() {
+        // One dishonest provider among honest ones.
+        let (mut sim, client, _) = build(
+            6,
+            |i| {
+                if i == 0 {
+                    ProviderStrategy::DiscardAfterAck
+                } else {
+                    ProviderStrategy::Honest
+                }
+            },
+            3,
+        );
+        let data = vec![9u8; 20_000];
+        sim.with_ctx(client, |n, ctx| n.start_put(ctx, &data, 4, 2))
+            .unwrap();
+        // Run long enough for several audit rounds.
+        sim.run_for(SimDuration::from_mins(10));
+        assert!(
+            sim.metrics().counter("storage.audit_fail") >= 1,
+            "discarder should fail an audit"
+        );
+        assert!(sim.metrics().counter("storage.audit_pass") >= 1);
+    }
+
+    #[test]
+    fn repair_restores_redundancy_after_failure() {
+        let (mut sim, client, providers) = build(8, |_| ProviderStrategy::Honest, 4);
+        let data = vec![3u8; 40_000];
+        let (_, object) = sim
+            .with_ctx(client, |n, ctx| n.start_put(ctx, &data, 4, 2))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(60));
+        assert_eq!(sim.node(client).live_shards(&object), 6);
+        sim.kill(providers[0]);
+        // Audits mark dead shards; repair re-encodes and re-places.
+        sim.run_for(SimDuration::from_mins(20));
+        assert!(
+            sim.metrics().counter("storage.repairs_completed") >= 1,
+            "repair should run"
+        );
+        assert_eq!(
+            sim.node(client).live_shards(&object),
+            6,
+            "redundancy restored"
+        );
+        // The full object is still retrievable.
+        let get_op = sim
+            .with_ctx(client, |n, ctx| n.start_get(ctx, object))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(200));
+        match sim.node_mut(client).take_result(get_op) {
+            Some(StorageResult::Retrieved(got)) => assert_eq!(got, data),
+            other => panic!("post-repair get failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_unknown_object_is_unavailable() {
+        let (mut sim, client, _) = build(3, |_| ProviderStrategy::Honest, 5);
+        let op = sim
+            .with_ctx(client, |n, ctx| n.start_get(ctx, sha256(b"nope")))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(5));
+        assert_eq!(
+            sim.node_mut(client).take_result(op),
+            Some(StorageResult::Unavailable)
+        );
+    }
+
+    #[test]
+    fn all_providers_dead_get_times_out() {
+        let (mut sim, client, providers) = build(4, |_| ProviderStrategy::Honest, 6);
+        let data = vec![1u8; 10_000];
+        let (_, object) = sim
+            .with_ctx(client, |n, ctx| n.start_put(ctx, &data, 2, 1))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(30));
+        sim.node_mut(client).set_repair(false);
+        for p in providers {
+            sim.kill(p);
+        }
+        let op = sim
+            .with_ctx(client, |n, ctx| n.start_get(ctx, object))
+            .unwrap();
+        sim.run_for(SimDuration::from_mins(5));
+        assert_eq!(
+            sim.node_mut(client).take_result(op),
+            Some(StorageResult::Unavailable)
+        );
+    }
+}

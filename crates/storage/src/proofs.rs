@@ -1,0 +1,378 @@
+//! Storage proof schemes: proof-of-storage, proof-of-retrievability,
+//! proof-of-replication, and proof-of-spacetime.
+//!
+//! Table 2 of the paper attributes one of these to each surveyed system;
+//! this module implements the mechanism class of each:
+//!
+//! * **Proof-of-storage** (Sia-style): the verifier knows the object's
+//!   Merkle root; the prover returns a challenged chunk plus its inclusion
+//!   proof. Anyone with the root can verify; response size = chunk size.
+//! * **Proof-of-retrievability** (Storj-style): at upload time the owner
+//!   precomputes audit pairs `(nonce, H(nonce ‖ data))`; each challenge
+//!   reveals a fresh nonce and expects the matching digest. Constant-size
+//!   responses, but only the owner (who holds the pairs) can verify, and
+//!   audits are finite.
+//! * **Proof-of-replication** (Filecoin-style): each replica is *sealed* by
+//!   a deliberately slow, replica-id-keyed sequential transform; challenges
+//!   sample sealed chunks against the sealed commitment under a response
+//!   deadline shorter than sealing time. This defeats Sybil (each claimed
+//!   replica needs distinct sealed bytes), outsourcing (fetching another
+//!   holder's *unsealed* data doesn't answer sealed challenges in time) and
+//!   generation attacks (re-sealing on demand exceeds the deadline).
+//! * **Proof-of-spacetime**: proof-of-replication repeated over scheduled
+//!   windows, demonstrating continuous storage over an interval.
+
+use agora_crypto::{sha256_concat, Hash256, MerkleProof};
+use agora_sim::{SimDuration, SimRng};
+
+use crate::chunk::{Chunk, Manifest};
+
+// ---------------------------------------------------------------------------
+// Proof-of-storage (Merkle challenge)
+// ---------------------------------------------------------------------------
+
+/// A proof-of-storage challenge: produce chunk `index` of `object`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PosChallenge {
+    /// Object id (Merkle root over chunk ids).
+    pub object: Hash256,
+    /// Challenged chunk index.
+    pub index: u32,
+    /// Anti-replay nonce.
+    pub nonce: u64,
+}
+
+/// The prover's response: the chunk and its membership proof.
+#[derive(Clone, Debug)]
+pub struct PosResponse {
+    /// Echoed nonce.
+    pub nonce: u64,
+    /// The challenged chunk.
+    pub chunk: Chunk,
+    /// Inclusion proof of the chunk in the object.
+    pub proof: MerkleProof,
+}
+
+impl PosResponse {
+    /// Build a response from locally stored data.
+    pub fn build(challenge: &PosChallenge, manifest: &Manifest, chunk: Chunk) -> Option<PosResponse> {
+        let proof = manifest.prove_chunk(challenge.index as usize)?;
+        Some(PosResponse {
+            nonce: challenge.nonce,
+            chunk,
+            proof,
+        })
+    }
+
+    /// Verify against the challenge. Needs only the object id.
+    pub fn verify(&self, challenge: &PosChallenge) -> bool {
+        self.nonce == challenge.nonce
+            && Manifest::verify_chunk(&challenge.object, &self.chunk, &self.proof)
+    }
+
+    /// Wire size (the dominant cost of this scheme).
+    pub fn wire_size(&self) -> u64 {
+        8 + 32 + self.chunk.data.len() as u64 + self.proof.wire_size()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Proof-of-retrievability (precomputed audits)
+// ---------------------------------------------------------------------------
+
+/// One precomputed audit pair, kept secret by the data owner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Audit {
+    /// The nonce revealed at challenge time.
+    pub nonce: u64,
+    /// Expected digest `H(nonce ‖ data)`.
+    pub expected: Hash256,
+}
+
+/// The digest a prover holding `data` computes for a revealed nonce.
+pub fn por_respond(nonce: u64, data: &[u8]) -> Hash256 {
+    sha256_concat(&[b"por", &nonce.to_be_bytes(), data])
+}
+
+/// Precompute `n` audit pairs over `data`.
+pub fn por_make_audits(data: &[u8], n: usize, rng: &mut SimRng) -> Vec<Audit> {
+    (0..n)
+        .map(|_| {
+            let nonce = rng.next_u64();
+            Audit {
+                nonce,
+                expected: por_respond(nonce, data),
+            }
+        })
+        .collect()
+}
+
+/// Verify a response against a (not yet used) audit pair.
+pub fn por_verify(audit: &Audit, response: &Hash256) -> bool {
+    &audit.expected == response
+}
+
+// ---------------------------------------------------------------------------
+// Proof-of-replication (sealing)
+// ---------------------------------------------------------------------------
+
+/// Sealing parameters.
+#[derive(Clone, Debug)]
+pub struct SealParams {
+    /// Sealed bytes produced per simulated second (deliberately slow).
+    pub seal_throughput_bps: u64,
+    /// Deadline for answering a replication challenge. Must be far below the
+    /// time to seal a shard for the scheme to be sound.
+    pub response_deadline: SimDuration,
+    /// Sealed-chunk size used for the sealed commitment tree.
+    pub sealed_chunk_size: usize,
+}
+
+impl Default for SealParams {
+    fn default() -> SealParams {
+        SealParams {
+            seal_throughput_bps: 1_000_000, // 1 MB/s: a 64 MB shard takes ~64 s
+            response_deadline: SimDuration::from_secs(5),
+            sealed_chunk_size: 4096,
+        }
+    }
+}
+
+impl SealParams {
+    /// How long sealing `len` bytes takes in simulated time.
+    pub fn seal_time(&self, len: usize) -> SimDuration {
+        SimDuration::from_secs_f64(len as f64 / self.seal_throughput_bps.max(1) as f64)
+    }
+}
+
+/// Seal `data` for a specific replica id: a sequential keyed chain, so each
+/// replica's sealed bytes are unique and cannot be deduplicated or produced
+/// without doing the (slow) work for that id.
+pub fn seal(data: &[u8], replica_id: &Hash256) -> Vec<u8> {
+    let mut sealed = Vec::with_capacity(data.len());
+    let mut prev = *replica_id;
+    for (i, block) in data.chunks(32).enumerate() {
+        let key = sha256_concat(&[
+            b"seal",
+            replica_id.as_bytes(),
+            &(i as u64).to_be_bytes(),
+            prev.as_bytes(),
+        ]);
+        let mut out = [0u8; 32];
+        for (j, &b) in block.iter().enumerate() {
+            out[j] = b ^ key.as_bytes()[j];
+        }
+        sealed.extend_from_slice(&out[..block.len()]);
+        prev = sha256_concat(&[&out[..block.len()]]);
+    }
+    sealed
+}
+
+/// Unseal (the transform is an XOR stream keyed by the chain over *sealed*
+/// blocks, so decoding replays the same chain).
+pub fn unseal(sealed: &[u8], replica_id: &Hash256) -> Vec<u8> {
+    let mut data = Vec::with_capacity(sealed.len());
+    let mut prev = *replica_id;
+    for (i, block) in sealed.chunks(32).enumerate() {
+        let key = sha256_concat(&[
+            b"seal",
+            replica_id.as_bytes(),
+            &(i as u64).to_be_bytes(),
+            prev.as_bytes(),
+        ]);
+        for (j, &b) in block.iter().enumerate() {
+            data.push(b ^ key.as_bytes()[j]);
+        }
+        prev = sha256_concat(&[block]);
+    }
+    data
+}
+
+/// Commitment to a sealed replica: manifest over the sealed bytes.
+pub fn sealed_commitment(sealed: &[u8], params: &SealParams) -> Manifest {
+    Manifest::build(sealed, params.sealed_chunk_size).0
+}
+
+/// A replication challenge: prove possession of sealed chunk `index`.
+#[derive(Clone, Copy, Debug)]
+pub struct PorepChallenge {
+    /// The sealed commitment root being challenged.
+    pub commitment: Hash256,
+    /// Sealed-chunk index.
+    pub index: u32,
+    /// Anti-replay nonce.
+    pub nonce: u64,
+    /// Simulated deadline (absolute) for the response.
+    pub deadline_micros: u64,
+}
+
+/// Response: the sealed chunk and its proof (same shape as PoS but against
+/// the *sealed* tree).
+pub type PorepResponse = PosResponse;
+
+/// Verify a replication response, including the timing check.
+pub fn porep_verify(
+    challenge: &PorepChallenge,
+    response: &PorepResponse,
+    responded_at_micros: u64,
+) -> bool {
+    responded_at_micros <= challenge.deadline_micros
+        && response.nonce == challenge.nonce
+        && Manifest::verify_chunk(&challenge.commitment, &response.chunk, &response.proof)
+}
+
+// ---------------------------------------------------------------------------
+// Proof-of-spacetime
+// ---------------------------------------------------------------------------
+
+/// A proof-of-spacetime audit trail: one bit per scheduled window.
+#[derive(Clone, Debug, Default)]
+pub struct SpacetimeRecord {
+    windows: Vec<bool>,
+}
+
+impl SpacetimeRecord {
+    /// Record the outcome of one window's replication challenge.
+    pub fn record(&mut self, passed: bool) {
+        self.windows.push(passed);
+    }
+
+    /// Number of windows audited so far.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Fraction of windows passed.
+    pub fn uptime_fraction(&self) -> f64 {
+        if self.windows.is_empty() {
+            return 0.0;
+        }
+        self.windows.iter().filter(|&&b| b).count() as f64 / self.windows.len() as f64
+    }
+
+    /// Whether the provider satisfied the contract (all windows passed, with
+    /// up to `grace` misses allowed).
+    pub fn satisfied(&self, grace: usize) -> bool {
+        self.windows.iter().filter(|&&b| !b).count() <= grace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agora_crypto::sha256;
+
+    fn object(len: usize) -> (Manifest, Vec<Chunk>, Vec<u8>) {
+        let data: Vec<u8> = (0..len as u32).map(|i| (i % 253) as u8).collect();
+        let (m, c) = Manifest::build(&data, 1024);
+        (m, c, data)
+    }
+
+    #[test]
+    fn pos_round_trip() {
+        let (manifest, chunks, _) = object(5000);
+        let ch = PosChallenge { object: manifest.object_id, index: 3, nonce: 99 };
+        let resp = PosResponse::build(&ch, &manifest, chunks[3].clone()).unwrap();
+        assert!(resp.verify(&ch));
+        assert!(resp.wire_size() > 1024);
+    }
+
+    #[test]
+    fn pos_wrong_chunk_or_nonce_fails() {
+        let (manifest, chunks, _) = object(5000);
+        let ch = PosChallenge { object: manifest.object_id, index: 3, nonce: 99 };
+        let resp = PosResponse::build(&ch, &manifest, chunks[2].clone()).unwrap();
+        assert!(!resp.verify(&ch), "wrong chunk data");
+        let mut resp2 = PosResponse::build(&ch, &manifest, chunks[3].clone()).unwrap();
+        resp2.nonce = 100;
+        assert!(!resp2.verify(&ch), "replayed nonce");
+    }
+
+    #[test]
+    fn por_audits_work_once_each() {
+        let mut rng = SimRng::new(1);
+        let data = vec![5u8; 10_000];
+        let audits = por_make_audits(&data, 10, &mut rng);
+        assert_eq!(audits.len(), 10);
+        for a in &audits {
+            assert!(por_verify(a, &por_respond(a.nonce, &data)));
+        }
+        // A prover who dropped the data cannot answer.
+        let wrong = por_respond(audits[0].nonce, &data[..9_999]);
+        assert!(!por_verify(&audits[0], &wrong));
+    }
+
+    #[test]
+    fn seal_unseal_round_trip() {
+        let id = sha256(b"replica-1");
+        let data: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        let sealed = seal(&data, &id);
+        assert_eq!(sealed.len(), data.len());
+        assert_ne!(sealed, data);
+        assert_eq!(unseal(&sealed, &id), data);
+    }
+
+    #[test]
+    fn sealed_replicas_are_unique_per_id() {
+        let data = vec![9u8; 4096];
+        let s1 = seal(&data, &sha256(b"replica-1"));
+        let s2 = seal(&data, &sha256(b"replica-2"));
+        assert_ne!(s1, s2, "replicas must not be dedupable");
+        // Unsealing with the wrong id yields garbage.
+        assert_ne!(unseal(&s1, &sha256(b"replica-2")), data);
+    }
+
+    #[test]
+    fn porep_challenge_round_trip_and_deadline() {
+        let params = SealParams::default();
+        let data = vec![3u8; 20_000];
+        let id = sha256(b"replica-7");
+        let sealed = seal(&data, &id);
+        let commitment = sealed_commitment(&sealed, &params);
+        let (_, sealed_chunks) = Manifest::build(&sealed, params.sealed_chunk_size);
+        let ch = PorepChallenge {
+            commitment: commitment.object_id,
+            index: 2,
+            nonce: 7,
+            deadline_micros: 1_000_000,
+        };
+        let resp = PosResponse::build(
+            &PosChallenge { object: ch.commitment, index: ch.index, nonce: ch.nonce },
+            &commitment,
+            sealed_chunks[2].clone(),
+        )
+        .unwrap();
+        assert!(porep_verify(&ch, &resp, 500_000), "in time");
+        assert!(!porep_verify(&ch, &resp, 2_000_000), "late response fails");
+    }
+
+    #[test]
+    fn seal_time_scales_with_length() {
+        let p = SealParams::default();
+        assert!(p.seal_time(64_000_000) > SimDuration::from_secs(60));
+        assert!(p.seal_time(64_000_000) > p.response_deadline.mul(10));
+        assert_eq!(p.seal_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn spacetime_record_tracks_windows() {
+        let mut rec = SpacetimeRecord::default();
+        assert_eq!(rec.uptime_fraction(), 0.0);
+        for i in 0..10 {
+            rec.record(i != 4);
+        }
+        assert_eq!(rec.window_count(), 10);
+        assert!((rec.uptime_fraction() - 0.9).abs() < 1e-9);
+        assert!(rec.satisfied(1));
+        assert!(!rec.satisfied(0));
+    }
+
+    #[test]
+    fn unaligned_seal_lengths() {
+        let id = sha256(b"r");
+        for len in [1usize, 31, 32, 33, 63, 65] {
+            let data: Vec<u8> = (0..len as u32).map(|i| i as u8).collect();
+            assert_eq!(unseal(&seal(&data, &id), &id), data, "len {len}");
+        }
+    }
+}

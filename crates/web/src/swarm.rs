@@ -1,0 +1,665 @@
+//! The peer-to-peer site swarm (ZeroNet mechanism class): "web applications
+//! are seeded and served by visitors via the BitTorrent protocol".
+//!
+//! Peers announce the sites they seed to a tracker, visitors discover peers,
+//! fetch the signed manifest, pull pieces in parallel from multiple seeders
+//! (verifying each piece against the manifest's piece hashes), and — the
+//! load-bearing §3.4 property — become seeders of what they visited.
+
+use std::collections::HashMap;
+
+use agora_crypto::{sha256, Hash256};
+use agora_sim::{Ctx, NodeId, Protocol, SimDuration};
+
+use crate::site::{SiteBundle, SignedManifest};
+
+/// Wire messages.
+#[derive(Clone, Debug)]
+pub enum SwarmMsg {
+    /// Peer → tracker: I can serve this site.
+    Announce {
+        /// Site address.
+        site: Hash256,
+    },
+    /// Peer → tracker: who serves this site?
+    GetPeers {
+        /// Site address.
+        site: Hash256,
+        /// Requester op id.
+        req: u64,
+    },
+    /// Tracker's peer list.
+    Peers {
+        /// Echoed op id.
+        req: u64,
+        /// Known seeders (possibly stale).
+        peers: Vec<NodeId>,
+    },
+    /// Fetch the signed manifest.
+    GetManifest {
+        /// Site address.
+        site: Hash256,
+        /// Requester op id.
+        req: u64,
+    },
+    /// Manifest response.
+    ManifestResp {
+        /// Echoed op id.
+        req: u64,
+        /// The manifest if held.
+        manifest: Option<SignedManifest>,
+    },
+    /// Fetch one piece.
+    GetPiece {
+        /// Site address.
+        site: Hash256,
+        /// Piece index.
+        index: u32,
+        /// Requester op id.
+        req: u64,
+    },
+    /// Piece response.
+    PieceResp {
+        /// Echoed op id.
+        req: u64,
+        /// Piece index.
+        index: u32,
+        /// The bytes if held.
+        data: Option<Vec<u8>>,
+    },
+}
+
+impl SwarmMsg {
+    fn wire_size(&self) -> u64 {
+        match self {
+            SwarmMsg::Announce { .. } => 40,
+            SwarmMsg::GetPeers { .. } | SwarmMsg::GetManifest { .. } => 48,
+            SwarmMsg::Peers { peers, .. } => 16 + peers.len() as u64 * 4,
+            SwarmMsg::ManifestResp { manifest, .. } => {
+                16 + manifest.as_ref().map_or(0, |m| m.wire_size())
+            }
+            SwarmMsg::GetPiece { .. } => 52,
+            SwarmMsg::PieceResp { data, .. } => {
+                20 + data.as_ref().map_or(0, |d| d.len() as u64)
+            }
+        }
+    }
+}
+
+/// Outcome of a site visit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VisitResult {
+    /// Site fetched and verified; the visitor is now a seeder.
+    Ok {
+        /// Version fetched.
+        version: u64,
+        /// Total bytes transferred (content only).
+        bytes: u64,
+    },
+    /// No live seeders / manifest unobtainable / pieces missing.
+    Failed,
+}
+
+struct LocalSite {
+    signed: SignedManifest,
+    pieces: HashMap<u32, Vec<u8>>,
+}
+
+#[derive(PartialEq)]
+enum VisitPhase {
+    FindingPeers,
+    FetchingManifest,
+    FetchingPieces,
+}
+
+struct Visit {
+    site: Hash256,
+    phase: VisitPhase,
+    peers: Vec<NodeId>,
+    manifest: Option<SignedManifest>,
+    got: HashMap<u32, Vec<u8>>,
+    ticks: u32,
+}
+
+struct PeerState {
+    trackers: Vec<NodeId>,
+    sites: HashMap<Hash256, LocalSite>,
+    visits: HashMap<u64, Visit>,
+    results: HashMap<u64, VisitResult>,
+    next_op: u64,
+}
+
+enum Role {
+    Tracker(HashMap<Hash256, Vec<NodeId>>),
+    Peer(PeerState),
+}
+
+/// A swarm participant.
+pub struct SwarmNode {
+    role: Role,
+}
+
+const VISIT_TICK: SimDuration = SimDuration::from_secs(2);
+const MAX_VISIT_TICKS: u32 = 90;
+
+impl SwarmNode {
+    /// A tracker.
+    pub fn tracker() -> SwarmNode {
+        SwarmNode {
+            role: Role::Tracker(HashMap::new()),
+        }
+    }
+
+    /// A peer using `tracker` for discovery.
+    pub fn peer(tracker: NodeId) -> SwarmNode {
+        SwarmNode::peer_with_trackers(vec![tracker])
+    }
+
+    /// A peer with redundant trackers: announces to all of them and merges
+    /// their peer lists, so discovery survives tracker failures (the
+    /// tracker is otherwise §3.4's own single point of failure).
+    pub fn peer_with_trackers(trackers: Vec<NodeId>) -> SwarmNode {
+        assert!(!trackers.is_empty(), "at least one tracker");
+        SwarmNode {
+            role: Role::Peer(PeerState {
+                trackers,
+                sites: HashMap::new(),
+                visits: HashMap::new(),
+                results: HashMap::new(),
+                next_op: 0,
+            }),
+        }
+    }
+
+    /// Host (publish or re-publish) a site bundle and announce it.
+    /// Rejects bundles whose signature does not verify.
+    pub fn host_site(&mut self, ctx: &mut Ctx<'_, SwarmMsg>, bundle: &SiteBundle) -> bool {
+        let Role::Peer(p) = &mut self.role else {
+            panic!("host_site on tracker")
+        };
+        if !bundle.signed.verify() {
+            return false;
+        }
+        let site = bundle.signed.manifest.site;
+        let pieces = bundle
+            .pieces
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i as u32, c.data.clone()))
+            .collect();
+        p.sites.insert(
+            site,
+            LocalSite {
+                signed: bundle.signed.clone(),
+                pieces,
+            },
+        );
+        for &t in &p.trackers {
+            ctx.send(t, SwarmMsg::Announce { site }, 40);
+        }
+        true
+    }
+
+    /// Whether this peer fully seeds `site` (all pieces held).
+    pub fn seeds(&self, site: &Hash256) -> bool {
+        match &self.role {
+            Role::Peer(p) => p
+                .sites
+                .get(site)
+                .is_some_and(|s| s.pieces.len() == s.signed.manifest.piece_ids.len()),
+            Role::Tracker(_) => false,
+        }
+    }
+
+    /// The version this peer holds of `site`, if any.
+    pub fn held_version(&self, site: &Hash256) -> Option<u64> {
+        match &self.role {
+            Role::Peer(p) => p.sites.get(site).map(|s| s.signed.manifest.version),
+            Role::Tracker(_) => None,
+        }
+    }
+
+    /// Visit a site: discover peers, fetch, verify, then seed. Poll
+    /// [`SwarmNode::take_result`].
+    pub fn start_visit(&mut self, ctx: &mut Ctx<'_, SwarmMsg>, site: Hash256) -> u64 {
+        let Role::Peer(p) = &mut self.role else {
+            panic!("start_visit on tracker")
+        };
+        let op = p.next_op;
+        p.next_op += 1;
+        for &t in &p.trackers {
+            ctx.send(t, SwarmMsg::GetPeers { site, req: op }, 48);
+        }
+        p.visits.insert(
+            op,
+            Visit {
+                site,
+                phase: VisitPhase::FindingPeers,
+                peers: Vec::new(),
+                manifest: None,
+                got: HashMap::new(),
+                ticks: 0,
+            },
+        );
+        ctx.set_timer(VISIT_TICK, op);
+        op
+    }
+
+    /// Collect a visit outcome.
+    pub fn take_result(&mut self, op: u64) -> Option<VisitResult> {
+        match &mut self.role {
+            Role::Peer(p) => p.results.remove(&op),
+            Role::Tracker(_) => None,
+        }
+    }
+
+    /// Request all still-missing pieces, spread across known peers.
+    fn request_missing(&mut self, ctx: &mut Ctx<'_, SwarmMsg>, op: u64) {
+        let Role::Peer(p) = &mut self.role else { return };
+        let Some(v) = p.visits.get(&op) else { return };
+        let Some(m) = &v.manifest else { return };
+        let total = m.manifest.piece_ids.len() as u32;
+        let mut requests = Vec::new();
+        // Rotate the piece→peer assignment by tick so a dead or stale peer
+        // doesn't permanently own any piece index.
+        let rotation = v.ticks as usize;
+        for idx in 0..total {
+            if !v.got.contains_key(&idx) {
+                let peer = v.peers[(idx as usize + rotation) % v.peers.len()];
+                requests.push((peer, idx));
+            }
+        }
+        let site = v.site;
+        for (peer, idx) in requests {
+            let msg = SwarmMsg::GetPiece { site, index: idx, req: op };
+            let size = msg.wire_size();
+            ctx.send(peer, msg, size);
+        }
+    }
+
+    fn try_complete(&mut self, ctx: &mut Ctx<'_, SwarmMsg>, op: u64) {
+        let Role::Peer(p) = &mut self.role else { return };
+        let Some(v) = p.visits.get(&op) else { return };
+        let Some(m) = &v.manifest else { return };
+        if v.got.len() < m.manifest.piece_ids.len() {
+            return;
+        }
+        let v = p.visits.remove(&op).expect("present");
+        let m = v.manifest.expect("present");
+        let bytes: u64 = v.got.values().map(|d| d.len() as u64).sum();
+        let version = m.manifest.version;
+        let site = v.site;
+        p.sites.insert(
+            site,
+            LocalSite {
+                signed: m,
+                pieces: v.got,
+            },
+        );
+        // The visitor becomes a seeder — §3.4's defining property.
+        for &t in &p.trackers {
+            ctx.send(t, SwarmMsg::Announce { site }, 40);
+        }
+        ctx.metrics().incr("web.visits_ok", 1);
+        ctx.metrics().incr("web.bytes_fetched", bytes);
+        p.results.insert(op, VisitResult::Ok { version, bytes });
+    }
+}
+
+impl Protocol for SwarmNode {
+    type Msg = SwarmMsg;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SwarmMsg>, from: NodeId, msg: SwarmMsg) {
+        match (&mut self.role, msg) {
+            (Role::Tracker(index), SwarmMsg::Announce { site }) => {
+                let v = index.entry(site).or_default();
+                if !v.contains(&from) {
+                    v.push(from);
+                }
+            }
+            (Role::Tracker(index), SwarmMsg::GetPeers { site, req }) => {
+                let peers = index.get(&site).cloned().unwrap_or_default();
+                let msg = SwarmMsg::Peers { req, peers };
+                let size = msg.wire_size();
+                ctx.send(from, msg, size);
+            }
+            (Role::Peer(p), SwarmMsg::Peers { req, peers }) => {
+                let me = ctx.id();
+                if let Some(v) = p.visits.get_mut(&req) {
+                    // Merge peer lists from (possibly several) trackers.
+                    for n in peers.into_iter().filter(|&n| n != me) {
+                        if !v.peers.contains(&n) {
+                            v.peers.push(n);
+                        }
+                    }
+                    if v.peers.is_empty() {
+                        // Another tracker may still answer; the visit tick
+                        // bounds how long we wait in FindingPeers.
+                        return;
+                    }
+                    if v.phase == VisitPhase::FindingPeers {
+                        v.phase = VisitPhase::FetchingManifest;
+                        let site = v.site;
+                        // Ask every known peer; take the best valid answer.
+                        let targets = v.peers.clone();
+                        for t in targets {
+                            let msg = SwarmMsg::GetManifest { site, req };
+                            let size = msg.wire_size();
+                            ctx.send(t, msg, size);
+                        }
+                    }
+                }
+            }
+            (Role::Peer(p), SwarmMsg::GetManifest { site, req }) => {
+                let manifest = p.sites.get(&site).map(|s| s.signed.clone());
+                let msg = SwarmMsg::ManifestResp { req, manifest };
+                let size = msg.wire_size();
+                ctx.send(from, msg, size);
+            }
+            (Role::Peer(p), SwarmMsg::ManifestResp { req, manifest }) => {
+                let Some(v) = p.visits.get_mut(&req) else { return };
+                let Some(sm) = manifest else { return };
+                // Verify signature + address; prefer the newest version.
+                if !sm.verify() || sm.manifest.site != v.site {
+                    ctx.metrics().incr("web.bad_manifests", 1);
+                    return;
+                }
+                let newer = v
+                    .manifest
+                    .as_ref()
+                    .is_none_or(|cur| sm.manifest.version > cur.manifest.version);
+                let advancing = v.phase == VisitPhase::FetchingManifest;
+                if newer {
+                    v.manifest = Some(sm);
+                    v.got.clear();
+                }
+                if advancing || newer {
+                    v.phase = VisitPhase::FetchingPieces;
+                    self.request_missing(ctx, req);
+                }
+            }
+            (Role::Peer(p), SwarmMsg::GetPiece { site, index, req }) => {
+                let data = p
+                    .sites
+                    .get(&site)
+                    .and_then(|s| s.pieces.get(&index))
+                    .cloned();
+                if data.is_some() {
+                    ctx.metrics().incr("web.pieces_served", 1);
+                }
+                let msg = SwarmMsg::PieceResp { req, index, data };
+                let size = msg.wire_size();
+                ctx.send(from, msg, size);
+            }
+            (Role::Peer(p), SwarmMsg::PieceResp { req, index, data }) => {
+                let Some(v) = p.visits.get_mut(&req) else { return };
+                let Some(m) = &v.manifest else { return };
+                let Some(data) = data else { return };
+                let Some(expected) = m.manifest.piece_ids.get(index as usize) else {
+                    return;
+                };
+                if sha256(&data) != *expected {
+                    ctx.metrics().incr("web.bad_pieces", 1);
+                    return;
+                }
+                v.got.insert(index, data);
+                self.try_complete(ctx, req);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SwarmMsg>, op: u64) {
+        let Role::Peer(p) = &mut self.role else { return };
+        let Some(v) = p.visits.get_mut(&op) else { return };
+        v.ticks += 1;
+        if v.ticks > MAX_VISIT_TICKS {
+            p.visits.remove(&op);
+            ctx.metrics().incr("web.visits_failed", 1);
+            p.results.insert(op, VisitResult::Failed);
+            return;
+        }
+        // Retry whatever stage we're stuck in.
+        let site = v.site;
+        match v.phase {
+            VisitPhase::FindingPeers => {
+                // No tracker produced peers yet; give up early rather than
+                // burning the whole visit budget on discovery.
+                if v.ticks >= 5 {
+                    p.visits.remove(&op);
+                    ctx.metrics().incr("web.visits_failed", 1);
+                    p.results.insert(op, VisitResult::Failed);
+                    return;
+                }
+                let trackers = p.trackers.clone();
+                for t in trackers {
+                    ctx.send(t, SwarmMsg::GetPeers { site, req: op }, 48);
+                }
+            }
+            VisitPhase::FetchingManifest => {
+                let targets = v.peers.clone();
+                for t in targets {
+                    let msg = SwarmMsg::GetManifest { site, req: op };
+                    let size = msg.wire_size();
+                    ctx.send(t, msg, size);
+                }
+            }
+            VisitPhase::FetchingPieces => self.request_missing(ctx, op),
+        }
+        if let Role::Peer(p) = &mut self.role {
+            if p.visits.contains_key(&op) {
+                ctx.set_timer(VISIT_TICK, op);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::SitePublisher;
+    use agora_sim::{DeviceClass, Simulation};
+
+    fn build(n_peers: usize, seed: u64) -> (Simulation<SwarmNode>, NodeId, Vec<NodeId>) {
+        let mut sim = Simulation::new(seed);
+        let tracker = sim.add_node(SwarmNode::tracker(), DeviceClass::DatacenterServer);
+        let mut peers = Vec::new();
+        for _ in 0..n_peers {
+            peers.push(sim.add_node(SwarmNode::peer(tracker), DeviceClass::PersonalComputer));
+        }
+        (sim, tracker, peers)
+    }
+
+    fn publish_site(content_len: usize) -> (Hash256, SiteBundle) {
+        let mut publisher = SitePublisher::new(b"origin");
+        let content = vec![42u8; content_len];
+        let bundle = publisher.publish(&[("index.html", content.as_slice())]);
+        (publisher.site_id(), bundle)
+    }
+
+    #[test]
+    fn visit_downloads_and_seeds() {
+        let (mut sim, _tracker, peers) = build(4, 1);
+        let (site, bundle) = publish_site(50_000);
+        assert!(sim
+            .with_ctx(peers[0], |n, ctx| n.host_site(ctx, &bundle))
+            .unwrap());
+        sim.run_for(SimDuration::from_secs(2));
+        let op = sim
+            .with_ctx(peers[1], |n, ctx| n.start_visit(ctx, site))
+            .unwrap();
+        sim.run_for(SimDuration::from_mins(2));
+        match sim.node_mut(peers[1]).take_result(op) {
+            Some(VisitResult::Ok { version, bytes }) => {
+                assert_eq!(version, 1);
+                assert_eq!(bytes, 50_000);
+            }
+            other => panic!("visit failed: {other:?}"),
+        }
+        assert!(sim.node(peers[1]).seeds(&site), "visitor became a seeder");
+    }
+
+    #[test]
+    fn unseeded_site_visit_fails() {
+        let (mut sim, _tracker, peers) = build(2, 2);
+        let op = sim
+            .with_ctx(peers[0], |n, ctx| n.start_visit(ctx, sha256(b"ghost")))
+            .unwrap();
+        sim.run_for(SimDuration::from_mins(1));
+        assert_eq!(
+            sim.node_mut(peers[0]).take_result(op),
+            Some(VisitResult::Failed)
+        );
+    }
+
+    #[test]
+    fn site_survives_origin_death_via_visitor_seeding() {
+        let (mut sim, _tracker, peers) = build(5, 3);
+        let (site, bundle) = publish_site(40_000);
+        sim.with_ctx(peers[0], |n, ctx| n.host_site(ctx, &bundle))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(2));
+        // One visitor fetches while the origin lives.
+        let op = sim
+            .with_ctx(peers[1], |n, ctx| n.start_visit(ctx, site))
+            .unwrap();
+        sim.run_for(SimDuration::from_mins(2));
+        assert!(matches!(
+            sim.node_mut(peers[1]).take_result(op),
+            Some(VisitResult::Ok { .. })
+        ));
+        // Origin dies; a later visitor is served by the first visitor.
+        sim.kill(peers[0]);
+        let op2 = sim
+            .with_ctx(peers[2], |n, ctx| n.start_visit(ctx, site))
+            .unwrap();
+        sim.run_for(SimDuration::from_mins(3));
+        assert!(
+            matches!(
+                sim.node_mut(peers[2]).take_result(op2),
+                Some(VisitResult::Ok { .. })
+            ),
+            "§3.4: the site outlives its origin as long as visitors seed"
+        );
+    }
+
+    #[test]
+    fn tracker_failover_keeps_discovery_alive() {
+        // Two trackers; the first dies; visits still resolve via the second.
+        let mut sim = Simulation::new(11);
+        let t0 = sim.add_node(SwarmNode::tracker(), DeviceClass::DatacenterServer);
+        let t1 = sim.add_node(SwarmNode::tracker(), DeviceClass::DatacenterServer);
+        let origin = sim.add_node(
+            SwarmNode::peer_with_trackers(vec![t0, t1]),
+            DeviceClass::PersonalComputer,
+        );
+        let visitor = sim.add_node(
+            SwarmNode::peer_with_trackers(vec![t0, t1]),
+            DeviceClass::PersonalComputer,
+        );
+        let (site, bundle) = publish_site(30_000);
+        sim.with_ctx(origin, |n, ctx| n.host_site(ctx, &bundle))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(2));
+        sim.kill(t0);
+        let op = sim
+            .with_ctx(visitor, |n, ctx| n.start_visit(ctx, site))
+            .unwrap();
+        sim.run_for(SimDuration::from_mins(2));
+        assert!(
+            matches!(
+                sim.node_mut(visitor).take_result(op),
+                Some(VisitResult::Ok { .. })
+            ),
+            "the surviving tracker should serve discovery"
+        );
+    }
+
+    #[test]
+    fn single_tracker_death_kills_fresh_discovery() {
+        // The baseline SPOF: with one tracker down, new visitors cannot
+        // discover seeders at all.
+        let mut sim = Simulation::new(12);
+        let t0 = sim.add_node(SwarmNode::tracker(), DeviceClass::DatacenterServer);
+        let origin = sim.add_node(SwarmNode::peer(t0), DeviceClass::PersonalComputer);
+        let visitor = sim.add_node(SwarmNode::peer(t0), DeviceClass::PersonalComputer);
+        let (site, bundle) = publish_site(30_000);
+        sim.with_ctx(origin, |n, ctx| n.host_site(ctx, &bundle))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(2));
+        sim.kill(t0);
+        let op = sim
+            .with_ctx(visitor, |n, ctx| n.start_visit(ctx, site))
+            .unwrap();
+        sim.run_for(SimDuration::from_mins(2));
+        assert_eq!(
+            sim.node_mut(visitor).take_result(op),
+            Some(VisitResult::Failed)
+        );
+    }
+
+    #[test]
+    fn forged_bundle_rejected_at_host() {
+        let (mut sim, _tracker, peers) = build(1, 4);
+        let (_site, mut bundle) = publish_site(1000);
+        bundle.signed.manifest.version = 99; // breaks the signature
+        let ok = sim
+            .with_ctx(peers[0], |n, ctx| n.host_site(ctx, &bundle))
+            .unwrap();
+        assert!(!ok);
+    }
+
+    #[test]
+    fn visitors_fetch_newest_version_available() {
+        let (mut sim, _tracker, peers) = build(3, 5);
+        let mut publisher = SitePublisher::new(b"origin");
+        let v1 = publisher.publish(&[("index.html", b"v1".as_slice())]);
+        let site = publisher.site_id();
+        let v2 = publisher.publish(&[("index.html", b"v2 content".as_slice())]);
+        // Peer 0 seeds v1, peer 1 seeds v2.
+        sim.with_ctx(peers[0], |n, ctx| n.host_site(ctx, &v1)).unwrap();
+        sim.with_ctx(peers[1], |n, ctx| n.host_site(ctx, &v2)).unwrap();
+        sim.run_for(SimDuration::from_secs(2));
+        let op = sim
+            .with_ctx(peers[2], |n, ctx| n.start_visit(ctx, site))
+            .unwrap();
+        sim.run_for(SimDuration::from_mins(2));
+        match sim.node_mut(peers[2]).take_result(op) {
+            Some(VisitResult::Ok { version, .. }) => assert_eq!(version, 2),
+            other => panic!("visit failed: {other:?}"),
+        }
+        assert_eq!(sim.node(peers[2]).held_version(&site), Some(2));
+    }
+
+    #[test]
+    fn corrupted_pieces_are_rejected_and_refetched() {
+        // A malicious seeder serving garbage can slow but not poison a
+        // visit while an honest seeder exists: bad pieces fail the hash
+        // check and are re-requested (round-robin hits the honest peer).
+        let (mut sim, _tracker, peers) = build(3, 6);
+        let (site, bundle) = publish_site(60_000);
+        sim.with_ctx(peers[0], |n, ctx| n.host_site(ctx, &bundle))
+            .unwrap();
+        // Peer 1 hosts a corrupted copy (flip bytes in every piece) —
+        // manifest is genuine, pieces are not.
+        let mut corrupt = SiteBundle {
+            signed: bundle.signed.clone(),
+            pieces: bundle.pieces.clone(),
+        };
+        for c in &mut corrupt.pieces {
+            c.data[0] ^= 0xff; // id no longer matches data
+        }
+        sim.with_ctx(peers[1], |n, ctx| n.host_site(ctx, &corrupt))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(2));
+        let op = sim
+            .with_ctx(peers[2], |n, ctx| n.start_visit(ctx, site))
+            .unwrap();
+        sim.run_for(SimDuration::from_mins(3));
+        match sim.node_mut(peers[2]).take_result(op) {
+            Some(VisitResult::Ok { bytes, .. }) => assert_eq!(bytes, 60_000),
+            other => panic!("visit should eventually succeed: {other:?}"),
+        }
+        assert!(sim.metrics().counter("web.bad_pieces") > 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for site manifests and fork/merge semantics.
+
+use agora_web::{merge_files, SitePublisher};
+use proptest::prelude::*;
+
+fn file_set() -> impl Strategy<Value = Vec<(String, Vec<u8>)>> {
+    proptest::collection::vec(
+        ("[a-z]{1,10}\\.[a-z]{2,4}", proptest::collection::vec(any::<u8>(), 0..300)),
+        1..8,
+    )
+    .prop_map(|mut v| {
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v.dedup_by(|a, b| a.0 == b.0);
+        v
+    })
+}
+
+proptest! {
+    /// Published bundles verify; any field mutation invalidates them; piece
+    /// bytes always total the manifest's bundle length.
+    #[test]
+    fn publish_invariants(files in file_set(), seed in any::<u64>()) {
+        let mut p = SitePublisher::new(&seed.to_be_bytes());
+        let refs: Vec<(&str, &[u8])> =
+            files.iter().map(|(n, d)| (n.as_str(), d.as_slice())).collect();
+        let bundle = p.publish(&refs);
+        prop_assert!(bundle.signed.verify());
+        prop_assert_eq!(bundle.signed.manifest.files.len(), files.len());
+        let total: u64 = bundle.pieces.iter().map(|c| c.data.len() as u64).sum();
+        prop_assert_eq!(total, bundle.signed.manifest.bundle_len);
+        prop_assert_eq!(
+            bundle.signed.manifest.piece_ids.len(),
+            bundle.pieces.len()
+        );
+        // Every mutation breaks the signature.
+        let mut evil = bundle.signed.clone();
+        evil.manifest.bundle_len ^= 1;
+        prop_assert!(!evil.verify());
+    }
+
+    /// Version chains: successive publishes link via parent hashes and
+    /// increment versions.
+    #[test]
+    fn version_chain(files in file_set(), n in 1usize..5) {
+        let mut p = SitePublisher::new(b"chain-site");
+        let refs: Vec<(&str, &[u8])> =
+            files.iter().map(|(nm, d)| (nm.as_str(), d.as_slice())).collect();
+        let mut prev_hash = None;
+        for v in 1..=n as u64 {
+            let b = p.publish(&refs);
+            prop_assert_eq!(b.signed.manifest.version, v);
+            prop_assert_eq!(b.signed.manifest.parent, prev_hash);
+            prev_hash = Some(b.signed.manifest.hash());
+        }
+    }
+
+    /// Merge is a union: every path from either side appears exactly once;
+    /// conflicts are exactly the same-path-different-hash cases; `ours`
+    /// always wins conflicted paths.
+    #[test]
+    fn merge_properties(ours in file_set(), theirs in file_set()) {
+        let mut pa = SitePublisher::new(b"merge-a");
+        let mut pb = SitePublisher::new(b"merge-b");
+        let ra: Vec<(&str, &[u8])> = ours.iter().map(|(n, d)| (n.as_str(), d.as_slice())).collect();
+        let rb: Vec<(&str, &[u8])> = theirs.iter().map(|(n, d)| (n.as_str(), d.as_slice())).collect();
+        let ma = pa.publish(&ra).signed.manifest;
+        let mb = pb.publish(&rb).signed.manifest;
+        let (merged, conflicts) = merge_files(&ma, &mb);
+        // Exactly the union of paths.
+        let mut expect: Vec<&str> = ours.iter().map(|(n, _)| n.as_str())
+            .chain(theirs.iter().map(|(n, _)| n.as_str()))
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+        let got: Vec<&str> = merged.iter().map(|f| f.path.as_str()).collect();
+        prop_assert_eq!(got, expect);
+        // Conflicts are same-path different-content pairs, resolved ours-first.
+        for c in &conflicts {
+            let of = ma.files.iter().find(|f| f.path == c.path).expect("ours has it");
+            let tf = mb.files.iter().find(|f| f.path == c.path).expect("theirs has it");
+            prop_assert_ne!(of.content_hash, tf.content_hash);
+            let mf = merged.iter().find(|f| f.path == c.path).expect("merged has it");
+            prop_assert_eq!(mf.content_hash, of.content_hash, "ours wins");
+        }
+        // Merge with self is conflict-free and identity.
+        let (self_merge, self_conflicts) = merge_files(&ma, &ma);
+        prop_assert!(self_conflicts.is_empty());
+        prop_assert_eq!(self_merge.len(), ma.files.len());
+    }
+}

@@ -1,0 +1,64 @@
+//! The experiment harness: regenerate every table and run every experiment
+//! of EXPERIMENTS.md.
+//!
+//! Usage:
+//!   cargo run --release --example experiments            # run everything
+//!   cargo run --release --example experiments -- t3 e2   # run a subset
+//!
+//! Ids: t1 t2 t3 e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 props zooko
+
+use agora::experiments::{
+    e10_federated_failover, e11_guerrilla_relay, e12_moderation_tension, e13_financing_gap,
+    e14_usenet_collapse, e1_naming_tradeoff, e2_naming_attacks,
+    e3_groupcomm_availability, e4_privacy, e5_storage_proofs, e6_durability,
+    e7_web_availability, e8_quality_vs_quantity, e9_chain_costs, t1_taxonomy,
+    t2_storage_systems, t3_feasibility,
+};
+
+const SEED: u64 = 20171130; // HotNets-XVI, day one
+
+fn run(id: &str) {
+    match id {
+        "t1" => println!("{}\n", t1_taxonomy()),
+        "t2" => println!("{}\n", t2_storage_systems()),
+        "t3" => println!("{}\n", t3_feasibility()),
+        "e1" => println!("{}\n", e1_naming_tradeoff(SEED).1),
+        "e2" => println!("{}\n", e2_naming_attacks(SEED).1),
+        "e3" => {
+            for f in [0.0, 0.2, 0.4] {
+                println!("{}\n", e3_groupcomm_availability(SEED, f).1);
+            }
+        }
+        "e4" => println!("{}\n", e4_privacy(SEED).1),
+        "e5" => println!("{}\n", e5_storage_proofs(SEED).1),
+        "e6" => println!("{}\n", e6_durability(SEED).1),
+        "e7" => println!("{}\n", e7_web_availability(SEED).1),
+        "e8" => println!("{}\n", e8_quality_vs_quantity(SEED).1),
+        "e9" => println!("{}\n", e9_chain_costs(SEED).1),
+        "e10" => println!("{}\n", e10_federated_failover(SEED).1),
+        "e11" => println!("{}\n", e11_guerrilla_relay(SEED).1),
+        "e12" => println!("{}\n", e12_moderation_tension(SEED).1),
+        "e13" => println!("{}\n", e13_financing_gap().1),
+        "e14" => println!("{}\n", e14_usenet_collapse(SEED).1),
+        "props" => println!("{}", agora::render_property_matrix()),
+        "zooko" => println!("{}", agora::naming_zooko_table()),
+        other => eprintln!("unknown experiment id '{other}'"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = [
+        "t1", "t2", "t3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+        "props", "zooko",
+    ];
+    if args.is_empty() {
+        for id in all {
+            run(id);
+        }
+    } else {
+        for id in &args {
+            run(id);
+        }
+    }
+}

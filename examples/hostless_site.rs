@@ -1,0 +1,92 @@
+//! Scenario: a hostless web app's life cycle — publish, seed, survive the
+//! origin, fork, merge (§3.4: ZeroNet + Beaker mechanics).
+//!
+//! Run with: `cargo run --release --example hostless_site`
+
+use agora::sim::{DeviceClass, SimDuration, Simulation};
+use agora::web::{merge_files, SitePublisher, SwarmNode, VisitResult};
+
+fn main() {
+    println!("— hostless web app life cycle —\n");
+
+    // Publish.
+    let mut publisher = SitePublisher::new(b"zine-collective");
+    let v1 = publisher.publish(&[
+        ("index.html", b"<h1>issue #1</h1>".as_slice()),
+        ("zine.css", b"body { font-family: monospace }".as_slice()),
+    ]);
+    let site = publisher.site_id();
+    println!(
+        "published site {} v{} ({} pieces, signed)",
+        site.short(),
+        v1.signed.manifest.version,
+        v1.pieces.len()
+    );
+
+    // Swarm: origin + tracker + visitors.
+    let mut sim = Simulation::new(7);
+    let tracker = sim.add_node(SwarmNode::tracker(), DeviceClass::DatacenterServer);
+    let origin = sim.add_node(SwarmNode::peer(tracker), DeviceClass::PersonalComputer);
+    let visitors: Vec<_> = (0..4)
+        .map(|_| sim.add_node(SwarmNode::peer(tracker), DeviceClass::PersonalComputer))
+        .collect();
+    sim.with_ctx(origin, |n, ctx| n.host_site(ctx, &v1));
+    sim.run_for(SimDuration::from_secs(2));
+
+    // Two readers visit while the origin is up.
+    for &v in &visitors[..2] {
+        let op = sim.with_ctx(v, |n, ctx| n.start_visit(ctx, site)).unwrap();
+        sim.run_for(SimDuration::from_mins(2));
+        if let Some(VisitResult::Ok { bytes, .. }) = sim.node_mut(v).take_result(op) {
+            println!("visitor {v} fetched the site ({bytes} bytes) and now seeds it");
+        }
+    }
+
+    // The origin's laptop is closed forever.
+    sim.kill(origin);
+    println!("\norigin went offline permanently...");
+    let late = visitors[2];
+    let op = sim.with_ctx(late, |n, ctx| n.start_visit(ctx, site)).unwrap();
+    sim.run_for(SimDuration::from_mins(3));
+    match sim.node_mut(late).take_result(op) {
+        Some(VisitResult::Ok { version, .. }) => println!(
+            "late visitor still loads v{version} from the visitor swarm — the site outlived its host"
+        ),
+        other => println!("late visit failed: {other:?}"),
+    }
+
+    // Fork (Beaker): a collaborator takes the zine in a new direction.
+    let mut fork = SitePublisher::fork(b"splinter-group", &v1.signed.manifest);
+    let forked = fork.publish(&[
+        ("index.html", b"<h1>issue #1 remix</h1>".as_slice()),
+        ("zine.css", b"body { font-family: monospace }".as_slice()),
+        ("manifesto.txt", b"forking is freedom".as_slice()),
+    ]);
+    println!(
+        "\nforked to new address {} (parent lineage: {})",
+        forked.signed.manifest.site.short(),
+        forked
+            .signed
+            .manifest
+            .parent
+            .map(|h| h.short())
+            .unwrap_or_default()
+    );
+
+    // Merge the fork's additions back.
+    let (merged, conflicts) = merge_files(&v1.signed.manifest, &forked.signed.manifest);
+    println!(
+        "merge: {} files, {} conflict(s):",
+        merged.len(),
+        conflicts.len()
+    );
+    for c in &conflicts {
+        println!(
+            "  CONFLICT {} (ours {}, theirs {})",
+            c.path,
+            c.ours.short(),
+            c.theirs.short()
+        );
+    }
+    println!("\n\"advocating openness at the code level\" (§3.4, Beaker).");
+}

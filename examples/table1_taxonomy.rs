@@ -1,0 +1,12 @@
+//! Regenerate Table 1 (decentralization problems × projects) from the live
+//! registry — every project is backed by the implementing module.
+//!
+//! Run with: `cargo run --example table1_taxonomy`
+
+fn main() {
+    println!("{}", agora::t1_taxonomy());
+    println!("\nPer-project implementation map:");
+    for e in agora::table1_registry() {
+        println!("  {:<22} → {}", e.name, e.implemented_by);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerate Table 2 (storage systems: blockchain usage × incentive
+//! scheme) and exercise every profile's proof mechanism.
+//!
+//! Run with: `cargo run --release --example table2_storage`
+
+fn main() {
+    println!("{}", agora::t2_storage_systems());
+}

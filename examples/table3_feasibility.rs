@@ -1,0 +1,9 @@
+//! Regenerate Table 3 (cloud vs user-device capacity) with the paper's
+//! exact assumptions, plus sufficiency ratios, duty-cycle discounts, and
+//! sensitivity sweeps.
+//!
+//! Run with: `cargo run --example table3_feasibility`
+
+fn main() {
+    println!("{}", agora::t3_feasibility());
+}

@@ -1,0 +1,176 @@
+//! Cross-crate property tests: invariants that only hold if multiple crates
+//! agree with each other (proptest over the public APIs).
+
+use agora::chain::{ChainParams, Ledger, Transaction, TxPayload};
+use agora::crypto::{sha256, Hash256, MerkleTree, SimKeyPair, WotsKeyPair};
+use agora::naming::{NameDb, NameOp, NamingRules};
+use agora::storage::{seal, unseal, Manifest, ReedSolomon};
+use agora::web::SitePublisher;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any payload stored through RS + chunking round-trips, for arbitrary
+    /// data and any valid (k, m) in a practical range.
+    #[test]
+    fn erasure_then_chunk_round_trip(
+        data in proptest::collection::vec(any::<u8>(), 1..5_000),
+        k in 1usize..8,
+        m in 0usize..6,
+    ) {
+        let rs = ReedSolomon::new(k, m).expect("params valid");
+        let shards = rs.encode(&data);
+        // Drop up to m shards (the last m), reconstruct from the first k.
+        let avail: Vec<(usize, Vec<u8>)> =
+            (0..k).map(|i| (i, shards[i].clone())).collect();
+        let got = rs.reconstruct(&avail, data.len()).expect("reconstructs");
+        prop_assert_eq!(&got, &data);
+        // Chunk + manifest round-trip on the same data.
+        let (manifest, chunks) = Manifest::build(&data, 512);
+        prop_assert_eq!(manifest.assemble(&chunks).expect("assembles"), data);
+    }
+
+    /// Sealing is a bijection for every replica id and data length, and the
+    /// sealed commitment differs across replica ids (no dedup).
+    #[test]
+    fn sealing_bijective_and_replica_unique(
+        data in proptest::collection::vec(any::<u8>(), 1..2_000),
+        tag_a in any::<u64>(),
+        tag_b in any::<u64>(),
+    ) {
+        let id_a = sha256(&tag_a.to_be_bytes());
+        let id_b = sha256(&tag_b.to_be_bytes());
+        let sealed_a = seal(&data, &id_a);
+        prop_assert_eq!(unseal(&sealed_a, &id_a), data.clone());
+        if tag_a != tag_b && data.len() >= 16 {
+            let sealed_b = seal(&data, &id_b);
+            prop_assert_ne!(sealed_a, sealed_b);
+        }
+    }
+
+    /// A signed site manifest verifies iff untampered, for arbitrary file
+    /// sets.
+    #[test]
+    fn site_manifests_verify_iff_untouched(
+        files in proptest::collection::vec(
+            ("[a-z]{1,8}\\.[a-z]{2,3}", proptest::collection::vec(any::<u8>(), 0..500)),
+            1..6
+        ),
+        flip in any::<u8>(),
+    ) {
+        let mut publisher = SitePublisher::new(b"prop-site");
+        let refs: Vec<(&str, &[u8])> = files
+            .iter()
+            .map(|(p, d)| (p.as_str(), d.as_slice()))
+            .collect();
+        let bundle = publisher.publish(&refs);
+        prop_assert!(bundle.signed.verify());
+        let mut evil = bundle.signed.clone();
+        evil.manifest.version = evil.manifest.version.wrapping_add(1 + (flip as u64 % 7));
+        prop_assert!(!evil.verify());
+    }
+
+    /// Name-state machine: whoever registers first (with a valid preorder)
+    /// owns the name, regardless of op interleavings afterwards by others.
+    #[test]
+    fn first_valid_register_wins(
+        salt_a in any::<u64>(),
+        salt_b in any::<u64>(),
+        later_ops in 0u8..4,
+    ) {
+        let rules = NamingRules { min_preorder_age: 1, preorder_ttl: 50, expiry_blocks: 1000, preorder_required: true };
+        let alice = sha256(b"prop-alice");
+        let bob = sha256(b"prop-bob");
+        let mut db = NameDb::default();
+        db.apply(NameOp::Preorder { commitment: NameOp::commitment("n.x", salt_a, &alice) }, alice, 1, &rules);
+        db.apply(NameOp::Preorder { commitment: NameOp::commitment("n.x", salt_b, &bob) }, bob, 1, &rules);
+        db.apply(NameOp::Register { name: "n.x".into(), salt: salt_a, zone_hash: sha256(b"a") }, alice, 3, &rules);
+        db.apply(NameOp::Register { name: "n.x".into(), salt: salt_b, zone_hash: sha256(b"b") }, bob, 4, &rules);
+        for i in 0..later_ops {
+            db.apply(NameOp::Update { name: "n.x".into(), zone_hash: sha256(&[i]) }, bob, 5 + i as u64, &rules);
+            db.apply(NameOp::Transfer { name: "n.x".into(), new_owner: bob }, bob, 6 + i as u64, &rules);
+        }
+        let rec = db.resolve("n.x", 20).expect("registered");
+        prop_assert_eq!(rec.owner, alice, "bob must never wrestle the name away");
+    }
+
+    /// Merkle trees built by different crates over the same leaves agree,
+    /// and proofs transfer.
+    #[test]
+    fn merkle_proofs_transfer(leaves in proptest::collection::vec(any::<u64>(), 1..40), pick in any::<prop::sample::Index>()) {
+        let hashes: Vec<Hash256> = leaves.iter().map(|v| sha256(&v.to_be_bytes())).collect();
+        let t1 = MerkleTree::from_leaf_hashes(hashes.clone());
+        let t2 = MerkleTree::from_leaf_hashes(hashes.clone());
+        prop_assert_eq!(t1.root(), t2.root());
+        let i = pick.index(hashes.len());
+        let proof = t1.prove(i).expect("in range");
+        prop_assert!(proof.verify(hashes[i], t2.root()));
+    }
+}
+
+#[test]
+fn chain_accepts_naming_payloads_and_namedb_sees_them() {
+    // A non-proptest cross-crate check: naming ops mined into real blocks
+    // surface in the NameDb exactly once each.
+    use agora::chain::mine_block;
+    use agora::sim::SimRng;
+
+    let alice = SimKeyPair::from_seed(b"xc-alice");
+    let mut ledger = Ledger::new("xc", ChainParams::test(), &[(alice.public().id(), 1000)]);
+    let mut rng = SimRng::new(5);
+    let rules = NamingRules {
+        min_preorder_age: 1,
+        ..NamingRules::default()
+    };
+
+    let pre = NameOp::Preorder {
+        commitment: NameOp::commitment("xc.name", 9, &alice.public().id()),
+    }
+    .into_tx(&alice, 0, 1);
+    let reg = NameOp::Register {
+        name: "xc.name".into(),
+        salt: 9,
+        zone_hash: sha256(b"zone"),
+    }
+    .into_tx(&alice, 1, 1);
+
+    let miner = sha256(b"xc-miner");
+    for (i, tx) in [pre, reg].into_iter().enumerate() {
+        let parent = ledger.best_tip();
+        let bits = ledger.next_difficulty(&parent);
+        let (block, _) = mine_block(
+            parent,
+            i as u64 + 1,
+            miner,
+            vec![tx],
+            (i as u64 + 1) * 1_000_000,
+            bits,
+            &mut rng,
+        );
+        ledger.submit_block(block).expect("valid block");
+    }
+    let db = NameDb::from_ledger(&ledger, &rules);
+    let rec = db.resolve("xc.name", ledger.best_height()).expect("resolves");
+    assert_eq!(rec.owner, alice.public().id());
+    assert_eq!(rec.zone_hash, sha256(b"zone"));
+    assert!(db.rejected.is_empty(), "{:?}", db.rejected);
+}
+
+#[test]
+fn wots_can_sign_chain_transactions_out_of_band() {
+    // The hash-based scheme signs arbitrary bytes — here a chain tx id —
+    // demonstrating the low-volume real-crypto path (DESIGN.md §5).
+    let alice = SimKeyPair::from_seed(b"wots-alice");
+    let tx = Transaction::create(
+        &alice,
+        0,
+        1,
+        TxPayload::Transfer { to: sha256(b"bob"), amount: 1 },
+    );
+    let mut wots = WotsKeyPair::generate(sha256(b"wots-seed"), 2);
+    let pk = wots.public();
+    let sig = wots.sign(tx.id().as_bytes()).expect("capacity");
+    assert!(pk.verify(tx.id().as_bytes(), &sig));
+    assert!(!pk.verify(sha256(b"other").as_bytes(), &sig));
+}

@@ -1,0 +1,88 @@
+//! Determinism: the same seed must produce bit-identical experiment results
+//! — the property every reported number in EXPERIMENTS.md depends on.
+
+use agora::experiments::{
+    e10_federated_failover, e11_guerrilla_relay, e12_moderation_tension, e14_usenet_collapse,
+    e2_naming_attacks, e3_groupcomm_availability, e6_durability, e7_web_availability,
+};
+
+#[test]
+fn e2_is_deterministic() {
+    let (a, _) = e2_naming_attacks(500);
+    let (b, _) = e2_naming_attacks(500);
+    assert_eq!(a.front_run_no_preorder, b.front_run_no_preorder);
+    assert_eq!(a.rewrite_curve, b.rewrite_curve);
+}
+
+#[test]
+fn e3_is_deterministic() {
+    let (a, _) = e3_groupcomm_availability(501, 0.2);
+    let (b, _) = e3_groupcomm_availability(501, 0.2);
+    assert_eq!(a.centralized.delivery_rate, b.centralized.delivery_rate);
+    assert_eq!(a.replicated.read_success, b.replicated.read_success);
+    assert_eq!(a.social.read_success, b.social.read_success);
+}
+
+#[test]
+fn e6_is_deterministic() {
+    let (a, _) = e6_durability(502);
+    let (b, _) = e6_durability(502);
+    for (ra, rb) in a.rows.iter().zip(b.rows.iter()) {
+        assert_eq!(ra.2, rb.2, "{} survival differs", ra.0);
+        assert_eq!(ra.3, rb.3, "{} repair traffic differs", ra.0);
+    }
+}
+
+#[test]
+fn e7_is_deterministic() {
+    let (a, _) = e7_web_availability(503);
+    let (b, _) = e7_web_availability(503);
+    assert_eq!(a.survival_by_seeders, b.survival_by_seeders);
+}
+
+#[test]
+fn e10_e11_are_deterministic() {
+    let (a, _) = e10_federated_failover(504);
+    let (b, _) = e10_federated_failover(504);
+    assert_eq!(a.replicated_with_failover, b.replicated_with_failover);
+    assert_eq!(a.failovers, b.failovers);
+    let (a, _) = e11_guerrilla_relay(505);
+    let (b, _) = e11_guerrilla_relay(505);
+    assert_eq!(a.relay_owner_offline, b.relay_owner_offline);
+    assert_eq!(a.relay_metadata, b.relay_metadata);
+}
+
+#[test]
+fn e12_e14_are_deterministic() {
+    let (a, _) = e12_moderation_tension(506);
+    let (b, _) = e12_moderation_tension(506);
+    for (ra, rb) in a.rows.iter().zip(b.rows.iter()) {
+        assert_eq!(ra, rb);
+    }
+    let (a, _) = e14_usenet_collapse(507);
+    let (b, _) = e14_usenet_collapse(507);
+    for (ra, rb) in a.rows.iter().zip(b.rows.iter()) {
+        assert_eq!(ra.replicated_bytes, rb.replicated_bytes);
+        assert_eq!(
+            ra.replicated_store_per_instance,
+            rb.replicated_store_per_instance
+        );
+    }
+}
+
+#[test]
+fn different_seeds_differ_somewhere() {
+    let (a, _) = e2_naming_attacks(600);
+    let (b, _) = e2_naming_attacks(601);
+    // Monte-Carlo rates on different streams should not all coincide.
+    let same = a
+        .rewrite_curve
+        .iter()
+        .zip(b.rewrite_curve.iter())
+        .filter(|(x, y)| x.1 == y.1)
+        .count();
+    assert!(
+        same < a.rewrite_curve.len(),
+        "suspiciously identical across seeds"
+    );
+}

@@ -1,0 +1,34 @@
+//! Integration: the composed stack spanning chain, naming, DHT and swarm.
+
+use agora::crypto::SimKeyPair;
+use agora::stack::{demo_full_stack, StackError};
+
+#[test]
+fn names_resolve_to_verified_sites() {
+    let out = demo_full_stack(101, "collective.agora").expect("stack works");
+    assert_eq!(out.name, "collective.agora");
+    assert_eq!(
+        out.resolved_owner,
+        SimKeyPair::from_seed(b"alice-stack").public().id(),
+        "on-chain owner is the site keyholder"
+    );
+    assert!(out.zone_replicas >= 2, "zone file replicated in the DHT");
+    assert_eq!(out.site_version, 1);
+    assert!(out.site_bytes > 0);
+}
+
+#[test]
+fn different_seeds_still_succeed() {
+    for seed in [102, 203, 304] {
+        let name = format!("seed-{seed}.agora");
+        let out = demo_full_stack(seed, &name);
+        assert!(out.is_ok(), "seed {seed}: {out:?}");
+    }
+}
+
+#[test]
+fn stack_error_display() {
+    // The error type is part of the public API; keep Display stable-ish.
+    let e = StackError::ZoneHashMismatch;
+    assert_eq!(format!("{e}"), "ZoneHashMismatch");
+}

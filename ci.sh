@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Offline verification entry point. Everything here runs without network
+# access: no registry, no rustup, no downloads.
+#
+#   ./ci.sh          # full gate: build, test, fmt, clippy, baseline diff
+#   ./ci.sh quick    # tier-1 only (build + test)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" == "quick" ]]; then
+    echo "quick gate passed"
+    exit 0
+fi
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy --all-targets --release -- -D warnings"
+cargo clippy --all-targets --release -- -D warnings
+
+step "agora-harness baseline diff (BENCH_harness.json)"
+./target/release/agora-harness
+
+echo
+echo "full gate passed"

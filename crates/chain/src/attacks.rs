@@ -106,7 +106,12 @@ pub struct SelfishMiningResult {
 }
 
 /// Monte-Carlo simulate selfish mining (Eyal & Sirer's state machine).
-pub fn selfish_mining(alpha: f64, gamma: f64, blocks: u32, rng: &mut SimRng) -> SelfishMiningResult {
+pub fn selfish_mining(
+    alpha: f64,
+    gamma: f64,
+    blocks: u32,
+    rng: &mut SimRng,
+) -> SelfishMiningResult {
     let mut selfish_revenue = 0u64;
     let mut honest_revenue = 0u64;
     let mut private_lead = 0u64; // selfish pool's unpublished lead

@@ -119,7 +119,10 @@ mod tests {
             &SimKeyPair::from_seed(seed.as_bytes()),
             nonce,
             1,
-            TxPayload::App { tag: 1, data: vec![nonce as u8] },
+            TxPayload::App {
+                tag: 1,
+                data: vec![nonce as u8],
+            },
         )
     }
 

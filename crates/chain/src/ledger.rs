@@ -111,7 +111,10 @@ impl ChainState {
         let acct = tx.sender_account();
         let expected = self.nonce(&acct);
         if tx.nonce != expected {
-            return Err(TxError::BadNonce { expected, got: tx.nonce });
+            return Err(TxError::BadNonce {
+                expected,
+                got: tx.nonce,
+            });
         }
         if self.balance(&acct) < tx.total_debit() {
             return Err(TxError::InsufficientFunds);
@@ -471,11 +474,7 @@ mod tests {
 
     fn test_ledger() -> (Ledger, SimKeyPair) {
         let alice = keys("alice");
-        let ledger = Ledger::new(
-            "test",
-            ChainParams::test(),
-            &[(alice.public().id(), 1000)],
-        );
+        let ledger = Ledger::new("test", ChainParams::test(), &[(alice.public().id(), 1000)]);
         (ledger, alice)
     }
 
@@ -512,7 +511,15 @@ mod tests {
         let mut rng = SimRng::new(2);
         let miner = sha256(b"miner");
         let bob = keys("bob").public().id();
-        let tx = Transaction::create(&alice, 0, 2, TxPayload::Transfer { to: bob, amount: 100 });
+        let tx = Transaction::create(
+            &alice,
+            0,
+            2,
+            TxPayload::Transfer {
+                to: bob,
+                amount: 100,
+            },
+        );
         let txid = tx.id();
         let tip = ledger.best_tip();
         extend(&mut ledger, tip, miner, vec![tx], 1_000_000, &mut rng).unwrap();
@@ -533,10 +540,20 @@ mod tests {
             Transaction::create(&alice, 5, 1, TxPayload::Transfer { to: bob, amount: 1 });
         assert_eq!(
             ledger.state().validate_tx(&bad_nonce, ledger.params()),
-            Err(TxError::BadNonce { expected: 0, got: 5 })
+            Err(TxError::BadNonce {
+                expected: 0,
+                got: 5
+            })
         );
-        let overdraft =
-            Transaction::create(&alice, 0, 1, TxPayload::Transfer { to: bob, amount: 10_000 });
+        let overdraft = Transaction::create(
+            &alice,
+            0,
+            1,
+            TxPayload::Transfer {
+                to: bob,
+                amount: 10_000,
+            },
+        );
         assert_eq!(
             ledger.state().validate_tx(&overdraft, ledger.params()),
             Err(TxError::InsufficientFunds)
@@ -550,7 +567,10 @@ mod tests {
             &alice,
             0,
             1,
-            TxPayload::App { tag: 1, data: vec![0; ledger.params().max_payload_bytes + 1] },
+            TxPayload::App {
+                tag: 1,
+                data: vec![0; ledger.params().max_payload_bytes + 1],
+            },
         );
         assert_eq!(
             ledger.state().validate_tx(&huge, ledger.params()),
@@ -654,10 +674,21 @@ mod tests {
                 &alice,
                 i,
                 1,
-                TxPayload::App { tag: 7, data: vec![i as u8] },
+                TxPayload::App {
+                    tag: 7,
+                    data: vec![i as u8],
+                },
             );
             let tip = ledger.best_tip();
-            extend(&mut ledger, tip, miner, vec![tx], (i + 1) * 1_000_000, &mut rng).unwrap();
+            extend(
+                &mut ledger,
+                tip,
+                miner,
+                vec![tx],
+                (i + 1) * 1_000_000,
+                &mut rng,
+            )
+            .unwrap();
         }
         let app = ledger.app_txs(7);
         assert_eq!(app.len(), 3);
@@ -684,7 +715,10 @@ mod tests {
             extend(&mut ledger, tip, miner, vec![], i * 10, &mut rng).unwrap();
         }
         let next = ledger.next_difficulty(&ledger.best_tip());
-        assert!(next > initial, "difficulty should rise: {next} vs {initial}");
+        assert!(
+            next > initial,
+            "difficulty should rise: {next} vs {initial}"
+        );
         assert!(next <= initial + 2, "clamped to +2 per retarget");
     }
 

@@ -38,14 +38,7 @@ pub fn mine_block(
         header.nonce = header.nonce.wrapping_add(1);
         attempts += 1;
     }
-    (
-        Block {
-            header,
-            miner,
-            txs,
-        },
-        attempts,
-    )
+    (Block { header, miner, txs }, attempts)
 }
 
 /// Sample the simulated time a miner with `hashrate` (hashes/sec of
@@ -69,8 +62,7 @@ mod tests {
     #[test]
     fn mined_block_meets_difficulty() {
         let mut rng = SimRng::new(1);
-        let (block, attempts) =
-            mine_block(Hash256::ZERO, 1, sha256(b"m"), vec![], 0, 8, &mut rng);
+        let (block, attempts) = mine_block(Hash256::ZERO, 1, sha256(b"m"), vec![], 0, 8, &mut rng);
         assert!(block.header.meets_difficulty());
         assert!(block.merkle_valid());
         assert!(attempts >= 1);
@@ -84,9 +76,7 @@ mod tests {
         let avg = |bits: u32, rng: &mut SimRng| -> f64 {
             let n = 20;
             let total: u64 = (0..n)
-                .map(|i| {
-                    mine_block(sha256(&[i as u8]), 1, sha256(b"m"), vec![], 0, bits, rng).1
-                })
+                .map(|i| mine_block(sha256(&[i as u8]), 1, sha256(b"m"), vec![], 0, bits, rng).1)
                 .sum();
             total as f64 / n as f64
         };

@@ -226,7 +226,9 @@ impl Protocol for ChainNode {
         if tag != self.mining_epoch {
             return;
         }
-        let Some(miner) = self.miner.clone() else { return };
+        let Some(miner) = self.miner.clone() else {
+            return;
+        };
         let parent = self.ledger.best_tip();
         let height = self.ledger.best_height() + 1;
         let bits = self.ledger.next_difficulty(&parent);
@@ -311,11 +313,7 @@ mod tests {
         sim.run_for(SimDuration::from_secs(60));
         let tip = sim.node(ids[0]).ledger().best_tip();
         for &id in &ids[1..] {
-            assert_eq!(
-                sim.node(id).ledger().best_tip(),
-                tip,
-                "replicas diverged"
-            );
+            assert_eq!(sim.node(id).ledger().best_tip(), tip, "replicas diverged");
         }
         assert!(sim.node(ids[0]).ledger().best_height() >= 5);
     }
@@ -327,7 +325,15 @@ mod tests {
         let premine = vec![(alice.public().id(), 1000)];
         let (mut sim, ids) = build_net(3, 1, &premine, 44);
         sim.run_for(SimDuration::from_secs(2));
-        let tx = Transaction::create(&alice, 0, 1, TxPayload::Transfer { to: bob, amount: 10 });
+        let tx = Transaction::create(
+            &alice,
+            0,
+            1,
+            TxPayload::Transfer {
+                to: bob,
+                amount: 10,
+            },
+        );
         let txid = tx.id();
         // Submit at a non-miner node.
         let ok = sim
@@ -351,7 +357,15 @@ mod tests {
         let bob = SimKeyPair::from_seed(b"bob").public().id();
         let (mut sim, ids) = build_net(2, 1, &[], 45); // no premine ⇒ no funds
         sim.run_for(SimDuration::from_secs(1));
-        let tx = Transaction::create(&alice, 0, 1, TxPayload::Transfer { to: bob, amount: 10 });
+        let tx = Transaction::create(
+            &alice,
+            0,
+            1,
+            TxPayload::Transfer {
+                to: bob,
+                amount: 10,
+            },
+        );
         let ok = sim
             .with_ctx(ids[1], |node, ctx| node.submit_tx(ctx, tx))
             .unwrap();
@@ -379,10 +393,7 @@ mod tests {
         let users: Vec<SimKeyPair> = (0..3)
             .map(|i| SimKeyPair::from_seed(format!("fee-{i}").as_bytes()))
             .collect();
-        let premine: Vec<(Hash256, u64)> = users
-            .iter()
-            .map(|k| (k.public().id(), 1000))
-            .collect();
+        let premine: Vec<(Hash256, u64)> = users.iter().map(|k| (k.public().id(), 1000)).collect();
         let mut params = ChainParams::test();
         params.max_block_txs = 2;
         let mut node = ChainNode::new("fees", params, &premine, None);
@@ -398,7 +409,10 @@ mod tests {
                 u,
                 0,
                 fee,
-                TxPayload::Transfer { to: sha256(b"sink"), amount: 1 },
+                TxPayload::Transfer {
+                    to: sha256(b"sink"),
+                    amount: 1,
+                },
             );
             // Insert directly into the template-building node's mempool.
             sim.with_ctx(id, |_, ctx| {
@@ -425,7 +439,10 @@ mod tests {
                 &alice,
                 nonce,
                 1 + nonce, // later nonces pay more
-                TxPayload::Transfer { to: sha256(b"sink"), amount: 1 },
+                TxPayload::Transfer {
+                    to: sha256(b"sink"),
+                    amount: 1,
+                },
             );
             node.mempool.insert(tx.id(), tx);
         }

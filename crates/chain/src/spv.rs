@@ -161,7 +161,10 @@ mod tests {
                     &alice,
                     0,
                     1,
-                    TxPayload::Transfer { to: sha256(b"bob"), amount: 5 },
+                    TxPayload::Transfer {
+                        to: sha256(b"bob"),
+                        amount: 5,
+                    },
                 );
                 txid = tx.id();
                 vec![tx]

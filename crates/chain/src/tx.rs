@@ -36,9 +36,7 @@ pub enum TxPayload {
 impl TxPayload {
     fn encode(&self) -> Vec<u8> {
         match self {
-            TxPayload::Transfer { to, amount } => {
-                Enc::new().u8(0).hash(to).u64(*amount).done()
-            }
+            TxPayload::Transfer { to, amount } => Enc::new().u8(0).hash(to).u64(*amount).done(),
             TxPayload::App { tag, data } => Enc::new().u8(1).u32(*tag).bytes(data).done(),
         }
     }
@@ -81,12 +79,7 @@ impl Transaction {
         }
     }
 
-    fn signing_bytes(
-        sender: &SimPublicKey,
-        nonce: u64,
-        fee: u64,
-        payload: &TxPayload,
-    ) -> Vec<u8> {
+    fn signing_bytes(sender: &SimPublicKey, nonce: u64, fee: u64, payload: &TxPayload) -> Vec<u8> {
         Enc::new()
             .hash(&sender.id())
             .u64(nonce)
@@ -173,13 +166,45 @@ mod tests {
     #[test]
     fn ids_unique_per_content() {
         let k = keys("alice");
-        let t1 = Transaction::create(&k, 0, 1, TxPayload::App { tag: APP_NAMING, data: vec![1] });
-        let t2 = Transaction::create(&k, 1, 1, TxPayload::App { tag: APP_NAMING, data: vec![1] });
-        let t3 = Transaction::create(&k, 0, 1, TxPayload::App { tag: APP_NAMING, data: vec![2] });
+        let t1 = Transaction::create(
+            &k,
+            0,
+            1,
+            TxPayload::App {
+                tag: APP_NAMING,
+                data: vec![1],
+            },
+        );
+        let t2 = Transaction::create(
+            &k,
+            1,
+            1,
+            TxPayload::App {
+                tag: APP_NAMING,
+                data: vec![1],
+            },
+        );
+        let t3 = Transaction::create(
+            &k,
+            0,
+            1,
+            TxPayload::App {
+                tag: APP_NAMING,
+                data: vec![2],
+            },
+        );
         assert_ne!(t1.id(), t2.id());
         assert_ne!(t1.id(), t3.id());
         // Same content ⇒ same id (deterministic signing).
-        let t4 = Transaction::create(&k, 0, 1, TxPayload::App { tag: APP_NAMING, data: vec![1] });
+        let t4 = Transaction::create(
+            &k,
+            0,
+            1,
+            TxPayload::App {
+                tag: APP_NAMING,
+                data: vec![1],
+            },
+        );
         assert_eq!(t1.id(), t4.id());
     }
 
@@ -202,8 +227,24 @@ mod tests {
     #[test]
     fn wire_size_grows_with_payload() {
         let k = keys("alice");
-        let small = Transaction::create(&k, 0, 1, TxPayload::App { tag: 1, data: vec![0; 10] });
-        let big = Transaction::create(&k, 0, 1, TxPayload::App { tag: 1, data: vec![0; 1000] });
+        let small = Transaction::create(
+            &k,
+            0,
+            1,
+            TxPayload::App {
+                tag: 1,
+                data: vec![0; 10],
+            },
+        );
+        let big = Transaction::create(
+            &k,
+            0,
+            1,
+            TxPayload::App {
+                tag: 1,
+                data: vec![0; 1000],
+            },
+        );
         assert!(big.wire_size() > small.wire_size() + 900);
     }
 
@@ -212,7 +253,10 @@ mod tests {
         let alice = keys("alice");
         let mallory = keys("mallory");
         // Mallory signs a tx but claims Alice as sender.
-        let payload = TxPayload::Transfer { to: mallory.public().id(), amount: 100 };
+        let payload = TxPayload::Transfer {
+            to: mallory.public().id(),
+            amount: 100,
+        };
         let body = Transaction::signing_bytes(&alice.public(), 0, 1, &payload);
         let tx = Transaction {
             sender: alice.public(),

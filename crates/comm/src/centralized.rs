@@ -256,7 +256,9 @@ impl Protocol for CentralNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, CentralMsg>, op: u64) {
-        let Role::Client(c) = &mut self.role else { return };
+        let Role::Client(c) = &mut self.role else {
+            return;
+        };
         if let std::collections::hash_map::Entry::Vacant(e) = c.reads.entry(op) {
             if op < c.next_op {
                 e.insert(ReadResult::Unavailable);
@@ -272,15 +274,16 @@ mod tests {
     use crate::moderation::AbuseKind;
     use agora_sim::{DeviceClass, Simulation};
 
-    fn build(n_clients: usize, policy: ModerationPolicy, seed: u64) -> (Simulation<CentralNode>, NodeId, Vec<NodeId>) {
+    fn build(
+        n_clients: usize,
+        policy: ModerationPolicy,
+        seed: u64,
+    ) -> (Simulation<CentralNode>, NodeId, Vec<NodeId>) {
         let mut sim = Simulation::new(seed);
         let server = sim.add_node(CentralNode::server(policy), DeviceClass::DatacenterServer);
         let mut clients = Vec::new();
         for _ in 0..n_clients {
-            clients.push(sim.add_node(
-                CentralNode::client(server),
-                DeviceClass::PersonalComputer,
-            ));
+            clients.push(sim.add_node(CentralNode::client(server), DeviceClass::PersonalComputer));
         }
         for &c in &clients {
             sim.with_ctx(c, |n, ctx| n.join(ctx, 1)).unwrap();
@@ -314,9 +317,7 @@ mod tests {
             .unwrap();
         }
         sim.run_for(SimDuration::from_secs(5));
-        let op = sim
-            .with_ctx(clients[0], |n, ctx| n.read(ctx, 1))
-            .unwrap();
+        let op = sim.with_ctx(clients[0], |n, ctx| n.read(ctx, 1)).unwrap();
         sim.run_for(SimDuration::from_secs(5));
         assert_eq!(
             sim.node_mut(clients[0]).take_read(op),
@@ -328,9 +329,7 @@ mod tests {
     fn server_down_means_total_outage() {
         let (mut sim, server, clients) = build(3, ModerationPolicy::none(), 3);
         sim.kill(server);
-        let op = sim
-            .with_ctx(clients[0], |n, ctx| n.read(ctx, 1))
-            .unwrap();
+        let op = sim.with_ctx(clients[0], |n, ctx| n.read(ctx, 1)).unwrap();
         sim.run_for(SimDuration::from_secs(30));
         assert_eq!(
             sim.node_mut(clients[0]).take_read(op),

@@ -256,7 +256,9 @@ impl FedNode {
         is_origin: bool,
     ) {
         let me = ctx.id();
-        let Some(r) = s.rooms.get_mut(&post.room) else { return };
+        let Some(r) = s.rooms.get_mut(&post.room) else {
+            return;
+        };
         if is_origin || s.mode == ReplicationMode::FullReplication {
             r.posts.push(post);
         }
@@ -291,7 +293,15 @@ impl Protocol for FedNode {
                 }
                 let origin = r.origin.expect("set above");
                 for &p in &s.peers {
-                    ctx.send(p, FedMsg::Membership { room, client: from, home: me }, 20);
+                    ctx.send(
+                        p,
+                        FedMsg::Membership {
+                            room,
+                            client: from,
+                            home: me,
+                        },
+                        20,
+                    );
                     // First-joiner also gossips origin via membership order;
                     // peers learn origin from the first membership they see.
                     let _ = origin;
@@ -318,7 +328,9 @@ impl Protocol for FedNode {
                 }
                 // Federate to every instance with members in the room.
                 let targets: Vec<NodeId> = {
-                    let Some(r) = s.rooms.get(&post.room) else { return };
+                    let Some(r) = s.rooms.get(&post.room) else {
+                        return;
+                    };
                     let me = ctx.id();
                     let mut t: Vec<NodeId> = r
                         .members
@@ -359,7 +371,15 @@ impl Protocol for FedNode {
                             Some(o) => {
                                 // Forward to the origin; it answers the client
                                 // directly.
-                                ctx.send(o, FedMsg::RemoteRead { room, client: from, op }, 24);
+                                ctx.send(
+                                    o,
+                                    FedMsg::RemoteRead {
+                                        room,
+                                        client: from,
+                                        op,
+                                    },
+                                    24,
+                                );
                             }
                             None => {
                                 ctx.send(from, FedMsg::ReadResp { op, count: None }, 24);
@@ -394,7 +414,9 @@ impl Protocol for FedNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, FedMsg>, op: u64) {
-        let Role::Client(c) = &mut self.role else { return };
+        let Role::Client(c) = &mut self.role else {
+            return;
+        };
         if c.reads.contains_key(&op) {
             c.pending_reads.remove(&op);
             return;
@@ -454,7 +476,10 @@ mod tests {
 
     #[test]
     fn cross_instance_delivery() {
-        for mode in [ReplicationMode::SingleHome, ReplicationMode::FullReplication] {
+        for mode in [
+            ReplicationMode::SingleHome,
+            ReplicationMode::FullReplication,
+        ] {
             let (mut sim, _instances, clients) = build(mode, 1);
             sim.with_ctx(clients[0], |n, ctx| n.post(ctx, 1, 150, PostLabel::Legit))
                 .unwrap();
@@ -526,11 +551,19 @@ mod tests {
         let i0 = NodeId(0);
         let i1 = NodeId(1);
         sim.add_node(
-            FedNode::instance(vec![i1], ReplicationMode::FullReplication, ModerationPolicy::spam_only()),
+            FedNode::instance(
+                vec![i1],
+                ReplicationMode::FullReplication,
+                ModerationPolicy::spam_only(),
+            ),
             DeviceClass::DatacenterServer,
         );
         sim.add_node(
-            FedNode::instance(vec![i0], ReplicationMode::FullReplication, ModerationPolicy::platform_default()),
+            FedNode::instance(
+                vec![i0],
+                ReplicationMode::FullReplication,
+                ModerationPolicy::platform_default(),
+            ),
             DeviceClass::DatacenterServer,
         );
         let c0 = sim.add_node(FedNode::client(i0), DeviceClass::PersonalComputer);
@@ -542,16 +575,24 @@ mod tests {
         // Brigading from c0 (tolerant home) goes through; from c1 (strict
         // home) is mostly blocked at submission.
         for _ in 0..30 {
-            sim.with_ctx(c0, |n, ctx| n.post(ctx, 1, 50, PostLabel::Abuse(AbuseKind::Brigading)))
-                .unwrap();
-            sim.with_ctx(c1, |n, ctx| n.post(ctx, 1, 50, PostLabel::Abuse(AbuseKind::Brigading)))
-                .unwrap();
+            sim.with_ctx(c0, |n, ctx| {
+                n.post(ctx, 1, 50, PostLabel::Abuse(AbuseKind::Brigading))
+            })
+            .unwrap();
+            sim.with_ctx(c1, |n, ctx| {
+                n.post(ctx, 1, 50, PostLabel::Abuse(AbuseKind::Brigading))
+            })
+            .unwrap();
         }
         sim.run_for(SimDuration::from_secs(10));
         let tolerant = sim.node(i0).moderation_stats().unwrap();
         let strict = sim.node(i1).moderation_stats().unwrap();
         assert_eq!(tolerant.abuse_blocked, 0);
-        assert!(strict.abuse_blocked > 20, "blocked {}", strict.abuse_blocked);
+        assert!(
+            strict.abuse_blocked > 20,
+            "blocked {}",
+            strict.abuse_blocked
+        );
     }
 
     #[test]
@@ -562,11 +603,19 @@ mod tests {
         let i0 = NodeId(0);
         let i1 = NodeId(1);
         sim.add_node(
-            FedNode::instance(vec![i1], ReplicationMode::FullReplication, ModerationPolicy::none()),
+            FedNode::instance(
+                vec![i1],
+                ReplicationMode::FullReplication,
+                ModerationPolicy::none(),
+            ),
             DeviceClass::DatacenterServer,
         );
         sim.add_node(
-            FedNode::instance(vec![i0], ReplicationMode::FullReplication, ModerationPolicy::none()),
+            FedNode::instance(
+                vec![i0],
+                ReplicationMode::FullReplication,
+                ModerationPolicy::none(),
+            ),
             DeviceClass::DatacenterServer,
         );
         let author = sim.add_node(FedNode::client(i1), DeviceClass::PersonalComputer);
@@ -601,11 +650,19 @@ mod tests {
         let i0 = NodeId(0);
         let i1 = NodeId(1);
         sim.add_node(
-            FedNode::instance(vec![i1], ReplicationMode::SingleHome, ModerationPolicy::none()),
+            FedNode::instance(
+                vec![i1],
+                ReplicationMode::SingleHome,
+                ModerationPolicy::none(),
+            ),
             DeviceClass::DatacenterServer,
         );
         sim.add_node(
-            FedNode::instance(vec![i0], ReplicationMode::SingleHome, ModerationPolicy::none()),
+            FedNode::instance(
+                vec![i0],
+                ReplicationMode::SingleHome,
+                ModerationPolicy::none(),
+            ),
             DeviceClass::DatacenterServer,
         );
         let author = sim.add_node(FedNode::client(i0), DeviceClass::PersonalComputer);

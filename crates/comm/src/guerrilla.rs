@@ -119,7 +119,7 @@ pub struct UserState {
 
 enum Role {
     Relay(RelayState),
-    User(UserState),
+    User(Box<UserState>),
 }
 
 /// A guerrilla-relay participant.
@@ -133,7 +133,9 @@ impl RelayNode {
     /// The untrusted always-on relay.
     pub fn relay() -> RelayNode {
         RelayNode {
-            role: Role::Relay(RelayState { mailboxes: HashMap::new() }),
+            role: Role::Relay(RelayState {
+                mailboxes: HashMap::new(),
+            }),
         }
     }
 
@@ -143,7 +145,7 @@ impl RelayNode {
     pub fn user(relay: NodeId, owner_seed: &[u8]) -> RelayNode {
         let secret = tagged_hash("relay-feed-secret", owner_seed);
         RelayNode {
-            role: Role::User(UserState {
+            role: Role::User(Box::new(UserState {
                 relay,
                 my_cap: mint_capability(owner_seed),
                 feed_session: RatchetSession::initiator(&secret),
@@ -151,7 +153,7 @@ impl RelayNode {
                 results: HashMap::new(),
                 next_op: 0,
                 pushed: 0,
-            }),
+            })),
         }
     }
 
@@ -159,11 +161,16 @@ impl RelayNode {
     /// session secret (in a real deployment this travels in the friend
     /// handshake; the relay never sees it).
     pub fn subscribe(&mut self, owner: NodeId, owner_seed: &[u8]) {
-        let Role::User(u) = &mut self.role else { return };
+        let Role::User(u) = &mut self.role else {
+            return;
+        };
         let secret = tagged_hash("relay-feed-secret", owner_seed);
         u.subscriptions.insert(
             owner,
-            (RatchetSession::responder(&secret), mint_capability(owner_seed)),
+            (
+                RatchetSession::responder(&secret),
+                mint_capability(owner_seed),
+            ),
         );
     }
 
@@ -175,10 +182,15 @@ impl RelayNode {
 
     /// Owner action: push a sealed feed update to the relay.
     pub fn push_update(&mut self, ctx: &mut Ctx<'_, RelayMsg>, plaintext: &[u8]) {
-        let Role::User(u) = &mut self.role else { return };
+        let Role::User(u) = &mut self.role else {
+            return;
+        };
         let envelope = u.feed_session.encrypt(plaintext);
         u.pushed += 1;
-        let msg = RelayMsg::Push { envelope, bytes: plaintext.len() as u64 };
+        let msg = RelayMsg::Push {
+            envelope,
+            bytes: plaintext.len() as u64,
+        };
         let size = msg.wire_size();
         let relay = u.relay;
         ctx.send(relay, msg, size);
@@ -225,9 +237,10 @@ impl Protocol for RelayNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, RelayMsg>, from: NodeId, msg: RelayMsg) {
         match (&mut self.role, msg) {
             (Role::Relay(r), RelayMsg::Register { cap }) => {
-                r.mailboxes
-                    .entry(from)
-                    .or_insert(Mailbox { cap, envelopes: Vec::new() });
+                r.mailboxes.entry(from).or_insert(Mailbox {
+                    cap,
+                    envelopes: Vec::new(),
+                });
             }
             (Role::Relay(r), RelayMsg::Push { envelope, .. }) => {
                 // The relay observes push metadata but stores only sealed
@@ -287,7 +300,9 @@ impl Protocol for RelayNode {
     }
 
     fn on_timer(&mut self, _ctx: &mut Ctx<'_, RelayMsg>, op: u64) {
-        let Role::User(u) = &mut self.role else { return };
+        let Role::User(u) = &mut self.role else {
+            return;
+        };
         if op < u.next_op {
             u.results.entry(op).or_insert(RelayResult::Unavailable);
         }
@@ -302,10 +317,18 @@ mod tests {
     fn build(seed: u64) -> (Simulation<RelayNode>, NodeId, NodeId, NodeId, NodeId) {
         let mut sim = Simulation::new(seed);
         let relay = sim.add_node(RelayNode::relay(), DeviceClass::DatacenterServer);
-        let owner = sim.add_node(RelayNode::user(relay, b"owner"), DeviceClass::PersonalComputer);
-        let friend = sim.add_node(RelayNode::user(relay, b"friend"), DeviceClass::PersonalComputer);
-        let stranger =
-            sim.add_node(RelayNode::user(relay, b"stranger"), DeviceClass::PersonalComputer);
+        let owner = sim.add_node(
+            RelayNode::user(relay, b"owner"),
+            DeviceClass::PersonalComputer,
+        );
+        let friend = sim.add_node(
+            RelayNode::user(relay, b"friend"),
+            DeviceClass::PersonalComputer,
+        );
+        let stranger = sim.add_node(
+            RelayNode::user(relay, b"stranger"),
+            DeviceClass::PersonalComputer,
+        );
         sim.node_mut(friend).subscribe(owner, b"owner");
         sim.with_ctx(owner, |n, ctx| n.register(ctx));
         sim.run_for(SimDuration::from_secs(2));
@@ -337,7 +360,9 @@ mod tests {
         let (mut sim, _relay, owner, _friend, stranger) = build(2);
         sim.with_ctx(owner, |n, ctx| n.push_update(ctx, b"secret"));
         sim.run_for(SimDuration::from_secs(2));
-        let op = sim.with_ctx(stranger, |n, ctx| n.fetch(ctx, owner)).unwrap();
+        let op = sim
+            .with_ctx(stranger, |n, ctx| n.fetch(ctx, owner))
+            .unwrap();
         sim.run_for(SimDuration::from_secs(20));
         assert_eq!(
             sim.node_mut(stranger).take_result(op),

@@ -23,8 +23,8 @@
 #![warn(missing_docs)]
 
 pub mod centralized;
-pub mod guerrilla;
 pub mod federated;
+pub mod guerrilla;
 pub mod moderation;
 pub mod posts;
 pub mod ratchet;

@@ -181,7 +181,9 @@ mod tests {
         let strict = ModerationPolicy::strict();
         let normal = ModerationPolicy::platform_default();
         let count = |p: &ModerationPolicy, rng: &mut SimRng| {
-            (0..2000).filter(|_| p.blocks(PostLabel::Legit, rng)).count()
+            (0..2000)
+                .filter(|_| p.blocks(PostLabel::Legit, rng))
+                .count()
         };
         let s = count(&strict, &mut rng);
         let n = count(&normal, &mut rng);

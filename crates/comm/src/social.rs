@@ -120,7 +120,13 @@ impl SocialNode {
         let op = self.next_op;
         self.next_op += 1;
         ctx.send(owner, SocialMsg::Fetch { owner, op }, 16);
-        self.pending.insert(op, PendingRead { owner, tried_cache: false });
+        self.pending.insert(
+            op,
+            PendingRead {
+                owner,
+                tried_cache: false,
+            },
+        );
         ctx.set_timer(FETCH_TIMEOUT, op);
         op
     }
@@ -131,7 +137,9 @@ impl SocialNode {
     }
 
     fn fallback_to_caches(&mut self, ctx: &mut Ctx<'_, SocialMsg>, op: u64) {
-        let Some(p) = self.pending.get_mut(&op) else { return };
+        let Some(p) = self.pending.get_mut(&op) else {
+            return;
+        };
         if p.tried_cache {
             self.pending.remove(&op);
             self.reads.insert(op, ReadResult::Unavailable);
@@ -184,7 +192,11 @@ impl Protocol for SocialNode {
                         ctx.metrics().incr("comm.untrusted_rejected", 1);
                         None
                     };
-                    let resp = SocialMsg::FetchResp { op, count, from_cache: false };
+                    let resp = SocialMsg::FetchResp {
+                        op,
+                        count,
+                        from_cache: false,
+                    };
                     let size = resp.wire_size();
                     ctx.send(from, resp, size);
                 } else {
@@ -194,13 +206,23 @@ impl Protocol for SocialNode {
                     } else {
                         None
                     };
-                    let resp = SocialMsg::FetchResp { op, count, from_cache: true };
+                    let resp = SocialMsg::FetchResp {
+                        op,
+                        count,
+                        from_cache: true,
+                    };
                     let size = resp.wire_size();
                     ctx.send(from, resp, size);
                 }
             }
-            SocialMsg::FetchResp { op, count, from_cache } => {
-                let Some(p) = self.pending.get(&op) else { return };
+            SocialMsg::FetchResp {
+                op,
+                count,
+                from_cache,
+            } => {
+                let Some(p) = self.pending.get(&op) else {
+                    return;
+                };
                 match count {
                     Some(n) => {
                         self.pending.remove(&op);
@@ -244,10 +266,22 @@ mod tests {
         let n1 = NodeId(1);
         let n2 = NodeId(2);
         let n3 = NodeId(3);
-        sim.add_node(SocialNode::new(vec![n1, n2], caching), DeviceClass::PersonalComputer);
-        sim.add_node(SocialNode::new(vec![n0, n2], caching), DeviceClass::PersonalComputer);
-        sim.add_node(SocialNode::new(vec![n0, n1], caching), DeviceClass::PersonalComputer);
-        sim.add_node(SocialNode::new(vec![], caching), DeviceClass::PersonalComputer);
+        sim.add_node(
+            SocialNode::new(vec![n1, n2], caching),
+            DeviceClass::PersonalComputer,
+        );
+        sim.add_node(
+            SocialNode::new(vec![n0, n2], caching),
+            DeviceClass::PersonalComputer,
+        );
+        sim.add_node(
+            SocialNode::new(vec![n0, n1], caching),
+            DeviceClass::PersonalComputer,
+        );
+        sim.add_node(
+            SocialNode::new(vec![], caching),
+            DeviceClass::PersonalComputer,
+        );
         (sim, vec![n0, n1, n2, n3])
     }
 

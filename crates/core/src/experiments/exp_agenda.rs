@@ -7,7 +7,7 @@
 //!   capability-gated encrypted relay.
 
 use agora_comm::{
-    CentralNode, FedNode, ModerationPolicy, PostLabel, RelayNode, RelayResult, ReadResult,
+    CentralNode, FedNode, ModerationPolicy, PostLabel, ReadResult, RelayNode, RelayResult,
     ReplicationMode, SocialNode,
 };
 use agora_sim::{DeviceClass, NodeId, SimDuration, Simulation};
@@ -46,7 +46,11 @@ fn failover_run(seed: u64, mode: ReplicationMode, backups: bool) -> (f64, u64) {
     for i in 0..N {
         let home = instance_ids[i];
         let backup_list: Vec<NodeId> = if backups {
-            instance_ids.iter().copied().filter(|&p| p != home).collect()
+            instance_ids
+                .iter()
+                .copied()
+                .filter(|&p| p != home)
+                .collect()
         } else {
             Vec::new()
         };
@@ -146,12 +150,12 @@ pub fn e11_guerrilla_relay(seed: u64) -> (E11Result, Report) {
     // -- pure social P2P (no caching: the worst case the relay fixes) -----
     let mut sim = Simulation::new(seed);
     let ids: Vec<NodeId> = (0..4u32).map(NodeId).collect();
-    for i in 0..4usize {
-        let friends: Vec<NodeId> = (0..4u32)
-            .map(NodeId)
-            .filter(|&f| f != ids[i])
-            .collect();
-        sim.add_node(SocialNode::new(friends, false), DeviceClass::PersonalComputer);
+    for &id in &ids {
+        let friends: Vec<NodeId> = (0..4u32).map(NodeId).filter(|&f| f != id).collect();
+        sim.add_node(
+            SocialNode::new(friends, false),
+            DeviceClass::PersonalComputer,
+        );
     }
     sim.with_ctx(ids[0], |n, ctx| n.post(ctx, 200, PostLabel::Legit));
     sim.run_for(SimDuration::from_secs(3));
@@ -174,7 +178,10 @@ pub fn e11_guerrilla_relay(seed: u64) -> (E11Result, Report) {
     // -- relay-backed --------------------------------------------------------
     let mut sim = Simulation::new(seed + 1);
     let relay = sim.add_node(RelayNode::relay(), DeviceClass::DatacenterServer);
-    let owner = sim.add_node(RelayNode::user(relay, b"e11-owner"), DeviceClass::PersonalComputer);
+    let owner = sim.add_node(
+        RelayNode::user(relay, b"e11-owner"),
+        DeviceClass::PersonalComputer,
+    );
     let mut friends = Vec::new();
     for i in 0..3 {
         let f = sim.add_node(
@@ -269,6 +276,28 @@ pub fn centralized_read_ceiling(seed: u64) -> f64 {
         Some(ReadResult::Ok(_)) => 1.0,
         _ => 0.0,
     }
+}
+
+/// Flatten an E10 run into harness metrics (keys `e10.*`).
+pub fn e10_metrics(seed: u64) -> agora_sim::Metrics {
+    let (r, _) = e10_federated_failover(seed);
+    let mut m = agora_sim::Metrics::new();
+    m.gauge_set("e10.replicated_no_failover", r.replicated_no_failover);
+    m.gauge_set("e10.replicated_with_failover", r.replicated_with_failover);
+    m.gauge_set("e10.single_home_with_failover", r.single_home_with_failover);
+    m.incr("e10.failovers", r.failovers);
+    m
+}
+
+/// Flatten an E11 run into harness metrics (keys `e11.*`).
+pub fn e11_metrics(seed: u64) -> agora_sim::Metrics {
+    let (r, _) = e11_guerrilla_relay(seed);
+    let mut m = agora_sim::Metrics::new();
+    m.gauge_set("e11.p2p_owner_offline", r.p2p_owner_offline);
+    m.gauge_set("e11.relay_owner_offline", r.relay_owner_offline);
+    m.incr("e11.relay_metadata", r.relay_metadata);
+    m.incr("e11.stranger_refusals", r.stranger_refusals);
+    m
 }
 
 #[cfg(test)]

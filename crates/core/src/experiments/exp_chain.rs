@@ -1,9 +1,7 @@
 //! E9: the costs of blockchains — wasteful mining, the endless ledger,
 //! and attack exposure — measured on a running chain.
 
-use agora_chain::{
-    selfish_mining, ChainNode, ChainParams, MinerConfig, Transaction, TxPayload,
-};
+use agora_chain::{selfish_mining, ChainNode, ChainParams, MinerConfig, Transaction, TxPayload};
 use agora_crypto::{sha256, Hash256, SimKeyPair};
 use agora_sim::{DeviceClass, NodeId, SimDuration, SimRng, Simulation};
 
@@ -27,9 +25,11 @@ pub struct E9Result {
 /// E9: run a multi-miner chain for a simulated day under transaction load,
 /// then report the §3.1-cited costs.
 pub fn e9_chain_costs(seed: u64) -> (E9Result, Report) {
-    let mut params = ChainParams::default();
-    params.target_block_interval = SimDuration::from_secs(120);
-    params.initial_difficulty_bits = 10;
+    let params = ChainParams {
+        target_block_interval: SimDuration::from_secs(120),
+        initial_difficulty_bits: 10,
+        ..ChainParams::default()
+    };
     let user = SimKeyPair::from_seed(b"e9-user");
     let premine: Vec<(Hash256, u64)> = vec![(user.public().id(), 10_000_000)];
 
@@ -60,12 +60,8 @@ pub fn e9_chain_costs(seed: u64) -> (E9Result, Report) {
     let mut nonce = 0u64;
     for hour in 0..24 {
         for _ in 0..4 {
-            let tx = Transaction::create(
-                &user,
-                nonce,
-                1,
-                TxPayload::Transfer { to: bob, amount: 1 },
-            );
+            let tx =
+                Transaction::create(&user, nonce, 1, TxPayload::Transfer { to: bob, amount: 1 });
             nonce += 1;
             sim.with_ctx(ids[3], |n, ctx| {
                 n.submit_tx(ctx, tx);
@@ -118,7 +114,11 @@ pub fn e9_chain_costs(seed: u64) -> (E9Result, Report) {
             alpha,
             share,
             fair,
-            if share > fair { "  ← profitable deviation" } else { "" }
+            if share > fair {
+                "  ← profitable deviation"
+            } else {
+                ""
+            }
         ));
     }
     (
@@ -134,6 +134,21 @@ pub fn e9_chain_costs(seed: u64) -> (E9Result, Report) {
     )
 }
 
+/// Flatten an E9 run into harness metrics (keys `e9.*`).
+pub fn e9_metrics(seed: u64) -> agora_sim::Metrics {
+    let (r, _) = e9_chain_costs(seed);
+    let mut m = agora_sim::Metrics::new();
+    m.gauge_set("e9.hashes_per_confirmed_tx", r.hashes_per_confirmed_tx);
+    m.gauge_set("e9.ledger_bytes_per_day", r.ledger_bytes_per_day);
+    m.incr("e9.confirmed_txs", r.confirmed_txs);
+    m.incr("e9.reorgs", r.reorgs);
+    for (alpha, selfish, fair) in &r.selfish_curve {
+        m.gauge_set(&format!("e9.selfish_share.a{alpha:.2}"), *selfish);
+        m.gauge_set(&format!("e9.fair_share.a{alpha:.2}"), *fair);
+    }
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,7 +162,10 @@ mod tests {
         assert!(r.ledger_bytes_per_day > 1000.0, "{r:?}");
         // Selfish mining profitable at 1/3 with gamma 0.5.
         let at_33 = r.selfish_curve.iter().find(|(a, _, _)| *a == 0.33).unwrap();
-        assert!(at_33.1 > at_33.2, "selfish should beat fair at 0.33: {at_33:?}");
+        assert!(
+            at_33.1 > at_33.2,
+            "selfish should beat fair at 0.33: {at_33:?}"
+        );
         assert!(report.body.contains("endless ledger"));
     }
 }

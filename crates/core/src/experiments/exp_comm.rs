@@ -116,12 +116,9 @@ fn run_federated(seed: u64, failure_fraction: f64, mode: ReplicationMode) -> Com
         );
     }
     let mut clients = Vec::new();
-    for i in 0..N_INSTANCES {
+    for &instance in &instance_ids {
         for _ in 0..CLIENTS_PER_INSTANCE {
-            clients.push(sim.add_node(
-                FedNode::client(instance_ids[i]),
-                DeviceClass::PersonalComputer,
-            ));
+            clients.push(sim.add_node(FedNode::client(instance), DeviceClass::PersonalComputer));
         }
     }
     for &c in &clients {
@@ -317,6 +314,36 @@ pub fn e4_privacy(seed: u64) -> (E4Result, Report) {
     )
 }
 
+fn comm_outcome_metrics(m: &mut Metrics, prefix: &str, o: &CommOutcome) {
+    m.gauge_set(&format!("{prefix}.delivery_rate"), o.delivery_rate);
+    m.gauge_set(&format!("{prefix}.read_success"), o.read_success);
+    m.gauge_set(&format!("{prefix}.metadata_per_post"), o.metadata_per_post);
+}
+
+/// Flatten an E3 run at one failure fraction into harness metrics
+/// (keys `e3.*`). The failure fraction is the harness sweep parameter.
+pub fn e3_metrics(seed: u64, failure_fraction: f64) -> Metrics {
+    let (r, _) = e3_groupcomm_availability(seed, failure_fraction);
+    let mut m = Metrics::new();
+    comm_outcome_metrics(&mut m, "e3.centralized", &r.centralized);
+    comm_outcome_metrics(&mut m, "e3.single_home", &r.single_home);
+    comm_outcome_metrics(&mut m, "e3.replicated", &r.replicated);
+    comm_outcome_metrics(&mut m, "e3.social", &r.social);
+    m
+}
+
+/// Flatten an E4 run into harness metrics (keys `e4.*`).
+pub fn e4_metrics(seed: u64) -> Metrics {
+    let (r, _) = e4_privacy(seed);
+    let mut m = Metrics::new();
+    m.gauge_set("e4.centralized_metadata", r.centralized_metadata);
+    m.gauge_set("e4.single_home_metadata", r.single_home_metadata);
+    m.gauge_set("e4.replicated_metadata", r.replicated_metadata);
+    m.gauge_set("e4.social_server_metadata", r.social_server_metadata);
+    m.incr("e4.social_denied_reads", r.social_denied_reads);
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +386,9 @@ mod tests {
         assert!(r.centralized_metadata > 0.0);
         assert!(r.single_home_metadata > 0.0);
         assert!(r.replicated_metadata > 0.0);
-        assert!(r.social_denied_reads == 0, "friends-only reads in this workload");
+        assert!(
+            r.social_denied_reads == 0,
+            "friends-only reads in this workload"
+        );
     }
 }

@@ -74,18 +74,12 @@ fn federation_moderation_run(seed: u64, policies: Vec<ModerationPolicy>) -> (f64
 /// E12: moderation vs freedom across federation policy mixes.
 pub fn e12_moderation_tension(seed: u64) -> (E12Result, Report) {
     let configs: Vec<(&str, Vec<ModerationPolicy>)> = vec![
-        (
-            "all instances: none",
-            vec![ModerationPolicy::none(); 3],
-        ),
+        ("all instances: none", vec![ModerationPolicy::none(); 3]),
         (
             "all instances: platform-default",
             vec![ModerationPolicy::platform_default(); 3],
         ),
-        (
-            "all instances: strict",
-            vec![ModerationPolicy::strict(); 3],
-        ),
+        ("all instances: strict", vec![ModerationPolicy::strict(); 3]),
         (
             "mixed: strict + default + tolerant",
             vec![
@@ -185,7 +179,10 @@ pub struct E13Result {
 /// funded by ~$15/month of donations; blockchain naming costs users ~$0.50
 /// of fees/month amortized; user devices contribute idle resources at ~$0.30
 /// of marginal energy.
-pub fn e13_financing_gap() -> (E13Result, Report) {
+/// The model is analytic (no randomness); the seed parameter keeps the
+/// signature uniform with every other experiment so the harness can drive
+/// them all through one entry-point shape.
+pub fn e13_financing_gap(_seed: u64) -> (E13Result, Report) {
     let rows = vec![
         CostRow {
             label: "Centralized platform",
@@ -251,6 +248,33 @@ pub fn e13_financing_gap() -> (E13Result, Report) {
     )
 }
 
+/// Flatten an E12 run into harness metrics (keys `e12.*`).
+pub fn e12_metrics(seed: u64) -> agora_sim::Metrics {
+    use super::metric_key_segment;
+    let (r, _) = e12_moderation_tension(seed);
+    let mut m = agora_sim::Metrics::new();
+    for (label, leak, suppression) in &r.rows {
+        let key = metric_key_segment(label);
+        m.gauge_set(&format!("e12.{key}.abuse_leak"), *leak);
+        m.gauge_set(&format!("e12.{key}.legit_suppression"), *suppression);
+    }
+    m
+}
+
+/// Flatten an E13 run into harness metrics (keys `e13.*`).
+pub fn e13_metrics(seed: u64) -> agora_sim::Metrics {
+    use super::metric_key_segment;
+    let (r, _) = e13_financing_gap(seed);
+    let mut m = agora_sim::Metrics::new();
+    for row in &r.rows {
+        let key = metric_key_segment(row.label);
+        m.gauge_set(&format!("e13.{key}.infra_cost"), row.infra_cost);
+        m.gauge_set(&format!("e13.{key}.revenue"), row.revenue);
+        m.gauge_set(&format!("e13.{key}.surplus"), row.surplus());
+    }
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,19 +299,28 @@ mod tests {
         // Stricter ⇒ less leak, more suppression.
         assert!(default.1 < none.1);
         assert!(strict.1 <= default.1 + 0.02);
-        assert!(strict.2 > default.2, "strict {strict:?} vs default {default:?}");
+        assert!(
+            strict.2 > default.2,
+            "strict {strict:?} vs default {default:?}"
+        );
         // Mixed leaks more than uniformly-default: the tolerant instance's
         // abusers reach the whole room.
-        assert!(mixed.1 > default.1, "mixed {mixed:?} vs default {default:?}");
+        assert!(
+            mixed.1 > default.1,
+            "mixed {mixed:?} vs default {default:?}"
+        );
         assert!(report.body.contains("Pareto"));
     }
 
     #[test]
     fn e13_financing_shape() {
-        let (r, report) = e13_financing_gap();
+        let (r, report) = e13_financing_gap(0);
         let get = |label: &str| r.rows.iter().find(|x| x.label == label).expect("row");
         assert!(get("Centralized platform").surplus() > 1.0);
-        assert!(get("Federated instance").surplus() < 0.0, "structural deficit");
+        assert!(
+            get("Federated instance").surplus() < 0.0,
+            "structural deficit"
+        );
         assert_eq!(get("Blockchain-backed").surplus(), 0.0);
         assert_eq!(get("Socially-aware P2P").revenue, 0.0);
         assert!(report.body.contains("financial constraints"));

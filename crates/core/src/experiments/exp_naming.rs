@@ -47,8 +47,7 @@ pub fn e1_naming_tradeoff(seed: u64) -> (E1Result, Report) {
     let pc = DeviceClass::PersonalComputer.profile();
     let dc = DeviceClass::DatacenterServer.profile();
     // One round trip over the access links (jitter-free expectation).
-    let central_latency_secs =
-        2.0 * (pc.base_latency.secs_f64() + dc.base_latency.secs_f64());
+    let central_latency_secs = 2.0 * (pc.base_latency.secs_f64() + dc.base_latency.secs_f64());
     let n_central = 200;
     for i in 0..n_central {
         registrar
@@ -58,10 +57,12 @@ pub fn e1_naming_tradeoff(seed: u64) -> (E1Result, Report) {
     let central_throughput = 1.0 / central_latency_secs;
 
     // --- blockchain path --------------------------------------------------
-    let mut params = ChainParams::default();
-    params.target_block_interval = SimDuration::from_secs(60); // 10x scale
-    params.initial_difficulty_bits = 10;
-    params.confirmation_depth = 6;
+    let params = ChainParams {
+        target_block_interval: SimDuration::from_secs(60), // 10x scale
+        initial_difficulty_bits: 10,
+        confirmation_depth: 6,
+        ..ChainParams::default()
+    };
     let user = SimKeyPair::from_seed(b"e1-user");
     let premine: Vec<(Hash256, u64)> = vec![(user.public().id(), 1_000_000)];
 
@@ -143,15 +144,17 @@ pub fn e1_naming_tradeoff(seed: u64) -> (E1Result, Report) {
         .get(latencies.len() / 2)
         .copied()
         .unwrap_or(f64::INFINITY);
-    let chain_throughput = params.max_block_txs as f64
-        / params.target_block_interval.secs_f64();
+    let chain_throughput = params.max_block_txs as f64 / params.target_block_interval.secs_f64();
 
     // Check the names actually resolve via the derived NameDb.
     let db = NameDb::from_ledger(sim.node(ids[0]).ledger(), &rules);
     let resolvable = (0..submitted)
         .filter(|i| {
-            db.resolve(&format!("user-{i}.agora"), sim.node(ids[0]).ledger().best_height())
-                .is_some()
+            db.resolve(
+                &format!("user-{i}.agora"),
+                sim.node(ids[0]).ledger().best_height(),
+            )
+            .is_some()
         })
         .count();
 
@@ -256,8 +259,22 @@ pub fn e2_naming_attacks(seed: u64) -> (E2Result, Report) {
     }
     wot.claim(rogue_id, "bank.example", sha256(b"attacker-key"));
     wot.endorse(honest, sybils[0]); // one social-engineered keysigning
-    let wot_sybil_q1 = wot.verify(&[anchor], rogue_id, "bank.example", sha256(b"attacker-key"), 4, 1);
-    let wot_sybil_q2 = wot.verify(&[anchor], rogue_id, "bank.example", sha256(b"attacker-key"), 4, 2);
+    let wot_sybil_q1 = wot.verify(
+        &[anchor],
+        rogue_id,
+        "bank.example",
+        sha256(b"attacker-key"),
+        4,
+        1,
+    );
+    let wot_sybil_q2 = wot.verify(
+        &[anchor],
+        rogue_id,
+        "bank.example",
+        sha256(b"attacker-key"),
+        4,
+        2,
+    );
 
     let result = E2Result {
         front_run_no_preorder: no_pre,
@@ -276,7 +293,10 @@ pub fn e2_naming_attacks(seed: u64) -> (E2Result, Report) {
         100.0 * result.front_run_with_preorder,
     );
     for (alpha, p) in &result.rewrite_curve {
-        body.push_str(&format!("  alpha {:>4.2} → theft probability {:>6.3}\n", alpha, p));
+        body.push_str(&format!(
+            "  alpha {:>4.2} → theft probability {:>6.3}\n",
+            alpha, p
+        ));
     }
     body.push_str(&format!(
         "\nCA compromise mints accepted rogue cert : {}\n\
@@ -294,6 +314,41 @@ pub fn e2_naming_attacks(seed: u64) -> (E2Result, Report) {
             body,
         },
     )
+}
+
+/// Flatten an E1 run into harness metrics (keys `e1.*`).
+pub fn e1_metrics(seed: u64) -> agora_sim::Metrics {
+    let (r, _) = e1_naming_tradeoff(seed);
+    let mut m = agora_sim::Metrics::new();
+    m.gauge_set("e1.central_latency_secs", r.central_latency_secs);
+    m.gauge_set("e1.chain_latency_secs", r.chain_latency_secs);
+    m.gauge_set(
+        "e1.central_throughput_ops",
+        r.central_throughput_ops_per_sec,
+    );
+    m.gauge_set("e1.chain_throughput_ops", r.chain_throughput_ops_per_sec);
+    m.gauge_set("e1.latency_factor", r.latency_factor());
+    m.incr("e1.confirmed", r.confirmed as u64);
+    m.incr("e1.submitted", r.submitted as u64);
+    m
+}
+
+/// Flatten an E2 run into harness metrics (keys `e2.*`).
+pub fn e2_metrics(seed: u64) -> agora_sim::Metrics {
+    let (r, _) = e2_naming_attacks(seed);
+    let mut m = agora_sim::Metrics::new();
+    m.gauge_set("e2.front_run_no_preorder", r.front_run_no_preorder);
+    m.gauge_set("e2.front_run_with_preorder", r.front_run_with_preorder);
+    for (alpha, theft) in &r.rewrite_curve {
+        m.gauge_set(&format!("e2.rewrite_theft.a{alpha:.2}"), *theft);
+    }
+    m.gauge_set(
+        "e2.ca_compromise_succeeds",
+        r.ca_compromise_succeeds as u64 as f64,
+    );
+    m.gauge_set("e2.wot_sybil_q1", r.wot_sybil_q1 as u64 as f64);
+    m.gauge_set("e2.wot_sybil_q2", r.wot_sybil_q2 as u64 as f64);
+    m
 }
 
 #[cfg(test)]

@@ -3,8 +3,8 @@
 
 use agora_sim::{DeviceClass, NodeId, SimDuration, SimRng, Simulation};
 use agora_storage::{
-    discard_detection_probability, play_porep_game, simulate_durability, AttackEnv,
-    CheatStrategy, DurabilityParams, ProviderStrategy, StorageNode, StorageResult,
+    discard_detection_probability, play_porep_game, simulate_durability, AttackEnv, CheatStrategy,
+    DurabilityParams, ProviderStrategy, StorageNode, StorageResult,
 };
 
 use super::Report;
@@ -54,7 +54,10 @@ pub fn e5_storage_proofs(seed: u64) -> (E5Result, Report) {
         } else {
             ProviderStrategy::Honest
         };
-        providers.push(sim.add_node(StorageNode::provider(strategy), DeviceClass::PersonalComputer));
+        providers.push(sim.add_node(
+            StorageNode::provider(strategy),
+            DeviceClass::PersonalComputer,
+        ));
     }
     let client = sim.add_node(
         StorageNode::client(providers.clone(), SimDuration::from_secs(30)),
@@ -240,7 +243,10 @@ fn run_storage_quality(
         sim.run_for(SimDuration::from_mins(10)); // let churn move between gets
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let p50 = latencies.get(latencies.len() / 2).copied().unwrap_or(f64::NAN);
+    let p50 = latencies
+        .get(latencies.len() / 2)
+        .copied()
+        .unwrap_or(f64::NAN);
     (ok as f64 / gets as f64, p50)
 }
 
@@ -250,7 +256,8 @@ pub fn e8_quality_vs_quantity(seed: u64) -> (E8Result, Report) {
     let gets = 8;
     let (dc_ok, dc_p50) =
         run_storage_quality(seed, DeviceClass::DatacenterServer, false, 4, 2, gets);
-    let (dev_lo, _) = run_storage_quality(seed + 1, DeviceClass::PersonalComputer, true, 4, 2, gets);
+    let (dev_lo, _) =
+        run_storage_quality(seed + 1, DeviceClass::PersonalComputer, true, 4, 2, gets);
     let (dev_hi, dev_p50) =
         run_storage_quality(seed + 2, DeviceClass::PersonalComputer, true, 4, 8, gets);
     let result = E8Result {
@@ -285,6 +292,49 @@ pub fn e8_quality_vs_quantity(seed: u64) -> (E8Result, Report) {
             body,
         },
     )
+}
+
+/// Flatten an E5 run into harness metrics (keys `e5.*`).
+pub fn e5_metrics(seed: u64) -> agora_sim::Metrics {
+    use super::metric_key_segment;
+    let (r, _) = e5_storage_proofs(seed);
+    let mut m = agora_sim::Metrics::new();
+    for (strategy, pass_rate) in &r.porep {
+        let key = metric_key_segment(&format!("{strategy:?}"));
+        m.gauge_set(&format!("e5.porep_pass.{key}"), *pass_rate);
+    }
+    for (keep, detection) in &r.discard_curve {
+        m.gauge_set(&format!("e5.discard_detect.k{keep:.2}"), *detection);
+    }
+    m.incr("e5.protocol_audit_failures", r.protocol_audit_failures);
+    m.incr("e5.protocol_repairs", r.protocol_repairs);
+    m
+}
+
+/// Flatten an E6 run into harness metrics (keys `e6.*`).
+pub fn e6_metrics(seed: u64) -> agora_sim::Metrics {
+    use super::metric_key_segment;
+    let (r, _) = e6_durability(seed);
+    let mut m = agora_sim::Metrics::new();
+    for (label, overhead, survival, repair) in &r.rows {
+        let key = metric_key_segment(label);
+        m.gauge_set(&format!("e6.{key}.overhead"), *overhead);
+        m.gauge_set(&format!("e6.{key}.survival"), *survival);
+        m.gauge_set(&format!("e6.{key}.repair_per_object_year"), *repair);
+    }
+    m
+}
+
+/// Flatten an E8 run into harness metrics (keys `e8.*`).
+pub fn e8_metrics(seed: u64) -> agora_sim::Metrics {
+    let (r, _) = e8_quality_vs_quantity(seed);
+    let mut m = agora_sim::Metrics::new();
+    m.gauge_set("e8.datacenter_success", r.datacenter_success);
+    m.gauge_set("e8.device_success_low", r.device_success_low);
+    m.gauge_set("e8.device_success_high", r.device_success_high);
+    m.gauge_set("e8.datacenter_p50_secs", r.datacenter_p50_secs);
+    m.gauge_set("e8.device_p50_secs", r.device_p50_secs);
+    m
 }
 
 #[cfg(test)]

@@ -54,12 +54,9 @@ fn run_mode(seed: u64, n_instances: usize, mode: ReplicationMode) -> (f64, u64, 
         );
     }
     let mut clients = Vec::new();
-    for i in 0..n_instances {
+    for &instance in &instance_ids {
         for _ in 0..CLIENTS_PER_INSTANCE {
-            clients.push(sim.add_node(
-                FedNode::client(instance_ids[i]),
-                DeviceClass::PersonalComputer,
-            ));
+            clients.push(sim.add_node(FedNode::client(instance), DeviceClass::PersonalComputer));
         }
     }
     // One "newsgroup" per instance; its first joiner (a local client) makes
@@ -118,8 +115,12 @@ pub fn e14_usenet_collapse(seed: u64) -> (E14Result, Report) {
     let result = E14Result { rows };
     let mut body = format!(
         "{:>9} {:>11} {:>22} {:>22} {:>14} {:>14}\n",
-        "instances", "total posts", "stored/instance (repl)", "stored/instance (s-h)",
-        "bytes (repl)", "bytes (s-h)"
+        "instances",
+        "total posts",
+        "stored/instance (repl)",
+        "stored/instance (s-h)",
+        "bytes (repl)",
+        "bytes (s-h)"
     );
     for r in &result.rows {
         body.push_str(&format!(
@@ -151,6 +152,30 @@ pub fn e14_usenet_collapse(seed: u64) -> (E14Result, Report) {
             body,
         },
     )
+}
+
+/// Flatten an E14 run into harness metrics (keys `e14.*`).
+pub fn e14_metrics(seed: u64) -> agora_sim::Metrics {
+    let (r, _) = e14_usenet_collapse(seed);
+    let mut m = agora_sim::Metrics::new();
+    for row in &r.rows {
+        let n = row.instances;
+        m.incr(&format!("e14.n{n}.total_posts"), row.total_posts);
+        m.gauge_set(
+            &format!("e14.n{n}.replicated_store_per_instance"),
+            row.replicated_store_per_instance,
+        );
+        m.gauge_set(
+            &format!("e14.n{n}.single_home_store_per_instance"),
+            row.single_home_store_per_instance,
+        );
+        m.incr(&format!("e14.n{n}.replicated_bytes"), row.replicated_bytes);
+        m.incr(
+            &format!("e14.n{n}.single_home_bytes"),
+            row.single_home_bytes,
+        );
+    }
+    m
 }
 
 #[cfg(test)]

@@ -66,7 +66,9 @@ pub fn e7_web_availability(seed: u64) -> (E7Result, Report) {
         }
         survival_by_seeders.push((first_wave, ok as f64 / total as f64));
     }
-    let result = E7Result { survival_by_seeders };
+    let result = E7Result {
+        survival_by_seeders,
+    };
     let mut body = String::from(
         "Origin publishes an 80 KB site, N visitors fetch it, origin dies,\n\
          then 3 fresh visitors try to load it:\n",
@@ -89,6 +91,16 @@ pub fn e7_web_availability(seed: u64) -> (E7Result, Report) {
             body,
         },
     )
+}
+
+/// Flatten an E7 run into harness metrics (keys `e7.*`).
+pub fn e7_metrics(seed: u64) -> agora_sim::Metrics {
+    let (r, _) = e7_web_availability(seed);
+    let mut m = agora_sim::Metrics::new();
+    for (seeders, survival) in &r.survival_by_seeders {
+        m.gauge_set(&format!("e7.survival.w{seeders}"), *survival);
+    }
+    m
 }
 
 #[cfg(test)]

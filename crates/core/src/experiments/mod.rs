@@ -16,16 +16,43 @@ pub mod exp_web;
 
 use std::fmt;
 
-pub use exp_agenda::{e10_federated_failover, e11_guerrilla_relay, E10Result, E11Result};
-pub use exp_chain::{e9_chain_costs, E9Result};
-pub use exp_comm::{e3_groupcomm_availability, e4_privacy, E3Result, E4Result};
-pub use exp_governance::{e12_moderation_tension, e13_financing_gap, CostRow, E12Result, E13Result, Payer};
-pub use exp_naming::{e1_naming_tradeoff, e2_naming_attacks, E1Result, E2Result};
-pub use exp_storage::{
-    e5_storage_proofs, e6_durability, e8_quality_vs_quantity, E5Result, E6Result, E8Result,
+pub use exp_agenda::{
+    e10_federated_failover, e10_metrics, e11_guerrilla_relay, e11_metrics, E10Result, E11Result,
 };
-pub use exp_usenet::{e14_usenet_collapse, E14Result, UsenetRow};
-pub use exp_web::{e7_web_availability, E7Result};
+pub use exp_chain::{e9_chain_costs, e9_metrics, E9Result};
+pub use exp_comm::{
+    e3_groupcomm_availability, e3_metrics, e4_metrics, e4_privacy, E3Result, E4Result,
+};
+pub use exp_governance::{
+    e12_metrics, e12_moderation_tension, e13_financing_gap, e13_metrics, CostRow, E12Result,
+    E13Result, Payer,
+};
+pub use exp_naming::{
+    e1_metrics, e1_naming_tradeoff, e2_metrics, e2_naming_attacks, E1Result, E2Result,
+};
+pub use exp_storage::{
+    e5_metrics, e5_storage_proofs, e6_durability, e6_metrics, e8_metrics, e8_quality_vs_quantity,
+    E5Result, E6Result, E8Result,
+};
+pub use exp_usenet::{e14_metrics, e14_usenet_collapse, E14Result, UsenetRow};
+pub use exp_web::{e7_metrics, e7_web_availability, E7Result};
+
+/// Normalize a free-form row label into a metric-key segment: lowercase
+/// alphanumerics and dots survive, everything else collapses to `_`.
+pub fn metric_key_segment(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut last_underscore = false;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() || c == '.' || c == '-' {
+            out.push(c.to_ascii_lowercase());
+            last_underscore = false;
+        } else if !last_underscore {
+            out.push('_');
+            last_underscore = true;
+        }
+    }
+    out.trim_matches('_').to_owned()
+}
 
 /// A rendered experiment report.
 #[derive(Clone, Debug)]
@@ -188,7 +215,12 @@ mod tests {
     #[test]
     fn t1_renders_all_categories() {
         let r = t1_taxonomy();
-        for label in ["Naming", "Group Communication", "Data storage", "Web applications"] {
+        for label in [
+            "Naming",
+            "Group Communication",
+            "Data storage",
+            "Web applications",
+        ] {
             assert!(r.body.contains(label));
         }
         assert_eq!(r.id, "T1");

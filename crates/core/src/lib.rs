@@ -47,11 +47,11 @@ pub use agora_naming::render_zooko_table as naming_zooko_table;
 
 // Re-export the substrate crates so downstream users need only one dependency.
 pub use agora_chain as chain;
-pub use agora_naming as naming;
 pub use agora_comm as comm;
 pub use agora_crypto as crypto;
 pub use agora_dht as dht;
 pub use agora_feasibility as feasibility;
+pub use agora_naming as naming;
 pub use agora_sim as sim;
 pub use agora_storage as storage;
 pub use agora_web as web;

@@ -212,7 +212,9 @@ mod tests {
         assert!(A::Centralized.score(P::Convenience).0 > A::SocialP2p.score(P::Convenience).0);
         assert!(A::SocialP2p.score(P::Privacy).0 > A::Centralized.score(P::Privacy).0);
         // Blockchains trade performance for security (§3.1).
-        assert!(A::BlockchainBacked.score(P::Security).0 > A::BlockchainBacked.score(P::Performance).0);
+        assert!(
+            A::BlockchainBacked.score(P::Security).0 > A::BlockchainBacked.score(P::Performance).0
+        );
         // Full replication beats single-home on connectedness (§3.2).
         assert!(
             A::FederatedReplicated.score(P::Connectedness).0

@@ -142,7 +142,10 @@ pub fn demo_full_stack(seed: u64, name: &str) -> Result<FullStackOutcome, StackE
         let bootstrap = if i == 0 {
             vec![]
         } else {
-            vec![Contact { key: boot_key, addr: NodeId(0) }]
+            vec![Contact {
+                key: boot_key,
+                addr: NodeId(0),
+            }]
         };
         dht_ids.push(dht_sim.add_node(
             DhtNode::new(key, DhtConfig::default(), bootstrap),
@@ -151,7 +154,9 @@ pub fn demo_full_stack(seed: u64, name: &str) -> Result<FullStackOutcome, StackE
     }
     dht_sim.run_for(SimDuration::from_secs(30));
     let put_op = dht_sim
-        .with_ctx(dht_ids[1], |n, ctx| n.start_put(ctx, zone_hash, zone.encode()))
+        .with_ctx(dht_ids[1], |n, ctx| {
+            n.start_put(ctx, zone_hash, zone.encode())
+        })
         .expect("node up");
     dht_sim.run_for(SimDuration::from_secs(30));
     let zone_replicas = match dht_sim.node_mut(dht_ids[1]).take_result(put_op) {
@@ -168,7 +173,9 @@ pub fn demo_full_stack(seed: u64, name: &str) -> Result<FullStackOutcome, StackE
     };
     let db = NameDb::from_ledger(ledger, &rules);
     let height = ledger.best_height();
-    let record = db.resolve(name, height).ok_or(StackError::NameNotConfirmed)?;
+    let record = db
+        .resolve(name, height)
+        .ok_or(StackError::NameNotConfirmed)?;
 
     // DHT → zone file (verified against the on-chain hash).
     let get_op = dht_sim

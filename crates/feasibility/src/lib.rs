@@ -135,13 +135,13 @@ impl Assumptions {
     /// `pc_duty`, `mobile_duty` ∈ [0, 1].
     pub fn effective_user_devices(&self, pc_duty: f64, mobile_duty: f64) -> Capacity {
         let raw = self.user_devices();
-        let pc_frac_bw = self.personal_computers
-            / (self.personal_computers + self.smartphones + self.tablets);
+        let pc_frac_bw =
+            self.personal_computers / (self.personal_computers + self.smartphones + self.tablets);
         let bw_duty = pc_frac_bw * pc_duty + (1.0 - pc_frac_bw) * mobile_duty;
         let pc_storage = self.personal_computers * self.pc_free_storage_gb;
         let tab_storage = self.tablets * self.tablet_free_storage_gb;
-        let storage_duty = (pc_storage * pc_duty + tab_storage * mobile_duty)
-            / (pc_storage + tab_storage);
+        let storage_duty =
+            (pc_storage * pc_duty + tab_storage * mobile_duty) / (pc_storage + tab_storage);
         Capacity {
             bandwidth_tbps: raw.bandwidth_tbps * bw_duty,
             cores_millions: raw.cores_millions * pc_duty, // compute is PC-only
@@ -260,8 +260,10 @@ mod tests {
 
     #[test]
     fn battery_inclusion_raises_cores() {
-        let mut a = Assumptions::default();
-        a.battery_devices_compute = true;
+        let a = Assumptions {
+            battery_devices_compute: true,
+            ..Assumptions::default()
+        };
         let with = a.user_devices().cores_millions;
         let without = Assumptions::default().user_devices().cores_millions;
         assert!(with > without);
@@ -322,8 +324,10 @@ mod tests {
     fn google_share_cancels_in_bandwidth() {
         // Cloud bandwidth = traffic × share ÷ share = traffic; the share
         // assumption only moves cores and storage.
-        let mut a = Assumptions::default();
-        a.google_traffic_share = 0.5;
+        let a = Assumptions {
+            google_traffic_share: 0.5,
+            ..Assumptions::default()
+        };
         assert_eq!(a.cloud().bandwidth_tbps, 200.0);
         assert_eq!(a.cloud().cores_millions, 200.0);
     }

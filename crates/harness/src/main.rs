@@ -1,0 +1,244 @@
+//! `agora-harness` — run the experiment trial matrix in parallel, emit the
+//! JSON telemetry artifact, and diff it against the checked-in baseline.
+//!
+//! Usage (from the repo root):
+//!   agora-harness                         # run matrix, diff BENCH_harness.json
+//!   agora-harness --update-baseline       # run matrix, rewrite the baseline
+//!   agora-harness --threads 1 --json out.json
+//!   agora-harness --filter e1,e3 --seeds 5
+//!   agora-harness --speedup               # measure serial vs parallel wall clock
+//!   agora-harness --reports               # classic experiments_output.txt stream
+//!
+//! Exit codes: 0 ok; 1 usage error; 2 baseline regression; 3 trial panics.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use agora_harness::{diff_json, registry, report, run_matrix, run_to_json, Json, MatrixConfig};
+
+struct Options {
+    cfg: MatrixConfig,
+    baseline: String,
+    json_out: Option<String>,
+    tolerance: f64,
+    update_baseline: bool,
+    speedup: bool,
+    reports: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        cfg: MatrixConfig::default(),
+        baseline: "BENCH_harness.json".to_owned(),
+        json_out: None,
+        tolerance: 1e-9,
+        update_baseline: false,
+        speedup: false,
+        reports: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--threads" => {
+                opts.cfg.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--seeds" => {
+                opts.cfg.seeds_per_variant = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--root-seed" => {
+                opts.cfg.root_seed = value("--root-seed")?
+                    .parse()
+                    .map_err(|e| format!("--root-seed: {e}"))?
+            }
+            "--budget-secs" => {
+                let secs: u64 = value("--budget-secs")?
+                    .parse()
+                    .map_err(|e| format!("--budget-secs: {e}"))?;
+                opts.cfg.budget = Duration::from_secs(secs);
+            }
+            "--filter" => {
+                opts.cfg.filter = Some(
+                    value("--filter")?
+                        .split(',')
+                        .map(|s| s.trim().to_owned())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                )
+            }
+            "--baseline" => opts.baseline = value("--baseline")?,
+            "--json" => opts.json_out = Some(value("--json")?),
+            "--tolerance" => {
+                opts.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            "--update-baseline" => opts.update_baseline = true,
+            "--speedup" => opts.speedup = true,
+            "--reports" => opts.reports = true,
+            "--help" | "-h" => {
+                return Err("see crate docs / README for usage".to_owned());
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Print the classic report stream (the contents of experiments_output.txt)
+/// through the harness binary.
+fn print_reports() {
+    use agora::experiments::{
+        e10_federated_failover, e11_guerrilla_relay, e12_moderation_tension, e13_financing_gap,
+        e14_usenet_collapse, e1_naming_tradeoff, e2_naming_attacks, e3_groupcomm_availability,
+        e4_privacy, e5_storage_proofs, e6_durability, e7_web_availability, e8_quality_vs_quantity,
+        e9_chain_costs, t1_taxonomy, t2_storage_systems, t3_feasibility,
+    };
+    const SEED: u64 = 20171130; // HotNets-XVI, day one
+    println!("{}\n", t1_taxonomy());
+    println!("{}\n", t2_storage_systems());
+    println!("{}\n", t3_feasibility());
+    println!("{}\n", e1_naming_tradeoff(SEED).1);
+    println!("{}\n", e2_naming_attacks(SEED).1);
+    for f in [0.0, 0.2, 0.4] {
+        println!("{}\n", e3_groupcomm_availability(SEED, f).1);
+    }
+    println!("{}\n", e4_privacy(SEED).1);
+    println!("{}\n", e5_storage_proofs(SEED).1);
+    println!("{}\n", e6_durability(SEED).1);
+    println!("{}\n", e7_web_availability(SEED).1);
+    println!("{}\n", e8_quality_vs_quantity(SEED).1);
+    println!("{}\n", e9_chain_costs(SEED).1);
+    println!("{}\n", e10_federated_failover(SEED).1);
+    println!("{}\n", e11_guerrilla_relay(SEED).1);
+    println!("{}\n", e12_moderation_tension(SEED).1);
+    println!("{}\n", e13_financing_gap(SEED).1);
+    println!("{}\n", e14_usenet_collapse(SEED).1);
+    println!("{}", agora::render_property_matrix());
+    println!("{}", agora::naming_zooko_table());
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("agora-harness: {msg}");
+            return ExitCode::from(1);
+        }
+    };
+
+    if opts.reports {
+        print_reports();
+        return ExitCode::SUCCESS;
+    }
+
+    let reg = registry();
+
+    if opts.speedup {
+        let serial_cfg = MatrixConfig {
+            threads: 1,
+            ..opts.cfg.clone()
+        };
+        let serial = run_matrix(&reg, &serial_cfg);
+        let parallel = run_matrix(&reg, &opts.cfg);
+        let speedup = serial.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9);
+        println!(
+            "serial   ({} thread):  {:>7.2} s",
+            1,
+            serial.wall.as_secs_f64()
+        );
+        println!(
+            "parallel ({} threads): {:>7.2} s",
+            parallel.config.threads,
+            parallel.wall.as_secs_f64()
+        );
+        println!("speedup: {speedup:.2}x");
+        let identical = run_to_json(&serial).render() == run_to_json(&parallel).render();
+        println!(
+            "artifacts byte-identical across thread counts: {}",
+            if identical {
+                "yes"
+            } else {
+                "NO — determinism bug"
+            }
+        );
+        return if identical {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(2)
+        };
+    }
+
+    let run = run_matrix(&reg, &opts.cfg);
+    print!("{}", report::render(&run));
+    let artifact = run_to_json(&run);
+    let rendered = artifact.render();
+
+    if let Some(path) = &opts.json_out {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("agora-harness: writing {path}: {e}");
+            return ExitCode::from(1);
+        }
+        println!("wrote artifact to {path}");
+    }
+
+    if run.failures() > 0 {
+        eprintln!("agora-harness: {} trial(s) panicked", run.failures());
+        return ExitCode::from(3);
+    }
+
+    if opts.update_baseline {
+        if let Err(e) = std::fs::write(&opts.baseline, &rendered) {
+            eprintln!("agora-harness: writing {}: {e}", opts.baseline);
+            return ExitCode::from(1);
+        }
+        println!("baseline updated: {}", opts.baseline);
+        return ExitCode::SUCCESS;
+    }
+
+    match std::fs::read_to_string(&opts.baseline) {
+        Ok(text) => {
+            let baseline = match Json::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("agora-harness: baseline {} is invalid: {e}", opts.baseline);
+                    return ExitCode::from(1);
+                }
+            };
+            let diffs = diff_json(&baseline, &artifact, opts.tolerance);
+            if diffs.is_empty() {
+                println!(
+                    "baseline check: OK ({} within tolerance {})",
+                    opts.baseline, opts.tolerance
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "baseline REGRESSION vs {} ({} difference(s), tolerance {}):",
+                    opts.baseline,
+                    diffs.len(),
+                    opts.tolerance
+                );
+                for d in diffs.iter().take(50) {
+                    eprintln!("  {d}");
+                }
+                if diffs.len() > 50 {
+                    eprintln!("  ... and {} more", diffs.len() - 50);
+                }
+                eprintln!("(intentional change? re-run with --update-baseline)");
+                ExitCode::from(2)
+            }
+        }
+        Err(_) => {
+            println!(
+                "no baseline at {}; run with --update-baseline to create one",
+                opts.baseline
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The experiment registry: every `exp_*` entry point of
+//! `agora::experiments`, wrapped behind one uniform signature
+//! (`fn(seed) -> Metrics`) so the matrix can drive them interchangeably.
+//!
+//! Parameter sweeps are expressed as **variants**: E3 runs once per failure
+//! fraction, each as its own variant with its own trials. Adding an
+//! experiment (or a new sweep point) here automatically adds it to the
+//! matrix, the JSON artifact, and the baseline diff.
+
+use agora_sim::Metrics;
+
+/// One sweep point of an experiment: a label plus a seeded runner.
+#[derive(Clone, Copy)]
+pub struct Variant {
+    /// Stable label, part of the metric/baseline key (`e3/f0.20`).
+    pub label: &'static str,
+    /// Seeded entry point.
+    pub run: fn(u64) -> Metrics,
+}
+
+/// A registered experiment with its sweep variants.
+pub struct ExperimentDef {
+    /// Experiment id (`e1` .. `e14`).
+    pub id: &'static str,
+    /// Human title for reports.
+    pub title: &'static str,
+    /// Sweep variants (at least one).
+    pub variants: Vec<Variant>,
+}
+
+fn e3_f00(seed: u64) -> Metrics {
+    agora::experiments::e3_metrics(seed, 0.0)
+}
+
+fn e3_f20(seed: u64) -> Metrics {
+    agora::experiments::e3_metrics(seed, 0.2)
+}
+
+fn e3_f40(seed: u64) -> Metrics {
+    agora::experiments::e3_metrics(seed, 0.4)
+}
+
+fn single(id: &'static str, title: &'static str, run: fn(u64) -> Metrics) -> ExperimentDef {
+    ExperimentDef {
+        id,
+        title,
+        variants: vec![Variant {
+            label: "default",
+            run,
+        }],
+    }
+}
+
+/// The full experiment matrix, in report order.
+pub fn registry() -> Vec<ExperimentDef> {
+    use agora::experiments as exp;
+    vec![
+        single(
+            "e1",
+            "Naming: consensus vs registrar tradeoff",
+            exp::e1_metrics,
+        ),
+        single("e2", "Naming: attack suite", exp::e2_metrics),
+        ExperimentDef {
+            id: "e3",
+            title: "Group communication availability under failures",
+            variants: vec![
+                Variant {
+                    label: "f0.00",
+                    run: e3_f00,
+                },
+                Variant {
+                    label: "f0.20",
+                    run: e3_f20,
+                },
+                Variant {
+                    label: "f0.40",
+                    run: e3_f40,
+                },
+            ],
+        },
+        single(
+            "e4",
+            "Group communication metadata privacy",
+            exp::e4_metrics,
+        ),
+        single(
+            "e5",
+            "Storage proofs vs cheating strategies",
+            exp::e5_metrics,
+        ),
+        single("e6", "Storage durability design space", exp::e6_metrics),
+        single("e7", "Hostless web availability", exp::e7_metrics),
+        single("e8", "Storage quality vs quantity", exp::e8_metrics),
+        single("e9", "Blockchain operating costs", exp::e9_metrics),
+        single("e10", "Federated failover", exp::e10_metrics),
+        single("e11", "Guerrilla relay", exp::e11_metrics),
+        single("e12", "Moderation vs freedom tension", exp::e12_metrics),
+        single("e13", "The financing gap", exp::e13_metrics),
+        single("e14", "Usenet collapse economics", exp::e14_metrics),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_fourteen_experiments() {
+        let reg = registry();
+        assert_eq!(reg.len(), 14);
+        for (i, def) in reg.iter().enumerate() {
+            assert_eq!(def.id, format!("e{}", i + 1));
+            assert!(!def.variants.is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique_per_experiment() {
+        for def in registry() {
+            let mut labels: Vec<_> = def.variants.iter().map(|v| v.label).collect();
+            labels.sort_unstable();
+            labels.dedup();
+            assert_eq!(labels.len(), def.variants.len(), "{}", def.id);
+        }
+    }
+
+    #[test]
+    fn a_cheap_variant_produces_metrics() {
+        let reg = registry();
+        let e13 = reg.iter().find(|d| d.id == "e13").unwrap();
+        let m = (e13.variants[0].run)(7);
+        assert!(m.gauges().count() > 0);
+    }
+}

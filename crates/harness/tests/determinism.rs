@@ -1,0 +1,70 @@
+//! The harness determinism contract: thread count is a pure performance
+//! knob. The JSON artifact — trials, metrics, aggregates — must be
+//! byte-identical at 1, 2, and 8 worker threads, and re-runs with the same
+//! root seed must reproduce it exactly.
+//!
+//! This extends the per-experiment determinism suite in
+//! `tests/determinism.rs` (agora core) up through the orchestration layer.
+
+use agora_harness::{registry, run_matrix, run_to_json, trial_seed, MatrixConfig};
+
+/// A light sub-matrix (the sim-heavy e5/e6/e8/e9 are covered by the full
+/// binary run; the contract is the same either way).
+fn light_config(threads: usize) -> MatrixConfig {
+    MatrixConfig {
+        root_seed: 99,
+        seeds_per_variant: 2,
+        threads,
+        filter: Some(
+            [
+                "e1", "e2", "e3", "e4", "e7", "e10", "e11", "e12", "e13", "e14",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
+        ),
+        ..MatrixConfig::default()
+    }
+}
+
+#[test]
+fn artifact_is_byte_identical_at_1_2_and_8_threads() {
+    let reg = registry();
+    let one = run_to_json(&run_matrix(&reg, &light_config(1))).render();
+    let two = run_to_json(&run_matrix(&reg, &light_config(2))).render();
+    let eight = run_to_json(&run_matrix(&reg, &light_config(8))).render();
+    assert_eq!(one, two, "1-thread vs 2-thread artifacts differ");
+    assert_eq!(two, eight, "2-thread vs 8-thread artifacts differ");
+}
+
+#[test]
+fn all_trials_complete_and_keep_matrix_order() {
+    let run = run_matrix(&registry(), &light_config(4));
+    assert_eq!(run.failures(), 0, "no experiment should panic");
+    for (i, o) in run.outcomes.iter().enumerate() {
+        assert_eq!(o.spec.index, i);
+        assert_eq!(o.spec.seed, trial_seed(99, i as u64));
+    }
+}
+
+#[test]
+fn derived_trial_seeds_are_unique() {
+    let run = run_matrix(&registry(), &light_config(2));
+    let mut seeds: Vec<u64> = run.outcomes.iter().map(|o| o.spec.seed).collect();
+    let n = seeds.len();
+    seeds.sort_unstable();
+    seeds.dedup();
+    assert_eq!(seeds.len(), n, "trial seed collision");
+}
+
+#[test]
+fn different_root_seeds_change_results() {
+    let reg = registry();
+    let mut cfg_a = light_config(2);
+    cfg_a.filter = Some(vec!["e2".to_owned()]);
+    let mut cfg_b = cfg_a.clone();
+    cfg_b.root_seed = 100;
+    let a = run_to_json(&run_matrix(&reg, &cfg_a)).render();
+    let b = run_to_json(&run_matrix(&reg, &cfg_b)).render();
+    assert_ne!(a, b, "root seed must flow into trial results");
+}

@@ -114,12 +114,7 @@ pub fn front_running_game(
 /// double-spend race (the registration *is* a transaction), so this
 /// delegates to the chain's attack model — returned here with naming
 /// framing for the E2 report.
-pub fn name_theft_by_rewrite(
-    alpha: f64,
-    confirmations: u64,
-    trials: u32,
-    rng: &mut SimRng,
-) -> f64 {
+pub fn name_theft_by_rewrite(alpha: f64, confirmations: u64, trials: u32, rng: &mut SimRng) -> f64 {
     agora_chain::double_spend_race(alpha, confirmations, trials, rng).success_rate
 }
 

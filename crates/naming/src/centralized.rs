@@ -63,9 +63,7 @@ impl CentralRegistrar {
         if !valid_name(name) {
             return Err(RegistrarError::InvalidName);
         }
-        if self.banned_names.iter().any(|n| n == name)
-            || self.banned_accounts.contains(&owner)
-        {
+        if self.banned_names.iter().any(|n| n == name) || self.banned_accounts.contains(&owner) {
             return Err(RegistrarError::Censored);
         }
         if self.names.contains_key(name) {
@@ -132,9 +130,11 @@ mod tests {
     #[test]
     fn duplicate_and_invalid_rejected() {
         let mut reg = CentralRegistrar::new();
-        reg.register("alice.id", sha256(b"a"), sha256(b"z")).unwrap();
+        reg.register("alice.id", sha256(b"a"), sha256(b"z"))
+            .unwrap();
         assert_eq!(
-            reg.register("alice.id", sha256(b"b"), sha256(b"z")).unwrap_err(),
+            reg.register("alice.id", sha256(b"b"), sha256(b"z"))
+                .unwrap_err(),
             RegistrarError::Taken
         );
         assert_eq!(
@@ -146,9 +146,11 @@ mod tests {
     #[test]
     fn non_owner_update_rejected() {
         let mut reg = CentralRegistrar::new();
-        reg.register("alice.id", sha256(b"a"), sha256(b"z")).unwrap();
+        reg.register("alice.id", sha256(b"a"), sha256(b"z"))
+            .unwrap();
         assert_eq!(
-            reg.update("alice.id", sha256(b"mallory"), sha256(b"evil")).unwrap_err(),
+            reg.update("alice.id", sha256(b"mallory"), sha256(b"evil"))
+                .unwrap_err(),
             RegistrarError::NotOwner
         );
     }
@@ -157,11 +159,13 @@ mod tests {
     fn operator_censorship_is_total() {
         let mut reg = CentralRegistrar::new();
         let dissident = sha256(b"dissident");
-        reg.register("freedom.press", dissident, sha256(b"z")).unwrap();
+        reg.register("freedom.press", dissident, sha256(b"z"))
+            .unwrap();
         reg.censor_name("freedom.press");
         assert!(reg.resolve("freedom.press").is_none(), "seized");
         assert_eq!(
-            reg.register("freedom.press", dissident, sha256(b"z")).unwrap_err(),
+            reg.register("freedom.press", dissident, sha256(b"z"))
+                .unwrap_err(),
             RegistrarError::Censored
         );
         // Account-level ban wipes all the account's names.
@@ -169,7 +173,8 @@ mod tests {
         reg.ban_account(dissident);
         assert!(reg.resolve("other.name").is_none());
         assert_eq!(
-            reg.register("third.name", dissident, sha256(b"z")).unwrap_err(),
+            reg.register("third.name", dissident, sha256(b"z"))
+                .unwrap_err(),
             RegistrarError::Censored
         );
     }

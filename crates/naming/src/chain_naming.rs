@@ -100,15 +100,12 @@ impl NameOp {
     pub fn encode(&self) -> Vec<u8> {
         match self {
             NameOp::Preorder { commitment } => Enc::new().u8(0).hash(commitment).done(),
-            NameOp::Register { name, salt, zone_hash } => Enc::new()
-                .u8(1)
-                .str(name)
-                .u64(*salt)
-                .hash(zone_hash)
-                .done(),
-            NameOp::Update { name, zone_hash } => {
-                Enc::new().u8(2).str(name).hash(zone_hash).done()
-            }
+            NameOp::Register {
+                name,
+                salt,
+                zone_hash,
+            } => Enc::new().u8(1).str(name).u64(*salt).hash(zone_hash).done(),
+            NameOp::Update { name, zone_hash } => Enc::new().u8(2).str(name).hash(zone_hash).done(),
             NameOp::Transfer { name, new_owner } => {
                 Enc::new().u8(3).str(name).hash(new_owner).done()
             }
@@ -121,14 +118,22 @@ impl NameOp {
     pub fn decode(bytes: &[u8]) -> Result<NameOp, DecodeError> {
         let mut d = Dec::new(bytes);
         let op = match d.u8()? {
-            0 => NameOp::Preorder { commitment: d.hash()? },
+            0 => NameOp::Preorder {
+                commitment: d.hash()?,
+            },
             1 => NameOp::Register {
                 name: d.str()?,
                 salt: d.u64()?,
                 zone_hash: d.hash()?,
             },
-            2 => NameOp::Update { name: d.str()?, zone_hash: d.hash()? },
-            3 => NameOp::Transfer { name: d.str()?, new_owner: d.hash()? },
+            2 => NameOp::Update {
+                name: d.str()?,
+                zone_hash: d.hash()?,
+            },
+            3 => NameOp::Transfer {
+                name: d.str()?,
+                new_owner: d.hash()?,
+            },
             4 => NameOp::Renew { name: d.str()? },
             5 => NameOp::Revoke { name: d.str()? },
             t => return Err(DecodeError::BadTag(t)),
@@ -145,7 +150,10 @@ impl NameOp {
             keys,
             nonce,
             fee,
-            TxPayload::App { tag: APP_NAMING, data: self.encode() },
+            TxPayload::App {
+                tag: APP_NAMING,
+                data: self.encode(),
+            },
         )
     }
 }
@@ -165,7 +173,9 @@ impl NameDb {
     pub fn from_ledger(ledger: &Ledger, rules: &NamingRules) -> NameDb {
         let mut db = NameDb::default();
         for (height, tx) in ledger.app_txs(APP_NAMING) {
-            let TxPayload::App { data, .. } = &tx.payload else { continue };
+            let TxPayload::App { data, .. } = &tx.payload else {
+                continue;
+            };
             match NameOp::decode(data) {
                 Ok(op) => db.apply(op, tx.sender_account(), height, rules),
                 Err(e) => db.rejected.push((height, format!("undecodable op: {e}"))),
@@ -184,9 +194,14 @@ impl NameDb {
                     *entry = (sender, height);
                 }
             }
-            NameOp::Register { name, salt, zone_hash } => {
+            NameOp::Register {
+                name,
+                salt,
+                zone_hash,
+            } => {
                 if !valid_name(&name) {
-                    self.rejected.push((height, format!("invalid name '{name}'")));
+                    self.rejected
+                        .push((height, format!("invalid name '{name}'")));
                     return;
                 }
                 if self.revoked.contains_key(&name) {
@@ -230,22 +245,18 @@ impl NameDb {
                     },
                 );
             }
-            NameOp::Update { name, zone_hash } => {
-                match self.owned_by(&name, &sender, height) {
-                    Some(rec) => rec.zone_hash = zone_hash,
-                    None => self
-                        .rejected
-                        .push((height, format!("update '{name}' not owner/expired"))),
-                }
-            }
-            NameOp::Transfer { name, new_owner } => {
-                match self.owned_by(&name, &sender, height) {
-                    Some(rec) => rec.owner = new_owner,
-                    None => self
-                        .rejected
-                        .push((height, format!("transfer '{name}' not owner/expired"))),
-                }
-            }
+            NameOp::Update { name, zone_hash } => match self.owned_by(&name, &sender, height) {
+                Some(rec) => rec.zone_hash = zone_hash,
+                None => self
+                    .rejected
+                    .push((height, format!("update '{name}' not owner/expired"))),
+            },
+            NameOp::Transfer { name, new_owner } => match self.owned_by(&name, &sender, height) {
+                Some(rec) => rec.owner = new_owner,
+                None => self
+                    .rejected
+                    .push((height, format!("transfer '{name}' not owner/expired"))),
+            },
             NameOp::Renew { name } => {
                 let expiry = rules.expiry_blocks;
                 match self.owned_by(&name, &sender, height) {
@@ -267,12 +278,7 @@ impl NameDb {
         }
     }
 
-    fn owned_by(
-        &mut self,
-        name: &str,
-        sender: &Hash256,
-        height: u64,
-    ) -> Option<&mut NameRecord> {
+    fn owned_by(&mut self, name: &str, sender: &Hash256, height: u64) -> Option<&mut NameRecord> {
         self.names
             .get_mut(name)
             .filter(|r| &r.owner == sender && r.expires_at >= height)
@@ -315,12 +321,28 @@ mod tests {
     #[test]
     fn op_encode_decode_round_trip() {
         let ops = vec![
-            NameOp::Preorder { commitment: sha256(b"c") },
-            NameOp::Register { name: "alice.id".into(), salt: 42, zone_hash: sha256(b"z") },
-            NameOp::Update { name: "alice.id".into(), zone_hash: sha256(b"z2") },
-            NameOp::Transfer { name: "alice.id".into(), new_owner: acct("bob") },
-            NameOp::Renew { name: "alice.id".into() },
-            NameOp::Revoke { name: "alice.id".into() },
+            NameOp::Preorder {
+                commitment: sha256(b"c"),
+            },
+            NameOp::Register {
+                name: "alice.id".into(),
+                salt: 42,
+                zone_hash: sha256(b"z"),
+            },
+            NameOp::Update {
+                name: "alice.id".into(),
+                zone_hash: sha256(b"z2"),
+            },
+            NameOp::Transfer {
+                name: "alice.id".into(),
+                new_owner: acct("bob"),
+            },
+            NameOp::Renew {
+                name: "alice.id".into(),
+            },
+            NameOp::Revoke {
+                name: "alice.id".into(),
+            },
         ];
         for op in ops {
             assert_eq!(NameOp::decode(&op.encode()).unwrap(), op);
@@ -336,7 +358,11 @@ mod tests {
         let c = NameOp::commitment("alice.id", 7, &alice);
         db.apply(NameOp::Preorder { commitment: c }, alice, 10, &r);
         db.apply(
-            NameOp::Register { name: "alice.id".into(), salt: 7, zone_hash: sha256(b"z") },
+            NameOp::Register {
+                name: "alice.id".into(),
+                salt: 7,
+                zone_hash: sha256(b"z"),
+            },
             alice,
             12,
             &r,
@@ -351,7 +377,11 @@ mod tests {
         let mut db = NameDb::default();
         let r = rules();
         db.apply(
-            NameOp::Register { name: "alice.id".into(), salt: 7, zone_hash: sha256(b"z") },
+            NameOp::Register {
+                name: "alice.id".into(),
+                salt: 7,
+                zone_hash: sha256(b"z"),
+            },
             acct("alice"),
             12,
             &r,
@@ -368,7 +398,11 @@ mod tests {
         let c = NameOp::commitment("alice.id", 7, &alice);
         db.apply(NameOp::Preorder { commitment: c }, alice, 10, &r);
         db.apply(
-            NameOp::Register { name: "alice.id".into(), salt: 7, zone_hash: sha256(b"z") },
+            NameOp::Register {
+                name: "alice.id".into(),
+                salt: 7,
+                zone_hash: sha256(b"z"),
+            },
             alice,
             10,
             &r,
@@ -384,7 +418,11 @@ mod tests {
         let c = NameOp::commitment("alice.id", 7, &alice);
         db.apply(NameOp::Preorder { commitment: c }, alice, 10, &r);
         db.apply(
-            NameOp::Register { name: "alice.id".into(), salt: 7, zone_hash: sha256(b"z") },
+            NameOp::Register {
+                name: "alice.id".into(),
+                salt: 7,
+                zone_hash: sha256(b"z"),
+            },
             alice,
             25, // > ttl of 10 after preorder
             &r,
@@ -403,7 +441,11 @@ mod tests {
         let c = NameOp::commitment("alice.id", 7, &alice);
         db.apply(NameOp::Preorder { commitment: c }, alice, 10, &r);
         db.apply(
-            NameOp::Register { name: "alice.id".into(), salt: 7, zone_hash: sha256(b"evil") },
+            NameOp::Register {
+                name: "alice.id".into(),
+                salt: 7,
+                zone_hash: sha256(b"evil"),
+            },
             mallory,
             12,
             &r,
@@ -421,13 +463,21 @@ mod tests {
             db.apply(NameOp::Preorder { commitment: c }, who, h, &r);
         }
         db.apply(
-            NameOp::Register { name: "the.name".into(), salt: 1, zone_hash: sha256(b"a") },
+            NameOp::Register {
+                name: "the.name".into(),
+                salt: 1,
+                zone_hash: sha256(b"a"),
+            },
             alice,
             12,
             &r,
         );
         db.apply(
-            NameOp::Register { name: "the.name".into(), salt: 2, zone_hash: sha256(b"b") },
+            NameOp::Register {
+                name: "the.name".into(),
+                salt: 2,
+                zone_hash: sha256(b"b"),
+            },
             bob,
             13,
             &r,
@@ -443,31 +493,85 @@ mod tests {
         let c = NameOp::commitment("n.id", 1, &alice);
         db.apply(NameOp::Preorder { commitment: c }, alice, 1, &r);
         db.apply(
-            NameOp::Register { name: "n.id".into(), salt: 1, zone_hash: sha256(b"z1") },
+            NameOp::Register {
+                name: "n.id".into(),
+                salt: 1,
+                zone_hash: sha256(b"z1"),
+            },
             alice,
             2,
             &r,
         );
         // Non-owner update rejected.
-        db.apply(NameOp::Update { name: "n.id".into(), zone_hash: sha256(b"evil") }, bob, 3, &r);
+        db.apply(
+            NameOp::Update {
+                name: "n.id".into(),
+                zone_hash: sha256(b"evil"),
+            },
+            bob,
+            3,
+            &r,
+        );
         assert_eq!(db.resolve("n.id", 3).unwrap().zone_hash, sha256(b"z1"));
         // Owner update.
-        db.apply(NameOp::Update { name: "n.id".into(), zone_hash: sha256(b"z2") }, alice, 4, &r);
+        db.apply(
+            NameOp::Update {
+                name: "n.id".into(),
+                zone_hash: sha256(b"z2"),
+            },
+            alice,
+            4,
+            &r,
+        );
         assert_eq!(db.resolve("n.id", 4).unwrap().zone_hash, sha256(b"z2"));
         // Transfer to bob; alice can no longer update.
-        db.apply(NameOp::Transfer { name: "n.id".into(), new_owner: bob }, alice, 5, &r);
-        db.apply(NameOp::Update { name: "n.id".into(), zone_hash: sha256(b"z3") }, alice, 6, &r);
+        db.apply(
+            NameOp::Transfer {
+                name: "n.id".into(),
+                new_owner: bob,
+            },
+            alice,
+            5,
+            &r,
+        );
+        db.apply(
+            NameOp::Update {
+                name: "n.id".into(),
+                zone_hash: sha256(b"z3"),
+            },
+            alice,
+            6,
+            &r,
+        );
         assert_eq!(db.resolve("n.id", 6).unwrap().zone_hash, sha256(b"z2"));
         // Bob renews, extending expiry from height 7.
-        db.apply(NameOp::Renew { name: "n.id".into() }, bob, 7, &r);
+        db.apply(
+            NameOp::Renew {
+                name: "n.id".into(),
+            },
+            bob,
+            7,
+            &r,
+        );
         assert_eq!(db.resolve("n.id", 7).unwrap().expires_at, 107);
         // Bob revokes; re-registration is forever rejected.
-        db.apply(NameOp::Revoke { name: "n.id".into() }, bob, 8, &r);
+        db.apply(
+            NameOp::Revoke {
+                name: "n.id".into(),
+            },
+            bob,
+            8,
+            &r,
+        );
         assert!(db.resolve("n.id", 8).is_none());
         let c2 = NameOp::commitment("n.id", 9, &alice);
         db.apply(NameOp::Preorder { commitment: c2 }, alice, 9, &r);
         db.apply(
-            NameOp::Register { name: "n.id".into(), salt: 9, zone_hash: sha256(b"z4") },
+            NameOp::Register {
+                name: "n.id".into(),
+                salt: 9,
+                zone_hash: sha256(b"z4"),
+            },
             alice,
             11,
             &r,
@@ -483,7 +587,11 @@ mod tests {
         let c = NameOp::commitment("n.id", 1, &alice);
         db.apply(NameOp::Preorder { commitment: c }, alice, 1, &r);
         db.apply(
-            NameOp::Register { name: "n.id".into(), salt: 1, zone_hash: sha256(b"z") },
+            NameOp::Register {
+                name: "n.id".into(),
+                salt: 1,
+                zone_hash: sha256(b"z"),
+            },
             alice,
             2,
             &r,
@@ -494,7 +602,11 @@ mod tests {
         let c2 = NameOp::commitment("n.id", 2, &bob);
         db.apply(NameOp::Preorder { commitment: c2 }, bob, 110, &r);
         db.apply(
-            NameOp::Register { name: "n.id".into(), salt: 2, zone_hash: sha256(b"zb") },
+            NameOp::Register {
+                name: "n.id".into(),
+                salt: 2,
+                zone_hash: sha256(b"zb"),
+            },
             bob,
             112,
             &r,
@@ -508,7 +620,11 @@ mod tests {
         let mut r = rules();
         r.preorder_required = false;
         db.apply(
-            NameOp::Register { name: "BAD NAME".into(), salt: 0, zone_hash: sha256(b"z") },
+            NameOp::Register {
+                name: "BAD NAME".into(),
+                salt: 0,
+                zone_hash: sha256(b"z"),
+            },
             acct("x"),
             1,
             &r,

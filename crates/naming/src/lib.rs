@@ -19,16 +19,16 @@
 
 pub mod attacks;
 pub mod centralized;
-pub mod light;
 pub mod chain_naming;
+pub mod light;
 pub mod pki;
 pub mod record;
 pub mod zooko;
 
 pub use attacks::{front_running_game, name_theft_by_rewrite, FrontRunResult};
 pub use centralized::{CentralRegistrar, RegistrarError};
-pub use light::{build_name_proof, light_resolve, LightError, LightResolver, NameProof, ProvenOp};
 pub use chain_naming::{NameDb, NameOp, NamingRules};
+pub use light::{build_name_proof, light_resolve, LightError, LightResolver, NameProof, ProvenOp};
 pub use pki::{verify_with_crl, CertAuthority, Certificate, WebOfTrust};
 pub use record::{valid_name, NameRecord, ZoneFile, MAX_NAME_LEN};
 pub use zooko::{render_zooko_table, NamingScheme, ZookoScore};

@@ -66,7 +66,9 @@ impl std::error::Error for LightError {}
 pub fn build_name_proof(ledger: &Ledger, name: &str) -> NameProof {
     let mut ops = Vec::new();
     for (_, tx) in ledger.app_txs(APP_NAMING) {
-        let TxPayload::App { data, .. } = &tx.payload else { continue };
+        let TxPayload::App { data, .. } = &tx.payload else {
+            continue;
+        };
         let relevant = match NameOp::decode(data) {
             Ok(NameOp::Preorder { .. }) => true,
             Ok(NameOp::Register { name: n, .. })
@@ -77,8 +79,8 @@ pub fn build_name_proof(ledger: &Ledger, name: &str) -> NameProof {
             Err(_) => false,
         };
         if relevant {
-            let proof = InclusionProof::build(ledger, &tx.id())
-                .expect("app tx is on the main chain");
+            let proof =
+                InclusionProof::build(ledger, &tx.id()).expect("app tx is on the main chain");
             ops.push(ProvenOp { tx, proof });
         }
     }
@@ -138,7 +140,12 @@ impl LightResolver {
                 return Err(LightError::BadOp);
             };
             let op = NameOp::decode(data).map_err(|_| LightError::BadOp)?;
-            db.apply(op, p.tx.sender_account(), p.proof.header.height, &self.rules);
+            db.apply(
+                op,
+                p.tx.sender_account(),
+                p.proof.header.height,
+                &self.rules,
+            );
         }
         db.resolve(&proof.name, proof.as_of_height)
             .cloned()
@@ -187,11 +194,7 @@ mod tests {
     /// Mine a chain registering (and then updating) "lite.agora".
     fn chain_with_name() -> (Ledger, SimKeyPair) {
         let alice = SimKeyPair::from_seed(b"light-alice");
-        let mut ledger = Ledger::new(
-            "light",
-            ChainParams::test(),
-            &[(alice.public().id(), 1000)],
-        );
+        let mut ledger = Ledger::new("light", ChainParams::test(), &[(alice.public().id(), 1000)]);
         let mut rng = SimRng::new(3);
         let miner = sha256(b"m");
         let ops = vec![
@@ -199,10 +202,17 @@ mod tests {
                 commitment: NameOp::commitment("lite.agora", 5, &alice.public().id()),
             }
             .into_tx(&alice, 0, 1),
-            NameOp::Register { name: "lite.agora".into(), salt: 5, zone_hash: sha256(b"z1") }
-                .into_tx(&alice, 1, 1),
-            NameOp::Update { name: "lite.agora".into(), zone_hash: sha256(b"z2") }
-                .into_tx(&alice, 2, 1),
+            NameOp::Register {
+                name: "lite.agora".into(),
+                salt: 5,
+                zone_hash: sha256(b"z1"),
+            }
+            .into_tx(&alice, 1, 1),
+            NameOp::Update {
+                name: "lite.agora".into(),
+                zone_hash: sha256(b"z2"),
+            }
+            .into_tx(&alice, 2, 1),
         ];
         for (i, tx) in ops.into_iter().enumerate() {
             let parent = ledger.best_tip();
@@ -256,10 +266,16 @@ mod tests {
         let mut proof = build_name_proof(&ledger, "lite.agora");
         // Swap in a forged update claiming a different zone hash: the tx id
         // no longer matches its inclusion proof.
-        let forged = NameOp::Update { name: "lite.agora".into(), zone_hash: sha256(b"evil") }
-            .into_tx(&alice, 9, 1);
+        let forged = NameOp::Update {
+            name: "lite.agora".into(),
+            zone_hash: sha256(b"evil"),
+        }
+        .into_tx(&alice, 9, 1);
         proof.ops[2].tx = forged;
-        assert_eq!(resolver.resolve(&proof).unwrap_err(), LightError::BadInclusion);
+        assert_eq!(
+            resolver.resolve(&proof).unwrap_err(),
+            LightError::BadInclusion
+        );
     }
 
     #[test]

@@ -103,11 +103,7 @@ impl CertAuthority {
 }
 
 /// Full verification: signature + CRL.
-pub fn verify_with_crl(
-    cert: &Certificate,
-    trusted_ca: &SimPublicKey,
-    crl: &HashSet<u64>,
-) -> bool {
+pub fn verify_with_crl(cert: &Certificate, trusted_ca: &SimPublicKey, crl: &HashSet<u64>) -> bool {
     cert.verify(trusted_ca) && !crl.contains(&cert.serial)
 }
 

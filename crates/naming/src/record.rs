@@ -62,7 +62,11 @@ impl ZoneFile {
         for _ in 0..n {
             endpoints.push(d.str()?);
         }
-        Ok(ZoneFile { name, public_key, endpoints })
+        Ok(ZoneFile {
+            name,
+            public_key,
+            endpoints,
+        })
     }
 
     /// The hash committed on-chain.

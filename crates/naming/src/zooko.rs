@@ -61,27 +61,47 @@ impl NamingScheme {
     pub fn score(self) -> (ZookoScore, &'static str) {
         match self {
             NamingScheme::CentralRegistrar => (
-                ZookoScore { human_meaningful: true, secure: false, decentralized: false },
+                ZookoScore {
+                    human_meaningful: true,
+                    secure: false,
+                    decentralized: false,
+                },
                 "memorable names, but the operator can seize or censor any of \
                  them (centralized::operator_censorship_is_total)",
             ),
             NamingScheme::CaPki => (
-                ZookoScore { human_meaningful: true, secure: false, decentralized: false },
+                ZookoScore {
+                    human_meaningful: true,
+                    secure: false,
+                    decentralized: false,
+                },
                 "memorable names, but one CA compromise mints accepted rogue \
                  bindings (pki::ca_compromise_mints_accepted_rogue_certs)",
             ),
             NamingScheme::WebOfTrust => (
-                ZookoScore { human_meaningful: true, secure: false, decentralized: true },
+                ZookoScore {
+                    human_meaningful: true,
+                    secure: false,
+                    decentralized: true,
+                },
                 "no central authority, but Sybil clusters plus one social- \
                  engineered edge defeat verification (pki::wot_sybil_attack...)",
             ),
             NamingScheme::RawKeys => (
-                ZookoScore { human_meaningful: false, secure: true, decentralized: true },
+                ZookoScore {
+                    human_meaningful: false,
+                    secure: true,
+                    decentralized: true,
+                },
                 "keys are unforgeable and self-certifying but unmemorable — \
                  the §3.1 usability barrier",
             ),
             NamingScheme::Blockchain => (
-                ZookoScore { human_meaningful: true, secure: true, decentralized: true },
+                ZookoScore {
+                    human_meaningful: true,
+                    secure: true,
+                    decentralized: true,
+                },
                 "memorable names, preorder/reveal + chain consensus secure \
                  them, no single authority — at the cost of confirmation \
                  latency and PoW (experiments E1/E9); 51% attacks bound \

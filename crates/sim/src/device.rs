@@ -76,8 +76,8 @@ impl DeviceClass {
                 class: self,
                 uplink_bps: 1_000_000, // §4: "slow broadband ... 1 Mbps upstream"
                 downlink_bps: 10_000_000,
-                spare_cores: 2,                          // §4
-                free_storage_bytes: 100_000_000_000,     // §4: 100 GB
+                spare_cores: 2,                      // §4
+                free_storage_bytes: 100_000_000_000, // §4: 100 GB
                 duty_cycle: 0.45,
                 mean_session: SimDuration::from_hours(5),
                 base_latency: SimDuration::from_millis(20),
@@ -88,8 +88,8 @@ impl DeviceClass {
                 class: self,
                 uplink_bps: 1_000_000, // §4: "slow 3G ... 1 Mbps upstream"
                 downlink_bps: 4_000_000,
-                spare_cores: 1,         // §4 (but battery-excluded from compute)
-                free_storage_bytes: 0,  // §4: "negligible free storage"
+                spare_cores: 1,        // §4 (but battery-excluded from compute)
+                free_storage_bytes: 0, // §4: "negligible free storage"
                 duty_cycle: 0.30,
                 mean_session: SimDuration::from_mins(30),
                 base_latency: SimDuration::from_millis(60),
@@ -100,8 +100,8 @@ impl DeviceClass {
                 class: self,
                 uplink_bps: 1_000_000,
                 downlink_bps: 4_000_000,
-                spare_cores: 1,                      // §4
-                free_storage_bytes: 10_000_000_000,  // §4: 10 GB
+                spare_cores: 1,                     // §4
+                free_storage_bytes: 10_000_000_000, // §4: 10 GB
                 duty_cycle: 0.25,
                 mean_session: SimDuration::from_hours(1),
                 base_latency: SimDuration::from_millis(40),

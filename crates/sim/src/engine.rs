@@ -129,12 +129,26 @@ impl<'a, M: Clone> Ctx<'a, M> {
         if to == self.id {
             // Loopback: deliver after a negligible delay, never lost.
             let at = self.now + SimDuration::from_micros(1);
-            self.push(at, EventKind::Deliver { to, from: self.id, msg });
+            self.push(
+                at,
+                EventKind::Deliver {
+                    to,
+                    from: self.id,
+                    msg,
+                },
+            );
             return;
         }
         match self.net.transmit(self.now, self.id, to, bytes, self.rng) {
             Some(at) => {
-                self.push(at, EventKind::Deliver { to, from: self.id, msg });
+                self.push(
+                    at,
+                    EventKind::Deliver {
+                        to,
+                        from: self.id,
+                        msg,
+                    },
+                );
             }
             None => {
                 self.metrics.incr("net.lost", 1);
@@ -167,7 +181,11 @@ impl<'a, M: Clone> Ctx<'a, M> {
 
     fn push(&mut self, at: SimTime, kind: EventKind<M>) {
         *self.seq += 1;
-        self.queue.push(Event { at, seq: *self.seq, kind });
+        self.queue.push(Event {
+            at,
+            seq: *self.seq,
+            kind,
+        });
     }
 }
 
@@ -388,7 +406,11 @@ impl<P: Protocol> Simulation<P> {
 
     fn push(&mut self, at: SimTime, kind: EventKind<P::Msg>) {
         self.seq += 1;
-        self.queue.push(Event { at, seq: self.seq, kind });
+        self.queue.push(Event {
+            at,
+            seq: self.seq,
+            kind,
+        });
     }
 
     fn transition(&mut self, id: NodeId, up: bool) {

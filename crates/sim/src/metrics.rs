@@ -121,6 +121,154 @@ impl fmt::Display for Histogram {
     }
 }
 
+/// Streaming quantile estimate via the P² algorithm (Jain & Chlamtac 1985).
+///
+/// Tracks one quantile in O(1) memory — five markers — so unbounded runs
+/// (the harness's trial-duration stream, long-lived simulations) can report
+/// percentiles without retaining every sample the way [`Histogram`] does.
+/// Estimates converge to within a few percent on smooth distributions.
+#[derive(Clone, Debug)]
+pub struct P2Quantile {
+    /// The tracked quantile in `(0, 1)`.
+    q: f64,
+    /// Marker heights (estimated quantile values).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based sample ranks).
+    pos: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    incr: [f64; 5],
+    /// Samples observed so far.
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Track the quantile `q` (clamped to `[0.001, 0.999]`).
+    pub fn new(q: f64) -> P2Quantile {
+        let q = q.clamp(0.001, 0.999);
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            pos: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            incr: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// Convenience constructors for the common percentiles.
+    pub fn p50() -> P2Quantile {
+        P2Quantile::new(0.5)
+    }
+
+    /// P95 sketch.
+    pub fn p95() -> P2Quantile {
+        P2Quantile::new(0.95)
+    }
+
+    /// P99 sketch.
+    pub fn p99() -> P2Quantile {
+        P2Quantile::new(0.99)
+    }
+
+    /// The tracked quantile in `(0, 1)`.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Samples observed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feed one observation. Non-finite samples are ignored, mirroring
+    /// [`Histogram::record`].
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if self.count < 5 {
+            self.heights[self.count] = v;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite heights"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the marker cell containing v and stretch the extremes.
+        let k = if v < self.heights[0] {
+            self.heights[0] = v;
+            0
+        } else if v >= self.heights[4] {
+            self.heights[4] = v;
+            3
+        } else {
+            // heights[k] <= v < heights[k + 1]
+            (0..4)
+                .find(|&i| v < self.heights[i + 1])
+                .expect("v is below heights[4]")
+        };
+
+        for i in (k + 1)..5 {
+            self.pos[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.incr[i];
+        }
+
+        // Adjust the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.pos[i];
+            let right = self.pos[i + 1] - self.pos[i];
+            let left = self.pos[i - 1] - self.pos[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.pos[i] += d;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic (P²) height update for marker `i` moving by `d`.
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (pm, p, pp) = (self.pos[i - 1], self.pos[i], self.pos[i + 1]);
+        h + d / (pp - pm)
+            * ((p - pm + d) * (hp - h) / (pp - p) + (pp - p - d) * (h - hm) / (p - pm))
+    }
+
+    /// Linear fallback when the parabolic estimate would break monotonicity.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i] + d * (self.heights[j] - self.heights[i]) / (self.pos[j] - self.pos[i])
+    }
+
+    /// Current estimate. Exact while fewer than five samples have been seen
+    /// (nearest-rank over the retained values); 0 when empty.
+    pub fn value(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.count >= 5 {
+            return self.heights[2];
+        }
+        let mut kept: Vec<f64> = self.heights[..self.count].to_vec();
+        kept.sort_by(|a, b| a.partial_cmp(b).expect("finite heights"));
+        let rank = (self.q * (kept.len() - 1) as f64).round() as usize;
+        kept[rank]
+    }
+}
+
 /// Registry of named counters, gauges and histograms for one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
@@ -176,9 +324,19 @@ impl Metrics {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// Iterate gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
     /// Iterate histogram keys in order.
     pub fn histogram_keys(&self) -> impl Iterator<Item = &str> {
         self.histograms.keys().map(String::as_str)
+    }
+
+    /// Iterate histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
     }
 
     /// Merge another metrics set into this one (counters add, histograms
@@ -249,7 +407,7 @@ mod tests {
         assert_eq!(h.percentile(0.0), 1.0);
         assert_eq!(h.percentile(50.0), 3.0);
         assert_eq!(h.percentile(100.0), 5.0);
-        assert!((h.std_dev() - 1.4142).abs() < 0.001);
+        assert!((h.std_dev() - std::f64::consts::SQRT_2).abs() < 0.001);
     }
 
     #[test]
@@ -278,6 +436,132 @@ mod tests {
         h.record(1.0); // must re-sort
         assert_eq!(h.percentile(0.0), 1.0);
         assert_eq!(h.percentile(100.0), 5.0);
+    }
+
+    #[test]
+    fn histogram_single_sample_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(7.5);
+        for p in [0.0, 0.1, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 7.5, "p={p}");
+        }
+        assert_eq!(h.median(), 7.5);
+        assert_eq!(h.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn histogram_percentile_clamps_out_of_range() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(-5.0), 1.0);
+        assert_eq!(h.percentile(250.0), 3.0);
+    }
+
+    #[test]
+    fn histogram_clone_preserves_lazy_sort_state() {
+        let mut h = Histogram::new();
+        h.record(3.0);
+        h.record(1.0);
+        // Sort via a percentile query, then clone: the clone must answer
+        // correctly with no further mutation...
+        assert_eq!(h.percentile(0.0), 1.0);
+        let mut sorted_clone = h.clone();
+        assert_eq!(sorted_clone.percentile(100.0), 3.0);
+        // ...and a clone taken *before* sorting must re-sort on demand.
+        let mut fresh = Histogram::new();
+        fresh.record(9.0);
+        fresh.record(2.0);
+        let mut unsorted_clone = fresh.clone();
+        assert_eq!(unsorted_clone.percentile(0.0), 2.0);
+        // Recording into a sorted clone clears the flag again.
+        sorted_clone.record(0.5);
+        assert_eq!(sorted_clone.percentile(0.0), 0.5);
+    }
+
+    #[test]
+    fn histogram_min_max_empty_are_infinite_sentinels() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), f64::INFINITY);
+        assert_eq!(h.max(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn p2_empty_and_small_counts_are_exact() {
+        let mut sketch = P2Quantile::p50();
+        assert_eq!(sketch.value(), 0.0);
+        assert_eq!(sketch.count(), 0);
+        sketch.record(10.0);
+        assert_eq!(sketch.value(), 10.0);
+        sketch.record(20.0);
+        sketch.record(0.0);
+        // Three samples: nearest-rank median of {0, 10, 20}.
+        assert_eq!(sketch.value(), 10.0);
+    }
+
+    #[test]
+    fn p2_ignores_non_finite() {
+        let mut sketch = P2Quantile::p50();
+        sketch.record(f64::NAN);
+        sketch.record(f64::INFINITY);
+        assert_eq!(sketch.count(), 0);
+    }
+
+    #[test]
+    fn p2_median_of_uniform_stream() {
+        let mut rng = crate::SimRng::new(71);
+        let mut sketch = P2Quantile::p50();
+        let mut exact = Histogram::new();
+        for _ in 0..50_000 {
+            let v = rng.f64();
+            sketch.record(v);
+            exact.record(v);
+        }
+        let got = sketch.value();
+        let want = exact.percentile(50.0);
+        assert!((got - want).abs() < 0.01, "p50 {got} vs exact {want}");
+    }
+
+    #[test]
+    fn p2_tail_of_exponential_stream() {
+        let mut rng = crate::SimRng::new(73);
+        let mut sketch = P2Quantile::p99();
+        let mut exact = Histogram::new();
+        for _ in 0..50_000 {
+            let v = rng.exp(2.0);
+            sketch.record(v);
+            exact.record(v);
+        }
+        let got = sketch.value();
+        let want = exact.percentile(99.0);
+        let rel = (got - want).abs() / want;
+        assert!(rel < 0.05, "p99 {got} vs exact {want} (rel {rel})");
+    }
+
+    #[test]
+    fn p2_p95_of_normal_stream() {
+        let mut rng = crate::SimRng::new(79);
+        let mut sketch = P2Quantile::p95();
+        let mut exact = Histogram::new();
+        for _ in 0..50_000 {
+            let v = rng.normal(100.0, 15.0);
+            sketch.record(v);
+            exact.record(v);
+        }
+        let got = sketch.value();
+        let want = exact.percentile(95.0);
+        let rel = (got - want).abs() / want;
+        assert!(rel < 0.02, "p95 {got} vs exact {want} (rel {rel})");
+    }
+
+    #[test]
+    fn p2_constant_stream_is_exact() {
+        let mut sketch = P2Quantile::new(0.9);
+        for _ in 0..1000 {
+            sketch.record(4.25);
+        }
+        assert_eq!(sketch.value(), 4.25);
     }
 
     #[test]

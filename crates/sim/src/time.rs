@@ -6,7 +6,7 @@
 //! ~584,000 simulated years, so overflow is not a practical concern.
 
 use std::fmt;
-use std::ops::{Add, AddAssign, Sub};
+use std::ops::{Add, AddAssign, Mul, Sub};
 
 /// A point in simulated time (microseconds since simulation start).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -105,9 +105,12 @@ impl SimDuration {
     pub fn secs_f64(self) -> f64 {
         self.0 as f64 / 1_000_000.0
     }
+}
 
-    /// Scalar multiply (panics on overflow in debug builds, like integer `*`).
-    pub fn mul(self, k: u64) -> SimDuration {
+/// Scalar multiply (panics on overflow in debug builds, like integer `*`).
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, k: u64) -> SimDuration {
         SimDuration(self.0 * k)
     }
 }
@@ -170,10 +173,7 @@ mod tests {
     #[test]
     fn construction_units_agree() {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
-        assert_eq!(
-            SimDuration::from_millis(1),
-            SimDuration::from_micros(1_000)
-        );
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
         assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
         assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
         assert_eq!(SimDuration::from_days(1), SimDuration::from_hours(24));

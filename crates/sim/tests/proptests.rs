@@ -1,3 +1,8 @@
+// Property tests need the external `proptest` crate, which hermetic
+// (offline) builds cannot fetch. To run them: re-add `proptest = "1"` to this
+// crate's [dev-dependencies] and build with RUSTFLAGS="--cfg agora_proptest".
+#![cfg(agora_proptest)]
+
 //! Property-based tests for the simulator substrate.
 
 use agora_sim::{DeviceClass, SimDuration, SimRng, SimTime};
@@ -84,7 +89,10 @@ fn device_profiles_internally_consistent() {
     for class in DeviceClass::all() {
         let p = class.profile();
         assert!(p.uplink_bps > 0);
-        assert!(p.downlink_bps >= p.uplink_bps, "{class:?}: asymmetric down < up");
+        assert!(
+            p.downlink_bps >= p.uplink_bps,
+            "{class:?}: asymmetric down < up"
+        );
         assert!((0.0..=1.0).contains(&p.duty_cycle));
         assert!(p.mean_session.micros() > 0);
         if p.battery_constrained {

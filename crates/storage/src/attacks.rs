@@ -165,7 +165,11 @@ pub fn play_porep_game(
         // having paid the time, can produce correct bytes).
         let (_, chunks) = Manifest::build(&sealed[r], env.seal.sealed_chunk_size);
         let resp = PosResponse::build(
-            &PosChallenge { object: challenge.commitment, index: idx, nonce },
+            &PosChallenge {
+                object: challenge.commitment,
+                index: idx,
+                nonce,
+            },
             manifest,
             chunks[idx as usize].clone(),
         )

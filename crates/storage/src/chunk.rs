@@ -62,9 +62,8 @@ impl Manifest {
                 .collect()
         };
         let ids: Vec<Hash256> = chunks.iter().map(|c| c.id).collect();
-        let tree = MerkleTree::from_leaf_hashes(
-            ids.iter().map(|h| leaf_hash(h.as_bytes())).collect(),
-        );
+        let tree =
+            MerkleTree::from_leaf_hashes(ids.iter().map(|h| leaf_hash(h.as_bytes())).collect());
         (
             Manifest {
                 object_id: tree.root(),
@@ -88,11 +87,7 @@ impl Manifest {
     }
 
     /// Verify a chunk + proof against an object id.
-    pub fn verify_chunk(
-        object_id: &Hash256,
-        chunk: &Chunk,
-        index_proof: &MerkleProof,
-    ) -> bool {
+    pub fn verify_chunk(object_id: &Hash256, chunk: &Chunk, index_proof: &MerkleProof) -> bool {
         chunk.verify() && index_proof.verify(leaf_hash(chunk.id.as_bytes()), *object_id)
     }
 
@@ -161,7 +156,11 @@ mod tests {
         assert!(!Manifest::verify_chunk(&manifest.object_id, &evil, &proof));
         // Re-addressed tampered chunk still fails the proof.
         let readdressed = Chunk::new(evil.data);
-        assert!(!Manifest::verify_chunk(&manifest.object_id, &readdressed, &proof));
+        assert!(!Manifest::verify_chunk(
+            &manifest.object_id,
+            &readdressed,
+            &proof
+        ));
     }
 
     #[test]

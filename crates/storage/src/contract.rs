@@ -120,8 +120,7 @@ impl StorageContract {
         grace: usize,
         bank: &mut TokenBank,
     ) -> (u64, u64) {
-        let passed =
-            (record.uptime_fraction() * record.window_count() as f64).round() as u64;
+        let passed = (record.uptime_fraction() * record.window_count() as f64).round() as u64;
         let earned = passed.min(self.windows as u64) * self.price_per_window;
         bank.transfer(self.client, self.provider, earned as i64);
         let slashed = if record.satisfied(grace) {
@@ -165,10 +164,7 @@ mod tests {
         assert!(StorageContract::decode(&[1, 2, 3]).is_err());
         let mut bytes = contract().encode();
         bytes.push(0); // trailing garbage
-        assert_eq!(
-            StorageContract::decode(&bytes),
-            Err(DecodeError::BadLength)
-        );
+        assert_eq!(StorageContract::decode(&bytes), Err(DecodeError::BadLength));
         let mut bytes = contract().encode();
         let last = bytes.len() - 1;
         bytes[last] = 9; // invalid proof tag

@@ -148,12 +148,22 @@ mod tests {
     fn more_parity_more_durable() {
         let mut rng = SimRng::new(3);
         let weak = simulate_durability(
-            &DurabilityParams { k: 4, m: 1, repair_interval_days: 20.0, ..Default::default() },
+            &DurabilityParams {
+                k: 4,
+                m: 1,
+                repair_interval_days: 20.0,
+                ..Default::default()
+            },
             3000,
             &mut rng,
         );
         let strong = simulate_durability(
-            &DurabilityParams { k: 4, m: 4, repair_interval_days: 20.0, ..Default::default() },
+            &DurabilityParams {
+                k: 4,
+                m: 4,
+                repair_interval_days: 20.0,
+                ..Default::default()
+            },
             3000,
             &mut rng,
         );

@@ -317,13 +317,14 @@ fn invert(m: &[Vec<u8>]) -> Option<Vec<Vec<u8>>> {
         for v in aug[col].iter_mut() {
             *v = gf::mul(*v, inv_p);
         }
-        // Eliminate other rows.
-        for r in 0..n {
-            if r != col && aug[r][col] != 0 {
-                let factor = aug[r][col];
-                for c in 0..2 * n {
-                    let sub = gf::mul(factor, aug[col][c]);
-                    aug[r][c] ^= sub;
+        // Eliminate other rows. The pivot row is cloned so the destination
+        // row can be borrowed mutably while reading it.
+        let pivot_row = aug[col].clone();
+        for (r, row) in aug.iter_mut().enumerate() {
+            if r != col && row[col] != 0 {
+                let factor = row[col];
+                for (dst, src) in row.iter_mut().zip(pivot_row.iter()) {
+                    *dst ^= gf::mul(factor, *src);
                 }
             }
         }
@@ -337,7 +338,10 @@ mod tests {
 
     #[test]
     fn bad_parameters_rejected() {
-        assert_eq!(ReedSolomon::new(0, 3).unwrap_err(), ErasureError::BadParameters);
+        assert_eq!(
+            ReedSolomon::new(0, 3).unwrap_err(),
+            ErasureError::BadParameters
+        );
         assert_eq!(
             ReedSolomon::new(200, 60).unwrap_err(),
             ErasureError::BadParameters
@@ -362,8 +366,7 @@ mod tests {
         let rs = ReedSolomon::new(3, 2).unwrap();
         let data = b"hello erasure coded world".to_vec();
         let shards = rs.encode(&data);
-        let avail: Vec<(usize, Vec<u8>)> =
-            (0..3).map(|i| (i, shards[i].clone())).collect();
+        let avail: Vec<(usize, Vec<u8>)> = (0..3).map(|i| (i, shards[i].clone())).collect();
         assert_eq!(rs.reconstruct(&avail, data.len()).unwrap(), data);
     }
 
@@ -400,8 +403,7 @@ mod tests {
         let rs = ReedSolomon::new(4, 2).unwrap();
         let data = vec![9u8; 64];
         let shards = rs.encode(&data);
-        let avail: Vec<(usize, Vec<u8>)> =
-            (0..3).map(|i| (i + 2, shards[i + 2].clone())).collect();
+        let avail: Vec<(usize, Vec<u8>)> = (0..3).map(|i| (i + 2, shards[i + 2].clone())).collect();
         assert_eq!(
             rs.reconstruct(&avail, data.len()).unwrap_err(),
             ErasureError::NotEnoughShards
@@ -434,10 +436,8 @@ mod tests {
         let data = b"replicate me".to_vec();
         let shards = rs.encode(&data);
         assert_eq!(shards.len(), 4);
-        for i in 0..4 {
-            let got = rs
-                .reconstruct(&[(i, shards[i].clone())], data.len())
-                .unwrap();
+        for (i, shard) in shards.iter().enumerate() {
+            let got = rs.reconstruct(&[(i, shard.clone())], data.len()).unwrap();
             assert_eq!(got, data, "replica {i}");
         }
     }

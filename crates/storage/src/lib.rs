@@ -33,7 +33,9 @@ pub mod node;
 pub mod profiles;
 pub mod proofs;
 
-pub use attacks::{discard_detection_probability, play_porep_game, AttackEnv, AttackResult, CheatStrategy};
+pub use attacks::{
+    discard_detection_probability, play_porep_game, AttackEnv, AttackResult, CheatStrategy,
+};
 pub use chunk::{Chunk, Manifest, DEFAULT_CHUNK_SIZE};
 pub use contract::{ProofScheme, StorageContract};
 pub use durability::{simulate_durability, DurabilityParams, DurabilityResult};

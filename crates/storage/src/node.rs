@@ -78,9 +78,7 @@ impl StorageMsg {
             StorageMsg::PutShard { data, .. } => 40 + data.len() as u64,
             StorageMsg::AckPut { .. } => 40,
             StorageMsg::GetShard { .. } => 48,
-            StorageMsg::ShardData { data, .. } => {
-                16 + data.as_ref().map_or(0, |d| d.len() as u64)
-            }
+            StorageMsg::ShardData { data, .. } => 16 + data.as_ref().map_or(0, |d| d.len() as u64),
             StorageMsg::AuditChallenge { .. } => 56,
             StorageMsg::AuditResponse { .. } => 48,
         }
@@ -265,7 +263,8 @@ impl StorageNode {
             };
             let size = msg.wire_size();
             ctx.send(provider, msg, size);
-            ctx.metrics().incr("storage.shard_bytes_up", shard.len() as u64);
+            ctx.metrics()
+                .incr("storage.shard_bytes_up", shard.len() as u64);
             places.push(ShardPlace {
                 index: i as u32,
                 provider,
@@ -286,7 +285,13 @@ impl StorageNode {
         );
         let op = c.next_op;
         c.next_op += 1;
-        c.ops.insert(op, OpState::Put { object, deadline_ticks: MAX_OP_TICKS });
+        c.ops.insert(
+            op,
+            OpState::Put {
+                object,
+                deadline_ticks: MAX_OP_TICKS,
+            },
+        );
         ctx.set_timer(OP_TICK, op);
         (op, object)
     }
@@ -303,7 +308,11 @@ impl StorageNode {
             return op;
         };
         for s in rec.shards.iter().filter(|s| s.alive) {
-            let msg = StorageMsg::GetShard { object, index: s.index, req: op };
+            let msg = StorageMsg::GetShard {
+                object,
+                index: s.index,
+                req: op,
+            };
             let size = msg.wire_size();
             ctx.send(s.provider, msg, size);
         }
@@ -331,7 +340,9 @@ impl StorageNode {
     // -- client internals ---------------------------------------------------
 
     fn client_audit_round(&mut self, ctx: &mut Ctx<'_, StorageMsg>) {
-        let Role::Client(c) = &mut self.role else { return };
+        let Role::Client(c) = &mut self.role else {
+            return;
+        };
         let mut challenges = Vec::new();
         for (object, rec) in c.objects.iter_mut() {
             // Audit one live shard per object per round, rotating.
@@ -363,22 +374,26 @@ impl StorageNode {
             ctx.metrics().incr("storage.audits_sent", 1);
             c.ops.insert(
                 op,
-                OpState::AuditWait { object, index, expected: audit, done: false },
+                OpState::AuditWait {
+                    object,
+                    index,
+                    expected: audit,
+                    done: false,
+                },
             );
-            ctx.set_timer(OP_TICK.mul(3), op);
+            ctx.set_timer(OP_TICK * 3, op);
         }
         let interval = c.audit_interval;
         ctx.set_timer(interval, TAG_AUDIT_TICK);
     }
 
-    fn mark_shard_dead(
-        &mut self,
-        ctx: &mut Ctx<'_, StorageMsg>,
-        object: Hash256,
-        index: u32,
-    ) {
-        let Role::Client(c) = &mut self.role else { return };
-        let Some(rec) = c.objects.get_mut(&object) else { return };
+    fn mark_shard_dead(&mut self, ctx: &mut Ctx<'_, StorageMsg>, object: Hash256, index: u32) {
+        let Role::Client(c) = &mut self.role else {
+            return;
+        };
+        let Some(rec) = c.objects.get_mut(&object) else {
+            return;
+        };
         let Some(place) = rec.shards.iter_mut().find(|s| s.index == index) else {
             return;
         };
@@ -394,7 +409,11 @@ impl StorageNode {
         let op = c.next_op;
         c.next_op += 1;
         for s in rec.shards.iter().filter(|s| s.alive) {
-            let msg = StorageMsg::GetShard { object, index: s.index, req: op };
+            let msg = StorageMsg::GetShard {
+                object,
+                index: s.index,
+                req: op,
+            };
             let size = msg.wire_size();
             ctx.send(s.provider, msg, size);
         }
@@ -412,8 +431,16 @@ impl StorageNode {
     }
 
     fn try_complete_get(&mut self, ctx: &mut Ctx<'_, StorageMsg>, op: u64) {
-        let Role::Client(c) = &mut self.role else { return };
-        let Some(OpState::Get { object, collected, repair_index, .. }) = c.ops.get(&op) else {
+        let Role::Client(c) = &mut self.role else {
+            return;
+        };
+        let Some(OpState::Get {
+            object,
+            collected,
+            repair_index,
+            ..
+        }) = c.ops.get(&op)
+        else {
             return;
         };
         let object = *object;
@@ -458,14 +485,16 @@ impl StorageNode {
                             candidates[0]
                         };
                         let audits = por_make_audits(&shard, c.audits_per_shard, ctx.rng());
-                        let msg = StorageMsg::PutShard { object, index, data: shard };
+                        let msg = StorageMsg::PutShard {
+                            object,
+                            index,
+                            data: shard,
+                        };
                         let size = msg.wire_size();
                         ctx.send(provider, msg, size);
                         ctx.metrics().incr("storage.repair_bytes_up", size);
                         ctx.metrics().incr("storage.repairs_completed", 1);
-                        if let Some(place) =
-                            rec.shards.iter_mut().find(|s| s.index == index)
-                        {
+                        if let Some(place) = rec.shards.iter_mut().find(|s| s.index == index) {
                             place.provider = provider;
                             place.audits = audits;
                             place.alive = true;
@@ -493,7 +522,14 @@ impl Protocol for StorageNode {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, StorageMsg>, from: NodeId, msg: StorageMsg) {
         match (&mut self.role, msg) {
-            (Role::Provider(p), StorageMsg::PutShard { object, index, data }) => {
+            (
+                Role::Provider(p),
+                StorageMsg::PutShard {
+                    object,
+                    index,
+                    data,
+                },
+            ) => {
                 let keep = match p.strategy {
                     ProviderStrategy::Honest => true,
                     ProviderStrategy::DiscardAfterAck => false,
@@ -509,13 +545,22 @@ impl Protocol for StorageNode {
             (Role::Provider(p), StorageMsg::GetShard { object, index, req }) => {
                 let data = p.shards.get(&(object, index)).cloned();
                 if let Some(d) = &data {
-                    ctx.metrics().incr("storage.shard_bytes_served", d.len() as u64);
+                    ctx.metrics()
+                        .incr("storage.shard_bytes_served", d.len() as u64);
                 }
                 let reply = StorageMsg::ShardData { req, index, data };
                 let size = reply.wire_size();
                 ctx.send(from, reply, size);
             }
-            (Role::Provider(p), StorageMsg::AuditChallenge { object, index, nonce, req }) => {
+            (
+                Role::Provider(p),
+                StorageMsg::AuditChallenge {
+                    object,
+                    index,
+                    nonce,
+                    req,
+                },
+            ) => {
                 let digest = p
                     .shards
                     .get(&(object, index))
@@ -560,8 +605,12 @@ impl Protocol for StorageNode {
                 }
             }
             (Role::Client(c), StorageMsg::AuditResponse { req, digest }) => {
-                if let Some(OpState::AuditWait { object, index, expected, done }) =
-                    c.ops.get_mut(&req)
+                if let Some(OpState::AuditWait {
+                    object,
+                    index,
+                    expected,
+                    done,
+                }) = c.ops.get_mut(&req)
                 {
                     if *done {
                         return;
@@ -587,20 +636,29 @@ impl Protocol for StorageNode {
             self.client_audit_round(ctx);
             return;
         }
-        let Role::Client(c) = &mut self.role else { return };
+        let Role::Client(c) = &mut self.role else {
+            return;
+        };
         match c.ops.get_mut(&tag) {
-            Some(OpState::Put { object, deadline_ticks }) => {
+            Some(OpState::Put {
+                object,
+                deadline_ticks,
+            }) => {
                 let object = *object;
                 *deadline_ticks -= 1;
                 if *deadline_ticks == 0 {
                     c.ops.remove(&tag);
                     ctx.metrics().incr("storage.put_timeout", 1);
-                    let acked = c.objects.get(&object).map_or(0, |r| {
-                        r.shards.iter().filter(|s| s.acked).count() as u32
-                    });
+                    let acked = c
+                        .objects
+                        .get(&object)
+                        .map_or(0, |r| r.shards.iter().filter(|s| s.acked).count() as u32);
                     // Partial placement can still be durable; report what we got.
                     let result = if acked > 0 {
-                        StorageResult::Stored { object, shards: acked }
+                        StorageResult::Stored {
+                            object,
+                            shards: acked,
+                        }
                     } else {
                         StorageResult::PutFailed
                     };
@@ -622,7 +680,12 @@ impl Protocol for StorageNode {
                     ctx.set_timer(OP_TICK, tag);
                 }
             }
-            Some(OpState::AuditWait { object, index, done, .. }) => {
+            Some(OpState::AuditWait {
+                object,
+                index,
+                done,
+                ..
+            }) => {
                 // Timer fired before a response arrived: audit timed out.
                 if !*done {
                     let (object, index) = (*object, *index);

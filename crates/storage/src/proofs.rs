@@ -55,7 +55,11 @@ pub struct PosResponse {
 
 impl PosResponse {
     /// Build a response from locally stored data.
-    pub fn build(challenge: &PosChallenge, manifest: &Manifest, chunk: Chunk) -> Option<PosResponse> {
+    pub fn build(
+        challenge: &PosChallenge,
+        manifest: &Manifest,
+        chunk: Chunk,
+    ) -> Option<PosResponse> {
         let proof = manifest.prove_chunk(challenge.index as usize)?;
         Some(PosResponse {
             nonce: challenge.nonce,
@@ -271,7 +275,11 @@ mod tests {
     #[test]
     fn pos_round_trip() {
         let (manifest, chunks, _) = object(5000);
-        let ch = PosChallenge { object: manifest.object_id, index: 3, nonce: 99 };
+        let ch = PosChallenge {
+            object: manifest.object_id,
+            index: 3,
+            nonce: 99,
+        };
         let resp = PosResponse::build(&ch, &manifest, chunks[3].clone()).unwrap();
         assert!(resp.verify(&ch));
         assert!(resp.wire_size() > 1024);
@@ -280,7 +288,11 @@ mod tests {
     #[test]
     fn pos_wrong_chunk_or_nonce_fails() {
         let (manifest, chunks, _) = object(5000);
-        let ch = PosChallenge { object: manifest.object_id, index: 3, nonce: 99 };
+        let ch = PosChallenge {
+            object: manifest.object_id,
+            index: 3,
+            nonce: 99,
+        };
         let resp = PosResponse::build(&ch, &manifest, chunks[2].clone()).unwrap();
         assert!(!resp.verify(&ch), "wrong chunk data");
         let mut resp2 = PosResponse::build(&ch, &manifest, chunks[3].clone()).unwrap();
@@ -337,7 +349,11 @@ mod tests {
             deadline_micros: 1_000_000,
         };
         let resp = PosResponse::build(
-            &PosChallenge { object: ch.commitment, index: ch.index, nonce: ch.nonce },
+            &PosChallenge {
+                object: ch.commitment,
+                index: ch.index,
+                nonce: ch.nonce,
+            },
             &commitment,
             sealed_chunks[2].clone(),
         )
@@ -350,7 +366,7 @@ mod tests {
     fn seal_time_scales_with_length() {
         let p = SealParams::default();
         assert!(p.seal_time(64_000_000) > SimDuration::from_secs(60));
-        assert!(p.seal_time(64_000_000) > p.response_deadline.mul(10));
+        assert!(p.seal_time(64_000_000) > p.response_deadline * 10);
         assert_eq!(p.seal_time(0), SimDuration::ZERO);
     }
 

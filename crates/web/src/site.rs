@@ -269,10 +269,7 @@ mod tests {
         let (mut p, b1) = site();
         let b2 = p.publish(&[("index.html", b"<h1>v2</h1>".as_slice())]);
         assert_eq!(b2.signed.manifest.version, 2);
-        assert_eq!(
-            b2.signed.manifest.parent,
-            Some(b1.signed.manifest.hash())
-        );
+        assert_eq!(b2.signed.manifest.parent, Some(b1.signed.manifest.hash()));
         assert!(b2.signed.verify());
     }
 
@@ -296,8 +293,8 @@ mod tests {
         let mut b = SitePublisher::fork(b"b", &ba.signed.manifest);
         let bb = b.publish(&[
             ("index.html", b"<h1>b</h1>".as_slice()), // conflicts
-            ("shared.css", b"body{}".as_slice()),      // identical
-            ("extra.js", b"x()".as_slice()),           // new
+            ("shared.css", b"body{}".as_slice()),     // identical
+            ("extra.js", b"x()".as_slice()),          // new
         ]);
         let (merged, conflicts) = merge_files(&ba.signed.manifest, &bb.signed.manifest);
         assert_eq!(merged.len(), 3);

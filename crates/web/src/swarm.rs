@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use agora_crypto::{sha256, Hash256};
 use agora_sim::{Ctx, NodeId, Protocol, SimDuration};
 
-use crate::site::{SiteBundle, SignedManifest};
+use crate::site::{SignedManifest, SiteBundle};
 
 /// Wire messages.
 #[derive(Clone, Debug)]
@@ -46,8 +46,8 @@ pub enum SwarmMsg {
     ManifestResp {
         /// Echoed op id.
         req: u64,
-        /// The manifest if held.
-        manifest: Option<SignedManifest>,
+        /// The manifest if held (boxed: it dwarfs every other variant).
+        manifest: Option<Box<SignedManifest>>,
     },
     /// Fetch one piece.
     GetPiece {
@@ -79,9 +79,7 @@ impl SwarmMsg {
                 16 + manifest.as_ref().map_or(0, |m| m.wire_size())
             }
             SwarmMsg::GetPiece { .. } => 52,
-            SwarmMsg::PieceResp { data, .. } => {
-                20 + data.as_ref().map_or(0, |d| d.len() as u64)
-            }
+            SwarmMsg::PieceResp { data, .. } => 20 + data.as_ref().map_or(0, |d| d.len() as u64),
         }
     }
 }
@@ -255,7 +253,9 @@ impl SwarmNode {
 
     /// Request all still-missing pieces, spread across known peers.
     fn request_missing(&mut self, ctx: &mut Ctx<'_, SwarmMsg>, op: u64) {
-        let Role::Peer(p) = &mut self.role else { return };
+        let Role::Peer(p) = &mut self.role else {
+            return;
+        };
         let Some(v) = p.visits.get(&op) else { return };
         let Some(m) = &v.manifest else { return };
         let total = m.manifest.piece_ids.len() as u32;
@@ -271,14 +271,20 @@ impl SwarmNode {
         }
         let site = v.site;
         for (peer, idx) in requests {
-            let msg = SwarmMsg::GetPiece { site, index: idx, req: op };
+            let msg = SwarmMsg::GetPiece {
+                site,
+                index: idx,
+                req: op,
+            };
             let size = msg.wire_size();
             ctx.send(peer, msg, size);
         }
     }
 
     fn try_complete(&mut self, ctx: &mut Ctx<'_, SwarmMsg>, op: u64) {
-        let Role::Peer(p) = &mut self.role else { return };
+        let Role::Peer(p) = &mut self.role else {
+            return;
+        };
         let Some(v) = p.visits.get(&op) else { return };
         let Some(m) = &v.manifest else { return };
         if v.got.len() < m.manifest.piece_ids.len() {
@@ -351,13 +357,15 @@ impl Protocol for SwarmNode {
                 }
             }
             (Role::Peer(p), SwarmMsg::GetManifest { site, req }) => {
-                let manifest = p.sites.get(&site).map(|s| s.signed.clone());
+                let manifest = p.sites.get(&site).map(|s| Box::new(s.signed.clone()));
                 let msg = SwarmMsg::ManifestResp { req, manifest };
                 let size = msg.wire_size();
                 ctx.send(from, msg, size);
             }
             (Role::Peer(p), SwarmMsg::ManifestResp { req, manifest }) => {
-                let Some(v) = p.visits.get_mut(&req) else { return };
+                let Some(v) = p.visits.get_mut(&req) else {
+                    return;
+                };
                 let Some(sm) = manifest else { return };
                 // Verify signature + address; prefer the newest version.
                 if !sm.verify() || sm.manifest.site != v.site {
@@ -370,7 +378,7 @@ impl Protocol for SwarmNode {
                     .is_none_or(|cur| sm.manifest.version > cur.manifest.version);
                 let advancing = v.phase == VisitPhase::FetchingManifest;
                 if newer {
-                    v.manifest = Some(sm);
+                    v.manifest = Some(*sm);
                     v.got.clear();
                 }
                 if advancing || newer {
@@ -392,7 +400,9 @@ impl Protocol for SwarmNode {
                 ctx.send(from, msg, size);
             }
             (Role::Peer(p), SwarmMsg::PieceResp { req, index, data }) => {
-                let Some(v) = p.visits.get_mut(&req) else { return };
+                let Some(v) = p.visits.get_mut(&req) else {
+                    return;
+                };
                 let Some(m) = &v.manifest else { return };
                 let Some(data) = data else { return };
                 let Some(expected) = m.manifest.piece_ids.get(index as usize) else {
@@ -410,8 +420,12 @@ impl Protocol for SwarmNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, SwarmMsg>, op: u64) {
-        let Role::Peer(p) = &mut self.role else { return };
-        let Some(v) = p.visits.get_mut(&op) else { return };
+        let Role::Peer(p) = &mut self.role else {
+            return;
+        };
+        let Some(v) = p.visits.get_mut(&op) else {
+            return;
+        };
         v.ticks += 1;
         if v.ticks > MAX_VISIT_TICKS {
             p.visits.remove(&op);
@@ -617,8 +631,10 @@ mod tests {
         let site = publisher.site_id();
         let v2 = publisher.publish(&[("index.html", b"v2 content".as_slice())]);
         // Peer 0 seeds v1, peer 1 seeds v2.
-        sim.with_ctx(peers[0], |n, ctx| n.host_site(ctx, &v1)).unwrap();
-        sim.with_ctx(peers[1], |n, ctx| n.host_site(ctx, &v2)).unwrap();
+        sim.with_ctx(peers[0], |n, ctx| n.host_site(ctx, &v1))
+            .unwrap();
+        sim.with_ctx(peers[1], |n, ctx| n.host_site(ctx, &v2))
+            .unwrap();
         sim.run_for(SimDuration::from_secs(2));
         let op = sim
             .with_ctx(peers[2], |n, ctx| n.start_visit(ctx, site))

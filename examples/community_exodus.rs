@@ -71,11 +71,19 @@ fn act2_single_home() {
     let i0 = NodeId(0);
     let i1 = NodeId(1);
     sim.add_node(
-        FedNode::instance(vec![i1], ReplicationMode::SingleHome, ModerationPolicy::spam_only()),
+        FedNode::instance(
+            vec![i1],
+            ReplicationMode::SingleHome,
+            ModerationPolicy::spam_only(),
+        ),
         DeviceClass::DatacenterServer,
     );
     sim.add_node(
-        FedNode::instance(vec![i0], ReplicationMode::SingleHome, ModerationPolicy::spam_only()),
+        FedNode::instance(
+            vec![i0],
+            ReplicationMode::SingleHome,
+            ModerationPolicy::spam_only(),
+        ),
         DeviceClass::DatacenterServer,
     );
     let home0: Vec<NodeId> = (0..4)
@@ -111,11 +119,19 @@ fn act3_replicated() {
     let i0 = NodeId(0);
     let i1 = NodeId(1);
     sim.add_node(
-        FedNode::instance(vec![i1], ReplicationMode::FullReplication, ModerationPolicy::spam_only()),
+        FedNode::instance(
+            vec![i1],
+            ReplicationMode::FullReplication,
+            ModerationPolicy::spam_only(),
+        ),
         DeviceClass::DatacenterServer,
     );
     sim.add_node(
-        FedNode::instance(vec![i0], ReplicationMode::FullReplication, ModerationPolicy::spam_only()),
+        FedNode::instance(
+            vec![i0],
+            ReplicationMode::FullReplication,
+            ModerationPolicy::spam_only(),
+        ),
         DeviceClass::DatacenterServer,
     );
     let author = sim.add_node(FedNode::client(i0), DeviceClass::PersonalComputer);
@@ -143,9 +159,18 @@ fn act4_social() {
     println!("— Act IV: socially-aware P2P —");
     let mut sim = Simulation::new(4);
     let ids: Vec<NodeId> = (0..3u32).map(NodeId).collect();
-    sim.add_node(SocialNode::new(vec![ids[1], ids[2]], false), DeviceClass::PersonalComputer);
-    sim.add_node(SocialNode::new(vec![ids[0], ids[2]], false), DeviceClass::PersonalComputer);
-    sim.add_node(SocialNode::new(vec![ids[0], ids[1]], false), DeviceClass::PersonalComputer);
+    sim.add_node(
+        SocialNode::new(vec![ids[1], ids[2]], false),
+        DeviceClass::PersonalComputer,
+    );
+    sim.add_node(
+        SocialNode::new(vec![ids[0], ids[2]], false),
+        DeviceClass::PersonalComputer,
+    );
+    sim.add_node(
+        SocialNode::new(vec![ids[0], ids[1]], false),
+        DeviceClass::PersonalComputer,
+    );
     sim.with_ctx(ids[0], |n, ctx| n.post(ctx, 300, PostLabel::Legit));
     sim.run_for(SimDuration::from_secs(5));
     println!(

@@ -9,10 +9,9 @@
 
 use agora::experiments::{
     e10_federated_failover, e11_guerrilla_relay, e12_moderation_tension, e13_financing_gap,
-    e14_usenet_collapse, e1_naming_tradeoff, e2_naming_attacks,
-    e3_groupcomm_availability, e4_privacy, e5_storage_proofs, e6_durability,
-    e7_web_availability, e8_quality_vs_quantity, e9_chain_costs, t1_taxonomy,
-    t2_storage_systems, t3_feasibility,
+    e14_usenet_collapse, e1_naming_tradeoff, e2_naming_attacks, e3_groupcomm_availability,
+    e4_privacy, e5_storage_proofs, e6_durability, e7_web_availability, e8_quality_vs_quantity,
+    e9_chain_costs, t1_taxonomy, t2_storage_systems, t3_feasibility,
 };
 
 const SEED: u64 = 20171130; // HotNets-XVI, day one
@@ -38,7 +37,7 @@ fn run(id: &str) {
         "e10" => println!("{}\n", e10_federated_failover(SEED).1),
         "e11" => println!("{}\n", e11_guerrilla_relay(SEED).1),
         "e12" => println!("{}\n", e12_moderation_tension(SEED).1),
-        "e13" => println!("{}\n", e13_financing_gap().1),
+        "e13" => println!("{}\n", e13_financing_gap(SEED).1),
         "e14" => println!("{}\n", e14_usenet_collapse(SEED).1),
         "props" => println!("{}", agora::render_property_matrix()),
         "zooko" => println!("{}", agora::naming_zooko_table()),
@@ -49,8 +48,8 @@ fn run(id: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
-        "t1", "t2", "t3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-        "props", "zooko",
+        "t1", "t2", "t3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+        "e12", "e13", "e14", "props", "zooko",
     ];
     if args.is_empty() {
         for id in all {

@@ -46,7 +46,9 @@ fn main() {
     sim.kill(origin);
     println!("\norigin went offline permanently...");
     let late = visitors[2];
-    let op = sim.with_ctx(late, |n, ctx| n.start_visit(ctx, site)).unwrap();
+    let op = sim
+        .with_ctx(late, |n, ctx| n.start_visit(ctx, site))
+        .unwrap();
     sim.run_for(SimDuration::from_mins(3));
     match sim.node_mut(late).take_result(op) {
         Some(VisitResult::Ok { version, .. }) => println!(

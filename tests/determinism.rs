@@ -86,3 +86,20 @@ fn different_seeds_differ_somewhere() {
         "suspiciously identical across seeds"
     );
 }
+
+#[test]
+fn harness_metric_adapters_are_deterministic() {
+    // The harness consumes experiments through the `*_metrics` adapters; the
+    // flattened registry (counters + gauges) must be reproducible verbatim.
+    use agora::experiments::{e13_metrics, e1_metrics, e4_metrics};
+    let render = |m: &agora::sim::Metrics| format!("{m}");
+    let a = e1_metrics(508);
+    let b = e1_metrics(508);
+    assert_eq!(render(&a), render(&b));
+    assert!(render(&a).contains("e1.latency_factor"));
+    let a = e4_metrics(509);
+    let b = e4_metrics(509);
+    assert_eq!(render(&a), render(&b));
+    // e13 is analytic: any seed yields the same economics.
+    assert_eq!(render(&e13_metrics(0)), render(&e13_metrics(12345)));
+}

@@ -30,7 +30,8 @@ fn every_experiment_is_documented() {
         "E12", "E13", "E14",
     ] {
         assert!(
-            experiments.contains(&format!("## {id} ")) || experiments.contains(&format!("## {id}—"))
+            experiments.contains(&format!("## {id} "))
+                || experiments.contains(&format!("## {id}—"))
                 || experiments.contains(&format!("## {id} —")),
             "EXPERIMENTS.md missing section for {id}"
         );

@@ -23,8 +23,14 @@ fi
 step "cargo fmt --check"
 cargo fmt --check
 
-step "cargo clippy --all-targets --release -- -D warnings"
-cargo clippy --all-targets --release -- -D warnings
+step "cargo clippy --all-targets --release -- -D warnings -D clippy::perf"
+cargo clippy --all-targets --release -- -D warnings -D clippy::perf
+
+step "cargo bench --no-run (crates/bench sub-workspace, offline criterion shim)"
+(cd crates/bench && cargo bench --no-run)
+
+step "cargo clippy (crates/bench) -- -D warnings -D clippy::perf"
+(cd crates/bench && cargo clippy --all-targets --release -- -D warnings -D clippy::perf)
 
 step "agora-harness baseline diff (BENCH_harness.json)"
 ./target/release/agora-harness

@@ -44,7 +44,10 @@ fn bench_validation(c: &mut Criterion) {
                 &alice,
                 i,
                 1,
-                TxPayload::Transfer { to: sha256(b"bob"), amount: 1 },
+                TxPayload::Transfer {
+                    to: sha256(b"bob"),
+                    amount: 1,
+                },
             )
         })
         .collect();
@@ -73,7 +76,10 @@ fn bench_validation(c: &mut Criterion) {
                 &alice,
                 nonce,
                 1,
-                TxPayload::Transfer { to: sha256(b"bob"), amount: 1 },
+                TxPayload::Transfer {
+                    to: sha256(b"bob"),
+                    amount: 1,
+                },
             );
             black_box(tx.verify_signature())
         })

@@ -2,8 +2,7 @@
 //! the double-ratchet session.
 
 use agora_comm::{
-    CentralNode, FedNode, ModerationPolicy, PostLabel, RatchetSession, ReplicationMode,
-    SocialNode,
+    CentralNode, FedNode, ModerationPolicy, PostLabel, RatchetSession, ReplicationMode, SocialNode,
 };
 use agora_crypto::sha256;
 use agora_sim::{DeviceClass, NodeId, SimDuration, Simulation};
@@ -72,7 +71,10 @@ fn social_round(seed: u64) -> u64 {
             friends.push(ids[(i + d) % n]);
             friends.push(ids[(i + n - d) % n]);
         }
-        sim.add_node(SocialNode::new(friends, true), DeviceClass::PersonalComputer);
+        sim.add_node(
+            SocialNode::new(friends, true),
+            DeviceClass::PersonalComputer,
+        );
     }
     for &id in &ids {
         sim.with_ctx(id, |node, ctx| node.post(ctx, 200, PostLabel::Legit));

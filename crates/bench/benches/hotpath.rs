@@ -1,0 +1,118 @@
+//! Hot-path kernels behind the perf pass: midstate vs full-header mining,
+//! the engine's queue/dispatch loop, and incremental SHA-256 hashing.
+//! These are the microbenchmark counterparts of the numbers recorded in
+//! BENCH_perf.json (crates/harness/src/perf.rs).
+
+use agora_chain::BlockHeader;
+use agora_crypto::{sha256, Sha256};
+use agora_sim::{Ctx, DeviceClass, NodeId, Protocol, SimDuration, Simulation};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_header() -> BlockHeader {
+    BlockHeader {
+        height: 42,
+        prev: sha256(b"bench-parent"),
+        merkle_root: sha256(b"bench-merkle"),
+        time_micros: 1_234_567,
+        difficulty_bits: 64, // never satisfied: pure grind throughput
+        nonce: 0,
+    }
+}
+
+fn bench_mining_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pow_hash");
+    let header = bench_header();
+
+    let mid = header.pow_midstate();
+    let mut nonce = 0u64;
+    g.bench_function("midstate", |b| {
+        b.iter(|| {
+            nonce = nonce.wrapping_add(1);
+            black_box(mid.hash_nonce(nonce))
+        })
+    });
+
+    let mut naive = header.clone();
+    g.bench_function("full_header", |b| {
+        b.iter(|| {
+            naive.nonce = naive.nonce.wrapping_add(1);
+            black_box(naive.hash())
+        })
+    });
+    g.finish();
+}
+
+fn bench_sha256_streaming(c: &mut Criterion) {
+    let data: Vec<u8> = (0..64 * 1024).map(|i| (i % 251) as u8).collect();
+    let mut g = c.benchmark_group("sha256_64k");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("one_shot", |b| b.iter(|| black_box(sha256(&data))));
+    g.bench_function("streaming_4k_chunks", |b| {
+        b.iter(|| {
+            let mut h = Sha256::new();
+            for chunk in data.chunks(4096) {
+                h.update(chunk);
+            }
+            black_box(h.finalize())
+        })
+    });
+    g.finish();
+}
+
+/// Message-heavy ring protocol: each received token is relayed onward, and a
+/// periodic timer reinjects fresh tokens, keeping the event queue saturated
+/// so the measurement is dominated by engine overhead (pop, dispatch,
+/// counters, push), not protocol work.
+struct RingFlood {
+    next: NodeId,
+}
+
+impl Protocol for RingFlood {
+    type Msg = u64;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.set_timer(SimDuration::from_millis(100), 0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _from: NodeId, msg: u64) {
+        if msg > 0 {
+            ctx.send(self.next, msg - 1, 128);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, _tag: u64) {
+        ctx.send(self.next, 64, 128);
+        ctx.set_timer(SimDuration::from_millis(100), 0);
+    }
+}
+
+fn bench_engine_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.bench_function("ring_flood_10s_sim", |b| {
+        b.iter(|| {
+            const NODES: u32 = 64;
+            let mut sim: Simulation<RingFlood> = Simulation::new(7);
+            for i in 0..NODES {
+                sim.add_node(
+                    RingFlood {
+                        next: NodeId((i + 1) % NODES),
+                    },
+                    DeviceClass::DatacenterServer,
+                );
+            }
+            sim.run_for(SimDuration::from_secs(10));
+            black_box(sim.events_processed())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    hotpath,
+    bench_mining_hash,
+    bench_sha256_streaming,
+    bench_engine_events
+);
+criterion_main!(hotpath);

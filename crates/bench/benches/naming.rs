@@ -14,7 +14,10 @@ fn bench_registrar(c: &mut Criterion) {
         let mut reg = CentralRegistrar::new();
         b.iter(|| {
             i += 1;
-            black_box(reg.register(&format!("user-{i}"), sha256(&i.to_be_bytes()), sha256(b"z")).is_ok())
+            black_box(
+                reg.register(&format!("user-{i}"), sha256(&i.to_be_bytes()), sha256(b"z"))
+                    .is_ok(),
+            )
         })
     });
 }
@@ -36,7 +39,11 @@ fn bench_name_ops(c: &mut Criterion) {
             let commitment = NameOp::commitment(&name, i, &alice);
             db.apply(NameOp::Preorder { commitment }, alice, 2 * i, &rules);
             db.apply(
-                NameOp::Register { name, salt: i, zone_hash: sha256(b"z") },
+                NameOp::Register {
+                    name,
+                    salt: i,
+                    zone_hash: sha256(b"z"),
+                },
                 alice,
                 2 * i + 1,
                 &rules,

@@ -69,7 +69,11 @@ fn bench_porep_game(c: &mut Criterion) {
 
 fn bench_durability(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6_durability_1000_objects");
-    for (label, k, m) in [("repl_x3", 1u32, 2u32), ("rs_4_8", 4, 8), ("rs_10_20", 10, 20)] {
+    for (label, k, m) in [
+        ("repl_x3", 1u32, 2u32),
+        ("rs_4_8", 4, 8),
+        ("rs_10_20", 10, 20),
+    ] {
         g.bench_function(label, |b| {
             let mut rng = SimRng::new(11);
             let params = DurabilityParams {

@@ -1,0 +1,231 @@
+//! Offline stand-in for the [criterion](https://docs.rs/criterion) crate.
+//!
+//! The agora workspace must build with no registry access, so `agora-bench`
+//! resolves its `criterion` dev-dependency to this path crate. It exposes
+//! the exact subset of the 0.5 API the bench files use — `Criterion`,
+//! `benchmark_group` / `bench_function` / `sample_size` / `throughput` /
+//! `finish`, `Bencher::iter`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by plain wall-clock timing:
+//!
+//! * one calibration call sizes the per-sample iteration count so a sample
+//!   runs ≳5 ms (amortizing timer overhead),
+//! * `sample_size` samples are measured (each re-runs the bench closure, so
+//!   per-sample setup behaves like criterion's),
+//! * the median per-iteration time is reported, plus throughput when set.
+//!
+//! No statistics, no outlier rejection, no HTML reports — swap the
+//! dev-dependency back to crates-io criterion when those matter. Results
+//! print to stdout in a `name  time: … ns/iter` format.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Per-sample timing context handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` invocations of `routine`, keeping each result live.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let started = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = started.elapsed();
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration (reported in MiB/s).
+    Bytes(u64),
+    /// Elements processed per iteration (reported in Melem/s).
+    Elements(u64),
+}
+
+/// Top-level driver, analogous to `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.to_string(), DEFAULT_SAMPLES, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+}
+
+const DEFAULT_SAMPLES: usize = 20;
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            &format!("{}/{id}", self.name),
+            self.samples,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Finish the group (a no-op here; criterion writes reports).
+    pub fn finish(self) {}
+}
+
+/// Budget on one benchmark's measurement phase, so accidentally expensive
+/// routines degrade to fewer samples instead of hanging `cargo bench`.
+const MEASURE_BUDGET: Duration = Duration::from_secs(5);
+/// Target wall-clock per sample; iteration counts are sized to reach it.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+
+fn run_bench<F>(id: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: one single-iteration sample estimates the cost and warms
+    // caches. Its timing is discarded.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter_ns = b.elapsed.as_nanos().max(1);
+    let iters = (SAMPLE_TARGET.as_nanos() / per_iter_ns).clamp(1, 10_000_000) as u64;
+
+    let budget = Instant::now();
+    let mut per_iter_secs: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_secs.push(b.elapsed.as_secs_f64() / iters as f64);
+        if budget.elapsed() > MEASURE_BUDGET {
+            break;
+        }
+    }
+    per_iter_secs.sort_by(f64::total_cmp);
+    let median = per_iter_secs[per_iter_secs.len() / 2];
+
+    let thrpt = match throughput {
+        Some(Throughput::Bytes(n)) => format!(
+            "  thrpt: {:>10.1} MiB/s",
+            n as f64 / median.max(1e-12) / (1024.0 * 1024.0)
+        ),
+        Some(Throughput::Elements(n)) => format!(
+            "  thrpt: {:>10.3} Melem/s",
+            n as f64 / median.max(1e-12) / 1e6
+        ),
+        None => String::new(),
+    };
+    println!(
+        "{id:<48} time: {:>12.1} ns/iter  ({} samples x {iters} iters){thrpt}",
+        median * 1e9,
+        per_iter_secs.len(),
+    );
+}
+
+/// Bundle benchmark functions into a runnable group (list form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench` (and any user filter) to the
+            // binary; this minimal harness runs everything regardless.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_the_routine() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 100);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_settings_chain() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).throughput(Throughput::Bytes(8));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    criterion_group!(toy_group, toy_bench);
+    fn toy_bench(c: &mut Criterion) {
+        c.bench_function("toy", |b| b.iter(|| 0u64));
+    }
+
+    #[test]
+    fn macro_generated_group_runs() {
+        toy_group();
+    }
+}

@@ -1,8 +1,11 @@
 //! Blocks and headers, with real (simulator-scale) proof-of-work.
 
-use agora_crypto::{tagged_hash, Enc, Hash256, MerkleTree};
+use agora_crypto::{tagged_hash, Enc, Hash256, MerkleTree, Sha256, TailHasher};
 
 use crate::tx::Transaction;
+
+/// Domain tag for header hashing (see [`agora_crypto::tagged_hash`]).
+const HEADER_TAG: &str = "block-header";
 
 /// A block header. Hashing the header (with its nonce) yields the PoW digest.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,12 +39,34 @@ impl BlockHeader {
 
     /// The block hash (PoW digest).
     pub fn hash(&self) -> Hash256 {
-        tagged_hash("block-header", &self.encode())
+        tagged_hash(HEADER_TAG, &self.encode())
     }
 
     /// Whether the hash meets the declared difficulty.
     pub fn meets_difficulty(&self) -> bool {
         self.hash().leading_zero_bits() >= self.difficulty_bits
+    }
+
+    /// Freeze the nonce-invariant prefix of this header into a [`PowMidstate`]
+    /// that re-hashes only the 8-byte nonce tail — one SHA-256 compression and
+    /// zero heap allocation per attempt, versus a fresh [`BlockHeader::encode`]
+    /// (heap `Vec`) plus a full two-compression hash. The header's current
+    /// `nonce` field is irrelevant; the nonce is supplied per call.
+    pub fn pow_midstate(&self) -> PowMidstate {
+        let mut pre = Sha256::new();
+        // Mirror `tagged_hash(HEADER_TAG, encode())` field by field; the
+        // equivalence is locked down by tests in this module and in `mining`.
+        pre.update(&[HEADER_TAG.len() as u8]);
+        pre.update(HEADER_TAG.as_bytes());
+        pre.update(&self.height.to_be_bytes());
+        pre.update(self.prev.as_bytes());
+        pre.update(self.merkle_root.as_bytes());
+        pre.update(&self.time_micros.to_be_bytes());
+        pre.update(&self.difficulty_bits.to_be_bytes());
+        let tail = pre
+            .tail_hasher::<8>()
+            .expect("97-byte prefix buffers 33 bytes; 33 + 8 + 9 <= 64");
+        PowMidstate { tail }
     }
 
     /// Work contributed by a block at this difficulty (2^bits expected
@@ -52,6 +77,27 @@ impl BlockHeader {
 
     /// Wire size in bytes.
     pub const WIRE_SIZE: u64 = 8 + 32 + 32 + 8 + 4 + 8;
+}
+
+/// The nonce-invariant SHA-256 midstate of a block header: everything up to
+/// the trailing nonce field is pre-absorbed, so grinding candidates costs one
+/// compression each. Built by [`BlockHeader::pow_midstate`].
+#[derive(Clone)]
+pub struct PowMidstate {
+    tail: TailHasher<8>,
+}
+
+impl PowMidstate {
+    /// Header hash with the given nonce — identical to setting
+    /// `header.nonce = nonce` and calling [`BlockHeader::hash`].
+    pub fn hash_nonce(&self, nonce: u64) -> Hash256 {
+        self.tail.hash(&nonce.to_be_bytes())
+    }
+
+    /// Whether `nonce` yields a hash meeting `difficulty_bits`.
+    pub fn meets_difficulty(&self, nonce: u64, difficulty_bits: u32) -> bool {
+        self.hash_nonce(nonce).leading_zero_bits() >= difficulty_bits
+    }
 }
 
 /// A full block: header plus ordered transactions. The miner's coinbase
@@ -157,6 +203,38 @@ mod tests {
         block.txs.pop();
         block.miner = agora_crypto::sha256(b"thief");
         assert!(!block.merkle_valid(), "changing miner breaks the root");
+    }
+
+    #[test]
+    fn pow_midstate_matches_full_header_hash() {
+        let miner = agora_crypto::sha256(b"miner");
+        let txs = vec![sample_tx("a", 0), sample_tx("b", 1)];
+        let mut header = BlockHeader {
+            height: 42,
+            prev: agora_crypto::sha256(b"parent"),
+            merkle_root: Block::compute_merkle_root(&miner, &txs),
+            time_micros: 123_456_789,
+            difficulty_bits: 12,
+            nonce: 0,
+        };
+        let mid = header.pow_midstate();
+        for nonce in [0u64, 1, 7, 0xffff_ffff, u64::MAX - 1, u64::MAX] {
+            header.nonce = nonce;
+            assert_eq!(mid.hash_nonce(nonce), header.hash(), "nonce {nonce:#x}");
+            assert_eq!(
+                mid.meets_difficulty(nonce, header.difficulty_bits),
+                header.meets_difficulty(),
+            );
+        }
+    }
+
+    #[test]
+    fn pow_midstate_ignores_staged_nonce() {
+        let mut header = Block::genesis("main").header;
+        header.nonce = 999; // must not leak into the midstate prefix
+        let mid = header.pow_midstate();
+        header.nonce = 5;
+        assert_eq!(mid.hash_nonce(5), header.hash());
     }
 
     #[test]

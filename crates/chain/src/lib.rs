@@ -31,7 +31,7 @@ pub mod spv;
 pub mod tx;
 
 pub use attacks::{double_spend_race, nakamoto_probability, selfish_mining};
-pub use block::{Block, BlockHeader};
+pub use block::{Block, BlockHeader, PowMidstate};
 pub use ledger::{Accepted, BlockError, ChainState, Ledger, TxError};
 pub use mining::{mine_block, sample_mining_time};
 pub use node::{ChainMsg, ChainNode, MinerConfig};

@@ -222,14 +222,15 @@ impl Protocol for CentralNode {
                     return;
                 };
                 r.posts.push(post);
-                let members = r.members.clone();
-                for m in members {
-                    if m != post.author {
-                        let msg = CentralMsg::Deliver(post);
-                        let size = msg.wire_size();
-                        ctx.send(m, msg, size);
-                    }
-                }
+                let recipients: Vec<NodeId> = r
+                    .members
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != post.author)
+                    .collect();
+                let msg = CentralMsg::Deliver(post);
+                let size = msg.wire_size();
+                ctx.multicast(&recipients, msg, size);
             }
             (Role::Server(s), CentralMsg::Read { room, op }) => {
                 let count = s.rooms.get(&room).map(|r| r.posts.len());

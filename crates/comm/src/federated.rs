@@ -269,11 +269,9 @@ impl FedNode {
             .filter(|(client, home)| *home == me && *client != post.author)
             .map(|(client, _)| *client)
             .collect();
-        for m in locals {
-            let msg = FedMsg::Deliver(post);
-            let size = msg.wire_size();
-            ctx.send(m, msg, size);
-        }
+        let msg = FedMsg::Deliver(post);
+        let size = msg.wire_size();
+        ctx.multicast(&locals, msg, size);
     }
 }
 
@@ -342,11 +340,9 @@ impl Protocol for FedNode {
                     t.dedup();
                     t
                 };
-                for t in targets {
-                    let msg = FedMsg::Federate(post);
-                    let size = msg.wire_size();
-                    ctx.send(t, msg, size);
-                }
+                let msg = FedMsg::Federate(post);
+                let size = msg.wire_size();
+                ctx.multicast(&targets, msg, size);
                 Self::instance_store_and_deliver(s, ctx, post, true);
             }
             (Role::Instance(s), FedMsg::Federate(post)) => {

@@ -19,6 +19,7 @@
 //! `comm.metadata_observed_relay`.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use agora_crypto::{tagged_hash, Hash256};
 use agora_sim::{Ctx, NodeId, Protocol, SimDuration};
@@ -59,8 +60,9 @@ pub enum RelayMsg {
     FetchResp {
         /// Echoed op id.
         op: u64,
-        /// The sealed envelopes, if authorized.
-        envelopes: Option<Vec<Sealed>>,
+        /// The sealed envelopes, if authorized — shared with the relay's
+        /// mailbox, so serving a fetch is a refcount bump, not a deep copy.
+        envelopes: Option<Rc<Vec<Sealed>>>,
     },
 }
 
@@ -95,7 +97,9 @@ pub enum RelayResult {
 
 struct Mailbox {
     cap: Hash256,
-    envelopes: Vec<Sealed>,
+    /// Copy-on-write: fetches hand out `Rc` clones; a push while any clone
+    /// is still in flight clones the backing vector once via `Rc::make_mut`.
+    envelopes: Rc<Vec<Sealed>>,
 }
 
 /// Relay-side state: mailboxes by owner transport address.
@@ -239,7 +243,7 @@ impl Protocol for RelayNode {
             (Role::Relay(r), RelayMsg::Register { cap }) => {
                 r.mailboxes.entry(from).or_insert(Mailbox {
                     cap,
-                    envelopes: Vec::new(),
+                    envelopes: Rc::new(Vec::new()),
                 });
             }
             (Role::Relay(r), RelayMsg::Push { envelope, .. }) => {
@@ -247,7 +251,7 @@ impl Protocol for RelayNode {
                 // bytes it cannot open.
                 ctx.metrics().incr("comm.metadata_observed_relay", 1);
                 if let Some(m) = r.mailboxes.get_mut(&from) {
-                    m.envelopes.push(envelope);
+                    Rc::make_mut(&mut m.envelopes).push(envelope);
                 }
             }
             (Role::Relay(r), RelayMsg::Fetch { owner, cap, op }) => {

@@ -99,6 +99,70 @@ const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
+/// Expand the 16 loaded message words into the full 64-word schedule
+/// (FIPS 180-4 §6.2.2 step 1).
+#[inline(always)]
+fn expand(w: &mut [u32; 64]) {
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+}
+
+/// Run rounds `from..64` of the compression from working state `init`.
+/// `from` is nonzero only on the [`TailHasher`] fast path, which has already
+/// executed the rounds whose schedule words are tail-invariant.
+#[inline(always)]
+fn rounds(init: [u32; 8], w: &[u32; 64], from: usize) -> [u32; 8] {
+    rounds_range(init, w, from, 64)
+}
+
+/// Rounds `from..to` of the compression. Callers pass literal bounds where
+/// unrolling matters.
+#[inline(always)]
+fn rounds_range(init: [u32; 8], w: &[u32; 64], from: usize, to: usize) -> [u32; 8] {
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = init;
+    for i in from..to {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    [a, b, c, d, e, f, g, h]
+}
+
+/// One compression over a 64-byte block (FIPS 180-4 §6.2.2). Shared by the
+/// incremental hasher and the [`TailHasher`] midstate fast path.
+fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for i in 0..16 {
+        w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    expand(&mut w);
+    let out = rounds(*state, &w, 0);
+    for i in 0..8 {
+        state[i] = state[i].wrapping_add(out[i]);
+    }
+}
+
 /// Incremental SHA-256 hasher.
 #[derive(Clone)]
 pub struct Sha256 {
@@ -153,7 +217,15 @@ impl Sha256 {
     }
 
     /// Finish and produce the digest.
-    pub fn finalize(mut self) -> Hash256 {
+    pub fn finalize(self) -> Hash256 {
+        let mut out = [0u8; 32];
+        self.finalize_into(&mut out);
+        Hash256(out)
+    }
+
+    /// Finish, writing the digest into a caller-provided buffer (no return
+    /// value to move, useful in hashing loops that reuse one scratch buffer).
+    pub fn finalize_into(mut self, out: &mut [u8; 32]) {
         let bit_len = self.total_len.wrapping_mul(8);
         // Padding: 0x80, zeros, 8-byte big-endian bit length.
         let mut pad = [0u8; 72];
@@ -166,28 +238,46 @@ impl Sha256 {
         pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
         self.update(&pad[..pad_len + 8]);
         debug_assert_eq!(self.buf_len, 0);
-        let mut out = [0u8; 32];
         for (i, w) in self.state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
         }
-        Hash256(out)
     }
 
-    fn compress(&mut self, block: &[u8; 64]) {
+    /// Freeze the absorbed prefix into a [`TailHasher`] that finishes the
+    /// digest for any `TAIL`-byte suffix with **exactly one compression and
+    /// zero heap allocation** — the Bitcoin-style "midstate" optimization for
+    /// grinding a fixed-width field (a PoW nonce) at the end of an otherwise
+    /// constant message.
+    ///
+    /// Returns `None` when the suffix cannot fit in the final padded block,
+    /// i.e. unless `buffered_prefix_len + TAIL + 9 <= 64` (9 bytes: the 0x80
+    /// padding marker plus the 64-bit length field).
+    pub fn tail_hasher<const TAIL: usize>(&self) -> Option<TailHasher<TAIL>> {
+        let off = self.buf_len;
+        if off + TAIL + 9 > 64 {
+            return None;
+        }
+        // Pre-pad the final block: buffered prefix, TAIL bytes of slack to be
+        // filled per call, then 0x80 and the big-endian total bit length.
+        let mut block = [0u8; 64];
+        block[..off].copy_from_slice(&self.buf[..off]);
+        block[off + TAIL] = 0x80;
+        let bit_len = self.total_len.wrapping_add(TAIL as u64).wrapping_mul(8);
+        block[56..].copy_from_slice(&bit_len.to_be_bytes());
+        // Hoist everything tail-invariant out of the per-call compression:
+        // the block as schedule words (tail region zero), and the working
+        // state after the leading rounds whose words hold no tail bytes
+        // (rounds 0..off/4 — word i covers bytes 4i..4i+4, all prefix).
+        let mut w_base = [0u32; 16];
+        for (i, word) in w_base.iter_mut().enumerate() {
+            *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        let pre = off / 4;
         let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
+        w[..16].copy_from_slice(&w_base);
+        let mut pre_state = self.state;
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = pre_state;
+        for i in 0..pre {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
             let t1 = h
@@ -207,15 +297,116 @@ impl Sha256 {
             b = a;
             a = t1.wrapping_add(t2);
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        pre_state = [a, b, c, d, e, f, g, h];
+        Some(TailHasher {
+            state: self.state,
+            pre_state,
+            w_base,
+            pre,
+            off,
+        })
     }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        compress(&mut self.state, block);
+    }
+}
+
+/// A frozen SHA-256 midstate plus a pre-padded final block. Produced by
+/// [`Sha256::tail_hasher`]; each [`TailHasher::hash`] call costs less than
+/// one full compression — the schedule words and leading rounds that cannot
+/// depend on the tail are precomputed — and touches only stack memory.
+#[derive(Clone)]
+pub struct TailHasher<const TAIL: usize> {
+    /// Midstate at the start of the final block (the feed-forward term).
+    state: [u32; 8],
+    /// Working state after rounds `0..pre`, which use only prefix words.
+    pre_state: [u32; 8],
+    /// The pre-padded final block as schedule words, tail bytes zeroed.
+    w_base: [u32; 16],
+    /// Number of leading rounds already folded into `pre_state`.
+    pre: usize,
+    /// Byte offset of the tail within the final block.
+    off: usize,
+}
+
+impl<const TAIL: usize> TailHasher<TAIL> {
+    /// Digest of `prefix || tail`, where `prefix` is everything absorbed by
+    /// the [`Sha256`] this midstate was frozen from.
+    pub fn hash(&self, tail: &[u8; TAIL]) -> Hash256 {
+        let mut w = self.w_base;
+        // Splice the tail bytes into their schedule words (big-endian lanes).
+        // TAIL == 8 (the PoW nonce) gets a three-word u64 splice; the const
+        // generic branch folds away for other widths.
+        if TAIL == 8 {
+            let v = u64::from_be_bytes(tail[..8].try_into().expect("8 bytes"));
+            let i = self.off / 4;
+            let sh = 8 * (self.off % 4) as u32;
+            if sh == 0 {
+                w[i] |= (v >> 32) as u32;
+                w[i + 1] |= v as u32;
+            } else {
+                w[i] |= (v >> (32 + sh)) as u32;
+                w[i + 1] |= (v >> sh) as u32;
+                w[i + 2] |= (v as u32) << (32 - sh);
+            }
+        } else {
+            for (j, &byte) in tail.iter().enumerate() {
+                let at = self.off + j;
+                w[at / 4] |= u32::from(byte) << (8 * (3 - (at % 4)));
+            }
+        }
+        // Rounds `pre..16`. The mining midstate (97-byte prefix, 33 bytes
+        // buffered) always lands on pre == 8, so that case gets constant
+        // bounds the compiler unrolls; anything else takes the runtime loop.
+        let mut s = self.pre_state;
+        if self.pre == 8 {
+            for i in 8..16 {
+                s = one_round(s, K[i].wrapping_add(w[i]));
+            }
+        } else {
+            for i in self.pre..16 {
+                s = one_round(s, K[i].wrapping_add(w[i]));
+            }
+        }
+        // ...then rounds 16..64 with the schedule expanded in place over a
+        // rolling 16-word window (w[t mod 16] becomes w[t]). Constant bounds
+        // throughout so the compiler can unroll and keep `w` in registers.
+        for chunk in 0..3 {
+            for j in 0..16 {
+                let s0 = w[(j + 1) % 16].rotate_right(7)
+                    ^ w[(j + 1) % 16].rotate_right(18)
+                    ^ (w[(j + 1) % 16] >> 3);
+                let s1 = w[(j + 14) % 16].rotate_right(17)
+                    ^ w[(j + 14) % 16].rotate_right(19)
+                    ^ (w[(j + 14) % 16] >> 10);
+                w[j] = w[j]
+                    .wrapping_add(s0)
+                    .wrapping_add(w[(j + 9) % 16])
+                    .wrapping_add(s1);
+                s = one_round(s, K[16 + chunk * 16 + j].wrapping_add(w[j]));
+            }
+        }
+        let mut digest = [0u8; 32];
+        for i in 0..8 {
+            let word = self.state[i].wrapping_add(s[i]);
+            digest[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Hash256(digest)
+    }
+}
+
+/// One SHA-256 round with the `K[i] + w[i]` term already summed.
+#[inline(always)]
+fn one_round(s: [u32; 8], kw: u32) -> [u32; 8] {
+    let [a, b, c, d, e, f, g, h] = s;
+    let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+    let ch = (e & f) ^ (!e & g);
+    let t1 = h.wrapping_add(s1).wrapping_add(ch).wrapping_add(kw);
+    let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+    let maj = (a & b) ^ (a & c) ^ (b & c);
+    let t2 = s0.wrapping_add(maj);
+    [t1.wrapping_add(t2), a, b, c, d.wrapping_add(t1), e, f, g]
 }
 
 /// One-shot SHA-256.
@@ -223,6 +414,13 @@ pub fn sha256(data: &[u8]) -> Hash256 {
     let mut h = Sha256::new();
     h.update(data);
     h.finalize()
+}
+
+/// One-shot SHA-256 into a caller-provided buffer (no heap, no value move).
+pub fn sha256_into(data: &[u8], out: &mut [u8; 32]) {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize_into(out);
 }
 
 /// Hash the concatenation of several byte slices (saves allocating).
@@ -319,6 +517,76 @@ mod tests {
     fn concat_helper_matches_manual() {
         let whole = sha256(b"hello world");
         assert_eq!(sha256_concat(&[b"hello", b" ", b"world"]), whole);
+    }
+
+    #[test]
+    fn sha256_into_matches_oneshot() {
+        for len in [0usize, 1, 55, 56, 63, 64, 65, 1000] {
+            let data: Vec<u8> = (0..len as u32).map(|i| (i % 249) as u8).collect();
+            let mut out = [0u8; 32];
+            sha256_into(&data, &mut out);
+            assert_eq!(Hash256(out), sha256(&data), "len {len}");
+            let mut inc_out = [0u8; 32];
+            let mut h = Sha256::new();
+            h.update(&data);
+            h.finalize_into(&mut inc_out);
+            assert_eq!(inc_out, out, "finalize_into len {len}");
+        }
+    }
+
+    #[test]
+    fn tail_hasher_matches_oneshot_across_block_boundaries() {
+        // Midstate correctness on every interesting prefix length: straddling
+        // the 55/56/63/64/65-byte padding and block boundaries, plus longer
+        // multi-block prefixes (the mining path uses a 97-byte prefix).
+        for prefix_len in [0usize, 1, 54, 55, 56, 63, 64, 65, 97, 119, 120, 127, 128] {
+            let prefix: Vec<u8> = (0..prefix_len as u32).map(|i| (i % 253) as u8).collect();
+            let mut pre = Sha256::new();
+            pre.update(&prefix);
+            let Some(tail8) = pre.tail_hasher::<8>() else {
+                // Suffix doesn't fit the final block: buffered + 8 + 9 > 64.
+                assert!(prefix_len % 64 + 8 + 9 > 64, "prefix {prefix_len}");
+                continue;
+            };
+            for nonce in [0u64, 1, 0xdead_beef, u64::MAX] {
+                let tail = nonce.to_be_bytes();
+                let mut whole = prefix.clone();
+                whole.extend_from_slice(&tail);
+                assert_eq!(
+                    tail8.hash(&tail),
+                    sha256(&whole),
+                    "prefix {prefix_len} nonce {nonce:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tail_hasher_rejects_oversized_tails() {
+        // 48 buffered + 8 tail + 9 padding = 65 > 64: must refuse.
+        let mut pre = Sha256::new();
+        pre.update(&[0u8; 48]);
+        assert!(pre.tail_hasher::<8>().is_none());
+        // 47 buffered + 8 + 9 = 64: exactly fits.
+        let mut pre = Sha256::new();
+        pre.update(&[0u8; 47]);
+        assert!(pre.tail_hasher::<8>().is_some());
+        // Zero-length tails degenerate to finalize().
+        let mut pre = Sha256::new();
+        pre.update(b"abc");
+        let t0 = pre.tail_hasher::<0>().expect("fits");
+        assert_eq!(t0.hash(&[]), sha256(b"abc"));
+    }
+
+    #[test]
+    fn tail_hasher_is_reusable_and_clonable() {
+        let mut pre = Sha256::new();
+        pre.update(b"constant prefix");
+        let t = pre.tail_hasher::<8>().expect("fits");
+        let a = t.hash(&1u64.to_be_bytes());
+        let b = t.clone().hash(&1u64.to_be_bytes());
+        assert_eq!(a, b, "hashing must not consume the midstate");
+        assert_ne!(a, t.hash(&2u64.to_be_bytes()));
     }
 
     #[test]

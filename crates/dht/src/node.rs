@@ -7,6 +7,7 @@
 //! and collects the outcome with [`DhtNode::take_result`].
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use agora_crypto::Hash256;
 use agora_sim::{Ctx, NodeId, Protocol, SimDuration, SimTime};
@@ -82,15 +83,16 @@ pub enum DhtMsg {
         op: u64,
         /// Responder's overlay key.
         sender_key: Hash256,
-        /// The value bytes.
-        data: Vec<u8>,
+        /// The value bytes, shared so fan-out clones are refcount bumps.
+        data: Rc<[u8]>,
     },
     /// Store a value at the receiver.
     Store {
         /// Key under which to store.
         key: Hash256,
-        /// Value bytes.
-        data: Vec<u8>,
+        /// Value bytes, shared: replicating to k closest clones the `Rc`,
+        /// not the payload.
+        data: Rc<[u8]>,
         /// Sender's overlay key.
         sender_key: Hash256,
     },
@@ -112,8 +114,8 @@ impl DhtMsg {
 pub enum DhtResult {
     /// FIND_VALUE succeeded.
     Found {
-        /// The fetched bytes.
-        data: Vec<u8>,
+        /// The fetched bytes (shared with the responder's reply message).
+        data: Rc<[u8]>,
         /// Lookup hop count (RPC rounds consumed).
         hops: u32,
     },
@@ -148,7 +150,7 @@ enum OpKind {
 struct Lookup {
     kind: OpKind,
     target: Hash256,
-    put_data: Option<Vec<u8>>,
+    put_data: Option<Rc<[u8]>>,
     shortlist: Vec<(Contact, PeerState)>,
     started: SimTime,
     ticks: u32,
@@ -156,7 +158,7 @@ struct Lookup {
 }
 
 struct StoredValue {
-    data: Vec<u8>,
+    data: Rc<[u8]>,
     refreshed_at: SimTime,
 }
 
@@ -168,7 +170,7 @@ pub struct DhtNode {
     cfg: DhtConfig,
     table: RoutingTable,
     store: HashMap<Hash256, StoredValue>,
-    origin_values: HashMap<Hash256, Vec<u8>>,
+    origin_values: HashMap<Hash256, Rc<[u8]>>,
     lookups: HashMap<u64, Lookup>,
     results: HashMap<u64, DhtResult>,
     next_op: u64,
@@ -224,7 +226,13 @@ impl DhtNode {
 
     /// Begin a PUT: locate the k closest nodes, then STORE at each. The
     /// origin keeps the value and republishes it periodically.
-    pub fn start_put(&mut self, ctx: &mut Ctx<'_, DhtMsg>, key: Hash256, data: Vec<u8>) -> u64 {
+    pub fn start_put(
+        &mut self,
+        ctx: &mut Ctx<'_, DhtMsg>,
+        key: Hash256,
+        data: impl Into<Rc<[u8]>>,
+    ) -> u64 {
+        let data: Rc<[u8]> = data.into();
         self.origin_values.insert(key, data.clone());
         self.begin(ctx, OpKind::Put, key, Some(data))
     }
@@ -239,7 +247,7 @@ impl DhtNode {
         ctx: &mut Ctx<'_, DhtMsg>,
         kind: OpKind,
         target: Hash256,
-        put_data: Option<Vec<u8>>,
+        put_data: Option<Rc<[u8]>>,
     ) -> u64 {
         let op = self.next_op;
         self.next_op += 1;
@@ -384,18 +392,18 @@ impl DhtNode {
                 }
             }
             OpKind::Put => {
-                let data = lk.put_data.clone().unwrap_or_default();
+                let data = lk.put_data.clone().unwrap_or_else(|| Rc::from(Vec::new()));
                 // Store at the k closest responders — and locally if we are
-                // among the k closest overall.
-                for c in &responded {
-                    let msg = DhtMsg::Store {
-                        key: lk.target,
-                        data: data.clone(),
-                        sender_key: self.key,
-                    };
-                    let size = msg.wire_size();
-                    ctx.send(c.addr, msg, size);
-                }
+                // among the k closest overall. One message, multicast: each
+                // replica's copy is an `Rc` clone of the same payload.
+                let replicas: Vec<NodeId> = responded.iter().map(|c| c.addr).collect();
+                let msg = DhtMsg::Store {
+                    key: lk.target,
+                    data: data.clone(),
+                    sender_key: self.key,
+                };
+                let size = msg.wire_size();
+                ctx.multicast(&replicas, msg, size);
                 ctx.metrics().incr("dht.puts", 1);
                 self.store.insert(
                     lk.target,
@@ -421,7 +429,7 @@ impl DhtNode {
         op: u64,
         sender_key: Hash256,
         closer: Vec<Contact>,
-        value: Option<Vec<u8>>,
+        value: Option<Rc<[u8]>>,
     ) {
         let Some(lk) = self.lookups.get_mut(&op) else {
             return;
@@ -466,7 +474,7 @@ impl DhtNode {
         self.store
             .retain(|k, v| now.since(v.refreshed_at) <= ttl || self.origin_values.contains_key(k));
         // Republish everything we originated.
-        let originals: Vec<(Hash256, Vec<u8>)> = self
+        let originals: Vec<(Hash256, Rc<[u8]>)> = self
             .origin_values
             .iter()
             .map(|(k, v)| (*k, v.clone()))
@@ -691,7 +699,7 @@ mod tests {
             .unwrap();
         sim.run_for(SimDuration::from_secs(30));
         match sim.node_mut(ids[15]).take_result(get_op) {
-            Some(DhtResult::Found { data, .. }) => assert_eq!(data, b"hello dht"),
+            Some(DhtResult::Found { data, .. }) => assert_eq!(&data[..], b"hello dht"),
             other => panic!("get failed: {other:?}"),
         }
     }
@@ -755,7 +763,7 @@ mod tests {
             .unwrap();
         sim.run_for(SimDuration::from_secs(60));
         match sim.node_mut(ids[2]).take_result(get_op) {
-            Some(DhtResult::Found { data, .. }) => assert_eq!(data, b"v"),
+            Some(DhtResult::Found { data, .. }) => assert_eq!(&data[..], b"v"),
             other => panic!("value lost under churn: {other:?}"),
         }
     }

@@ -66,11 +66,29 @@ impl RoutingTable {
     }
 
     /// The `n` known contacts closest to `target` (by XOR distance).
+    ///
+    /// Selection, not a full sort: every lookup step calls this, so the XOR
+    /// distances are computed once into a scratch vector, `select_nth_unstable`
+    /// partitions out the `n` winners in O(len), and only that n-sized prefix
+    /// is sorted. Distances to a fixed target are unique for distinct keys
+    /// (XOR is a bijection), so the result is identical to sorting everything
+    /// — locked down by `closest_matches_full_sort_reference` below.
     pub fn closest(&self, target: &Hash256, n: usize) -> Vec<Contact> {
-        let mut all: Vec<Contact> = self.buckets.iter().flatten().copied().collect();
-        all.sort_by_key(|c| c.key.xor(target));
-        all.truncate(n);
-        all
+        let mut all: Vec<(Hash256, Contact)> = self
+            .buckets
+            .iter()
+            .flatten()
+            .map(|c| (c.key.xor(target), *c))
+            .collect();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n < all.len() {
+            all.select_nth_unstable_by(n - 1, |a, b| a.0.cmp(&b.0));
+            all.truncate(n);
+        }
+        all.sort_unstable_by_key(|a| a.0);
+        all.into_iter().map(|(_, c)| c).collect()
     }
 
     /// Total contacts stored.
@@ -192,5 +210,35 @@ mod tests {
     fn closest_on_empty_table() {
         let t = RoutingTable::new(sha256(b"me"), 20);
         assert!(t.closest(&sha256(b"x"), 3).is_empty());
+    }
+
+    #[test]
+    fn closest_zero_returns_empty() {
+        let mut t = RoutingTable::new(sha256(b"me"), 20);
+        t.observe(contact(1));
+        assert!(t.closest(&sha256(b"x"), 0).is_empty());
+    }
+
+    #[test]
+    fn closest_matches_full_sort_reference() {
+        // The selection-based `closest` must return exactly what the naive
+        // sort-everything implementation returned, for every n from 0 past
+        // the table size — order included.
+        let own = sha256(b"me");
+        let mut t = RoutingTable::new(own, 20);
+        for i in 0..200 {
+            t.observe(contact(i));
+        }
+        let stored = t.len();
+        assert!(stored > 50, "need a meaningfully sized table, got {stored}");
+        for target in [sha256(b"t1"), sha256(b"t2"), own, contact(7).key] {
+            let mut reference: Vec<Contact> = t.buckets.iter().flatten().copied().collect();
+            reference.sort_by_key(|c| c.key.xor(&target));
+            for n in [0, 1, 2, 3, 5, 8, 16, 20, stored - 1, stored, stored + 10] {
+                let mut want = reference.clone();
+                want.truncate(n);
+                assert_eq!(t.closest(&target, n), want, "n = {n}");
+            }
+        }
     }
 }

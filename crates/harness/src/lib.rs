@@ -28,6 +28,7 @@
 pub mod baseline;
 pub mod json;
 pub mod matrix;
+pub mod perf;
 pub mod pool;
 pub mod registry;
 pub mod report;
@@ -38,4 +39,5 @@ pub use matrix::{
     run_matrix, run_to_json, trial_seed, MatrixConfig, MatrixRun, TrialOutcome, TrialSpec,
     TrialStatus,
 };
+pub use perf::perf_to_json;
 pub use registry::{registry, ExperimentDef, Variant};

@@ -6,6 +6,7 @@
 //!   agora-harness --update-baseline       # run matrix, rewrite the baseline
 //!   agora-harness --threads 1 --json out.json
 //!   agora-harness --filter e1,e3 --seeds 5
+//!   agora-harness --perf BENCH_perf.json   # also write wall-clock artifact
 //!   agora-harness --speedup               # measure serial vs parallel wall clock
 //!   agora-harness --reports               # classic experiments_output.txt stream
 //!
@@ -14,12 +15,15 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use agora_harness::{diff_json, registry, report, run_matrix, run_to_json, Json, MatrixConfig};
+use agora_harness::{
+    diff_json, perf_to_json, registry, report, run_matrix, run_to_json, Json, MatrixConfig,
+};
 
 struct Options {
     cfg: MatrixConfig,
     baseline: String,
     json_out: Option<String>,
+    perf_out: Option<String>,
     tolerance: f64,
     update_baseline: bool,
     speedup: bool,
@@ -31,6 +35,7 @@ fn parse_args() -> Result<Options, String> {
         cfg: MatrixConfig::default(),
         baseline: "BENCH_harness.json".to_owned(),
         json_out: None,
+        perf_out: None,
         tolerance: 1e-9,
         update_baseline: false,
         speedup: false,
@@ -72,6 +77,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--baseline" => opts.baseline = value("--baseline")?,
             "--json" => opts.json_out = Some(value("--json")?),
+            "--perf" => opts.perf_out = Some(value("--perf")?),
             "--tolerance" => {
                 opts.tolerance = value("--tolerance")?
                     .parse()
@@ -184,6 +190,15 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
         println!("wrote artifact to {path}");
+    }
+
+    if let Some(path) = &opts.perf_out {
+        let perf = perf_to_json(&run).render();
+        if let Err(e) = std::fs::write(path, &perf) {
+            eprintln!("agora-harness: writing {path}: {e}");
+            return ExitCode::from(1);
+        }
+        println!("wrote wall-clock perf artifact to {path} (not diffed in CI)");
     }
 
     if run.failures() > 0 {

@@ -68,3 +68,30 @@ fn different_root_seeds_change_results() {
     let b = run_to_json(&run_matrix(&reg, &cfg_b)).render();
     assert_ne!(a, b, "root seed must flow into trial results");
 }
+
+/// The checked-in artifact guard: a default-config run — at one worker
+/// thread AND at eight — must reproduce `BENCH_harness.json` byte for byte.
+/// This is the regression fence for every hot-path optimization (midstate
+/// mining, packed event keys, multicast fan-out, cached link rates): any
+/// change that perturbs even one RNG draw or one f64 rounding shows up here
+/// as a diff against the committed bytes, not just as self-consistency.
+#[test]
+fn default_matrix_matches_checked_in_baseline_at_1_and_8_threads() {
+    let checked_in = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_harness.json"
+    ))
+    .expect("checked-in BENCH_harness.json must exist at the repo root");
+    let reg = registry();
+    for threads in [1, 8] {
+        let cfg = MatrixConfig {
+            threads,
+            ..MatrixConfig::default()
+        };
+        let rendered = run_to_json(&run_matrix(&reg, &cfg)).render();
+        assert_eq!(
+            rendered, checked_in,
+            "{threads}-thread default run diverged from the committed baseline"
+        );
+    }
+}

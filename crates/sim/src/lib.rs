@@ -54,7 +54,7 @@ pub mod time;
 
 pub use device::{DeviceClass, DeviceProfile};
 pub use engine::{Ctx, NodeId, Protocol, Simulation};
-pub use metrics::{Histogram, Metrics, P2Quantile};
+pub use metrics::{CounterHandle, Histogram, Metrics, P2Quantile};
 pub use net::Network;
 pub use rng::{SimRng, ZipfTable};
 pub use time::{SimDuration, SimTime};

@@ -269,10 +269,26 @@ impl P2Quantile {
     }
 }
 
+/// A pre-resolved counter slot, handed out by [`Metrics::counter_handle`].
+///
+/// Hot paths (the engine dispatch loop bumps several counters per event)
+/// resolve the string key once and then increment through the handle — an
+/// array index instead of a `BTreeMap` string lookup per event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterHandle(usize);
+
 /// Registry of named counters, gauges and histograms for one simulation run.
+///
+/// Counters are stored as a dense value vector indexed by a `BTreeMap` of
+/// names, so handle-based increments are O(1). A counter only becomes
+/// *visible* (in [`Metrics::counters`] and therefore in serialized
+/// artifacts) once it has actually been incremented — registering a handle
+/// alone must not change any artifact bytes.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
-    counters: BTreeMap<String, u64>,
+    counter_ix: BTreeMap<String, usize>,
+    counter_vals: Vec<u64>,
+    counter_touched: Vec<bool>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
 }
@@ -283,14 +299,39 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Resolve (registering if needed) the slot for a counter name. The
+    /// counter stays invisible until first incremented.
+    pub fn counter_handle(&mut self, key: &str) -> CounterHandle {
+        if let Some(&ix) = self.counter_ix.get(key) {
+            return CounterHandle(ix);
+        }
+        let ix = self.counter_vals.len();
+        self.counter_ix.insert(key.to_owned(), ix);
+        self.counter_vals.push(0);
+        self.counter_touched.push(false);
+        CounterHandle(ix)
+    }
+
+    /// Add `n` to a counter through its pre-resolved handle (hot-path form
+    /// of [`Metrics::incr`]).
+    #[inline]
+    pub fn incr_handle(&mut self, h: CounterHandle, n: u64) {
+        self.counter_vals[h.0] += n;
+        self.counter_touched[h.0] = true;
+    }
+
     /// Add `n` to a counter, creating it at zero if absent.
     pub fn incr(&mut self, key: &str, n: u64) {
-        *self.counters.entry(key.to_owned()).or_insert(0) += n;
+        let h = self.counter_handle(key);
+        self.incr_handle(h, n);
     }
 
     /// Read a counter (0 if never written).
     pub fn counter(&self, key: &str) -> u64 {
-        self.counters.get(key).copied().unwrap_or(0)
+        self.counter_ix
+            .get(key)
+            .map(|&ix| self.counter_vals[ix])
+            .unwrap_or(0)
     }
 
     /// Set a gauge to an absolute value.
@@ -319,9 +360,13 @@ impl Metrics {
         self.histograms.get(key)
     }
 
-    /// Iterate counters in key order.
+    /// Iterate counters in key order. Only counters that have actually been
+    /// incremented appear (handle registration alone is invisible).
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        self.counter_ix
+            .iter()
+            .filter(|(_, &ix)| self.counter_touched[ix])
+            .map(|(k, &ix)| (k.as_str(), self.counter_vals[ix]))
     }
 
     /// Iterate gauges in key order.
@@ -342,8 +387,8 @@ impl Metrics {
     /// Merge another metrics set into this one (counters add, histograms
     /// concatenate, gauges overwrite).
     pub fn merge(&mut self, other: &Metrics) {
-        for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+        for (k, v) in other.counters() {
+            self.incr(k, v);
         }
         for (k, v) in &other.gauges {
             self.gauges.insert(k.clone(), *v);
@@ -359,7 +404,7 @@ impl Metrics {
 
 impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (k, v) in &self.counters {
+        for (k, v) in self.counters() {
             writeln!(f, "counter {k} = {v}")?;
         }
         for (k, v) in &self.gauges {
@@ -383,6 +428,44 @@ mod tests {
         m.incr("x", 3);
         m.incr("x", 4);
         assert_eq!(m.counter("x"), 7);
+    }
+
+    #[test]
+    fn counter_handles_alias_string_keys() {
+        let mut m = Metrics::new();
+        let h = m.counter_handle("net.sent");
+        m.incr_handle(h, 2);
+        m.incr("net.sent", 3);
+        assert_eq!(m.counter("net.sent"), 5);
+        assert_eq!(m.counter_handle("net.sent"), h, "handles are stable");
+        let listed: Vec<_> = m.counters().collect();
+        assert_eq!(listed, vec![("net.sent", 5)]);
+    }
+
+    #[test]
+    fn registered_but_untouched_counters_stay_invisible() {
+        // The engine pre-registers hot counters; artifacts must not grow
+        // zero-valued keys for paths that never fired.
+        let mut m = Metrics::new();
+        let h = m.counter_handle("net.lost");
+        assert_eq!(m.counter("net.lost"), 0);
+        assert_eq!(m.counters().count(), 0, "registration alone is invisible");
+        assert_eq!(format!("{m}"), "");
+        // An explicit zero increment makes it visible, matching the old
+        // BTreeMap entry-API semantics of `incr(key, 0)`.
+        m.incr_handle(h, 0);
+        assert_eq!(m.counters().collect::<Vec<_>>(), vec![("net.lost", 0)]);
+    }
+
+    #[test]
+    fn merge_skips_untouched_counters() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        b.counter_handle("phantom");
+        b.incr("real", 1);
+        a.merge(&b);
+        assert_eq!(a.counters().count(), 1);
+        assert_eq!(a.counter("real"), 1);
     }
 
     #[test]

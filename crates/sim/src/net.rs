@@ -20,6 +20,15 @@ struct NodeNet {
     uplink_free: SimTime,
     /// Earliest instant the downlink is free to complete a new reception.
     downlink_free: SimTime,
+    /// `profile.uplink_bps.max(1) as f64`, cached at `add_node` so the
+    /// per-send hot path skips the integer clamp + conversion. The cached
+    /// value is exactly the one the old code computed inline, so every f64
+    /// operation (and therefore every rounded result) is unchanged.
+    up_bps_f64: f64,
+    /// `profile.downlink_bps.max(1) as f64`, cached likewise.
+    down_bps_f64: f64,
+    /// `profile.base_latency.secs_f64()`, cached likewise for jitter scaling.
+    base_latency_secs: f64,
 }
 
 /// Link-layer state for all nodes.
@@ -37,12 +46,18 @@ impl Network {
     }
 
     pub(crate) fn add_node(&mut self, profile: DeviceProfile) {
+        let up_bps_f64 = profile.uplink_bps.max(1) as f64;
+        let down_bps_f64 = profile.downlink_bps.max(1) as f64;
+        let base_latency_secs = profile.base_latency.secs_f64();
         self.nodes.push(NodeNet {
             profile,
             up: true,
             partition: 0,
             uplink_free: SimTime::ZERO,
             downlink_free: SimTime::ZERO,
+            up_bps_f64,
+            down_bps_f64,
+            base_latency_secs,
         });
     }
 
@@ -93,8 +108,7 @@ impl Network {
         let partitioned = self.nodes[fi].partition != self.nodes[ti].partition;
 
         // Uplink serialization at the sender.
-        let up_bps = self.nodes[fi].profile.uplink_bps.max(1);
-        let tx = SimDuration::from_secs_f64(bytes as f64 * 8.0 / up_bps as f64);
+        let tx = SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.nodes[fi].up_bps_f64);
         let tx_start = self.nodes[fi].uplink_free.max(now);
         let tx_end = tx_start + tx;
         self.nodes[fi].uplink_free = tx_end;
@@ -105,12 +119,19 @@ impl Network {
 
         // Propagation latency: sum of both endpoints' access latencies, each
         // scaled by a log-normal jitter factor.
-        let lat_from = jittered(&self.nodes[fi].profile, rng);
-        let lat_to = jittered(&self.nodes[ti].profile, rng);
+        let lat_from = jittered(
+            &self.nodes[fi].profile,
+            self.nodes[fi].base_latency_secs,
+            rng,
+        );
+        let lat_to = jittered(
+            &self.nodes[ti].profile,
+            self.nodes[ti].base_latency_secs,
+            rng,
+        );
 
         // Downlink serialization at the receiver.
-        let down_bps = self.nodes[ti].profile.downlink_bps.max(1);
-        let rx = SimDuration::from_secs_f64(bytes as f64 * 8.0 / down_bps as f64);
+        let rx = SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.nodes[ti].down_bps_f64);
         let arrival_earliest = tx_end + lat_from + lat_to;
         let rx_end = self.nodes[ti].downlink_free.max(arrival_earliest) + rx;
         self.nodes[ti].downlink_free = rx_end;
@@ -119,13 +140,14 @@ impl Network {
     }
 }
 
-fn jittered(profile: &DeviceProfile, rng: &mut SimRng) -> SimDuration {
-    let base = profile.base_latency.secs_f64();
+/// `base_secs` must equal `profile.base_latency.secs_f64()`; callers on the
+/// hot path pass the per-node cached copy.
+fn jittered(profile: &DeviceProfile, base_secs: f64, rng: &mut SimRng) -> SimDuration {
     if profile.latency_sigma <= 0.0 {
         return profile.base_latency;
     }
     let factor = rng.log_normal(0.0, profile.latency_sigma);
-    SimDuration::from_secs_f64(base * factor)
+    SimDuration::from_secs_f64(base_secs * factor)
 }
 
 #[cfg(test)]
@@ -208,7 +230,7 @@ mod tests {
         let mut profile = DeviceClass::DatacenterServer.profile();
         profile.latency_sigma = 0.0;
         let mut rng = SimRng::new(5);
-        let d = jittered(&profile, &mut rng);
+        let d = jittered(&profile, profile.base_latency.secs_f64(), &mut rng);
         assert_eq!(d, profile.base_latency);
     }
 
@@ -216,8 +238,9 @@ mod tests {
     fn jitter_varies_when_sigma_positive() {
         let profile = DeviceClass::Smartphone.profile();
         let mut rng = SimRng::new(6);
-        let a = jittered(&profile, &mut rng);
-        let b = jittered(&profile, &mut rng);
+        let base = profile.base_latency.secs_f64();
+        let a = jittered(&profile, base, &mut rng);
+        let b = jittered(&profile, base, &mut rng);
         assert_ne!(a, b);
     }
 }

@@ -206,21 +206,21 @@ impl ReedSolomon {
 
     /// Reconstruct the original data (of length `data_len`) from any `k`
     /// shards, given as `(shard_index, bytes)` pairs.
-    pub fn reconstruct(
+    pub fn reconstruct<S: AsRef<[u8]>>(
         &self,
-        shards: &[(usize, Vec<u8>)],
+        shards: &[(usize, S)],
         data_len: usize,
     ) -> Result<Vec<u8>, ErasureError> {
         if shards.len() < self.k {
             return Err(ErasureError::NotEnoughShards);
         }
         let use_shards = &shards[..self.k];
-        let shard_len = use_shards[0].1.len();
+        let shard_len = use_shards[0].1.as_ref().len();
         if shard_len == 0 {
             return Err(ErasureError::MalformedShards);
         }
         for (idx, s) in use_shards {
-            if *idx >= self.k + self.m || s.len() != shard_len {
+            if *idx >= self.k + self.m || s.as_ref().len() != shard_len {
                 return Err(ErasureError::MalformedShards);
             }
         }
@@ -236,7 +236,7 @@ impl ReedSolomon {
             let mut out = vec![Vec::new(); self.k];
             for (i, s) in use_shards {
                 if *i < self.k {
-                    out[*i] = s.clone();
+                    out[*i] = s.as_ref().to_vec();
                 }
             }
             out
@@ -256,7 +256,7 @@ impl ReedSolomon {
                         if coef == 0 {
                             continue;
                         }
-                        for (o, &s) in out.iter_mut().zip(shard.iter()) {
+                        for (o, &s) in out.iter_mut().zip(shard.as_ref().iter()) {
                             *o ^= gf::mul(coef, s);
                         }
                     }

@@ -8,6 +8,7 @@
 //! incentive/audit machinery.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use agora_crypto::{sha256, Hash256};
 use agora_sim::{Ctx, NodeId, Protocol, SimDuration};
@@ -24,8 +25,9 @@ pub enum StorageMsg {
         object: Hash256,
         /// Shard index.
         index: u32,
-        /// Shard bytes.
-        data: Vec<u8>,
+        /// Shard bytes, shared so re-sends and provider storage are
+        /// refcount bumps, not copies.
+        data: Rc<[u8]>,
     },
     /// Acknowledge a stored shard.
     AckPut {
@@ -49,8 +51,8 @@ pub enum StorageMsg {
         req: u64,
         /// Shard index.
         index: u32,
-        /// The bytes, if held.
-        data: Option<Vec<u8>>,
+        /// The bytes, if held (shared with the provider's store).
+        data: Option<Rc<[u8]>>,
     },
     /// Proof-of-retrievability challenge.
     AuditChallenge {
@@ -137,7 +139,7 @@ enum OpState {
     },
     Get {
         object: Hash256,
-        collected: Vec<(usize, Vec<u8>)>,
+        collected: Vec<(usize, Rc<[u8]>)>,
         deadline_ticks: u32,
         repair_index: Option<u32>,
     },
@@ -163,7 +165,7 @@ pub struct ClientState {
 
 /// Provider-side state.
 pub struct ProviderState {
-    shards: HashMap<(Hash256, u32), Vec<u8>>,
+    shards: HashMap<(Hash256, u32), Rc<[u8]>>,
     strategy: ProviderStrategy,
 }
 
@@ -253,18 +255,19 @@ impl StorageNode {
         let mut order: Vec<NodeId> = c.providers.clone();
         ctx.rng().shuffle(&mut order);
         let mut places = Vec::new();
-        for (i, shard) in shards.iter().enumerate() {
+        for (i, shard) in shards.into_iter().enumerate() {
             let provider = order[i % order.len()];
-            let audits = por_make_audits(shard, c.audits_per_shard, ctx.rng());
+            let shard: Rc<[u8]> = Rc::from(shard);
+            let audits = por_make_audits(&shard, c.audits_per_shard, ctx.rng());
+            let shard_len = shard.len() as u64;
             let msg = StorageMsg::PutShard {
                 object,
                 index: i as u32,
-                data: shard.clone(),
+                data: shard,
             };
             let size = msg.wire_size();
             ctx.send(provider, msg, size);
-            ctx.metrics()
-                .incr("storage.shard_bytes_up", shard.len() as u64);
+            ctx.metrics().incr("storage.shard_bytes_up", shard_len);
             places.push(ShardPlace {
                 index: i as u32,
                 provider,
@@ -450,7 +453,7 @@ impl StorageNode {
             return;
         }
         let rs = ReedSolomon::new(rec.k, rec.m).expect("valid");
-        let shards: Vec<(usize, Vec<u8>)> = collected.clone();
+        let shards: Vec<(usize, Rc<[u8]>)> = collected.clone();
         let data_len = rec.data_len;
         match rs.reconstruct(&shards, data_len) {
             Ok(data) => {
@@ -463,8 +466,8 @@ impl StorageNode {
                     Some(index) => {
                         // Regenerate the lost shard and place it on a fresh
                         // provider.
-                        let all = rs.encode(&data);
-                        let shard = all[index as usize].clone();
+                        let mut all = rs.encode(&data);
+                        let shard: Rc<[u8]> = Rc::from(std::mem::take(&mut all[index as usize]));
                         let rec = c.objects.get_mut(&object).expect("record");
                         let used: Vec<NodeId> = rec
                             .shards

@@ -192,9 +192,7 @@ impl SwarmNode {
                 pieces,
             },
         );
-        for &t in &p.trackers {
-            ctx.send(t, SwarmMsg::Announce { site }, 40);
-        }
+        ctx.multicast(&p.trackers, SwarmMsg::Announce { site }, 40);
         true
     }
 
@@ -225,9 +223,7 @@ impl SwarmNode {
         };
         let op = p.next_op;
         p.next_op += 1;
-        for &t in &p.trackers {
-            ctx.send(t, SwarmMsg::GetPeers { site, req: op }, 48);
-        }
+        ctx.multicast(&p.trackers, SwarmMsg::GetPeers { site, req: op }, 48);
         p.visits.insert(
             op,
             Visit {
@@ -303,9 +299,7 @@ impl SwarmNode {
             },
         );
         // The visitor becomes a seeder — §3.4's defining property.
-        for &t in &p.trackers {
-            ctx.send(t, SwarmMsg::Announce { site }, 40);
-        }
+        ctx.multicast(&p.trackers, SwarmMsg::Announce { site }, 40);
         ctx.metrics().incr("web.visits_ok", 1);
         ctx.metrics().incr("web.bytes_fetched", bytes);
         p.results.insert(op, VisitResult::Ok { version, bytes });
@@ -348,11 +342,9 @@ impl Protocol for SwarmNode {
                         let site = v.site;
                         // Ask every known peer; take the best valid answer.
                         let targets = v.peers.clone();
-                        for t in targets {
-                            let msg = SwarmMsg::GetManifest { site, req };
-                            let size = msg.wire_size();
-                            ctx.send(t, msg, size);
-                        }
+                        let msg = SwarmMsg::GetManifest { site, req };
+                        let size = msg.wire_size();
+                        ctx.multicast(&targets, msg, size);
                     }
                 }
             }
@@ -446,17 +438,13 @@ impl Protocol for SwarmNode {
                     return;
                 }
                 let trackers = p.trackers.clone();
-                for t in trackers {
-                    ctx.send(t, SwarmMsg::GetPeers { site, req: op }, 48);
-                }
+                ctx.multicast(&trackers, SwarmMsg::GetPeers { site, req: op }, 48);
             }
             VisitPhase::FetchingManifest => {
                 let targets = v.peers.clone();
-                for t in targets {
-                    let msg = SwarmMsg::GetManifest { site, req: op };
-                    let size = msg.wire_size();
-                    ctx.send(t, msg, size);
-                }
+                let msg = SwarmMsg::GetManifest { site, req: op };
+                let size = msg.wire_size();
+                ctx.multicast(&targets, msg, size);
             }
             VisitPhase::FetchingPieces => self.request_missing(ctx, op),
         }

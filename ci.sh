@@ -32,8 +32,24 @@ step "cargo bench --no-run (crates/bench sub-workspace, offline criterion shim)"
 step "cargo clippy (crates/bench) -- -D warnings -D clippy::perf"
 (cd crates/bench && cargo clippy --all-targets --release -- -D warnings -D clippy::perf)
 
-step "agora-harness baseline diff (BENCH_harness.json)"
+step "build + clippy with tracing compiled out (--no-default-features)"
+cargo build --release -p agora-harness --no-default-features
+cargo clippy --release -p agora-harness --no-default-features --all-targets -- -D warnings -D clippy::perf
+step "baseline diff with the no-op sink build (must match BENCH_harness.json exactly)"
 ./target/release/agora-harness
+
+step "rebuild with tracing on; baseline diff must be byte-identical either way"
+cargo build --release -p agora-harness
+./target/release/agora-harness
+
+step "trace smoke: deterministic TRACE jsonl + causal explain"
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+./target/release/agora-harness --trace dht --trace-out "$TRACE_TMP/a.jsonl" \
+    --explain dht.lookup_secs
+./target/release/agora-harness --trace dht --trace-out "$TRACE_TMP/b.jsonl" >/dev/null
+cmp "$TRACE_TMP/a.jsonl" "$TRACE_TMP/b.jsonl"
+./target/release/agora-harness --validate-trace "$TRACE_TMP/a.jsonl"
 
 echo
 echo "full gate passed"

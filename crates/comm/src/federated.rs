@@ -396,6 +396,7 @@ impl Protocol for FedNode {
                 }
                 let latency = (ctx.now().micros() - post.sent_at_micros) as f64 / 1e6;
                 ctx.metrics().sample("comm.delivery_secs", latency);
+                ctx.trace_point("comm.delivery_secs", latency);
             }
             (Role::Client(c), FedMsg::ReadResp { op, count }) => {
                 c.pending_reads.remove(&op);
@@ -427,6 +428,7 @@ impl Protocol for FedNode {
                 c.pending_reads.insert(op, (room, attempt + 1));
                 ctx.send(target, FedMsg::Read { room, op }, 16);
                 ctx.metrics().incr("comm.read_failovers", 1);
+                ctx.trace_point("comm.read_failovers", attempt as f64);
                 ctx.set_timer(READ_TIMEOUT, op);
                 return;
             }
@@ -434,6 +436,7 @@ impl Protocol for FedNode {
         }
         c.reads.insert(op, ReadResult::Unavailable);
         ctx.metrics().incr("comm.reads_failed", 1);
+        ctx.trace_point("comm.reads_failed", 1.0);
     }
 }
 

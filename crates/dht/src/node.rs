@@ -420,6 +420,8 @@ impl DhtNode {
         let elapsed = ctx.now().since(lk.started).secs_f64();
         ctx.metrics().sample("dht.lookup_secs", elapsed);
         ctx.metrics().sample("dht.lookup_hops", lk.hops as f64);
+        ctx.trace_point("dht.lookup_secs", elapsed);
+        ctx.trace_point("dht.lookup_hops", lk.hops as f64);
         self.results.insert(op, result);
     }
 
@@ -449,6 +451,8 @@ impl DhtNode {
                 let elapsed = ctx.now().since(started).secs_f64();
                 ctx.metrics().sample("dht.lookup_secs", elapsed);
                 ctx.metrics().sample("dht.lookup_hops", hops as f64);
+                ctx.trace_point("dht.lookup_secs", elapsed);
+                ctx.trace_point("dht.lookup_hops", hops as f64);
                 self.results.insert(op, DhtResult::Found { data, hops });
                 return;
             }
@@ -590,6 +594,7 @@ impl Protocol for DhtNode {
                     addr: from,
                 });
                 ctx.metrics().incr("dht.stores_received", 1);
+                ctx.trace_point("dht.stores_received", 1.0);
                 self.store.insert(
                     key,
                     StoredValue {

@@ -79,6 +79,46 @@ impl Json {
         out
     }
 
+    /// Render on a single line with no whitespace — the JSONL form used by
+    /// trace artifacts, one value per line. Same deterministic number and
+    /// escape rules as [`Json::render`].
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => write_num(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -392,6 +432,24 @@ mod tests {
         assert!(Json::parse("{} x").is_err());
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn compact_render_roundtrips_and_is_single_line() {
+        let mut obj = Json::obj();
+        obj.set("type", Json::Str("event".to_owned()));
+        obj.set("key", Json::Str("0x0000001e".to_owned()));
+        obj.set("vals", Json::Arr(vec![Json::Num(1.0), Json::Null]));
+        let mut inner = Json::obj();
+        inner.set("n", Json::Num(2.5));
+        obj.set("inner", inner);
+        let line = obj.render_compact();
+        assert!(!line.contains('\n') && !line.contains(' '));
+        assert_eq!(
+            line,
+            r#"{"type":"event","key":"0x0000001e","vals":[1,null],"inner":{"n":2.5}}"#
+        );
+        assert_eq!(Json::parse(&line).expect("parse back"), obj);
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //! * **Regression baselines** ([`baseline`]): the JSON artifact diffs
 //!   against a checked-in `BENCH_harness.json` with a relative tolerance,
 //!   so perf/behaviour drift fails loudly in CI.
+//! * **Tracing & provenance** ([`trace`], feature `trace`, default-on):
+//!   `--trace <target>` replays one trial with the engine flight recorder
+//!   installed and writes a deterministic, CI-diffable `TRACE_*.jsonl`;
+//!   `--explain <metric>` walks a recorded sample's causal chain back to
+//!   the external injection that started it.
 //!
 //! The `agora-harness` binary (src/main.rs) drives all of this from the
 //! command line; `agora-harness --reports` regenerates the classic
@@ -32,6 +37,8 @@ pub mod perf;
 pub mod pool;
 pub mod registry;
 pub mod report;
+#[cfg(feature = "trace")]
+pub mod trace;
 
 pub use baseline::{diff_json, DiffEntry};
 pub use json::Json;
@@ -39,5 +46,5 @@ pub use matrix::{
     run_matrix, run_to_json, trial_seed, MatrixConfig, MatrixRun, TrialOutcome, TrialSpec,
     TrialStatus,
 };
-pub use perf::perf_to_json;
+pub use perf::{perf_to_json, perf_to_json_with, PhaseProfiler};
 pub use registry::{registry, ExperimentDef, Variant};

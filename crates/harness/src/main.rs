@@ -9,6 +9,9 @@
 //!   agora-harness --perf BENCH_perf.json   # also write wall-clock artifact
 //!   agora-harness --speedup               # measure serial vs parallel wall clock
 //!   agora-harness --reports               # classic experiments_output.txt stream
+//!   agora-harness --trace dht             # replay one trial, write TRACE_dht.jsonl
+//!   agora-harness --trace e3/f0.20 --explain e3.downtime_secs
+//!   agora-harness --validate-trace TRACE_dht.jsonl
 //!
 //! Exit codes: 0 ok; 1 usage error; 2 baseline regression; 3 trial panics.
 
@@ -16,7 +19,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use agora_harness::{
-    diff_json, perf_to_json, registry, report, run_matrix, run_to_json, Json, MatrixConfig,
+    diff_json, perf_to_json_with, registry, report, run_matrix, run_to_json, Json, MatrixConfig,
+    PhaseProfiler,
 };
 
 struct Options {
@@ -28,6 +32,93 @@ struct Options {
     update_baseline: bool,
     speedup: bool,
     reports: bool,
+    trace: Option<String>,
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    trace_out: Option<String>,
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    trace_cap: Option<usize>,
+    explain: Option<String>,
+    validate_trace: Option<String>,
+}
+
+/// Handle `--trace`, `--explain`, and `--validate-trace`.
+#[cfg(feature = "trace")]
+fn run_trace_mode(opts: &Options) -> ExitCode {
+    use agora_harness::trace;
+
+    if let Some(path) = &opts.validate_trace {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("agora-harness: reading {path}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        return match trace::validate_jsonl(&text) {
+            Ok(s) => {
+                println!("{path}: OK ({} event(s), {} span(s))", s.events, s.spans);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("agora-harness: {path}: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    // `--explain` without `--trace` explains the DHT provenance scenario.
+    let target = opts.trace.clone().unwrap_or_else(|| "dht".to_owned());
+    let cap = opts
+        .trace_cap
+        .unwrap_or(agora_sim::trace::DEFAULT_RING_CAPACITY);
+    let run = match trace::run_trace_target(&registry(), &opts.cfg, &target, cap) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("agora-harness: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!(
+        "traced {}/{} (seed {}): {} event(s) retained, {} evicted, {} span(s)",
+        run.target,
+        run.variant,
+        run.seed,
+        run.recorder.len(),
+        run.recorder.evicted(),
+        run.recorder.spans().count()
+    );
+    let out_path = opts
+        .trace_out
+        .clone()
+        .unwrap_or_else(|| format!("TRACE_{}.jsonl", target.replace('/', "_")));
+    if let Err(e) = std::fs::write(&out_path, trace::trace_to_jsonl(&run)) {
+        eprintln!("agora-harness: writing {out_path}: {e}");
+        return ExitCode::from(1);
+    }
+    println!("wrote trace artifact to {out_path} (deterministic; safe to diff in CI)");
+
+    if let Some(metric) = &opts.explain {
+        match trace::explain_metric(&run.recorder, metric) {
+            Some(ex) => {
+                print!("{}", ex.text);
+                println!("(resolved causal depth: {})", ex.depth);
+            }
+            None => {
+                eprintln!("agora-harness: no recorded sample for metric '{metric}' in this trace");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(not(feature = "trace"))]
+fn run_trace_mode(_opts: &Options) -> ExitCode {
+    eprintln!(
+        "agora-harness: --trace/--explain/--validate-trace require the 'trace' feature; \
+         this binary was built with --no-default-features"
+    );
+    ExitCode::from(1)
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -40,6 +131,11 @@ fn parse_args() -> Result<Options, String> {
         update_baseline: false,
         speedup: false,
         reports: false,
+        trace: None,
+        trace_out: None,
+        trace_cap: None,
+        explain: None,
+        validate_trace: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -83,6 +179,17 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--tolerance: {e}"))?
             }
+            "--trace" => opts.trace = Some(value("--trace")?),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--trace-cap" => {
+                opts.trace_cap = Some(
+                    value("--trace-cap")?
+                        .parse()
+                        .map_err(|e| format!("--trace-cap: {e}"))?,
+                )
+            }
+            "--explain" => opts.explain = Some(value("--explain")?),
+            "--validate-trace" => opts.validate_trace = Some(value("--validate-trace")?),
             "--update-baseline" => opts.update_baseline = true,
             "--speedup" => opts.speedup = true,
             "--reports" => opts.reports = true,
@@ -142,6 +249,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if opts.trace.is_some() || opts.explain.is_some() || opts.validate_trace.is_some() {
+        return run_trace_mode(&opts);
+    }
+
     let reg = registry();
 
     if opts.speedup {
@@ -179,10 +290,14 @@ fn main() -> ExitCode {
         };
     }
 
-    let run = run_matrix(&reg, &opts.cfg);
-    print!("{}", report::render(&run));
-    let artifact = run_to_json(&run);
-    let rendered = artifact.render();
+    let mut prof = PhaseProfiler::new();
+    let run = prof.time("matrix", || run_matrix(&reg, &opts.cfg));
+    print!("{}", prof.time("report_render", || report::render(&run)));
+    let (artifact, rendered) = prof.time("artifact_render", || {
+        let artifact = run_to_json(&run);
+        let rendered = artifact.render();
+        (artifact, rendered)
+    });
 
     if let Some(path) = &opts.json_out {
         if let Err(e) = std::fs::write(path, &rendered) {
@@ -193,7 +308,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &opts.perf_out {
-        let perf = perf_to_json(&run).render();
+        let perf = perf_to_json_with(&run, prof).render();
         if let Err(e) = std::fs::write(path, &perf) {
             eprintln!("agora-harness: writing {path}: {e}");
             return ExitCode::from(1);

@@ -249,8 +249,8 @@ fn metrics_to_json(m: &Metrics) -> Json {
         let mut s = Json::obj();
         s.set("count", Json::Num(h.count() as f64));
         s.set("mean", Json::Num(h.mean()));
-        s.set("min", Json::Num(if h.is_empty() { 0.0 } else { h.min() }));
-        s.set("max", Json::Num(if h.is_empty() { 0.0 } else { h.max() }));
+        s.set("min", Json::Num(h.try_min().unwrap_or(0.0)));
+        s.set("max", Json::Num(h.try_max().unwrap_or(0.0)));
         s.set("p50", Json::Num(h.percentile(50.0)));
         s.set("p99", Json::Num(h.percentile(99.0)));
         hists.set(k, s);

@@ -18,6 +18,89 @@ use agora_sim::{Ctx, DeviceClass, NodeId, Protocol, SimDuration, SimTime, Simula
 use crate::json::Json;
 use crate::matrix::{MatrixRun, TrialStatus};
 
+/// Accumulates named per-phase timings — wall clock always, simulated
+/// seconds where the caller knows them — and renders the `breakdowns`
+/// section of `BENCH_perf.json`. Wall-clock only, so it lives here with the
+/// rest of the non-deterministic artifact and is never CI-diffed.
+pub struct PhaseProfiler {
+    started: Instant,
+    phases: Vec<PhaseSample>,
+}
+
+struct PhaseSample {
+    name: String,
+    wall: Duration,
+    sim_secs: Option<f64>,
+}
+
+impl Default for PhaseProfiler {
+    fn default() -> Self {
+        PhaseProfiler::new()
+    }
+}
+
+impl PhaseProfiler {
+    /// Start an empty profile; elapsed time counts from here.
+    pub fn new() -> PhaseProfiler {
+        PhaseProfiler {
+            started: Instant::now(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Record a phase measured externally.
+    pub fn record(&mut self, name: &str, wall: Duration, sim_secs: Option<f64>) {
+        self.phases.push(PhaseSample {
+            name: name.to_owned(),
+            wall,
+            sim_secs,
+        });
+    }
+
+    /// Run `f` as a named phase, recording its wall time.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let started = Instant::now();
+        let out = f();
+        self.record(name, started.elapsed(), None);
+        out
+    }
+
+    /// Run `f` as a named phase; the closure also reports how many
+    /// simulated seconds the phase advanced, so the breakdown can show
+    /// sim-time-per-wall-second for engine-bound phases.
+    pub fn time_with_sim<R>(&mut self, name: &str, f: impl FnOnce() -> (R, f64)) -> R {
+        let started = Instant::now();
+        let (out, sim_secs) = f();
+        self.record(name, started.elapsed(), Some(sim_secs));
+        out
+    }
+
+    /// Render the `breakdowns` section: per-phase wall seconds (and sim
+    /// seconds where known), plus the profiled total and the wall time
+    /// elapsed since the profiler started (the gap is unprofiled overhead).
+    pub fn to_json(&self) -> Json {
+        let mut out = Json::obj();
+        let mut phases = Vec::new();
+        for p in &self.phases {
+            let mut e = Json::obj();
+            e.set("name", Json::Str(p.name.clone()));
+            e.set("wall_secs", Json::Num(p.wall.as_secs_f64()));
+            e.set("sim_secs", p.sim_secs.map_or(Json::Null, Json::Num));
+            phases.push(e);
+        }
+        out.set("phases", Json::Arr(phases));
+        out.set(
+            "profiled_wall_secs",
+            Json::Num(self.phases.iter().map(|p| p.wall.as_secs_f64()).sum()),
+        );
+        out.set(
+            "elapsed_wall_secs",
+            Json::Num(self.started.elapsed().as_secs_f64()),
+        );
+        out
+    }
+}
+
 /// Nearest-rank percentile of an unsorted sample, in seconds.
 fn percentile_secs(samples: &mut [Duration], p: f64) -> f64 {
     if samples.is_empty() {
@@ -311,6 +394,13 @@ fn packed_events_per_sec(events: u64) -> f64 {
 
 /// Build the full performance artifact from a completed matrix run.
 pub fn perf_to_json(run: &MatrixRun) -> Json {
+    perf_to_json_with(run, PhaseProfiler::new())
+}
+
+/// [`perf_to_json`] with a caller-provided profiler: phases the caller
+/// already timed (matrix execution, report rendering, …) are merged with
+/// the microbenchmark phases measured here into the `breakdowns` section.
+pub fn perf_to_json_with(run: &MatrixRun, mut prof: PhaseProfiler) -> Json {
     const MINING_ITERS: u64 = 200_000;
     const CORE_EVENTS: u64 = 2_000_000;
 
@@ -329,12 +419,16 @@ pub fn perf_to_json(run: &MatrixRun) -> Json {
     let mut micro = Json::obj();
     micro.set(
         "sha256_throughput_mib_s",
-        Json::Num(sha256_throughput_mib_s()),
+        Json::Num(prof.time("microbench/sha256", sha256_throughput_mib_s)),
     );
 
     let mut mining = Json::obj();
-    let midstate = mining_midstate_hashes_per_sec(MINING_ITERS);
-    let naive = mining_naive_hashes_per_sec(MINING_ITERS);
+    let (midstate, naive) = prof.time("microbench/mining", || {
+        (
+            mining_midstate_hashes_per_sec(MINING_ITERS),
+            mining_naive_hashes_per_sec(MINING_ITERS),
+        )
+    });
     mining.set("midstate_hashes_per_sec", Json::Num(midstate));
     mining.set("naive_hashes_per_sec", Json::Num(naive));
     mining.set("speedup", Json::Num(midstate / naive.max(1e-9)));
@@ -346,15 +440,25 @@ pub fn perf_to_json(run: &MatrixRun) -> Json {
         v.sort_by(f64::total_cmp);
         v[1]
     };
-    let packed = median_of(&|| packed_events_per_sec(CORE_EVENTS));
-    let reference = median_of(&|| reference_events_per_sec(CORE_EVENTS));
-    engine.set("events_per_sec", Json::Num(engine_events_per_sec()));
+    let (packed, reference) = prof.time("microbench/event_core", || {
+        (
+            median_of(&|| packed_events_per_sec(CORE_EVENTS)),
+            median_of(&|| reference_events_per_sec(CORE_EVENTS)),
+        )
+    });
+    // The ring-flood run advances 1 s warm-up + 20 s timed of simulated
+    // time, so this phase gets a meaningful sim_secs in the breakdown.
+    let ring = prof.time_with_sim("microbench/engine_ring_flood", || {
+        (engine_events_per_sec(), 21.0)
+    });
+    engine.set("events_per_sec", Json::Num(ring));
     engine.set("core_packed_events_per_sec", Json::Num(packed));
     engine.set("core_reference_events_per_sec", Json::Num(reference));
     engine.set("core_speedup", Json::Num(packed / reference.max(1e-9)));
     micro.set("engine", engine);
 
     root.set("microbench", micro);
+    root.set("breakdowns", prof.to_json());
     root
 }
 
@@ -423,6 +527,48 @@ mod tests {
             .and_then(|e| e.get("toy/default"))
             .expect("per-experiment summary");
         assert_eq!(exp.get("trials").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn breakdowns_merge_caller_and_microbench_phases() {
+        let mut prof = PhaseProfiler::new();
+        prof.record("matrix", Duration::from_millis(5), None);
+        prof.time_with_sim("replay", || ((), 12.5));
+        let rendered = prof.to_json();
+        let phases = match rendered.get("phases") {
+            Some(Json::Arr(v)) => v,
+            other => panic!("phases must be an array, got {other:?}"),
+        };
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].get("name").and_then(Json::as_str), Some("matrix"));
+        assert_eq!(phases[0].get("sim_secs"), Some(&Json::Null));
+        assert_eq!(phases[1].get("sim_secs").and_then(Json::as_f64), Some(12.5));
+        assert!(
+            rendered
+                .get("profiled_wall_secs")
+                .and_then(Json::as_f64)
+                .expect("total")
+                >= 0.005
+        );
+    }
+
+    #[test]
+    fn perf_artifact_includes_breakdowns_section() {
+        let run = tiny_run();
+        let mut prof = PhaseProfiler::new();
+        prof.record("matrix", run.wall, None);
+        let perf = perf_to_json_with(&run, prof);
+        let phases = match perf.get("breakdowns").and_then(|b| b.get("phases")) {
+            Some(Json::Arr(v)) => v,
+            other => panic!("breakdowns.phases must be an array, got {other:?}"),
+        };
+        let names: Vec<_> = phases
+            .iter()
+            .filter_map(|p| p.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"matrix"));
+        assert!(names.contains(&"microbench/event_core"));
+        assert!(names.contains(&"microbench/engine_ring_flood"));
     }
 
     #[test]

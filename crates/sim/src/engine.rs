@@ -12,8 +12,58 @@ use std::collections::BinaryHeap;
 use crate::device::{DeviceClass, DeviceProfile};
 use crate::metrics::{CounterHandle, Metrics};
 use crate::net::Network;
+#[cfg(feature = "trace")]
+use crate::net::SendFailure;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+#[cfg(feature = "trace")]
+use crate::trace::{DropReason, NoopSink, TraceEvent, TraceKind, TraceSink};
+
+/// Emit a trace record when the `trace` feature is compiled in; expand to
+/// nothing otherwise. The `$kind` expression is cfg-stripped with the rest,
+/// so call sites never need their own feature gates.
+macro_rules! trace_event {
+    ($tracer:expr, $key:expr, $at:expr, $node:expr, $kind:expr) => {
+        #[cfg(feature = "trace")]
+        {
+            $tracer.emit($key, $at, $node, $kind);
+        }
+    };
+}
+
+/// The engine's trace state: the installed sink, a cached enabled flag (the
+/// only thing the hot path reads), and the packed key of the event currently
+/// being dispatched — the causal parent stamped onto every record emitted
+/// from inside its handler.
+#[cfg(feature = "trace")]
+struct Tracer {
+    sink: Box<dyn TraceSink>,
+    on: bool,
+    /// Key of the event whose handler is running; 0 between dispatches
+    /// (external injections like `with_ctx`, `kill`, `revive`).
+    cur: u128,
+    seed: u64,
+}
+
+#[cfg(feature = "trace")]
+impl Tracer {
+    #[inline]
+    fn emit(&mut self, key: u128, at: SimTime, node: NodeId, kind: TraceKind) {
+        if self.on {
+            self.sink.record(&TraceEvent {
+                key,
+                parent: self.cur,
+                at,
+                node,
+                kind,
+            });
+        }
+    }
+}
+
+/// Pseudo-node stamped on records that concern the whole simulation.
+#[cfg(feature = "trace")]
+const TRACE_SIM_NODE: NodeId = NodeId(u32::MAX);
 
 /// Identifier of a simulated node. Dense indices into the engine's tables.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -113,6 +163,10 @@ struct HotCounters {
     sent_bytes: CounterHandle,
     lost: CounterHandle,
     delivered: CounterHandle,
+    /// Uniform message-drop counter: loss + partition + receiver-down, so
+    /// every experiment reports total message loss under one key (timer
+    /// drops stay separate — no message was on the wire).
+    dropped: CounterHandle,
     dropped_receiver_down: CounterHandle,
     timer_dropped_node_down: CounterHandle,
     churn_up: CounterHandle,
@@ -126,6 +180,7 @@ impl HotCounters {
             sent_bytes: metrics.counter_handle("net.sent_bytes"),
             lost: metrics.counter_handle("net.lost"),
             delivered: metrics.counter_handle("net.delivered"),
+            dropped: metrics.counter_handle("net.dropped"),
             dropped_receiver_down: metrics.counter_handle("net.dropped_receiver_down"),
             timer_dropped_node_down: metrics.counter_handle("timer.dropped_node_down"),
             churn_up: metrics.counter_handle("churn.up"),
@@ -144,6 +199,8 @@ pub struct Ctx<'a, M> {
     rng: &'a mut SimRng,
     metrics: &'a mut Metrics,
     hot: HotCounters,
+    #[cfg(feature = "trace")]
+    tracer: &'a mut Tracer,
 }
 
 impl<'a, M: Clone> Ctx<'a, M> {
@@ -172,7 +229,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
         if to == self.id {
             // Loopback: deliver after a negligible delay, never lost.
             let at = self.now + SimDuration::from_micros(1);
-            self.push(
+            let _key = self.push(
                 at,
                 EventKind::Deliver {
                     to,
@@ -180,11 +237,18 @@ impl<'a, M: Clone> Ctx<'a, M> {
                     msg,
                 },
             );
+            trace_event!(
+                self.tracer,
+                _key,
+                self.now,
+                self.id,
+                TraceKind::Send { to, bytes }
+            );
             return;
         }
         match self.net.transmit(self.now, self.id, to, bytes, self.rng) {
-            Some(at) => {
-                self.push(
+            Ok(at) => {
+                let _key = self.push(
                     at,
                     EventKind::Deliver {
                         to,
@@ -192,9 +256,31 @@ impl<'a, M: Clone> Ctx<'a, M> {
                         msg,
                     },
                 );
+                trace_event!(
+                    self.tracer,
+                    _key,
+                    self.now,
+                    self.id,
+                    TraceKind::Send { to, bytes }
+                );
             }
-            None => {
+            Err(_failure) => {
                 self.metrics.incr_handle(self.hot.lost, 1);
+                self.metrics.incr_handle(self.hot.dropped, 1);
+                trace_event!(
+                    self.tracer,
+                    0,
+                    self.now,
+                    self.id,
+                    TraceKind::DropSend {
+                        to,
+                        bytes,
+                        reason: match _failure {
+                            SendFailure::Partitioned => DropReason::Partition,
+                            SendFailure::Lost => DropReason::Loss,
+                        },
+                    }
+                );
             }
         }
     }
@@ -219,8 +305,34 @@ impl<'a, M: Clone> Ctx<'a, M> {
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
         let at = self.now + delay;
         let node = self.id;
-        self.push(at, EventKind::Timer { node, tag });
+        let _key = self.push(at, EventKind::Timer { node, tag });
+        trace_event!(
+            self.tracer,
+            _key,
+            self.now,
+            self.id,
+            TraceKind::TimerSet { tag }
+        );
     }
+
+    /// Emit a named protocol trace point — the hook that ties a metric
+    /// sample (a lookup latency, a hop count) to the event whose handler
+    /// produced it. The record's key and causal parent are both the packed
+    /// key of the currently dispatching event, so a provenance query can
+    /// walk from the sample back through the message/timer chain that led
+    /// to it. Conventionally `name` is the metric key being annotated.
+    #[cfg(feature = "trace")]
+    pub fn trace_point(&mut self, name: &'static str, value: f64) {
+        let key = self.tracer.cur;
+        self.tracer
+            .emit(key, self.now, self.id, TraceKind::Point { name, value });
+    }
+
+    /// Trace-point no-op: the `trace` feature is compiled out, so this
+    /// vanishes entirely. Protocol crates call it unconditionally.
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    pub fn trace_point(&mut self, _name: &'static str, _value: f64) {}
 
     /// The deterministic RNG (shared engine-wide).
     pub fn rng(&mut self) -> &mut SimRng {
@@ -237,12 +349,11 @@ impl<'a, M: Clone> Ctx<'a, M> {
         self.net.profile(self.id)
     }
 
-    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+    fn push(&mut self, at: SimTime, kind: EventKind<M>) -> u128 {
         *self.seq += 1;
-        self.queue.push(Event {
-            key: Event::<M>::pack(at, *self.seq),
-            kind,
-        });
+        let key = Event::<M>::pack(at, *self.seq);
+        self.queue.push(Event { key, kind });
+        key
     }
 }
 
@@ -260,14 +371,37 @@ pub struct Simulation<P: Protocol> {
     events: u64,
     churn_enabled: Vec<bool>,
     started: Vec<bool>,
+    #[cfg(feature = "trace")]
+    tracer: Tracer,
 }
 
 impl<P: Protocol> Simulation<P> {
     /// Create an empty simulation with the given RNG seed.
+    ///
+    /// With the `trace` feature compiled in, a sink factory installed via
+    /// [`crate::trace::with_thread_sink`] is consulted here — that is how a
+    /// harness wires a flight recorder into simulations constructed deep
+    /// inside `fn(seed) -> Metrics` experiment entry points without
+    /// changing their signatures. Absent a factory, the no-op sink is used
+    /// and every tap site reduces to one untaken branch.
     pub fn new(seed: u64) -> Simulation<P> {
         let mut metrics = Metrics::new();
         let hot = HotCounters::new(&mut metrics);
-        Simulation {
+        #[cfg(feature = "trace")]
+        let tracer = {
+            let (sink, on): (Box<dyn TraceSink>, bool) = match crate::trace::make_thread_sink() {
+                Some(sink) => (sink, true),
+                None => (Box::new(NoopSink), false),
+            };
+            Tracer {
+                sink,
+                on,
+                cur: 0,
+                seed,
+            }
+        };
+        #[allow(unused_mut)]
+        let mut sim = Simulation {
             protocols: Vec::new(),
             net: Network::new(),
             queue: BinaryHeap::new(),
@@ -279,7 +413,30 @@ impl<P: Protocol> Simulation<P> {
             events: 0,
             churn_enabled: Vec::new(),
             started: Vec::new(),
-        }
+            #[cfg(feature = "trace")]
+            tracer,
+        };
+        trace_event!(
+            sim.tracer,
+            0,
+            SimTime::ZERO,
+            TRACE_SIM_NODE,
+            TraceKind::SimStart { seed }
+        );
+        sim
+    }
+
+    /// Install a trace sink on an already-constructed simulation and enable
+    /// recording. Emits a `SimStart` record so the sink sees the seed.
+    /// Tracing never touches the RNG or metrics, so the simulated outcome
+    /// is identical with or without a sink.
+    #[cfg(feature = "trace")]
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.tracer.sink = sink;
+        self.tracer.on = true;
+        let seed = self.tracer.seed;
+        self.tracer
+            .emit(0, self.time, TRACE_SIM_NODE, TraceKind::SimStart { seed });
     }
 
     /// Add a node of the given device class. Its `on_start` runs at the time
@@ -347,6 +504,12 @@ impl<P: Protocol> Simulation<P> {
         if !self.net.is_up(id) {
             return None;
         }
+        #[cfg(feature = "trace")]
+        {
+            // External injection: records emitted under this closure have no
+            // causal parent inside the simulation.
+            self.tracer.cur = 0;
+        }
         let mut ctx = Ctx {
             now: self.time,
             id,
@@ -356,6 +519,8 @@ impl<P: Protocol> Simulation<P> {
             rng: &mut self.rng,
             metrics: &mut self.metrics,
             hot: self.hot,
+            #[cfg(feature = "trace")]
+            tracer: &mut self.tracer,
         };
         Some(f(&mut self.protocols[id.index()], &mut ctx))
     }
@@ -364,6 +529,10 @@ impl<P: Protocol> Simulation<P> {
     pub fn kill(&mut self, id: NodeId) {
         self.ensure_started();
         if self.net.is_up(id) {
+            #[cfg(feature = "trace")]
+            {
+                self.tracer.cur = 0;
+            }
             self.transition(id, false);
         }
     }
@@ -372,6 +541,10 @@ impl<P: Protocol> Simulation<P> {
     pub fn revive(&mut self, id: NodeId) {
         self.ensure_started();
         if !self.net.is_up(id) {
+            #[cfg(feature = "trace")]
+            {
+                self.tracer.cur = 0;
+            }
             self.transition(id, true);
         }
     }
@@ -379,6 +552,17 @@ impl<P: Protocol> Simulation<P> {
     /// Assign a node to a partition group; messages only flow within a group.
     pub fn set_partition(&mut self, id: NodeId, group: u32) {
         self.net.set_partition(id, group);
+        #[cfg(feature = "trace")]
+        {
+            self.tracer.cur = 0;
+        }
+        trace_event!(
+            self.tracer,
+            0,
+            self.time,
+            id,
+            TraceKind::Partition { group }
+        );
     }
 
     /// Heal all partitions.
@@ -419,6 +603,10 @@ impl<P: Protocol> Simulation<P> {
             debug_assert!(ev.at() >= self.time, "time went backwards");
             self.time = ev.at();
             self.events += 1;
+            #[cfg(feature = "trace")]
+            {
+                self.tracer.cur = ev.key;
+            }
             self.dispatch(ev.kind);
         }
         if self.time < limit {
@@ -440,6 +628,10 @@ impl<P: Protocol> Simulation<P> {
         while let Some(ev) = self.queue.pop() {
             self.time = ev.at();
             self.events += 1;
+            #[cfg(feature = "trace")]
+            {
+                self.tracer.cur = ev.key;
+            }
             self.dispatch(ev.kind);
             n += 1;
             assert!(n < max_events, "run_idle exceeded {max_events} events");
@@ -462,6 +654,11 @@ impl<P: Protocol> Simulation<P> {
             if !self.started[i] {
                 self.started[i] = true;
                 let id = NodeId(i as u32);
+                #[cfg(feature = "trace")]
+                {
+                    // `on_start` runs outside any event handler.
+                    self.tracer.cur = 0;
+                }
                 let mut ctx = Ctx {
                     now: self.time,
                     id,
@@ -471,18 +668,19 @@ impl<P: Protocol> Simulation<P> {
                     rng: &mut self.rng,
                     metrics: &mut self.metrics,
                     hot: self.hot,
+                    #[cfg(feature = "trace")]
+                    tracer: &mut self.tracer,
                 };
                 self.protocols[i].on_start(&mut ctx);
             }
         }
     }
 
-    fn push(&mut self, at: SimTime, kind: EventKind<P::Msg>) {
+    fn push(&mut self, at: SimTime, kind: EventKind<P::Msg>) -> u128 {
         self.seq += 1;
-        self.queue.push(Event {
-            key: Event::<P::Msg>::pack(at, self.seq),
-            kind,
-        });
+        let key = Event::<P::Msg>::pack(at, self.seq);
+        self.queue.push(Event { key, kind });
+        key
     }
 
     fn transition(&mut self, id: NodeId, up: bool) {
@@ -493,6 +691,17 @@ impl<P: Protocol> Simulation<P> {
             self.hot.churn_down
         };
         self.metrics.incr_handle(h, 1);
+        trace_event!(
+            self.tracer,
+            self.tracer.cur,
+            self.time,
+            id,
+            if up {
+                TraceKind::ChurnUp
+            } else {
+                TraceKind::ChurnDown
+            }
+        );
         let mut ctx = Ctx {
             now: self.time,
             id,
@@ -502,6 +711,8 @@ impl<P: Protocol> Simulation<P> {
             rng: &mut self.rng,
             metrics: &mut self.metrics,
             hot: self.hot,
+            #[cfg(feature = "trace")]
+            tracer: &mut self.tracer,
         };
         if up {
             self.protocols[id.index()].on_up(&mut ctx);
@@ -515,9 +726,27 @@ impl<P: Protocol> Simulation<P> {
             EventKind::Deliver { to, from, msg } => {
                 if !self.net.is_up(to) {
                     self.metrics.incr_handle(self.hot.dropped_receiver_down, 1);
+                    self.metrics.incr_handle(self.hot.dropped, 1);
+                    trace_event!(
+                        self.tracer,
+                        self.tracer.cur,
+                        self.time,
+                        to,
+                        TraceKind::DropDeliver {
+                            from,
+                            reason: DropReason::ReceiverDown,
+                        }
+                    );
                     return;
                 }
                 self.metrics.incr_handle(self.hot.delivered, 1);
+                trace_event!(
+                    self.tracer,
+                    self.tracer.cur,
+                    self.time,
+                    to,
+                    TraceKind::Deliver { from }
+                );
                 let mut ctx = Ctx {
                     now: self.time,
                     id: to,
@@ -527,6 +756,8 @@ impl<P: Protocol> Simulation<P> {
                     rng: &mut self.rng,
                     metrics: &mut self.metrics,
                     hot: self.hot,
+                    #[cfg(feature = "trace")]
+                    tracer: &mut self.tracer,
                 };
                 self.protocols[to.index()].on_message(&mut ctx, from, msg);
             }
@@ -534,8 +765,22 @@ impl<P: Protocol> Simulation<P> {
                 if !self.net.is_up(node) {
                     self.metrics
                         .incr_handle(self.hot.timer_dropped_node_down, 1);
+                    trace_event!(
+                        self.tracer,
+                        self.tracer.cur,
+                        self.time,
+                        node,
+                        TraceKind::TimerDrop { tag }
+                    );
                     return;
                 }
+                trace_event!(
+                    self.tracer,
+                    self.tracer.cur,
+                    self.time,
+                    node,
+                    TraceKind::TimerFire { tag }
+                );
                 let mut ctx = Ctx {
                     now: self.time,
                     id: node,
@@ -545,6 +790,8 @@ impl<P: Protocol> Simulation<P> {
                     rng: &mut self.rng,
                     metrics: &mut self.metrics,
                     hot: self.hot,
+                    #[cfg(feature = "trace")]
+                    tracer: &mut self.tracer,
                 };
                 self.protocols[node.index()].on_timer(&mut ctx, tag);
             }
@@ -645,6 +892,7 @@ mod tests {
         sim.run_for(SimDuration::from_secs(1));
         assert_eq!(sim.node(b).pings_received, 0);
         assert_eq!(sim.metrics().counter("net.dropped_receiver_down"), 1);
+        assert_eq!(sim.metrics().counter("net.dropped"), 1);
         assert_eq!(sim.node(b).downs, 1);
         sim.revive(b);
         assert_eq!(sim.node(b).ups, 1);
@@ -689,6 +937,7 @@ mod tests {
         sim.with_ctx(a, |_, ctx| ctx.send(b, PpMsg::Ping, 64));
         sim.run_for(SimDuration::from_secs(1));
         assert_eq!(sim.node(b).pings_received, 0);
+        assert_eq!(sim.metrics().counter("net.dropped"), 1);
         sim.heal_partitions();
         sim.with_ctx(a, |_, ctx| ctx.send(b, PpMsg::Ping, 64));
         sim.run_for(SimDuration::from_secs(1));
@@ -705,6 +954,17 @@ mod tests {
         sim.run_for(SimDuration::from_secs(1));
         assert_eq!(sim.node(b).pings_received, 0);
         assert_eq!(sim.metrics().counter("net.lost"), 10);
+        assert_eq!(sim.metrics().counter("net.dropped"), 10);
+    }
+
+    #[test]
+    fn timer_drops_not_counted_as_message_drops() {
+        let (mut sim, a, _b) = two_node_sim();
+        sim.with_ctx(a, |_, ctx| ctx.set_timer(SimDuration::from_secs(1), 7));
+        sim.kill(a);
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(sim.metrics().counter("timer.dropped_node_down"), 1);
+        assert_eq!(sim.metrics().counter("net.dropped"), 0);
     }
 
     #[test]
@@ -761,6 +1021,153 @@ mod tests {
         // Different seeds should (with overwhelming probability) diverge in
         // churn transition counts over an hour.
         assert_ne!(run(99).2, run(100).2);
+    }
+
+    #[cfg(feature = "trace")]
+    mod trace_tests {
+        use super::*;
+        use crate::trace::{DropReason, SharedRecorder, TraceKind};
+
+        fn recorded<R>(
+            f: impl FnOnce(&mut Simulation<PingPong>) -> R,
+        ) -> (SharedRecorder, Simulation<PingPong>, R) {
+            let rec = SharedRecorder::new(1024);
+            let mut sim: Simulation<PingPong> = Simulation::new(1);
+            sim.set_trace_sink(Box::new(rec.clone()));
+            let r = f(&mut sim);
+            (rec, sim, r)
+        }
+
+        #[test]
+        fn send_and_deliver_records_share_the_event_key() {
+            let (rec, _sim, ()) = recorded(|sim| {
+                let a = sim.add_node(PingPong::default(), DeviceClass::DatacenterServer);
+                let b = sim.add_node(PingPong::default(), DeviceClass::DatacenterServer);
+                sim.with_ctx(a, |_, ctx| ctx.send(b, PpMsg::Ping, 64));
+                sim.run_for(SimDuration::from_secs(1));
+            });
+            let snap = rec.snapshot();
+            let sends: Vec<_> = snap
+                .events()
+                .filter(|e| matches!(e.kind, TraceKind::Send { .. }))
+                .collect();
+            // Ping out plus pong back.
+            assert_eq!(sends.len(), 2);
+            let ping_key = sends[0].key;
+            assert_ne!(ping_key, 0);
+            assert_eq!(sends[0].parent, 0, "injected via with_ctx");
+            let deliver = snap
+                .events()
+                .find(|e| matches!(e.kind, TraceKind::Deliver { .. }))
+                .expect("delivery recorded");
+            assert_eq!(deliver.key, ping_key);
+            // The pong was sent from inside the ping's delivery handler:
+            // causal parent is the ping's delivery event.
+            assert_eq!(sends[1].parent, ping_key);
+            assert_eq!(snap.span("net.deliver").unwrap().count, 2);
+            assert_eq!(snap.span("net.deliver").unwrap().latency.samples().len(), 2);
+        }
+
+        #[test]
+        fn drop_reasons_distinguish_loss_partition_receiver_down() {
+            let (rec, _sim, ()) = recorded(|sim| {
+                let a = sim.add_node(PingPong::default(), DeviceClass::DatacenterServer);
+                let b = sim.add_node(PingPong::default(), DeviceClass::DatacenterServer);
+                sim.set_partition(b, 5);
+                sim.with_ctx(a, |_, ctx| ctx.send(b, PpMsg::Ping, 64));
+                sim.heal_partitions();
+                sim.set_loss_rate(1.0);
+                sim.with_ctx(a, |_, ctx| ctx.send(b, PpMsg::Ping, 64));
+                sim.set_loss_rate(0.0);
+                sim.with_ctx(a, |_, ctx| ctx.send(b, PpMsg::Ping, 64));
+                sim.kill(b);
+                sim.run_for(SimDuration::from_secs(1));
+            });
+            let snap = rec.snapshot();
+            assert_eq!(snap.span("net.drop.partition").unwrap().count, 1);
+            assert_eq!(snap.span("net.drop.loss").unwrap().count, 1);
+            assert_eq!(snap.span("net.drop.receiver_down").unwrap().count, 1);
+            let down_drop = snap
+                .events()
+                .find(|e| {
+                    matches!(
+                        e.kind,
+                        TraceKind::DropDeliver {
+                            reason: DropReason::ReceiverDown,
+                            ..
+                        }
+                    )
+                })
+                .expect("receiver-down drop recorded");
+            assert_ne!(down_drop.key, 0, "delivery event existed");
+        }
+
+        #[test]
+        fn timer_fire_links_back_to_setting_handler() {
+            let (rec, _sim, ()) = recorded(|sim| {
+                let a = sim.add_node(PingPong::default(), DeviceClass::DatacenterServer);
+                sim.with_ctx(a, |_, ctx| ctx.set_timer(SimDuration::from_secs(2), 9));
+                sim.run_for(SimDuration::from_secs(3));
+            });
+            let snap = rec.snapshot();
+            let set = snap
+                .events()
+                .find(|e| matches!(e.kind, TraceKind::TimerSet { tag: 9 }))
+                .expect("timer set recorded");
+            let fire = snap
+                .events()
+                .find(|e| matches!(e.kind, TraceKind::TimerFire { tag: 9 }))
+                .expect("timer fire recorded");
+            assert_eq!(fire.key, set.key);
+            assert_eq!(snap.span("timer.fire").unwrap().latency.samples(), &[2.0]);
+        }
+
+        #[test]
+        fn tracing_does_not_perturb_simulation_results() {
+            let run = |traced: bool| {
+                let mut sim: Simulation<PingPong> = Simulation::new(42);
+                if traced {
+                    sim.set_trace_sink(Box::new(SharedRecorder::new(64)));
+                }
+                let mut nodes = Vec::new();
+                for _ in 0..8 {
+                    let n = sim.add_node(PingPong::default(), DeviceClass::PersonalComputer);
+                    sim.enable_churn(n);
+                    nodes.push(n);
+                }
+                for i in 0..8 {
+                    let (src, dst) = (nodes[i], nodes[(i + 1) % 8]);
+                    sim.with_ctx(src, |_, ctx| ctx.send(dst, PpMsg::Ping, 100));
+                }
+                sim.run_for(SimDuration::from_hours(1));
+                (
+                    sim.metrics().counter("net.delivered"),
+                    sim.metrics().counter("net.dropped"),
+                    sim.metrics().counter("churn.down"),
+                    sim.events_processed(),
+                )
+            };
+            assert_eq!(run(false), run(true));
+        }
+
+        #[test]
+        fn thread_sink_factory_reaches_internally_constructed_sims() {
+            let rec = SharedRecorder::new(64);
+            let handle = rec.clone();
+            crate::trace::with_thread_sink(
+                move || Box::new(handle.clone()),
+                || {
+                    let mut sim: Simulation<PingPong> = Simulation::new(7);
+                    let a = sim.add_node(PingPong::default(), DeviceClass::DatacenterServer);
+                    let b = sim.add_node(PingPong::default(), DeviceClass::DatacenterServer);
+                    sim.with_ctx(a, |_, ctx| ctx.send(b, PpMsg::Ping, 64));
+                    sim.run_for(SimDuration::from_secs(1));
+                },
+            );
+            let snap = rec.snapshot();
+            assert_eq!(snap.span("sim.start").unwrap().count, 1);
+            assert!(snap.span("net.deliver").unwrap().count >= 1);
+        }
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //!   heavy-tailed latency jitter, loss and partitions,
 //! * the event [`Simulation`] engine itself, driving [`Protocol`]
 //!   state machines with messages, timers and churn, and
-//! * a [`Metrics`] registry for counters and latency histograms.
+//! * a [`Metrics`] registry for counters and latency histograms, and
+//! * (behind the `trace` cargo feature) the [`trace`](crate::trace)
+//!   observability layer: a [`trace::TraceSink`] tap in the engine with a
+//!   bounded flight recorder and causal provenance keys. Compiled out by
+//!   default — the untraced engine is byte-for-byte the pre-trace engine.
 //!
 //! ## Design
 //!
@@ -51,6 +55,8 @@ pub mod metrics;
 pub mod net;
 pub mod rng;
 pub mod time;
+#[cfg(feature = "trace")]
+pub mod trace;
 
 pub use device::{DeviceClass, DeviceProfile};
 pub use engine::{Ctx, NodeId, Protocol, Simulation};

@@ -56,17 +56,43 @@ impl Histogram {
         }
     }
 
-    /// Minimum sample (+inf when empty).
+    /// Minimum sample. **On an empty histogram this is the fold identity
+    /// `+inf`** — a deliberate sentinel, mirrored by [`Histogram::max`]
+    /// returning `-inf`, so `min <= x <= max` filters are vacuously true.
+    /// Serialization paths must not emit the sentinel (JSON has no
+    /// infinities); use [`Histogram::try_min`] there.
     pub fn min(&self) -> f64 {
         self.samples.iter().copied().fold(f64::INFINITY, f64::min)
     }
 
-    /// Maximum sample (-inf when empty).
+    /// Maximum sample (`-inf` when empty; see [`Histogram::min`] for the
+    /// sentinel rationale). Use [`Histogram::try_max`] when a finite-only
+    /// answer is needed.
     pub fn max(&self) -> f64 {
         self.samples
             .iter()
             .copied()
             .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum sample, or `None` when empty — the form serialization and
+    /// report code should use so infinite sentinels never leak into
+    /// artifacts.
+    pub fn try_min(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.min())
+        }
+    }
+
+    /// Maximum sample, or `None` when empty (see [`Histogram::try_min`]).
+    pub fn try_max(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.max())
+        }
     }
 
     /// Standard deviation (population).
@@ -568,6 +594,40 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.min(), f64::INFINITY);
         assert_eq!(h.max(), f64::NEG_INFINITY);
+        // The checked forms refuse to surface the sentinels.
+        assert_eq!(h.try_min(), None);
+        assert_eq!(h.try_max(), None);
+    }
+
+    #[test]
+    fn histogram_try_min_max_match_min_max_when_nonempty() {
+        let mut h = Histogram::new();
+        h.record(4.0);
+        h.record(-2.0);
+        assert_eq!(h.try_min(), Some(-2.0));
+        assert_eq!(h.try_max(), Some(4.0));
+        assert_eq!(h.try_min(), Some(h.min()));
+        assert_eq!(h.try_max(), Some(h.max()));
+    }
+
+    #[test]
+    fn histogram_single_sample_min_equals_max() {
+        let mut h = Histogram::new();
+        h.record(7.0);
+        assert_eq!(h.try_min(), Some(7.0));
+        assert_eq!(h.try_max(), Some(7.0));
+        assert_eq!(h.min(), h.max());
+    }
+
+    #[test]
+    fn histogram_all_non_finite_behaves_as_empty() {
+        // Non-finite samples are rejected at `record`, so the sentinel
+        // contract can't be spoofed from inside.
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.try_min(), None);
+        assert_eq!(h.min(), f64::INFINITY);
     }
 
     #[test]

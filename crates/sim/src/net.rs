@@ -31,6 +31,18 @@ struct NodeNet {
     base_latency_secs: f64,
 }
 
+/// Why [`Network::transmit`] refused to deliver a message. Distinguishing
+/// the cause costs nothing on the hot path (both arms were already computed)
+/// and lets the engine count drops uniformly and the trace layer record the
+/// reason.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SendFailure {
+    /// Sender and receiver are in different partition groups.
+    Partitioned,
+    /// Random link loss.
+    Lost,
+}
+
 /// Link-layer state for all nodes.
 pub struct Network {
     nodes: Vec<NodeNet>,
@@ -93,9 +105,14 @@ impl Network {
 
     /// Compute the delivery instant for a `bytes`-sized message sent now from
     /// `from` to `to`, reserving uplink/downlink serialization slots.
-    /// Returns `None` if the message is lost (random loss or partition).
+    /// Returns `Err` if the message is dropped (partition or random loss).
     /// Sender-side link state is charged even for lost messages — the bits
     /// were transmitted.
+    ///
+    /// RNG discipline: the loss draw is short-circuited for partitioned
+    /// pairs (`partitioned || rng.chance(..)` exactly as before the reason
+    /// split), so the draw sequence — and therefore every downstream
+    /// simulation result — is unchanged.
     pub(crate) fn transmit(
         &mut self,
         now: SimTime,
@@ -103,7 +120,7 @@ impl Network {
         to: NodeId,
         bytes: u64,
         rng: &mut SimRng,
-    ) -> Option<SimTime> {
+    ) -> Result<SimTime, SendFailure> {
         let (fi, ti) = (from.index(), to.index());
         let partitioned = self.nodes[fi].partition != self.nodes[ti].partition;
 
@@ -113,8 +130,11 @@ impl Network {
         let tx_end = tx_start + tx;
         self.nodes[fi].uplink_free = tx_end;
 
-        if partitioned || rng.chance(self.loss_rate) {
-            return None;
+        if partitioned {
+            return Err(SendFailure::Partitioned);
+        }
+        if rng.chance(self.loss_rate) {
+            return Err(SendFailure::Lost);
         }
 
         // Propagation latency: sum of both endpoints' access latencies, each
@@ -136,7 +156,7 @@ impl Network {
         let rx_end = self.nodes[ti].downlink_free.max(arrival_earliest) + rx;
         self.nodes[ti].downlink_free = rx_end;
 
-        Some(rx_end)
+        Ok(rx_end)
     }
 }
 
@@ -205,9 +225,10 @@ mod tests {
         let mut net = net_with(&[DeviceClass::PersonalComputer, DeviceClass::PersonalComputer]);
         let mut rng = SimRng::new(4);
         net.set_partition(NodeId(1), 9);
-        assert!(net
-            .transmit(SimTime::ZERO, NodeId(0), NodeId(1), 125_000, &mut rng)
-            .is_none());
+        assert_eq!(
+            net.transmit(SimTime::ZERO, NodeId(0), NodeId(1), 125_000, &mut rng),
+            Err(SendFailure::Partitioned)
+        );
         // Uplink time was consumed: a follow-up send starts after ~1 s.
         net.heal_partitions();
         let at = net
@@ -260,11 +281,10 @@ mod loss_tests {
         let trials = 4000;
         let mut lost = 0;
         for i in 0..trials {
-            if net
-                .transmit(SimTime(i * 1_000_000), NodeId(0), NodeId(1), 100, &mut rng)
-                .is_none()
-            {
-                lost += 1;
+            match net.transmit(SimTime(i * 1_000_000), NodeId(0), NodeId(1), 100, &mut rng) {
+                Err(SendFailure::Lost) => lost += 1,
+                Err(SendFailure::Partitioned) => panic!("no partitions configured"),
+                Ok(_) => {}
             }
         }
         let rate = lost as f64 / trials as f64;

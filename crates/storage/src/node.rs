@@ -268,6 +268,7 @@ impl StorageNode {
             let size = msg.wire_size();
             ctx.send(provider, msg, size);
             ctx.metrics().incr("storage.shard_bytes_up", shard_len);
+            ctx.trace_point("storage.shard_bytes_up", shard_len as f64);
             places.push(ShardPlace {
                 index: i as u32,
                 provider,
@@ -375,6 +376,7 @@ impl StorageNode {
             let size = msg.wire_size();
             ctx.send(provider, msg, size);
             ctx.metrics().incr("storage.audits_sent", 1);
+            ctx.trace_point("storage.audits_sent", index as f64);
             c.ops.insert(
                 op,
                 OpState::AuditWait {
@@ -431,6 +433,7 @@ impl StorageNode {
         );
         ctx.set_timer(OP_TICK, op);
         ctx.metrics().incr("storage.repairs_started", 1);
+        ctx.trace_point("storage.repairs_started", index as f64);
     }
 
     fn try_complete_get(&mut self, ctx: &mut Ctx<'_, StorageMsg>, op: u64) {

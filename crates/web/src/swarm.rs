@@ -302,6 +302,7 @@ impl SwarmNode {
         ctx.multicast(&p.trackers, SwarmMsg::Announce { site }, 40);
         ctx.metrics().incr("web.visits_ok", 1);
         ctx.metrics().incr("web.bytes_fetched", bytes);
+        ctx.trace_point("web.visits_ok", bytes as f64);
         p.results.insert(op, VisitResult::Ok { version, bytes });
     }
 }
@@ -386,6 +387,7 @@ impl Protocol for SwarmNode {
                     .cloned();
                 if data.is_some() {
                     ctx.metrics().incr("web.pieces_served", 1);
+                    ctx.trace_point("web.pieces_served", index as f64);
                 }
                 let msg = SwarmMsg::PieceResp { req, index, data };
                 let size = msg.wire_size();
@@ -420,8 +422,10 @@ impl Protocol for SwarmNode {
         };
         v.ticks += 1;
         if v.ticks > MAX_VISIT_TICKS {
+            let ticks = v.ticks;
             p.visits.remove(&op);
             ctx.metrics().incr("web.visits_failed", 1);
+            ctx.trace_point("web.visits_failed", ticks as f64);
             p.results.insert(op, VisitResult::Failed);
             return;
         }

@@ -42,14 +42,37 @@ step "rebuild with tracing on; baseline diff must be byte-identical either way"
 cargo build --release -p agora-harness
 ./target/release/agora-harness
 
-step "trace smoke: deterministic TRACE jsonl + causal explain"
+step "chaos smoke: E15 deterministic across thread counts; e1-e14 baseline untouched"
+CHAOS_TMP="$(mktemp -d)"
 TRACE_TMP="$(mktemp -d)"
-trap 'rm -rf "$TRACE_TMP"' EXIT
+trap 'rm -rf "$TRACE_TMP" "$CHAOS_TMP"' EXIT
+# 1 thread writes a filtered baseline; 8 threads must reproduce it exactly
+# (the harness's own diff is the gate), and the raw artifacts must be
+# byte-identical. The full-matrix baseline diffs above already prove
+# e1-e14 are unchanged with chaos code compiled in but dormant.
+./target/release/agora-harness --filter e15 --threads 1 \
+    --baseline "$CHAOS_TMP/e15_baseline.json" --update-baseline \
+    --json "$CHAOS_TMP/e15_t1.json" >/dev/null
+./target/release/agora-harness --filter e15 --threads 8 \
+    --baseline "$CHAOS_TMP/e15_baseline.json" \
+    --json "$CHAOS_TMP/e15_t8.json" >/dev/null
+cmp "$CHAOS_TMP/e15_t1.json" "$CHAOS_TMP/e15_t8.json"
+
+step "trace smoke: deterministic TRACE jsonl + causal explain"
 ./target/release/agora-harness --trace dht --trace-out "$TRACE_TMP/a.jsonl" \
     --explain dht.lookup_secs
 ./target/release/agora-harness --trace dht --trace-out "$TRACE_TMP/b.jsonl" >/dev/null
 cmp "$TRACE_TMP/a.jsonl" "$TRACE_TMP/b.jsonl"
 ./target/release/agora-harness --validate-trace "$TRACE_TMP/a.jsonl"
+# E15 under max chaos: the chaos.* span family must be present, the
+# artifact deterministic, and a retried op explainable back to the driver.
+./target/release/agora-harness --trace e15/i1.00 --trace-out "$TRACE_TMP/e15a.jsonl" \
+    --explain retry.attempt
+./target/release/agora-harness --trace e15/i1.00 --trace-out "$TRACE_TMP/e15b.jsonl" >/dev/null
+cmp "$TRACE_TMP/e15a.jsonl" "$TRACE_TMP/e15b.jsonl"
+./target/release/agora-harness --validate-trace "$TRACE_TMP/e15a.jsonl"
+grep -q '"type":"span","key":"chaos.kill"' "$TRACE_TMP/e15a.jsonl"
+grep -q '"type":"span","key":"retry.attempt"' "$TRACE_TMP/e15a.jsonl"
 
 echo
 echo "full gate passed"

@@ -9,7 +9,8 @@
 
 use std::collections::HashMap;
 
-use agora_sim::{Ctx, NodeId, Protocol, SimDuration};
+use agora_sim::retry::{CTR_RETRY_ATTEMPTS, CTR_RETRY_GAVE_UP};
+use agora_sim::{Ctx, NodeId, Protocol, Retrier, RetryPolicy, SimDuration};
 
 use crate::moderation::{ModerationPolicy, ModerationStats, PostLabel};
 use crate::posts::{Post, ReadResult};
@@ -73,6 +74,13 @@ pub struct ClientState {
     next_op: u64,
     reads: HashMap<u64, ReadResult>,
     delivered: u64,
+    /// Read retry policy. [`RetryPolicy::none`] (the default) reproduces
+    /// the pre-hardening one-shot read byte-for-byte.
+    retry: RetryPolicy,
+    /// In-flight reads eligible for retry: op → (room, backoff cursor).
+    /// Only populated when `retry` is active, so the dormant path does no
+    /// bookkeeping at all.
+    pending_reads: HashMap<u64, (u32, Retrier)>,
 }
 
 enum Role {
@@ -102,6 +110,12 @@ impl CentralNode {
 
     /// A client of the platform.
     pub fn client(server: NodeId) -> CentralNode {
+        CentralNode::client_with_retry(server, RetryPolicy::none())
+    }
+
+    /// A client whose reads are retried under `retry` (exponential backoff
+    /// with deterministic jitter; no hedging — there is only one server).
+    pub fn client_with_retry(server: NodeId, retry: RetryPolicy) -> CentralNode {
         CentralNode {
             role: Role::Client(ClientState {
                 server,
@@ -109,6 +123,8 @@ impl CentralNode {
                 next_op: 0,
                 reads: HashMap::new(),
                 delivered: 0,
+                retry,
+                pending_reads: HashMap::new(),
             }),
         }
     }
@@ -177,6 +193,9 @@ impl CentralNode {
         };
         let op = c.next_op;
         c.next_op += 1;
+        if c.retry.is_active() {
+            c.pending_reads.insert(op, (room, Retrier::new(c.retry)));
+        }
         ctx.send(c.server, CentralMsg::Read { room, op }, 16);
         ctx.set_timer(READ_TIMEOUT, op);
         op
@@ -246,11 +265,18 @@ impl Protocol for CentralNode {
                 ctx.metrics().sample("comm.delivery_secs", latency);
             }
             (Role::Client(c), CentralMsg::ReadResp { op, count }) => {
+                c.pending_reads.remove(&op);
+                // With retries (or chaos duplication) the same op can be
+                // answered more than once; count it once. The dormant path
+                // keeps the historical unconditional increment.
+                let duplicate = c.retry.is_active() && c.reads.contains_key(&op);
                 c.reads.entry(op).or_insert(match count {
                     Some(n) => ReadResult::Ok(n),
                     None => ReadResult::Unavailable,
                 });
-                ctx.metrics().incr("comm.reads_ok", 1);
+                if !duplicate {
+                    ctx.metrics().incr("comm.reads_ok", 1);
+                }
             }
             _ => {}
         }
@@ -260,12 +286,26 @@ impl Protocol for CentralNode {
         let Role::Client(c) = &mut self.role else {
             return;
         };
-        if let std::collections::hash_map::Entry::Vacant(e) = c.reads.entry(op) {
-            if op < c.next_op {
-                e.insert(ReadResult::Unavailable);
-                ctx.metrics().incr("comm.reads_failed", 1);
-            }
+        if c.reads.contains_key(&op) || op >= c.next_op {
+            return;
         }
+        // Retry path (only reachable with an active policy): resend the
+        // read and stretch the next timeout by the jittered backoff.
+        if let Some((room, retrier)) = c.pending_reads.get_mut(&op) {
+            let room = *room;
+            if let Some(backoff) = retrier.next_backoff(ctx.rng()) {
+                ctx.metrics().incr(CTR_RETRY_ATTEMPTS, 1);
+                ctx.trace_point("retry.attempt", op as f64);
+                ctx.send(c.server, CentralMsg::Read { room, op }, 16);
+                ctx.set_timer(READ_TIMEOUT + backoff, op);
+                return;
+            }
+            c.pending_reads.remove(&op);
+            ctx.metrics().incr(CTR_RETRY_GAVE_UP, 1);
+            ctx.trace_point("retry.gave_up", op as f64);
+        }
+        c.reads.insert(op, ReadResult::Unavailable);
+        ctx.metrics().incr("comm.reads_failed", 1);
     }
 }
 
@@ -343,6 +383,56 @@ mod tests {
         .unwrap();
         sim.run_for(SimDuration::from_secs(5));
         assert_eq!(sim.metrics().counter("comm.posts_delivered"), 0);
+    }
+
+    #[test]
+    fn retrying_client_survives_transient_outage() {
+        use agora_sim::RetryPolicy;
+        let mut sim = Simulation::new(11);
+        let server = sim.add_node(
+            CentralNode::server(ModerationPolicy::none()),
+            DeviceClass::DatacenterServer,
+        );
+        let client = sim.add_node(
+            CentralNode::client_with_retry(server, RetryPolicy::standard()),
+            DeviceClass::PersonalComputer,
+        );
+        sim.with_ctx(client, |n, ctx| n.join(ctx, 1)).unwrap();
+        sim.run_for(SimDuration::from_secs(2));
+        // Server briefly down: the first read attempt is lost, a later
+        // retry lands after the revive.
+        sim.kill(server);
+        let op = sim.with_ctx(client, |n, ctx| n.read(ctx, 1)).unwrap();
+        sim.run_for(SimDuration::from_secs(15));
+        sim.revive(server);
+        sim.run_for(SimDuration::from_secs(60));
+        assert_eq!(
+            sim.node_mut(client).take_read(op),
+            Some(ReadResult::Ok(0)),
+            "retry must recover the read after the outage"
+        );
+        assert!(sim.metrics().counter("retry.attempts") >= 1);
+        assert_eq!(sim.metrics().counter("comm.reads_failed"), 0);
+
+        // Same scenario without a retry policy: the read fails outright.
+        let mut sim = Simulation::new(11);
+        let server = sim.add_node(
+            CentralNode::server(ModerationPolicy::none()),
+            DeviceClass::DatacenterServer,
+        );
+        let client = sim.add_node(CentralNode::client(server), DeviceClass::PersonalComputer);
+        sim.with_ctx(client, |n, ctx| n.join(ctx, 1)).unwrap();
+        sim.run_for(SimDuration::from_secs(2));
+        sim.kill(server);
+        let op = sim.with_ctx(client, |n, ctx| n.read(ctx, 1)).unwrap();
+        sim.run_for(SimDuration::from_secs(15));
+        sim.revive(server);
+        sim.run_for(SimDuration::from_secs(60));
+        assert_eq!(
+            sim.node_mut(client).take_read(op),
+            Some(ReadResult::Unavailable)
+        );
+        assert_eq!(sim.metrics().counter("retry.attempts"), 0);
     }
 
     #[test]

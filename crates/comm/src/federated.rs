@@ -16,7 +16,8 @@
 
 use std::collections::HashMap;
 
-use agora_sim::{Ctx, NodeId, Protocol, SimDuration};
+use agora_sim::retry::{CTR_HEDGE_SENT, CTR_HEDGE_WON, CTR_RETRY_ATTEMPTS, CTR_RETRY_GAVE_UP};
+use agora_sim::{Ctx, NodeId, Protocol, Retrier, RetryPolicy, SimDuration};
 
 use crate::moderation::{ModerationPolicy, ModerationStats, PostLabel};
 use crate::posts::{Post, ReadResult};
@@ -110,6 +111,17 @@ pub struct InstanceState {
     rooms: HashMap<u32, RoomState>,
 }
 
+/// A read still awaiting an answer.
+struct PendingRead {
+    room: u32,
+    /// Next backup index to fail over to.
+    attempt: usize,
+    /// Backoff cursor for retrying the *home* before failing over.
+    retrier: Retrier,
+    /// Whether a hedged duplicate has been sent to `backups[0]`.
+    hedged: bool,
+}
+
 /// Client state.
 pub struct FedClientState {
     home: NodeId,
@@ -121,10 +133,18 @@ pub struct FedClientState {
     next_seq: u64,
     next_op: u64,
     reads: HashMap<u64, ReadResult>,
-    /// room + next backup index for reads still awaiting an answer.
-    pending_reads: HashMap<u64, (u32, usize)>,
+    /// Reads still awaiting an answer, by op.
+    pending_reads: HashMap<u64, PendingRead>,
     delivered: u64,
+    /// Read retry/hedge policy. [`RetryPolicy::none`] (the default)
+    /// reproduces the pre-hardening timeout-then-failover path
+    /// byte-for-byte.
+    retry: RetryPolicy,
 }
+
+/// Timer-tag bit marking a hedge deadline rather than a read timeout. Ops
+/// are small sequential integers, so the high bit can never collide.
+const HEDGE_TAG: u64 = 1 << 63;
 
 enum Role {
     Instance(InstanceState),
@@ -167,6 +187,14 @@ impl FedNode {
     /// origin that died is gone no matter whom you ask, which experiment
     /// E10 demonstrates.
     pub fn client_with_backups(home: NodeId, backups: Vec<NodeId>) -> FedNode {
+        FedNode::client_with_retry(home, backups, RetryPolicy::none())
+    }
+
+    /// A client with backups *and* a retry/hedge policy: unanswered reads
+    /// retry the home with jittered backoff before failing over, and (if
+    /// `retry.hedge_after` is set) a hedged duplicate read races the slow
+    /// home against `backups[0]`.
+    pub fn client_with_retry(home: NodeId, backups: Vec<NodeId>, retry: RetryPolicy) -> FedNode {
         FedNode {
             role: Role::Client(FedClientState {
                 home,
@@ -176,6 +204,7 @@ impl FedNode {
                 reads: HashMap::new(),
                 pending_reads: HashMap::new(),
                 delivered: 0,
+                retry,
             }),
         }
     }
@@ -236,8 +265,21 @@ impl FedNode {
         let op = c.next_op;
         c.next_op += 1;
         ctx.send(c.home, FedMsg::Read { room, op }, 16);
-        c.pending_reads.insert(op, (room, 0));
+        c.pending_reads.insert(
+            op,
+            PendingRead {
+                room,
+                attempt: 0,
+                retrier: Retrier::new(c.retry),
+                hedged: false,
+            },
+        );
         ctx.set_timer(READ_TIMEOUT, op);
+        if let Some(hedge_after) = c.retry.hedge_after {
+            if !c.backups.is_empty() {
+                ctx.set_timer(hedge_after, HEDGE_TAG | op);
+            }
+        }
         op
     }
 
@@ -399,21 +441,54 @@ impl Protocol for FedNode {
                 ctx.trace_point("comm.delivery_secs", latency);
             }
             (Role::Client(c), FedMsg::ReadResp { op, count }) => {
-                c.pending_reads.remove(&op);
+                if let Some(pending) = c.pending_reads.remove(&op) {
+                    // Hedge attribution: the answer that completed the op
+                    // came from somewhere other than the home after a
+                    // hedged duplicate was issued.
+                    if pending.hedged && from != c.home {
+                        ctx.metrics().incr(CTR_HEDGE_WON, 1);
+                        ctx.trace_point("hedge.won", op as f64);
+                    }
+                }
+                // With retries/hedges (or chaos duplication) the same op
+                // can be answered more than once; count it once. The
+                // dormant path keeps the historical unconditional
+                // increment.
+                let duplicate = c.retry.is_active() && c.reads.contains_key(&op);
                 c.reads.entry(op).or_insert(match count {
                     Some(n) => ReadResult::Ok(n),
                     None => ReadResult::Unavailable,
                 });
-                ctx.metrics().incr("comm.reads_ok", 1);
+                if !duplicate {
+                    ctx.metrics().incr("comm.reads_ok", 1);
+                }
             }
             _ => {}
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, FedMsg>, op: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, FedMsg>, tag: u64) {
         let Role::Client(c) = &mut self.role else {
             return;
         };
+        // Hedge deadline: if the read is still unanswered, race a
+        // duplicate against backups[0]. Only ever armed by an active
+        // policy with `hedge_after` set.
+        if tag & HEDGE_TAG != 0 {
+            let op = tag & !HEDGE_TAG;
+            if let Some(pending) = c.pending_reads.get_mut(&op) {
+                if !pending.hedged && !c.backups.is_empty() {
+                    pending.hedged = true;
+                    let room = pending.room;
+                    let target = c.backups[0];
+                    ctx.metrics().incr(CTR_HEDGE_SENT, 1);
+                    ctx.trace_point("hedge.sent", op as f64);
+                    ctx.send(target, FedMsg::Read { room, op }, 16);
+                }
+            }
+            return;
+        }
+        let op = tag;
         if c.reads.contains_key(&op) {
             c.pending_reads.remove(&op);
             return;
@@ -421,18 +496,33 @@ impl Protocol for FedNode {
         if op >= c.next_op {
             return;
         }
-        // Unanswered: fail over to the next backup instance, if any.
-        if let Some((room, attempt)) = c.pending_reads.get(&op).copied() {
-            if attempt < c.backups.len() {
-                let target = c.backups[attempt];
-                c.pending_reads.insert(op, (room, attempt + 1));
-                ctx.send(target, FedMsg::Read { room, op }, 16);
+        if let Some(pending) = c.pending_reads.get_mut(&op) {
+            // Retry the home with jittered backoff first (no-draw no-op
+            // under the dormant policy) ...
+            if let Some(backoff) = pending.retrier.next_backoff(ctx.rng()) {
+                let room = pending.room;
+                ctx.metrics().incr(CTR_RETRY_ATTEMPTS, 1);
+                ctx.trace_point("retry.attempt", op as f64);
+                ctx.send(c.home, FedMsg::Read { room, op }, 16);
+                ctx.set_timer(READ_TIMEOUT + backoff, op);
+                return;
+            }
+            // ... then fail over to the next backup instance, if any.
+            if pending.attempt < c.backups.len() {
+                let target = c.backups[pending.attempt];
+                let room = pending.room;
+                ctx.trace_point("comm.read_failovers", pending.attempt as f64);
+                pending.attempt += 1;
                 ctx.metrics().incr("comm.read_failovers", 1);
-                ctx.trace_point("comm.read_failovers", attempt as f64);
+                ctx.send(target, FedMsg::Read { room, op }, 16);
                 ctx.set_timer(READ_TIMEOUT, op);
                 return;
             }
             c.pending_reads.remove(&op);
+            if c.retry.is_active() {
+                ctx.metrics().incr(CTR_RETRY_GAVE_UP, 1);
+                ctx.trace_point("retry.gave_up", op as f64);
+            }
         }
         c.reads.insert(op, ReadResult::Unavailable);
         ctx.metrics().incr("comm.reads_failed", 1);
@@ -639,6 +729,58 @@ mod tests {
             "failover should rescue the read"
         );
         assert!(sim.metrics().counter("comm.read_failovers") >= 1);
+    }
+
+    #[test]
+    fn hedged_read_beats_dead_home_without_waiting_for_timeout() {
+        let mut sim = Simulation::new(21);
+        let i0 = NodeId(0);
+        let i1 = NodeId(1);
+        sim.add_node(
+            FedNode::instance(
+                vec![i1],
+                ReplicationMode::FullReplication,
+                ModerationPolicy::none(),
+            ),
+            DeviceClass::DatacenterServer,
+        );
+        sim.add_node(
+            FedNode::instance(
+                vec![i0],
+                ReplicationMode::FullReplication,
+                ModerationPolicy::none(),
+            ),
+            DeviceClass::DatacenterServer,
+        );
+        let author = sim.add_node(FedNode::client(i1), DeviceClass::PersonalComputer);
+        let policy = RetryPolicy {
+            hedge_after: Some(SimDuration::from_secs(2)),
+            ..RetryPolicy::none()
+        };
+        let reader = sim.add_node(
+            FedNode::client_with_retry(i0, vec![i1], policy),
+            DeviceClass::PersonalComputer,
+        );
+        for &c in &[author, reader] {
+            sim.with_ctx(c, |n, ctx| n.join(ctx, 1)).unwrap();
+            sim.run_for(SimDuration::from_millis(200));
+        }
+        sim.with_ctx(author, |n, ctx| n.post(ctx, 1, 100, PostLabel::Legit))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(3));
+        sim.kill(i0);
+        let op = sim.with_ctx(reader, |n, ctx| n.read(ctx, 1)).unwrap();
+        // The hedge fires at +2s and the backup answers long before the
+        // 10s read timeout would even start a failover.
+        sim.run_for(SimDuration::from_secs(5));
+        assert_eq!(
+            sim.node_mut(reader).take_read(op),
+            Some(ReadResult::Ok(1)),
+            "hedged read should complete from the backup"
+        );
+        assert_eq!(sim.metrics().counter("hedge.sent"), 1);
+        assert_eq!(sim.metrics().counter("hedge.won"), 1);
+        assert_eq!(sim.metrics().counter("comm.read_failovers"), 0);
     }
 
     #[test]

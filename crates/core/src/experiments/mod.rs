@@ -10,6 +10,7 @@ pub mod exp_chain;
 pub mod exp_comm;
 pub mod exp_governance;
 pub mod exp_naming;
+pub mod exp_resilience;
 pub mod exp_storage;
 pub mod exp_usenet;
 pub mod exp_web;
@@ -29,6 +30,10 @@ pub use exp_governance::{
 };
 pub use exp_naming::{
     e1_metrics, e1_naming_tradeoff, e2_metrics, e2_naming_attacks, E1Result, E2Result,
+};
+pub use exp_resilience::{
+    e15_degradation_point, e15_degradation_sweep, e15_metrics, DegradationPoint, E15Result,
+    E15_INTENSITIES,
 };
 pub use exp_storage::{
     e5_metrics, e5_storage_proofs, e6_durability, e6_metrics, e8_metrics, e8_quality_vs_quantity,

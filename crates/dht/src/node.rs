@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use agora_crypto::Hash256;
+use agora_sim::retry::{CTR_RETRY_ATTEMPTS, CTR_RETRY_GAVE_UP};
 use agora_sim::{Ctx, NodeId, Protocol, SimDuration, SimTime};
 
 use crate::routing::{Contact, RoutingTable};
@@ -23,6 +24,10 @@ pub struct DhtConfig {
     pub alpha: usize,
     /// Per-RPC timeout before a contact is considered failed.
     pub rpc_timeout: SimDuration,
+    /// Times a timed-out RPC is re-sent to the same contact before that
+    /// contact is marked failed. 0 (the default) reproduces the
+    /// pre-hardening fail-on-first-timeout behaviour byte-for-byte.
+    pub rpc_retries: u32,
     /// Lookup progress tick.
     pub tick: SimDuration,
     /// Abort a lookup after this many ticks.
@@ -39,6 +44,7 @@ impl Default for DhtConfig {
             k: 8,
             alpha: 3,
             rpc_timeout: SimDuration::from_millis(1500),
+            rpc_retries: 0,
             tick: SimDuration::from_millis(500),
             max_ticks: 60,
             republish_interval: SimDuration::from_mins(30),
@@ -135,7 +141,9 @@ pub enum DhtResult {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum PeerState {
     Unqueried,
-    Pending(SimTime),
+    /// Queried, awaiting a reply since the instant; the count is how many
+    /// retries have already been spent on this contact.
+    Pending(SimTime, u32),
     Responded,
     Failed,
 }
@@ -284,17 +292,55 @@ impl DhtNode {
         };
         let now = ctx.now();
 
-        // Expire stale pending queries and prune them from the table.
+        // Expire stale pending queries: re-send while the contact has
+        // retry budget (rpc_retries, default 0 = dormant), then fail it
+        // and prune it from the table.
         let timeout = self.cfg.rpc_timeout;
+        let rpc_retries = self.cfg.rpc_retries;
         let mut failed_keys = Vec::new();
+        let mut retry_sends = Vec::new();
         for (c, st) in lk.shortlist.iter_mut() {
-            if let PeerState::Pending(since) = *st {
+            if let PeerState::Pending(since, tries) = *st {
                 if now.since(since) > timeout {
-                    *st = PeerState::Failed;
-                    failed_keys.push(c.key);
+                    if tries < rpc_retries {
+                        *st = PeerState::Pending(now, tries + 1);
+                        retry_sends.push(*c);
+                    } else {
+                        *st = PeerState::Failed;
+                        failed_keys.push(c.key);
+                        if rpc_retries > 0 {
+                            ctx.metrics().incr(CTR_RETRY_GAVE_UP, 1);
+                            ctx.trace_point("retry.gave_up", op as f64);
+                        }
+                    }
                 }
             }
         }
+        if !retry_sends.is_empty() {
+            let kind = lk.kind;
+            let target = lk.target;
+            let my_key = self.key;
+            for c in retry_sends {
+                let msg = match kind {
+                    OpKind::Get => DhtMsg::FindValue {
+                        op,
+                        target,
+                        sender_key: my_key,
+                    },
+                    _ => DhtMsg::FindNode {
+                        op,
+                        target,
+                        sender_key: my_key,
+                    },
+                };
+                let size = msg.wire_size();
+                ctx.metrics().incr(CTR_RETRY_ATTEMPTS, 1);
+                ctx.trace_point("retry.attempt", op as f64);
+                ctx.send(c.addr, msg, size);
+                ctx.metrics().incr("dht.rpc_sent", 1);
+            }
+        }
+        let lk = self.lookups.get_mut(&op).expect("checked above");
 
         // Sort by distance so "k closest" is a prefix.
         let target = lk.target;
@@ -325,13 +371,13 @@ impl DhtNode {
         let in_flight = lk
             .shortlist
             .iter()
-            .filter(|(_, st)| matches!(st, PeerState::Pending(_)))
+            .filter(|(_, st)| matches!(st, PeerState::Pending(..)))
             .count();
         let mut to_query = Vec::new();
         if in_flight < alpha {
             for (c, st) in lk.shortlist.iter_mut().take(k + alpha) {
                 if *st == PeerState::Unqueried && to_query.len() + in_flight < alpha {
-                    *st = PeerState::Pending(now);
+                    *st = PeerState::Pending(now, 0);
                     to_query.push(*c);
                 }
             }
@@ -671,6 +717,52 @@ mod tests {
         // Let joins settle.
         sim.run_for(SimDuration::from_secs(30));
         (sim, ids, keys)
+    }
+
+    #[test]
+    fn rpc_retries_resend_under_loss_and_stay_dormant_by_default() {
+        // Same topology and seed, once with retries and once without: the
+        // retrying run re-sends timed-out RPCs (retry.attempts > 0) while
+        // the default run never touches the retry counters.
+        let run = |retries: u32| {
+            let mut sim = Simulation::new(33);
+            let boot_key = sha256(b"node-0");
+            let mut ids = Vec::new();
+            for i in 0..12 {
+                let key = sha256(format!("node-{i}").as_bytes());
+                let bootstrap = if i == 0 {
+                    vec![]
+                } else {
+                    vec![Contact {
+                        key: boot_key,
+                        addr: NodeId(0),
+                    }]
+                };
+                let cfg = DhtConfig {
+                    rpc_retries: retries,
+                    ..DhtConfig::default()
+                };
+                ids.push(sim.add_node(
+                    DhtNode::new(key, cfg, bootstrap),
+                    DeviceClass::PersonalComputer,
+                ));
+            }
+            sim.run_for(SimDuration::from_secs(30));
+            sim.set_loss_rate(0.5);
+            let target = sha256(b"lossy-target");
+            sim.with_ctx(ids[3], |n, ctx| n.start_find_node(ctx, target))
+                .unwrap();
+            sim.run_for(SimDuration::from_secs(60));
+            (
+                sim.metrics().counter("retry.attempts"),
+                sim.metrics().counter("dht.rpc_sent"),
+            )
+        };
+        let (attempts_off, sent_off) = run(0);
+        assert_eq!(attempts_off, 0, "dormant config must not retry");
+        let (attempts_on, sent_on) = run(2);
+        assert!(attempts_on > 0, "retries must fire under 50% loss");
+        assert!(sent_on > sent_off, "retries add RPCs");
     }
 
     #[test]

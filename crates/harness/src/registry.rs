@@ -40,6 +40,26 @@ fn e3_f40(seed: u64) -> Metrics {
     agora::experiments::e3_metrics(seed, 0.4)
 }
 
+fn e15_i000(seed: u64) -> Metrics {
+    agora::experiments::e15_metrics(seed, 0.0)
+}
+
+fn e15_i025(seed: u64) -> Metrics {
+    agora::experiments::e15_metrics(seed, 0.25)
+}
+
+fn e15_i050(seed: u64) -> Metrics {
+    agora::experiments::e15_metrics(seed, 0.5)
+}
+
+fn e15_i075(seed: u64) -> Metrics {
+    agora::experiments::e15_metrics(seed, 0.75)
+}
+
+fn e15_i100(seed: u64) -> Metrics {
+    agora::experiments::e15_metrics(seed, 1.0)
+}
+
 fn single(id: &'static str, title: &'static str, run: fn(u64) -> Metrics) -> ExperimentDef {
     ExperimentDef {
         id,
@@ -98,6 +118,32 @@ pub fn registry() -> Vec<ExperimentDef> {
         single("e12", "Moderation vs freedom tension", exp::e12_metrics),
         single("e13", "The financing gap", exp::e13_metrics),
         single("e14", "Usenet collapse economics", exp::e14_metrics),
+        ExperimentDef {
+            id: "e15",
+            title: "Graceful degradation under fault injection",
+            variants: vec![
+                Variant {
+                    label: "i0.00",
+                    run: e15_i000,
+                },
+                Variant {
+                    label: "i0.25",
+                    run: e15_i025,
+                },
+                Variant {
+                    label: "i0.50",
+                    run: e15_i050,
+                },
+                Variant {
+                    label: "i0.75",
+                    run: e15_i075,
+                },
+                Variant {
+                    label: "i1.00",
+                    run: e15_i100,
+                },
+            ],
+        },
     ]
 }
 
@@ -106,9 +152,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_fourteen_experiments() {
+    fn registry_covers_all_fifteen_experiments() {
         let reg = registry();
-        assert_eq!(reg.len(), 14);
+        assert_eq!(reg.len(), 15);
         for (i, def) in reg.iter().enumerate() {
             assert_eq!(def.id, format!("e{}", i + 1));
             assert!(!def.variants.is_empty());

@@ -171,6 +171,11 @@ struct HotCounters {
     timer_dropped_node_down: CounterHandle,
     churn_up: CounterHandle,
     churn_down: CounterHandle,
+    /// Messages duplicated / reorder-delayed by the chaos layer. Registered
+    /// like every other handle but invisible in artifacts until chaos
+    /// actually fires one.
+    chaos_duplicated: CounterHandle,
+    chaos_reordered: CounterHandle,
 }
 
 impl HotCounters {
@@ -185,6 +190,8 @@ impl HotCounters {
             timer_dropped_node_down: metrics.counter_handle("timer.dropped_node_down"),
             churn_up: metrics.counter_handle("churn.up"),
             churn_down: metrics.counter_handle("churn.down"),
+            chaos_duplicated: metrics.counter_handle("chaos.duplicated"),
+            chaos_reordered: metrics.counter_handle("chaos.reordered"),
         }
     }
 }
@@ -248,21 +255,64 @@ impl<'a, M: Clone> Ctx<'a, M> {
         }
         match self.net.transmit(self.now, self.id, to, bytes, self.rng) {
             Ok(at) => {
-                let _key = self.push(
-                    at,
-                    EventKind::Deliver {
-                        to,
-                        from: self.id,
-                        msg,
-                    },
-                );
-                trace_event!(
-                    self.tracer,
-                    _key,
-                    self.now,
-                    self.id,
-                    TraceKind::Send { to, bytes }
-                );
+                // Chaos duplication/reordering: identity (one untaken
+                // branch, no draws) unless the chaos layer is enabled.
+                let verdict = self.net.chaos_delivery(at);
+                if verdict.reordered {
+                    self.metrics.incr_handle(self.hot.chaos_reordered, 1);
+                }
+                match verdict.duplicate {
+                    None => {
+                        let _key = self.push(
+                            verdict.at,
+                            EventKind::Deliver {
+                                to,
+                                from: self.id,
+                                msg,
+                            },
+                        );
+                        trace_event!(
+                            self.tracer,
+                            _key,
+                            self.now,
+                            self.id,
+                            TraceKind::Send { to, bytes }
+                        );
+                    }
+                    Some(dup_at) => {
+                        self.metrics.incr_handle(self.hot.chaos_duplicated, 1);
+                        let _key = self.push(
+                            verdict.at,
+                            EventKind::Deliver {
+                                to,
+                                from: self.id,
+                                msg: msg.clone(),
+                            },
+                        );
+                        trace_event!(
+                            self.tracer,
+                            _key,
+                            self.now,
+                            self.id,
+                            TraceKind::Send { to, bytes }
+                        );
+                        let _dup_key = self.push(
+                            dup_at,
+                            EventKind::Deliver {
+                                to,
+                                from: self.id,
+                                msg,
+                            },
+                        );
+                        trace_event!(
+                            self.tracer,
+                            _dup_key,
+                            self.now,
+                            self.id,
+                            TraceKind::Send { to, bytes }
+                        );
+                    }
+                }
             }
             Err(_failure) => {
                 self.metrics.incr_handle(self.hot.lost, 1);
@@ -278,6 +328,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
                         reason: match _failure {
                             SendFailure::Partitioned => DropReason::Partition,
                             SendFailure::Lost => DropReason::Loss,
+                            SendFailure::ChaosLink => DropReason::ChaosLink,
                         },
                     }
                 );
@@ -525,7 +576,9 @@ impl<P: Protocol> Simulation<P> {
         Some(f(&mut self.protocols[id.index()], &mut ctx))
     }
 
-    /// Force a node down (failure injection). Triggers `on_down`.
+    /// Force a node down (failure injection). Triggers `on_down`. Killing an
+    /// already-down node is an idempotent no-op: `churn.down` is not
+    /// double-counted and `on_down` does not re-fire.
     pub fn kill(&mut self, id: NodeId) {
         self.ensure_started();
         if self.net.is_up(id) {
@@ -537,7 +590,9 @@ impl<P: Protocol> Simulation<P> {
         }
     }
 
-    /// Force a node back up (repair). Triggers `on_up`.
+    /// Force a node back up (repair). Triggers `on_up`. Reviving a live node
+    /// is an idempotent no-op: `churn.up` is not double-counted and `on_up`
+    /// does not re-fire.
     pub fn revive(&mut self, id: NodeId) {
         self.ensure_started();
         if !self.net.is_up(id) {
@@ -574,6 +629,82 @@ impl<P: Protocol> Simulation<P> {
     pub fn set_loss_rate(&mut self, p: f64) {
         self.net.set_loss_rate(p);
     }
+
+    /// Enable the chaos fault-injection layer with its own RNG stream
+    /// (seeded independently of the main simulation stream so enabling
+    /// chaos never perturbs the main draw sequence). Idempotent: calling
+    /// again resets chaos fault state.
+    pub fn enable_chaos(&mut self, seed: u64) {
+        self.net.enable_chaos(seed);
+    }
+
+    /// Whether the chaos layer is enabled.
+    pub fn chaos_enabled(&self) -> bool {
+        self.net.chaos_enabled()
+    }
+
+    /// Bring a node's chaos link down/up (flapping links). Unlike
+    /// [`Simulation::kill`], the node itself keeps running — only its
+    /// traffic is dropped. Requires [`Simulation::enable_chaos`].
+    pub fn set_chaos_link(&mut self, id: NodeId, up: bool) {
+        self.net.set_chaos_link(id, up);
+    }
+
+    /// Assign a node to a chaos group for *directed* blocks (asymmetric
+    /// partitions). Requires [`Simulation::enable_chaos`].
+    pub fn set_chaos_group(&mut self, id: NodeId, group: u32) {
+        self.net.set_chaos_group(id, group);
+    }
+
+    /// Block messages from `from_group` to `to_group` (one direction only:
+    /// the reverse keeps flowing unless blocked separately). Requires
+    /// [`Simulation::enable_chaos`].
+    pub fn chaos_block_directed(&mut self, from_group: u32, to_group: u32) {
+        self.net.chaos_block_directed(from_group, to_group);
+    }
+
+    /// Remove all directed chaos blocks. Requires
+    /// [`Simulation::enable_chaos`].
+    pub fn chaos_clear_directed(&mut self) {
+        self.net.chaos_clear_directed();
+    }
+
+    /// Scale all propagation latency by `f` (latency storms); 1.0 = off.
+    /// Requires [`Simulation::enable_chaos`].
+    pub fn set_chaos_latency_factor(&mut self, f: f64) {
+        self.net.set_chaos_latency_factor(f);
+    }
+
+    /// Duplicate delivered messages with probability `p`. Requires
+    /// [`Simulation::enable_chaos`].
+    pub fn set_chaos_dup_rate(&mut self, p: f64) {
+        self.net.set_chaos_dup_rate(p);
+    }
+
+    /// Add a uniform extra delivery delay in `[0, bound]` per message
+    /// (bounded reordering). Requires [`Simulation::enable_chaos`].
+    pub fn set_chaos_reorder(&mut self, bound: SimDuration) {
+        self.net.set_chaos_reorder(bound);
+    }
+
+    /// Record a named trace point from outside any protocol handler (the
+    /// chaos controller uses this for the `chaos.*` span family). No-op
+    /// without the `trace` feature.
+    #[cfg(feature = "trace")]
+    pub fn trace_note(&mut self, name: &'static str, value: f64) {
+        self.tracer.cur = 0;
+        trace_event!(
+            self.tracer,
+            0,
+            self.time,
+            TRACE_SIM_NODE,
+            TraceKind::Point { name, value }
+        );
+    }
+
+    /// Record a named trace point (no-op: `trace` feature disabled).
+    #[cfg(not(feature = "trace"))]
+    pub fn trace_note(&mut self, _name: &'static str, _value: f64) {}
 
     /// Metrics collected so far.
     pub fn metrics(&self) -> &Metrics {
@@ -684,6 +815,14 @@ impl<P: Protocol> Simulation<P> {
     }
 
     fn transition(&mut self, id: NodeId, up: bool) {
+        // `kill`/`revive` guard with `is_up` so repeated calls are
+        // idempotent no-ops; a transition that does not actually change
+        // state would double-count `churn.up`/`churn.down`.
+        debug_assert_ne!(
+            self.net.is_up(id),
+            up,
+            "transition({id:?}, {up}) must change node state"
+        );
         self.net.set_up(id, up);
         let h = if up {
             self.hot.churn_up
@@ -896,6 +1035,75 @@ mod tests {
         assert_eq!(sim.node(b).downs, 1);
         sim.revive(b);
         assert_eq!(sim.node(b).ups, 1);
+    }
+
+    #[test]
+    fn kill_and_revive_are_idempotent_and_pin_churn_counters() {
+        let (mut sim, _a, b) = two_node_sim();
+        sim.kill(b);
+        sim.kill(b); // no-op: already down
+        assert_eq!(sim.metrics().counter("churn.down"), 1);
+        assert_eq!(sim.node(b).downs, 1);
+        sim.revive(b);
+        sim.revive(b); // no-op: already up
+        assert_eq!(sim.metrics().counter("churn.up"), 1);
+        assert_eq!(sim.node(b).ups, 1);
+        // A second full cycle counts exactly once more.
+        sim.kill(b);
+        sim.revive(b);
+        assert_eq!(sim.metrics().counter("churn.down"), 2);
+        assert_eq!(sim.metrics().counter("churn.up"), 2);
+    }
+
+    #[test]
+    fn chaos_duplication_delivers_twice_and_counts() {
+        let (mut sim, a, b) = two_node_sim();
+        sim.enable_chaos(77);
+        sim.set_chaos_dup_rate(1.0);
+        sim.with_ctx(a, |_, ctx| ctx.send(b, PpMsg::Ping, 64));
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.node(b).pings_received, 2, "dup must deliver twice");
+        assert!(sim.metrics().counter("chaos.duplicated") >= 1);
+    }
+
+    #[test]
+    fn chaos_link_down_drops_and_counts() {
+        let (mut sim, a, b) = two_node_sim();
+        sim.enable_chaos(77);
+        sim.set_chaos_link(b, false);
+        sim.with_ctx(a, |_, ctx| ctx.send(b, PpMsg::Ping, 64));
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.node(b).pings_received, 0);
+        assert_eq!(sim.metrics().counter("net.dropped"), 1);
+        // The node itself is still up — only its traffic was dropped.
+        assert_eq!(sim.node(b).downs, 0);
+        sim.set_chaos_link(b, true);
+        sim.with_ctx(a, |_, ctx| ctx.send(b, PpMsg::Ping, 64));
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.node(b).pings_received, 1);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_for_fixed_seeds() {
+        let run = || {
+            let (mut sim, a, b) = two_node_sim();
+            sim.enable_chaos(13);
+            sim.set_chaos_dup_rate(0.5);
+            sim.set_chaos_reorder(SimDuration::from_millis(20));
+            for _ in 0..50 {
+                sim.with_ctx(a, |_, ctx| ctx.send(b, PpMsg::Ping, 64));
+                sim.run_for(SimDuration::from_millis(100));
+            }
+            (
+                sim.node(b).pings_received,
+                sim.metrics().counter("chaos.duplicated"),
+                sim.metrics().counter("chaos.reordered"),
+            )
+        };
+        let (a1, d1, r1) = run();
+        let (a2, d2, r2) = run();
+        assert_eq!((a1, d1, r1), (a2, d2, r2));
+        assert!(d1 > 0 && r1 > 0, "chaos must actually fire in this run");
     }
 
     #[test]

@@ -49,18 +49,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod device;
 pub mod engine;
 pub mod metrics;
 pub mod net;
+pub mod retry;
 pub mod rng;
 pub mod time;
 #[cfg(feature = "trace")]
 pub mod trace;
 
+pub use chaos::{
+    AsymPartition, ChaosController, ChaosFault, ChaosSchedule, ChaosSpec, CrashWaves, LinkFlaps,
+    Storm,
+};
 pub use device::{DeviceClass, DeviceProfile};
 pub use engine::{Ctx, NodeId, Protocol, Simulation};
 pub use metrics::{CounterHandle, Histogram, Metrics, P2Quantile};
 pub use net::Network;
+pub use retry::{Jitter, Retrier, RetryPolicy};
 pub use rng::{SimRng, ZipfTable};
 pub use time::{SimDuration, SimTime};

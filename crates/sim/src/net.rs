@@ -41,12 +41,48 @@ pub(crate) enum SendFailure {
     Partitioned,
     /// Random link loss.
     Lost,
+    /// Dropped by the chaos layer: a downed link or a directed
+    /// (asymmetric) chaos block between the endpoints' chaos groups.
+    ChaosLink,
+}
+
+/// Per-message chaos verdict from [`Network::chaos_delivery`]: the possibly
+/// reorder-delayed delivery instant, an optional duplicate delivery instant,
+/// and whether a reorder delay was actually applied.
+pub(crate) struct ChaosDelivery {
+    pub(crate) at: SimTime,
+    pub(crate) duplicate: Option<SimTime>,
+    pub(crate) reordered: bool,
+}
+
+/// Fault-injection state layered on top of the base network model. Boxed
+/// behind an `Option` in [`Network`] so the disabled case costs one untaken
+/// branch on the send path and zero RNG draws. All randomness here comes
+/// from a dedicated chaos RNG so enabling chaos never perturbs the main
+/// simulation stream's draw sequence.
+struct ChaosNet {
+    rng: SimRng,
+    /// Per-node chaos link state (flapping links), independent of `up`.
+    link_up: Vec<bool>,
+    /// Per-node chaos group for *directed* blocks (asymmetric partitions).
+    group: Vec<u32>,
+    /// Directed blocked pairs: `(from_group, to_group)` means messages from
+    /// the first group to the second are dropped; the reverse direction is
+    /// unaffected unless blocked separately.
+    blocked: Vec<(u32, u32)>,
+    /// Multiplier on propagation latency (storms); 1.0 = off.
+    latency_factor: f64,
+    /// Probability a delivered message is duplicated; 0.0 = off.
+    dup_rate: f64,
+    /// Bound on a uniform extra delivery delay (reordering); ZERO = off.
+    reorder: SimDuration,
 }
 
 /// Link-layer state for all nodes.
 pub struct Network {
     nodes: Vec<NodeNet>,
     loss_rate: f64,
+    chaos: Option<Box<ChaosNet>>,
 }
 
 impl Network {
@@ -54,6 +90,7 @@ impl Network {
         Network {
             nodes: Vec::new(),
             loss_rate: 0.0,
+            chaos: None,
         }
     }
 
@@ -71,6 +108,100 @@ impl Network {
             down_bps_f64,
             base_latency_secs,
         });
+        if let Some(c) = &mut self.chaos {
+            c.link_up.push(true);
+            c.group.push(0);
+        }
+    }
+
+    /// Enable the chaos layer with its own RNG stream. Idempotent: calling
+    /// again resets fault state but keeps the layer on.
+    pub(crate) fn enable_chaos(&mut self, seed: u64) {
+        let n = self.nodes.len();
+        self.chaos = Some(Box::new(ChaosNet {
+            rng: SimRng::new(seed),
+            link_up: vec![true; n],
+            group: vec![0; n],
+            blocked: Vec::new(),
+            latency_factor: 1.0,
+            dup_rate: 0.0,
+            reorder: SimDuration::ZERO,
+        }));
+    }
+
+    pub(crate) fn chaos_enabled(&self) -> bool {
+        self.chaos.is_some()
+    }
+
+    fn chaos_mut(&mut self) -> &mut ChaosNet {
+        self.chaos
+            .as_deref_mut()
+            .expect("chaos layer not enabled; call enable_chaos first")
+    }
+
+    pub(crate) fn set_chaos_link(&mut self, id: NodeId, up: bool) {
+        let i = id.index();
+        self.chaos_mut().link_up[i] = up;
+    }
+
+    pub(crate) fn set_chaos_group(&mut self, id: NodeId, group: u32) {
+        let i = id.index();
+        self.chaos_mut().group[i] = group;
+    }
+
+    pub(crate) fn chaos_block_directed(&mut self, from_group: u32, to_group: u32) {
+        let c = self.chaos_mut();
+        if !c.blocked.contains(&(from_group, to_group)) {
+            c.blocked.push((from_group, to_group));
+        }
+    }
+
+    pub(crate) fn chaos_clear_directed(&mut self) {
+        self.chaos_mut().blocked.clear();
+    }
+
+    pub(crate) fn set_chaos_latency_factor(&mut self, f: f64) {
+        self.chaos_mut().latency_factor = f.max(0.0);
+    }
+
+    pub(crate) fn set_chaos_dup_rate(&mut self, p: f64) {
+        self.chaos_mut().dup_rate = p.clamp(0.0, 1.0);
+    }
+
+    pub(crate) fn set_chaos_reorder(&mut self, bound: SimDuration) {
+        self.chaos_mut().reorder = bound;
+    }
+
+    /// Apply duplication/reordering to a delivery scheduled for `at`. With
+    /// chaos disabled (the default) this is a single untaken branch and the
+    /// message is delivered exactly once at exactly `at`.
+    pub(crate) fn chaos_delivery(&mut self, at: SimTime) -> ChaosDelivery {
+        let Some(c) = self.chaos.as_deref_mut() else {
+            return ChaosDelivery {
+                at,
+                duplicate: None,
+                reordered: false,
+            };
+        };
+        let mut out = ChaosDelivery {
+            at,
+            duplicate: None,
+            reordered: false,
+        };
+        if c.reorder > SimDuration::ZERO {
+            let extra = SimDuration(c.rng.below(c.reorder.micros() + 1));
+            if extra > SimDuration::ZERO {
+                out.at = at + extra;
+                out.reordered = true;
+            }
+        }
+        if c.dup_rate > 0.0 && c.rng.chance(c.dup_rate) {
+            // The duplicate takes its own (bounded) extra delay so the copy
+            // does not always trail the original by a fixed offset.
+            let lag = SimDuration(c.rng.below(c.reorder.micros().max(1_000) + 1));
+            out.duplicate = Some(out.at + lag + SimDuration::from_micros(1));
+        }
+        out
     }
 
     pub(crate) fn len(&self) -> usize {
@@ -133,6 +264,17 @@ impl Network {
         if partitioned {
             return Err(SendFailure::Partitioned);
         }
+        // Chaos link checks: pure lookups, no RNG draws, so the main
+        // stream's draw sequence is untouched whether or not they fire.
+        if let Some(c) = self.chaos.as_deref() {
+            if !c.link_up[fi] || !c.link_up[ti] {
+                return Err(SendFailure::ChaosLink);
+            }
+            let (fg, tg) = (c.group[fi], c.group[ti]);
+            if fg != tg && c.blocked.contains(&(fg, tg)) {
+                return Err(SendFailure::ChaosLink);
+            }
+        }
         if rng.chance(self.loss_rate) {
             return Err(SendFailure::Lost);
         }
@@ -149,10 +291,16 @@ impl Network {
             self.nodes[ti].base_latency_secs,
             rng,
         );
+        let mut prop = lat_from + lat_to;
+        if let Some(c) = self.chaos.as_deref() {
+            if c.latency_factor != 1.0 {
+                prop = SimDuration::from_secs_f64(prop.secs_f64() * c.latency_factor);
+            }
+        }
 
         // Downlink serialization at the receiver.
         let rx = SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.nodes[ti].down_bps_f64);
-        let arrival_earliest = tx_end + lat_from + lat_to;
+        let arrival_earliest = tx_end + prop;
         let rx_end = self.nodes[ti].downlink_free.max(arrival_earliest) + rx;
         self.nodes[ti].downlink_free = rx_end;
 
@@ -283,7 +431,9 @@ mod loss_tests {
         for i in 0..trials {
             match net.transmit(SimTime(i * 1_000_000), NodeId(0), NodeId(1), 100, &mut rng) {
                 Err(SendFailure::Lost) => lost += 1,
-                Err(SendFailure::Partitioned) => panic!("no partitions configured"),
+                Err(SendFailure::Partitioned | SendFailure::ChaosLink) => {
+                    panic!("no partitions or chaos configured")
+                }
                 Ok(_) => {}
             }
         }
@@ -309,5 +459,132 @@ mod loss_tests {
             .transmit(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000, &mut rng2)
             .unwrap();
         assert!(big > small, "bigger payloads must take longer");
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use crate::device::DeviceClass;
+
+    fn pair() -> Network {
+        let mut net = Network::new();
+        net.add_node(DeviceClass::DatacenterServer.profile());
+        net.add_node(DeviceClass::DatacenterServer.profile());
+        net
+    }
+
+    #[test]
+    fn asymmetric_partition_drops_one_direction_only() {
+        let mut net = pair();
+        net.enable_chaos(99);
+        net.set_chaos_group(NodeId(1), 1);
+        net.chaos_block_directed(1, 0);
+        let mut rng = SimRng::new(1);
+        // A(group 0) → B(group 1): delivered.
+        assert!(net
+            .transmit(SimTime::ZERO, NodeId(0), NodeId(1), 100, &mut rng)
+            .is_ok());
+        // B(group 1) → A(group 0): dropped, chaos-attributed.
+        assert_eq!(
+            net.transmit(SimTime::ZERO, NodeId(1), NodeId(0), 100, &mut rng),
+            Err(SendFailure::ChaosLink)
+        );
+        net.chaos_clear_directed();
+        assert!(net
+            .transmit(SimTime::ZERO, NodeId(1), NodeId(0), 100, &mut rng)
+            .is_ok());
+    }
+
+    #[test]
+    fn downed_chaos_link_drops_both_directions() {
+        let mut net = pair();
+        net.enable_chaos(99);
+        net.set_chaos_link(NodeId(0), false);
+        let mut rng = SimRng::new(2);
+        assert_eq!(
+            net.transmit(SimTime::ZERO, NodeId(0), NodeId(1), 100, &mut rng),
+            Err(SendFailure::ChaosLink)
+        );
+        assert_eq!(
+            net.transmit(SimTime::ZERO, NodeId(1), NodeId(0), 100, &mut rng),
+            Err(SendFailure::ChaosLink)
+        );
+        net.set_chaos_link(NodeId(0), true);
+        assert!(net
+            .transmit(SimTime::ZERO, NodeId(1), NodeId(0), 100, &mut rng)
+            .is_ok());
+    }
+
+    #[test]
+    fn latency_factor_scales_propagation() {
+        let mut slow = pair();
+        slow.enable_chaos(99);
+        slow.set_chaos_latency_factor(100.0);
+        let mut fast = pair();
+        fast.enable_chaos(99);
+        let mut rng_a = SimRng::new(3);
+        let mut rng_b = SimRng::new(3);
+        let a = slow
+            .transmit(SimTime::ZERO, NodeId(0), NodeId(1), 100, &mut rng_a)
+            .unwrap();
+        let b = fast
+            .transmit(SimTime::ZERO, NodeId(0), NodeId(1), 100, &mut rng_b)
+            .unwrap();
+        assert!(a > b, "latency storm must slow delivery: {a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn duplication_and_reorder_fire_under_chaos() {
+        let mut net = pair();
+        net.enable_chaos(7);
+        net.set_chaos_dup_rate(1.0);
+        net.set_chaos_reorder(SimDuration::from_millis(50));
+        let base = SimTime(1_000_000);
+        let mut dup_seen = false;
+        let mut reorder_seen = false;
+        for _ in 0..64 {
+            let d = net.chaos_delivery(base);
+            assert!(d.at >= base, "reorder only delays, never time-travels");
+            assert!(d.at <= base + SimDuration::from_millis(50));
+            if let Some(dup) = d.duplicate {
+                dup_seen = true;
+                assert!(dup > d.at, "duplicate trails the original");
+            }
+            reorder_seen |= d.reordered;
+        }
+        assert!(dup_seen, "dup_rate=1.0 must duplicate");
+        assert!(reorder_seen, "50ms reorder bound must delay at least once");
+    }
+
+    #[test]
+    fn delivered_exactly_once_is_the_default() {
+        // Chaos never enabled: chaos_delivery is the identity and the
+        // transmit result stream is byte-identical to a network that has
+        // no chaos layer at all (it *is* that network).
+        let mut net = pair();
+        assert!(!net.chaos_enabled());
+        let d = net.chaos_delivery(SimTime(123));
+        assert_eq!(d.at, SimTime(123));
+        assert!(d.duplicate.is_none());
+        assert!(!d.reordered);
+
+        // And an enabled-but-quiescent chaos layer changes nothing either:
+        // same seed, same transmit outcomes, delivered exactly once.
+        let mut plain = pair();
+        let mut quiet = pair();
+        quiet.enable_chaos(5);
+        let mut rng_a = SimRng::new(11);
+        let mut rng_b = SimRng::new(11);
+        for i in 0..32u64 {
+            let a = plain.transmit(SimTime(i * 500), NodeId(0), NodeId(1), 200, &mut rng_a);
+            let b = quiet.transmit(SimTime(i * 500), NodeId(0), NodeId(1), 200, &mut rng_b);
+            assert_eq!(a, b);
+            if let Ok(at) = b {
+                let d = quiet.chaos_delivery(at);
+                assert_eq!(d.at, at);
+                assert!(d.duplicate.is_none());
+            }
+        }
     }
 }

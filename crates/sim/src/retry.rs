@@ -1,0 +1,222 @@
+//! Deterministic retry/backoff policies shared by every protocol crate.
+//!
+//! A [`RetryPolicy`] describes how a request path reacts to a timeout:
+//! how many attempts it may spend, how the backoff between attempts
+//! grows, how much jitter is applied, and whether a hedged second
+//! request is raced against a slow first one. A [`Retrier`] is the
+//! per-operation cursor through that policy.
+//!
+//! Determinism contract: all jitter is drawn from the [`SimRng`] the
+//! caller passes in, and [`RetryPolicy::none`] (the default for every
+//! protocol constructor that predates hardening) makes **zero** RNG
+//! draws and never changes observable behaviour — retry hardening is
+//! dormant unless a policy is explicitly installed.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Counter key: attempts beyond the first (i.e. actual retries) issued.
+pub const CTR_RETRY_ATTEMPTS: &str = "retry.attempts";
+/// Counter key: operations that exhausted their attempt budget.
+pub const CTR_RETRY_GAVE_UP: &str = "retry.gave_up";
+/// Counter key: hedged duplicate requests issued.
+pub const CTR_HEDGE_SENT: &str = "hedge.sent";
+/// Counter key: operations completed by the hedged request, not the primary.
+pub const CTR_HEDGE_WON: &str = "hedge.won";
+
+/// Jitter strategy applied on top of the exponential backoff curve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Jitter {
+    /// No jitter: the pre-jitter curve is used as-is (zero RNG draws).
+    None,
+    /// AWS-style decorrelated jitter: each delay is uniform in
+    /// `[base, min(cap, prev * 3)]`, where `prev` is the previous delay.
+    Decorrelated,
+}
+
+/// A deterministic retry/backoff policy.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// First backoff delay (and jitter floor).
+    pub base: SimDuration,
+    /// Multiplier applied per attempt to the pre-jitter curve.
+    pub factor: f64,
+    /// Upper bound on any single backoff delay.
+    pub cap: SimDuration,
+    /// Total attempts allowed, including the first (1 = never retry).
+    pub max_attempts: u32,
+    /// Jitter strategy.
+    pub jitter: Jitter,
+    /// If set, a read may issue one hedged duplicate request after this
+    /// delay if the primary has not answered yet.
+    pub hedge_after: Option<SimDuration>,
+}
+
+impl RetryPolicy {
+    /// The dormant policy: one attempt, no hedging, no RNG draws.
+    /// Behaviourally identical to the pre-hardening protocols.
+    pub const fn none() -> RetryPolicy {
+        RetryPolicy {
+            base: SimDuration::ZERO,
+            factor: 1.0,
+            cap: SimDuration::ZERO,
+            max_attempts: 1,
+            jitter: Jitter::None,
+            hedge_after: None,
+        }
+    }
+
+    /// A sensible hardened default: 4 attempts, 500ms base doubling to a
+    /// 10s cap with decorrelated jitter, no hedging.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            base: SimDuration::from_millis(500),
+            factor: 2.0,
+            cap: SimDuration::from_secs(10),
+            max_attempts: 4,
+            jitter: Jitter::Decorrelated,
+            hedge_after: None,
+        }
+    }
+
+    /// Whether this policy ever retries or hedges.
+    pub fn is_active(&self) -> bool {
+        self.max_attempts > 1 || self.hedge_after.is_some()
+    }
+
+    /// The deterministic pre-jitter backoff for retry number `attempt`
+    /// (0-based): `min(cap, base * factor^attempt)`. Monotone
+    /// non-decreasing in `attempt` and bounded by `cap` — the surface
+    /// pinned by the property tests.
+    pub fn backoff_pre_jitter(&self, attempt: u32) -> SimDuration {
+        let base = self.base.secs_f64();
+        let cap = self.cap.secs_f64();
+        let raw = base * self.factor.powi(attempt.min(63) as i32);
+        SimDuration::from_secs_f64(raw.min(cap))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
+/// Per-operation cursor through a [`RetryPolicy`].
+#[derive(Clone, Debug)]
+pub struct Retrier {
+    policy: RetryPolicy,
+    attempt: u32,
+    prev_secs: f64,
+}
+
+impl Retrier {
+    /// Start an operation under `policy`; the first attempt is implicit.
+    pub fn new(policy: RetryPolicy) -> Retrier {
+        Retrier {
+            policy,
+            attempt: 0,
+            prev_secs: policy.base.secs_f64(),
+        }
+    }
+
+    /// The policy this retrier follows.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Retries consumed so far (not counting the initial attempt).
+    pub fn attempts_used(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Ask for the next backoff delay. Returns `None` when the attempt
+    /// budget is exhausted (the caller should give up and count
+    /// [`CTR_RETRY_GAVE_UP`]). The budget check happens **before** any
+    /// RNG draw, so a dormant policy never perturbs the caller's RNG
+    /// stream.
+    pub fn next_backoff(&mut self, rng: &mut SimRng) -> Option<SimDuration> {
+        if self.attempt + 1 >= self.policy.max_attempts {
+            return None;
+        }
+        let pre = self.policy.backoff_pre_jitter(self.attempt);
+        self.attempt += 1;
+        let delay = match self.policy.jitter {
+            Jitter::None => pre,
+            Jitter::Decorrelated => {
+                let base = self.policy.base.secs_f64();
+                let cap = self.policy.cap.secs_f64();
+                let hi = (self.prev_secs * 3.0).clamp(base, cap.max(base));
+                let lo = base.min(hi);
+                let drawn = lo + rng.f64() * (hi - lo);
+                self.prev_secs = drawn;
+                SimDuration::from_secs_f64(drawn)
+            }
+        };
+        Some(delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dormant_policy_never_retries_and_never_draws() {
+        let mut rng = SimRng::new(7);
+        let before = rng.next_u64();
+        let mut rng = SimRng::new(7);
+        let _ = rng.next_u64();
+        let mut r = Retrier::new(RetryPolicy::none());
+        assert_eq!(r.next_backoff(&mut rng), None);
+        assert_eq!(r.next_backoff(&mut rng), None);
+        // RNG untouched by the exhausted retrier.
+        let mut fresh = SimRng::new(7);
+        assert_eq!(before, fresh.next_u64());
+        assert!(!RetryPolicy::none().is_active());
+    }
+
+    #[test]
+    fn pre_jitter_curve_is_monotone_and_capped() {
+        let p = RetryPolicy::standard();
+        let mut prev = SimDuration::ZERO;
+        for a in 0..20 {
+            let d = p.backoff_pre_jitter(a);
+            assert!(d >= prev, "backoff regressed at attempt {a}");
+            assert!(d <= p.cap);
+            prev = d;
+        }
+        assert_eq!(p.backoff_pre_jitter(19), p.cap);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::standard()
+        };
+        let mut rng = SimRng::new(1);
+        let mut r = Retrier::new(p);
+        assert!(r.next_backoff(&mut rng).is_some());
+        assert!(r.next_backoff(&mut rng).is_some());
+        assert_eq!(r.next_backoff(&mut rng), None);
+        assert_eq!(r.attempts_used(), 2);
+    }
+
+    #[test]
+    fn decorrelated_jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::standard();
+        let seq = |seed: u64| {
+            let mut rng = SimRng::new(seed);
+            let mut r = Retrier::new(p);
+            let mut out = Vec::new();
+            while let Some(d) = r.next_backoff(&mut rng) {
+                assert!(d >= p.base && d <= p.cap);
+                out.push(d.micros());
+            }
+            out
+        };
+        assert_eq!(seq(42), seq(42));
+        assert_ne!(seq(42), seq(43));
+    }
+}

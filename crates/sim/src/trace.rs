@@ -45,6 +45,9 @@ pub enum DropReason {
     ReceiverDown,
     /// The timer's node was down when the timer fired.
     NodeDown,
+    /// Dropped by the chaos fault-injection layer (downed link or
+    /// directed/asymmetric chaos block).
+    ChaosLink,
 }
 
 impl DropReason {
@@ -55,6 +58,7 @@ impl DropReason {
             DropReason::Partition => "partition",
             DropReason::ReceiverDown => "receiver_down",
             DropReason::NodeDown => "node_down",
+            DropReason::ChaosLink => "chaos_link",
         }
     }
 }

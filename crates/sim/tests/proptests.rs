@@ -5,7 +5,7 @@
 
 //! Property-based tests for the simulator substrate.
 
-use agora_sim::{DeviceClass, SimDuration, SimRng, SimTime};
+use agora_sim::{DeviceClass, Jitter, Retrier, RetryPolicy, SimDuration, SimRng, SimTime};
 use proptest::prelude::*;
 
 proptest! {
@@ -65,6 +65,62 @@ proptest! {
             SimDuration::from_secs_f64(s as f64),
             SimDuration::from_secs(s)
         );
+    }
+
+    /// The pre-jitter backoff curve is monotone non-decreasing and never
+    /// exceeds its cap, for arbitrary policies.
+    #[test]
+    fn retry_backoff_monotone_and_capped(
+        base_ms in 1u64..10_000,
+        factor in 1.0f64..8.0,
+        cap_ms in 1u64..1_000_000,
+        attempts in 2u32..64,
+    ) {
+        let p = RetryPolicy {
+            base: SimDuration::from_millis(base_ms),
+            factor,
+            cap: SimDuration::from_millis(cap_ms.max(base_ms)),
+            max_attempts: attempts,
+            jitter: Jitter::None,
+            hedge_after: None,
+        };
+        let mut prev = SimDuration::ZERO;
+        for a in 0..attempts {
+            let d = p.backoff_pre_jitter(a);
+            prop_assert!(d >= prev, "regressed at attempt {}", a);
+            prop_assert!(d <= p.cap, "exceeded cap at attempt {}", a);
+            prev = d;
+        }
+    }
+
+    /// Jittered backoff sequences are byte-identical for a fixed seed,
+    /// bounded by [base, cap], and exactly exhaust the attempt budget.
+    #[test]
+    fn retry_jitter_deterministic_per_seed(
+        seed in any::<u64>(),
+        base_ms in 1u64..5_000,
+        attempts in 1u32..16,
+    ) {
+        let p = RetryPolicy {
+            base: SimDuration::from_millis(base_ms),
+            factor: 2.0,
+            cap: SimDuration::from_millis(base_ms * 64),
+            max_attempts: attempts,
+            jitter: Jitter::Decorrelated,
+            hedge_after: None,
+        };
+        let run = || {
+            let mut rng = SimRng::new(seed);
+            let mut r = Retrier::new(p);
+            let mut out = Vec::new();
+            while let Some(d) = r.next_backoff(&mut rng) {
+                prop_assert!(d >= p.base && d <= p.cap);
+                out.push(d.micros());
+            }
+            prop_assert_eq!(out.len() as u32, attempts - 1, "budget mismatch");
+            Ok(out)
+        };
+        prop_assert_eq!(run()?, run()?);
     }
 
     /// Exponential samples are non-negative with roughly the right mean.

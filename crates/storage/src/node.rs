@@ -11,7 +11,8 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use agora_crypto::{sha256, Hash256};
-use agora_sim::{Ctx, NodeId, Protocol, SimDuration};
+use agora_sim::retry::{CTR_RETRY_ATTEMPTS, CTR_RETRY_GAVE_UP};
+use agora_sim::{Ctx, NodeId, Protocol, Retrier, RetryPolicy, SimDuration};
 
 use crate::erasure::ReedSolomon;
 use crate::proofs::{por_make_audits, por_respond, por_verify, Audit};
@@ -122,6 +123,9 @@ struct ShardPlace {
     audits: Vec<Audit>,
     alive: bool,
     acked: bool,
+    /// Shard bytes retained until acked so a retrying client can re-send
+    /// them. Only populated when a retry policy is active.
+    pending_data: Option<Rc<[u8]>>,
 }
 
 struct ObjectRecord {
@@ -161,6 +165,10 @@ pub struct ClientState {
     audit_interval: SimDuration,
     audits_per_shard: usize,
     repair_enabled: bool,
+    retry: RetryPolicy,
+    /// Per-op retry pacing: (budget tracker, op ticks until the next resend
+    /// round). Empty unless a retry policy is active.
+    retriers: HashMap<u64, (Retrier, u32)>,
 }
 
 /// Provider-side state.
@@ -170,7 +178,7 @@ pub struct ProviderState {
 }
 
 enum Role {
-    Client(ClientState),
+    Client(Box<ClientState>),
     Provider(ProviderState),
 }
 
@@ -183,11 +191,27 @@ const TAG_AUDIT_TICK: u64 = u64::MAX;
 const OP_TICK: SimDuration = SimDuration::from_secs(2);
 const MAX_OP_TICKS: u32 = 60;
 
+/// Backoff durations are paced in whole op ticks (minimum one).
+fn ticks_for(d: SimDuration) -> u32 {
+    (d.micros() / OP_TICK.micros()).max(1) as u32
+}
+
 impl StorageNode {
     /// A storage client that places objects on `providers`.
     pub fn client(providers: Vec<NodeId>, audit_interval: SimDuration) -> StorageNode {
+        StorageNode::client_with_retry(providers, audit_interval, RetryPolicy::none())
+    }
+
+    /// A storage client whose puts/gets re-send outstanding shards on a
+    /// backoff schedule. `RetryPolicy::none()` reproduces the default
+    /// client byte-for-byte.
+    pub fn client_with_retry(
+        providers: Vec<NodeId>,
+        audit_interval: SimDuration,
+        retry: RetryPolicy,
+    ) -> StorageNode {
         StorageNode {
-            role: Role::Client(ClientState {
+            role: Role::Client(Box::new(ClientState {
                 providers,
                 objects: HashMap::new(),
                 ops: HashMap::new(),
@@ -196,7 +220,9 @@ impl StorageNode {
                 audit_interval,
                 audits_per_shard: 64,
                 repair_enabled: true,
-            }),
+                retry,
+                retriers: HashMap::new(),
+            })),
         }
     }
 
@@ -260,6 +286,7 @@ impl StorageNode {
             let shard: Rc<[u8]> = Rc::from(shard);
             let audits = por_make_audits(&shard, c.audits_per_shard, ctx.rng());
             let shard_len = shard.len() as u64;
+            let pending_data = c.retry.is_active().then(|| Rc::clone(&shard));
             let msg = StorageMsg::PutShard {
                 object,
                 index: i as u32,
@@ -275,6 +302,7 @@ impl StorageNode {
                 audits,
                 alive: true,
                 acked: false,
+                pending_data,
             });
         }
         c.objects.insert(
@@ -297,6 +325,12 @@ impl StorageNode {
             },
         );
         ctx.set_timer(OP_TICK, op);
+        if c.retry.is_active() {
+            let mut r = Retrier::new(c.retry);
+            if let Some(d) = r.next_backoff(ctx.rng()) {
+                c.retriers.insert(op, (r, ticks_for(d)));
+            }
+        }
         (op, object)
     }
 
@@ -330,6 +364,12 @@ impl StorageNode {
             },
         );
         ctx.set_timer(OP_TICK, op);
+        if c.retry.is_active() {
+            let mut r = Retrier::new(c.retry);
+            if let Some(d) = r.next_backoff(ctx.rng()) {
+                c.retriers.insert(op, (r, ticks_for(d)));
+            }
+        }
         op
     }
 
@@ -461,6 +501,7 @@ impl StorageNode {
         match rs.reconstruct(&shards, data_len) {
             Ok(data) => {
                 c.ops.remove(&op);
+                c.retriers.remove(&op);
                 match repair_index {
                     None => {
                         ctx.metrics().incr("storage.get_ok", 1);
@@ -491,6 +532,7 @@ impl StorageNode {
                             candidates[0]
                         };
                         let audits = por_make_audits(&shard, c.audits_per_shard, ctx.rng());
+                        let pending_data = c.retry.is_active().then(|| Rc::clone(&shard));
                         let msg = StorageMsg::PutShard {
                             object,
                             index,
@@ -505,6 +547,7 @@ impl StorageNode {
                             place.audits = audits;
                             place.alive = true;
                             place.acked = false;
+                            place.pending_data = pending_data;
                         }
                     }
                 }
@@ -579,6 +622,7 @@ impl Protocol for StorageNode {
                 if let Some(rec) = c.objects.get_mut(&object) {
                     if let Some(p) = rec.shards.iter_mut().find(|s| s.index == index) {
                         p.acked = true;
+                        p.pending_data = None;
                     }
                     // Complete any pending Put op once all acks are in.
                     if rec.shards.iter().all(|s| s.acked) {
@@ -593,6 +637,7 @@ impl Protocol for StorageNode {
                         let n = rec.shards.len() as u32;
                         for op in done {
                             c.ops.remove(&op);
+                            c.retriers.remove(&op);
                             ctx.metrics().incr("storage.put_ok", 1);
                             c.results
                                 .insert(op, StorageResult::Stored { object, shards: n });
@@ -645,6 +690,10 @@ impl Protocol for StorageNode {
         let Role::Client(c) = &mut self.role else {
             return;
         };
+        // When a retry policy is armed, an incomplete op may owe a resend
+        // round this tick; gather what it needs while `ops` is borrowed.
+        let mut resend_put: Option<Hash256> = None;
+        let mut resend_get: Option<(Hash256, Vec<usize>)> = None;
         match c.ops.get_mut(&tag) {
             Some(OpState::Put {
                 object,
@@ -655,6 +704,11 @@ impl Protocol for StorageNode {
                 if *deadline_ticks == 0 {
                     c.ops.remove(&tag);
                     ctx.metrics().incr("storage.put_timeout", 1);
+                    if c.retry.is_active() {
+                        c.retriers.remove(&tag);
+                        ctx.metrics().incr(CTR_RETRY_GAVE_UP, 1);
+                        ctx.trace_point("retry.gave_up", 1.0);
+                    }
                     let acked = c
                         .objects
                         .get(&object)
@@ -671,19 +725,36 @@ impl Protocol for StorageNode {
                     c.results.insert(tag, result);
                 } else {
                     ctx.set_timer(OP_TICK, tag);
+                    if c.retry.is_active() {
+                        resend_put = Some(object);
+                    }
                 }
             }
-            Some(OpState::Get { deadline_ticks, .. }) => {
+            Some(OpState::Get {
+                object,
+                collected,
+                deadline_ticks,
+                ..
+            }) => {
+                let object = *object;
                 *deadline_ticks -= 1;
                 if *deadline_ticks == 0 {
                     if let Some(OpState::Get { repair_index, .. }) = c.ops.remove(&tag) {
                         ctx.metrics().incr("storage.get_timeout", 1);
+                        if c.retry.is_active() {
+                            c.retriers.remove(&tag);
+                            ctx.metrics().incr(CTR_RETRY_GAVE_UP, 1);
+                            ctx.trace_point("retry.gave_up", 1.0);
+                        }
                         if repair_index.is_none() {
                             c.results.insert(tag, StorageResult::Unavailable);
                         }
                     }
                 } else {
                     ctx.set_timer(OP_TICK, tag);
+                    if c.retry.is_active() {
+                        resend_get = Some((object, collected.iter().map(|(i, _)| *i).collect()));
+                    }
                 }
             }
             Some(OpState::AuditWait {
@@ -703,6 +774,74 @@ impl Protocol for StorageNode {
                 }
             }
             None => {}
+        }
+        // Retry pacing: count down to the next resend round; when it is due,
+        // re-send only the outstanding shards and draw the next backoff.
+        // (Re-borrow: the audit arm above needed `self` for mark_shard_dead.)
+        let Role::Client(c) = &mut self.role else {
+            return;
+        };
+        let due = match c.retriers.get_mut(&tag) {
+            Some((_, ticks)) if *ticks > 1 => {
+                *ticks -= 1;
+                false
+            }
+            Some(_) => true,
+            None => false,
+        };
+        if !due {
+            return;
+        }
+        let mut sent = false;
+        if let Some(object) = resend_put {
+            if let Some(rec) = c.objects.get(&object) {
+                for s in rec.shards.iter().filter(|s| !s.acked) {
+                    if let Some(data) = &s.pending_data {
+                        let msg = StorageMsg::PutShard {
+                            object,
+                            index: s.index,
+                            data: Rc::clone(data),
+                        };
+                        let size = msg.wire_size();
+                        ctx.send(s.provider, msg, size);
+                        sent = true;
+                    }
+                }
+            }
+        } else if let Some((object, have)) = resend_get {
+            if let Some(rec) = c.objects.get(&object) {
+                for s in rec
+                    .shards
+                    .iter()
+                    .filter(|s| s.alive && !have.contains(&(s.index as usize)))
+                {
+                    let msg = StorageMsg::GetShard {
+                        object,
+                        index: s.index,
+                        req: tag,
+                    };
+                    let size = msg.wire_size();
+                    ctx.send(s.provider, msg, size);
+                    sent = true;
+                }
+            }
+        } else {
+            // The op completed or timed out under us; drop the stale pacing.
+            c.retriers.remove(&tag);
+            return;
+        }
+        if sent {
+            ctx.metrics().incr(CTR_RETRY_ATTEMPTS, 1);
+            ctx.trace_point("retry.attempt", 1.0);
+        }
+        let (retrier, ticks) = c.retriers.get_mut(&tag).expect("due entry exists");
+        match retrier.next_backoff(ctx.rng()) {
+            Some(d) => *ticks = ticks_for(d),
+            None => {
+                // Budget exhausted: no further rounds; the op deadline
+                // decides success or `retry.gave_up`.
+                c.retriers.remove(&tag);
+            }
         }
     }
 }
@@ -867,6 +1006,57 @@ mod tests {
         assert_eq!(
             sim.node_mut(client).take_result(op),
             Some(StorageResult::Unavailable)
+        );
+    }
+
+    #[test]
+    fn retrying_client_resends_lost_shards_and_stays_dormant_by_default() {
+        use agora_sim::Jitter;
+        let run = |retry: RetryPolicy| {
+            let mut sim = Simulation::new(77);
+            let mut providers = Vec::new();
+            for _ in 0..8 {
+                providers.push(sim.add_node(
+                    StorageNode::provider(ProviderStrategy::Honest),
+                    DeviceClass::PersonalComputer,
+                ));
+            }
+            let client = sim.add_node(
+                StorageNode::client_with_retry(
+                    providers.clone(),
+                    SimDuration::from_secs(600),
+                    retry,
+                ),
+                DeviceClass::PersonalComputer,
+            );
+            sim.set_loss_rate(0.25);
+            let data = vec![9u8; 20_000];
+            let (put_op, _) = sim
+                .with_ctx(client, |n, ctx| n.start_put(ctx, &data, 4, 2))
+                .unwrap();
+            sim.run_for(SimDuration::from_secs(150));
+            let shards = match sim.node_mut(client).take_result(put_op) {
+                Some(StorageResult::Stored { shards, .. }) => shards,
+                _ => 0,
+            };
+            (shards, sim.metrics().counter(CTR_RETRY_ATTEMPTS))
+        };
+        let policy = RetryPolicy {
+            base: SimDuration::from_secs(1),
+            factor: 2.0,
+            cap: SimDuration::from_secs(4),
+            max_attempts: 8,
+            jitter: Jitter::Decorrelated,
+            hedge_after: None,
+        };
+        let (shards_retry, attempts_retry) = run(policy);
+        assert_eq!(shards_retry, 6, "resends should complete the placement");
+        assert!(attempts_retry >= 1, "resend rounds must be counted");
+        let (shards_plain, attempts_plain) = run(RetryPolicy::none());
+        assert_eq!(attempts_plain, 0, "dormant by default");
+        assert!(
+            shards_plain < 6,
+            "under 25% loss the one-shot put should lose shards"
         );
     }
 }

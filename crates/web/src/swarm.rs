@@ -9,7 +9,8 @@
 use std::collections::HashMap;
 
 use agora_crypto::{sha256, Hash256};
-use agora_sim::{Ctx, NodeId, Protocol, SimDuration};
+use agora_sim::retry::{CTR_RETRY_ATTEMPTS, CTR_RETRY_GAVE_UP};
+use agora_sim::{Ctx, NodeId, Protocol, Retrier, RetryPolicy, SimDuration};
 
 use crate::site::{SignedManifest, SiteBundle};
 
@@ -125,11 +126,15 @@ struct PeerState {
     visits: HashMap<u64, Visit>,
     results: HashMap<u64, VisitResult>,
     next_op: u64,
+    retry: RetryPolicy,
+    /// Per-visit retry pacing: (budget tracker, visit ticks until the next
+    /// re-request round). Empty unless a retry policy is active.
+    retriers: HashMap<u64, (Retrier, u32)>,
 }
 
 enum Role {
     Tracker(HashMap<Hash256, Vec<NodeId>>),
-    Peer(PeerState),
+    Peer(Box<PeerState>),
 }
 
 /// A swarm participant.
@@ -139,6 +144,11 @@ pub struct SwarmNode {
 
 const VISIT_TICK: SimDuration = SimDuration::from_secs(2);
 const MAX_VISIT_TICKS: u32 = 90;
+
+/// Backoff durations are paced in whole visit ticks (minimum one).
+fn visit_ticks_for(d: SimDuration) -> u32 {
+    (d.micros() / VISIT_TICK.micros()).max(1) as u32
+}
 
 impl SwarmNode {
     /// A tracker.
@@ -157,15 +167,24 @@ impl SwarmNode {
     /// their peer lists, so discovery survives tracker failures (the
     /// tracker is otherwise §3.4's own single point of failure).
     pub fn peer_with_trackers(trackers: Vec<NodeId>) -> SwarmNode {
+        SwarmNode::peer_with_retry(trackers, RetryPolicy::none())
+    }
+
+    /// A peer whose stuck-visit re-requests are paced and budgeted by a
+    /// retry policy instead of firing every tick. `RetryPolicy::none()`
+    /// reproduces the default peer byte-for-byte.
+    pub fn peer_with_retry(trackers: Vec<NodeId>, retry: RetryPolicy) -> SwarmNode {
         assert!(!trackers.is_empty(), "at least one tracker");
         SwarmNode {
-            role: Role::Peer(PeerState {
+            role: Role::Peer(Box::new(PeerState {
                 trackers,
                 sites: HashMap::new(),
                 visits: HashMap::new(),
                 results: HashMap::new(),
                 next_op: 0,
-            }),
+                retry,
+                retriers: HashMap::new(),
+            })),
         }
     }
 
@@ -236,6 +255,12 @@ impl SwarmNode {
             },
         );
         ctx.set_timer(VISIT_TICK, op);
+        if p.retry.is_active() {
+            let mut r = Retrier::new(p.retry);
+            if let Some(d) = r.next_backoff(ctx.rng()) {
+                p.retriers.insert(op, (r, visit_ticks_for(d)));
+            }
+        }
         op
     }
 
@@ -287,6 +312,7 @@ impl SwarmNode {
             return;
         }
         let v = p.visits.remove(&op).expect("present");
+        p.retriers.remove(&op);
         let m = v.manifest.expect("present");
         let bytes: u64 = v.got.values().map(|d| d.len() as u64).sum();
         let version = m.manifest.version;
@@ -426,8 +452,33 @@ impl Protocol for SwarmNode {
             p.visits.remove(&op);
             ctx.metrics().incr("web.visits_failed", 1);
             ctx.trace_point("web.visits_failed", ticks as f64);
+            if p.retry.is_active() {
+                p.retriers.remove(&op);
+                ctx.metrics().incr(CTR_RETRY_GAVE_UP, 1);
+                ctx.trace_point("retry.gave_up", 1.0);
+            }
             p.results.insert(op, VisitResult::Failed);
             return;
+        }
+        // With a retry policy armed, re-request rounds are paced by backoff
+        // and budgeted; without one, every tick retries (the default).
+        let mut counted = false;
+        if p.retry.is_active() {
+            match p.retriers.get_mut(&op) {
+                Some((_, ticks)) if *ticks > 1 => {
+                    *ticks -= 1;
+                    ctx.set_timer(VISIT_TICK, op);
+                    return;
+                }
+                Some(_) => counted = true,
+                None => {
+                    // Budget exhausted: stop re-requesting; in-flight
+                    // responses may still complete the visit before the
+                    // deadline fails it.
+                    ctx.set_timer(VISIT_TICK, op);
+                    return;
+                }
+            }
         }
         // Retry whatever stage we're stuck in.
         let site = v.site;
@@ -437,6 +488,7 @@ impl Protocol for SwarmNode {
                 // burning the whole visit budget on discovery.
                 if v.ticks >= 5 {
                     p.visits.remove(&op);
+                    p.retriers.remove(&op);
                     ctx.metrics().incr("web.visits_failed", 1);
                     p.results.insert(op, VisitResult::Failed);
                     return;
@@ -453,6 +505,18 @@ impl Protocol for SwarmNode {
             VisitPhase::FetchingPieces => self.request_missing(ctx, op),
         }
         if let Role::Peer(p) = &mut self.role {
+            if counted && p.visits.contains_key(&op) {
+                ctx.metrics().incr(CTR_RETRY_ATTEMPTS, 1);
+                ctx.trace_point("retry.attempt", 1.0);
+                if let Some((r, ticks)) = p.retriers.get_mut(&op) {
+                    match r.next_backoff(ctx.rng()) {
+                        Some(d) => *ticks = visit_ticks_for(d),
+                        None => {
+                            p.retriers.remove(&op);
+                        }
+                    }
+                }
+            }
             if p.visits.contains_key(&op) {
                 ctx.set_timer(VISIT_TICK, op);
             }
@@ -669,5 +733,47 @@ mod tests {
             other => panic!("visit should eventually succeed: {other:?}"),
         }
         assert!(sim.metrics().counter("web.bad_pieces") > 0);
+    }
+
+    #[test]
+    fn retry_paced_visits_succeed_under_loss_and_stay_dormant_by_default() {
+        use agora_sim::Jitter;
+        let run = |retry: RetryPolicy| {
+            let mut sim = Simulation::new(13);
+            let tracker = sim.add_node(SwarmNode::tracker(), DeviceClass::DatacenterServer);
+            let seeder = sim.add_node(SwarmNode::peer(tracker), DeviceClass::PersonalComputer);
+            let visitor = sim.add_node(
+                SwarmNode::peer_with_retry(vec![tracker], retry),
+                DeviceClass::PersonalComputer,
+            );
+            let (site, bundle) = publish_site(40_000);
+            sim.with_ctx(seeder, |n, ctx| n.host_site(ctx, &bundle))
+                .unwrap();
+            sim.run_for(SimDuration::from_secs(5));
+            sim.set_loss_rate(0.3);
+            let op = sim
+                .with_ctx(visitor, |n, ctx| n.start_visit(ctx, site))
+                .unwrap();
+            sim.run_for(SimDuration::from_mins(4));
+            let ok = matches!(
+                sim.node_mut(visitor).take_result(op),
+                Some(VisitResult::Ok { .. })
+            );
+            (ok, sim.metrics().counter(CTR_RETRY_ATTEMPTS))
+        };
+        let policy = RetryPolicy {
+            base: SimDuration::from_secs(1),
+            factor: 2.0,
+            cap: SimDuration::from_secs(4),
+            max_attempts: 12,
+            jitter: Jitter::Decorrelated,
+            hedge_after: None,
+        };
+        let (ok_retry, attempts_retry) = run(policy);
+        assert!(ok_retry, "paced re-requests should complete the visit");
+        assert!(attempts_retry >= 1, "re-request rounds must be counted");
+        let (ok_plain, attempts_plain) = run(RetryPolicy::none());
+        assert_eq!(attempts_plain, 0, "dormant by default");
+        assert!(ok_plain, "every-tick retry still succeeds without a policy");
     }
 }

@@ -58,6 +58,19 @@ trap 'rm -rf "$TRACE_TMP" "$CHAOS_TMP"' EXIT
     --json "$CHAOS_TMP/e15_t8.json" >/dev/null
 cmp "$CHAOS_TMP/e15_t1.json" "$CHAOS_TMP/e15_t8.json"
 
+step "workload smoke: E16 deterministic across thread counts; e1-e15 baseline untouched"
+# Same contract as the chaos smoke: 1 thread writes a filtered baseline,
+# 8 threads must reproduce it exactly, raw artifacts byte-identical. The
+# full-matrix baseline diffs above already prove e1-e15 rows are unchanged
+# with the workload engine compiled in.
+./target/release/agora-harness --filter e16 --threads 1 \
+    --baseline "$CHAOS_TMP/e16_baseline.json" --update-baseline \
+    --json "$CHAOS_TMP/e16_t1.json" >/dev/null
+./target/release/agora-harness --filter e16 --threads 8 \
+    --baseline "$CHAOS_TMP/e16_baseline.json" \
+    --json "$CHAOS_TMP/e16_t8.json" >/dev/null
+cmp "$CHAOS_TMP/e16_t1.json" "$CHAOS_TMP/e16_t8.json"
+
 step "trace smoke: deterministic TRACE jsonl + causal explain"
 ./target/release/agora-harness --trace dht --trace-out "$TRACE_TMP/a.jsonl" \
     --explain dht.lookup_secs
@@ -73,6 +86,14 @@ cmp "$TRACE_TMP/e15a.jsonl" "$TRACE_TMP/e15b.jsonl"
 ./target/release/agora-harness --validate-trace "$TRACE_TMP/e15a.jsonl"
 grep -q '"type":"span","key":"chaos.kill"' "$TRACE_TMP/e15a.jsonl"
 grep -q '"type":"span","key":"retry.attempt"' "$TRACE_TMP/e15a.jsonl"
+# E16 at 10k users: the workload.* span family (demand ticks and diurnal
+# churn) must be present and the artifact deterministic.
+./target/release/agora-harness --trace e16/p10k --trace-out "$TRACE_TMP/e16a.jsonl" >/dev/null
+./target/release/agora-harness --trace e16/p10k --trace-out "$TRACE_TMP/e16b.jsonl" >/dev/null
+cmp "$TRACE_TMP/e16a.jsonl" "$TRACE_TMP/e16b.jsonl"
+./target/release/agora-harness --validate-trace "$TRACE_TMP/e16a.jsonl"
+grep -q '"type":"span","key":"workload.demand"' "$TRACE_TMP/e16a.jsonl"
+grep -q '"type":"span","key":"workload.churn_kill"' "$TRACE_TMP/e16a.jsonl"
 
 echo
 echo "full gate passed"

@@ -1,0 +1,101 @@
+//! Workload-engine kernels: O(1) alias-table Zipf sampling vs the O(log n)
+//! cumulative-table reference, schedule compilation at population scale,
+//! and replaying a 1M-user cohorted day through an idle simulation. These
+//! are the microbenchmark counterparts of the `workload` section of
+//! BENCH_perf.json (crates/harness/src/perf.rs).
+
+use agora_sim::{Ctx, DeviceClass, NodeId, Protocol, SimDuration, SimRng, Simulation};
+use agora_workload::{
+    zipf_reference, BoundedPareto, ChurnCurve, DemandModel, DiurnalCurve, LogNormalSessions,
+    WorkloadDriver, WorkloadSpec, ZipfAlias, ZoneMix,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_zipf_sampling(c: &mut Criterion) {
+    const RANKS: usize = 10_000;
+    let mut g = c.benchmark_group("zipf_10k_ranks");
+    g.throughput(Throughput::Elements(1));
+
+    let alias = ZipfAlias::new(RANKS, 0.9);
+    let mut rng = SimRng::new(11);
+    g.bench_function("alias_o1", |b| b.iter(|| black_box(alias.sample(&mut rng))));
+
+    let cdf = zipf_reference(RANKS, 0.9);
+    let mut rng = SimRng::new(11);
+    g.bench_function("cdf_ologn", |b| b.iter(|| black_box(cdf.sample(&mut rng))));
+    g.finish();
+}
+
+fn day_spec(population: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        population,
+        cohorts: 64,
+        actions_per_user_day: 20.0,
+        model: DemandModel {
+            zones: ZoneMix::global_three_region(DiurnalCurve::residential()),
+            flash: None,
+        },
+        ranks: 256,
+        zipf_alpha: 0.9,
+        sizes: BoundedPareto::new(2_000, 1_000_000, 1.3),
+        sessions: LogNormalSessions::new(300.0, 1.0),
+        tick: SimDuration::from_mins(15),
+        rep_cap: 2,
+        churn: Some(ChurnCurve {
+            offline_at_peak: 0.1,
+            offline_at_trough: 0.5,
+        }),
+    }
+}
+
+struct Idle;
+
+impl Protocol for Idle {
+    type Msg = ();
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, ()>, _from: NodeId, _msg: ()) {}
+}
+
+fn bench_schedule_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_compile_day");
+    g.sample_size(10);
+    let churnable: Vec<NodeId> = (0..64).map(NodeId).collect();
+    // Population-independence is the claim: both compile to the same
+    // O(cohorts · ticks) event count.
+    for population in [10_000u64, 1_000_000] {
+        let spec = day_spec(population);
+        g.bench_function(format!("p{population}"), |b| {
+            b.iter(|| black_box(spec.compile(17, &churnable, SimDuration::from_days(1)).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_day_replay_1m(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_replay");
+    g.sample_size(10);
+    let spec = day_spec(1_000_000);
+    g.bench_function("day_1m_cohorted", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<Idle> = Simulation::new(17);
+            let nodes: Vec<NodeId> = (0..64)
+                .map(|_| sim.add_node(Idle, DeviceClass::PersonalComputer))
+                .collect();
+            let sched = spec.compile(17, &nodes, SimDuration::from_days(1));
+            let mut driver = WorkloadDriver::install(&sim, sched);
+            driver.run_for(&mut sim, SimDuration::from_days(1), &mut |_, d| {
+                black_box(d.bytes);
+            });
+            black_box(driver.applied())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    workload,
+    bench_zipf_sampling,
+    bench_schedule_compile,
+    bench_day_replay_1m
+);
+criterion_main!(workload);

@@ -5,6 +5,7 @@ use agora_comm::{
     CentralNode, FedNode, ModerationPolicy, PostLabel, ReadResult, ReplicationMode, SocialNode,
 };
 use agora_sim::{DeviceClass, Metrics, NodeId, SimDuration, Simulation};
+use agora_workload::CommLoad;
 
 use super::Report;
 
@@ -34,10 +35,13 @@ pub struct E3Result {
     pub social: CommOutcome,
 }
 
-const N_INSTANCES: usize = 5;
-const CLIENTS_PER_INSTANCE: usize = 4;
-const POSTS_PER_CLIENT: usize = 3;
-const READS_PER_CLIENT: usize = 3;
+/// The pinned paper-default load shape (values are part of the checked-in
+/// baseline contract — see `agora_workload::load`).
+const LOAD: CommLoad = CommLoad::paper_default();
+const N_INSTANCES: usize = LOAD.instances;
+const CLIENTS_PER_INSTANCE: usize = LOAD.clients_per_instance;
+const POSTS_PER_CLIENT: usize = LOAD.posts_per_client;
+const READS_PER_CLIENT: usize = LOAD.reads_per_client;
 
 fn outcome_from(metrics: &Metrics, posts_sent: u64, audience: u64) -> CommOutcome {
     let delivered = metrics.counter("comm.posts_delivered");
@@ -77,7 +81,9 @@ fn run_centralized(seed: u64, failure_fraction: f64) -> CommOutcome {
         }
         for &c in &clients {
             if sim
-                .with_ctx(c, |n, ctx| n.post(ctx, 1, 200, PostLabel::Legit))
+                .with_ctx(c, |n, ctx| {
+                    n.post(ctx, 1, LOAD.post_bytes, PostLabel::Legit)
+                })
                 .is_some()
             {
                 posts_sent += 1;
@@ -138,7 +144,9 @@ fn run_federated(seed: u64, failure_fraction: f64, mode: ReplicationMode) -> Com
         }
         for &c in &clients {
             if sim
-                .with_ctx(c, |n, ctx| n.post(ctx, 1, 200, PostLabel::Legit))
+                .with_ctx(c, |n, ctx| {
+                    n.post(ctx, 1, LOAD.post_bytes, PostLabel::Legit)
+                })
                 .is_some()
             {
                 posts_sent += 1;
@@ -188,7 +196,9 @@ fn run_social(seed: u64, failure_fraction: f64) -> (CommOutcome, u64) {
         }
         for &id in &ids {
             if sim
-                .with_ctx(id, |node, ctx| node.post(ctx, 200, PostLabel::Legit))
+                .with_ctx(id, |node, ctx| {
+                    node.post(ctx, LOAD.post_bytes, PostLabel::Legit)
+                })
                 .is_some()
             {
                 posts_sent += 1;

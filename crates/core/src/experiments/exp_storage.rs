@@ -6,8 +6,13 @@ use agora_storage::{
     discard_detection_probability, play_porep_game, simulate_durability, AttackEnv, CheatStrategy,
     DurabilityParams, ProviderStrategy, StorageNode, StorageResult,
 };
+use agora_workload::StorageLoad;
 
 use super::Report;
+
+/// The pinned paper-default storage load (values are part of the
+/// checked-in baseline contract — see `agora_workload::load`).
+const LOAD: StorageLoad = StorageLoad::paper_default();
 
 /// E5 results.
 #[derive(Clone, Debug)]
@@ -32,7 +37,7 @@ pub fn e5_storage_proofs(seed: u64) -> (E5Result, Report) {
     let mut env = AttackEnv::default();
     env.seal.seal_throughput_bps = 50_000;
     env.seal.response_deadline = SimDuration::from_secs(1);
-    let data = vec![0xabu8; 500_000];
+    let data = vec![0xabu8; LOAD.seal_probe_bytes];
 
     let mut porep = Vec::new();
     for s in CheatStrategy::all() {
@@ -63,7 +68,7 @@ pub fn e5_storage_proofs(seed: u64) -> (E5Result, Report) {
         StorageNode::client(providers.clone(), SimDuration::from_secs(30)),
         DeviceClass::PersonalComputer,
     );
-    let data2 = vec![7u8; 60_000];
+    let data2 = vec![7u8; LOAD.audit_object_bytes];
     sim.with_ctx(client, |n, ctx| n.start_put(ctx, &data2, 4, 2));
     sim.run_for(SimDuration::from_mins(20));
 
@@ -208,7 +213,7 @@ fn run_storage_quality(
         StorageNode::client(providers, SimDuration::from_secs(60)),
         DeviceClass::PersonalComputer,
     );
-    let data = vec![5u8; 1_000_000];
+    let data = vec![5u8; LOAD.object_bytes];
     let (_, object) = sim
         .with_ctx(client, |n, ctx| n.start_put(ctx, &data, k, m))
         .expect("client up");
@@ -253,7 +258,7 @@ fn run_storage_quality(
 /// E8: the same storage workload on datacenter-class infrastructure vs
 /// churning consumer devices, and the redundancy needed to compensate.
 pub fn e8_quality_vs_quantity(seed: u64) -> (E8Result, Report) {
-    let gets = 8;
+    let gets = LOAD.gets;
     let (dc_ok, dc_p50) =
         run_storage_quality(seed, DeviceClass::DatacenterServer, false, 4, 2, gets);
     let (dev_lo, _) =

@@ -14,6 +14,7 @@ pub mod exp_resilience;
 pub mod exp_storage;
 pub mod exp_usenet;
 pub mod exp_web;
+pub mod exp_workload;
 
 use std::fmt;
 
@@ -41,6 +42,10 @@ pub use exp_storage::{
 };
 pub use exp_usenet::{e14_metrics, e14_usenet_collapse, E14Result, UsenetRow};
 pub use exp_web::{e7_metrics, e7_web_availability, E7Result};
+pub use exp_workload::{
+    e16_flash_crowd_sweep, e16_metrics, e16_population_point, ClassOutcome, E16Result,
+    E16_POPULATIONS,
+};
 
 /// Normalize a free-form row label into a metric-key segment: lowercase
 /// alphanumerics and dots survive, everything else collapses to `_`.

@@ -523,12 +523,15 @@ impl DhtNode {
         let ttl = self.cfg.value_ttl;
         self.store
             .retain(|k, v| now.since(v.refreshed_at) <= ttl || self.origin_values.contains_key(k));
-        // Republish everything we originated.
-        let originals: Vec<(Hash256, Rc<[u8]>)> = self
+        // Republish everything we originated, in key order: HashMap
+        // iteration order is randomized per process, and the op-id/message
+        // sequence it produces must be reproducible across runs.
+        let mut originals: Vec<(Hash256, Rc<[u8]>)> = self
             .origin_values
             .iter()
             .map(|(k, v)| (*k, v.clone()))
             .collect();
+        originals.sort_unstable_by_key(|(k, _)| *k);
         for (key, data) in originals {
             self.begin(ctx, OpKind::Put, key, Some(data));
         }

@@ -167,15 +167,84 @@ impl Json {
     }
 
     /// Parse a JSON document (must consume all non-whitespace input).
+    /// Errors carry the 1-based line and column of the offending byte.
     pub fn parse(input: &str) -> Result<Json, String> {
         let bytes = input.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos).map_err(|e| e.locate(bytes))?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(format!("trailing input at byte {pos}"));
+            return Err(ParseError::at(pos, "trailing input").locate(bytes));
         }
         Ok(value)
+    }
+
+    /// As [`Json::parse`], but errors are prefixed with `source` (a file
+    /// name or similar provenance label) so a failure names the artifact
+    /// it came from, not just a position.
+    pub fn parse_named(source: &str, input: &str) -> Result<Json, String> {
+        Json::parse(input).map_err(|e| format!("{source}: {e}"))
+    }
+
+    /// Object field lookup that names the missing field (and the fields
+    /// that *are* present) on failure, for digging into artifacts.
+    pub fn require(&self, key: &str) -> Result<&Json, String> {
+        self.get(key).ok_or_else(|| match self {
+            Json::Obj(pairs) => {
+                let have: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+                format!("missing field '{key}' (object has: {})", have.join(", "))
+            }
+            other => format!(
+                "missing field '{key}': not an object ({})",
+                type_name(other)
+            ),
+        })
+    }
+}
+
+/// Read and parse a JSON file; every failure mode names the file.
+pub fn read_json_file(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse_named(path, &text)
+}
+
+fn type_name(v: &Json) -> &'static str {
+    match v {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::Num(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+/// A parse failure at a byte offset, resolved to line/column on exit.
+struct ParseError {
+    offset: usize,
+    what: String,
+}
+
+impl ParseError {
+    fn at(offset: usize, what: impl Into<String>) -> ParseError {
+        ParseError {
+            offset,
+            what: what.into(),
+        }
+    }
+
+    /// Render with the 1-based line and column of `offset` in `bytes`.
+    fn locate(self, bytes: &[u8]) -> String {
+        let (mut line, mut col) = (1usize, 1usize);
+        for &b in bytes.iter().take(self.offset) {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        format!("line {line}, column {col}: {}", self.what)
     }
 }
 
@@ -230,24 +299,31 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+/// Render the byte at the error position for a message: `'x'`, or
+/// "end of input" when the input ran out.
+fn found(b: Option<&u8>) -> String {
+    match b {
+        Some(&b) => format!("'{}'", b as char),
+        None => "end of input".to_string(),
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), ParseError> {
     if *pos < bytes.len() && bytes[*pos] == b {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!(
-            "expected '{}' at byte {} (found {:?})",
-            b as char,
+        Err(ParseError::at(
             *pos,
-            bytes.get(*pos).map(|&b| b as char)
+            format!("expected '{}', found {}", b as char, found(bytes.get(*pos))),
         ))
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        None => Err("unexpected end of input".to_owned()),
+        None => Err(ParseError::at(*pos, "unexpected end of input")),
         Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
         Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
@@ -270,9 +346,9 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                         return Ok(Json::Arr(items));
                     }
                     other => {
-                        return Err(format!(
-                            "expected ',' or ']' at byte {pos}, found {other:?}",
-                            pos = *pos
+                        return Err(ParseError::at(
+                            *pos,
+                            format!("expected ',' or ']', found {}", found(other)),
                         ))
                     }
                 }
@@ -301,9 +377,9 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                         return Ok(Json::Obj(pairs));
                     }
                     other => {
-                        return Err(format!(
-                            "expected ',' or '}}' at byte {pos}, found {other:?}",
-                            pos = *pos
+                        return Err(ParseError::at(
+                            *pos,
+                            format!("expected ',' or '}}', found {}", found(other)),
                         ))
                     }
                 }
@@ -313,21 +389,24 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, ParseError> {
     if bytes[*pos..].starts_with(lit.as_bytes()) {
         *pos += lit.len();
         Ok(value)
     } else {
-        Err(format!("invalid literal at byte {pos}", pos = *pos))
+        Err(ParseError::at(
+            *pos,
+            format!("invalid literal (expected '{lit}')"),
+        ))
     }
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
     expect(bytes, pos, b'"')?;
     let mut out = String::new();
     loop {
         match bytes.get(*pos) {
-            None => return Err("unterminated string".to_owned()),
+            None => return Err(ParseError::at(*pos, "unterminated string")),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -346,20 +425,23 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'u') => {
                         let hex = bytes
                             .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            .ok_or_else(|| ParseError::at(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|e| ParseError::at(*pos, e.to_string()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|e| ParseError::at(*pos, e.to_string()))?;
                         out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         *pos += 4;
                     }
-                    other => return Err(format!("bad escape {other:?}")),
+                    other => return Err(ParseError::at(*pos, format!("bad escape {other:?}"))),
                 }
                 *pos += 1;
             }
             Some(_) => {
                 // `pos` always sits on a char boundary (we advance by whole
                 // scalars), so re-validating the tail is infallible.
-                let s = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let s = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|e| ParseError::at(*pos, e.to_string()))?;
                 let c = s.chars().next().expect("non-empty");
                 out.push(c);
                 *pos += c.len_utf8();
@@ -368,7 +450,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
     let start = *pos;
     while *pos < bytes.len()
         && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
@@ -376,12 +458,13 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         *pos += 1;
     }
     if start == *pos {
-        return Err(format!("expected a value at byte {start}"));
+        return Err(ParseError::at(start, "expected a value"));
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|e| ParseError::at(start, e.to_string()))?;
     text.parse::<f64>()
         .map(Json::Num)
-        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+        .map_err(|_| ParseError::at(start, format!("invalid number '{text}'")))
 }
 
 #[cfg(test)]
@@ -432,6 +515,33 @@ mod tests {
         assert!(Json::parse("{} x").is_err());
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let err = Json::parse("{\n  \"a\": 1,\n  \"b\": !\n}").unwrap_err();
+        assert_eq!(err, "line 3, column 8: expected a value");
+        let err = Json::parse_named("BENCH_x.json", "{\"a\" 1}").unwrap_err();
+        assert!(err.starts_with("BENCH_x.json: line 1, column 6"), "{err}");
+    }
+
+    #[test]
+    fn require_names_the_field_and_the_neighbourhood() {
+        let v = Json::parse(r#"{"have": 1, "also": 2}"#).unwrap();
+        assert_eq!(v.require("have").map(|j| j.as_f64()), Ok(Some(1.0)));
+        let err = v.require("missing").unwrap_err();
+        assert!(
+            err.contains("'missing'") && err.contains("have, also"),
+            "{err}"
+        );
+        let err = Json::Num(3.0).require("x").unwrap_err();
+        assert!(err.contains("not an object (number)"), "{err}");
+    }
+
+    #[test]
+    fn read_json_file_names_the_file() {
+        let err = read_json_file("/nonexistent/agora.json").unwrap_err();
+        assert!(err.starts_with("/nonexistent/agora.json: "), "{err}");
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod report;
 pub mod trace;
 
 pub use baseline::{diff_json, DiffEntry};
-pub use json::Json;
+pub use json::{read_json_file, Json};
 pub use matrix::{
     run_matrix, run_to_json, trial_seed, MatrixConfig, MatrixRun, TrialOutcome, TrialSpec,
     TrialStatus,

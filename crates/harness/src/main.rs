@@ -19,8 +19,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use agora_harness::{
-    diff_json, perf_to_json_with, registry, report, run_matrix, run_to_json, Json, MatrixConfig,
-    PhaseProfiler,
+    diff_json, perf_to_json_with, read_json_file, registry, report, run_matrix, run_to_json,
+    MatrixConfig, PhaseProfiler,
 };
 
 struct Options {
@@ -207,8 +207,8 @@ fn parse_args() -> Result<Options, String> {
 fn print_reports() {
     use agora::experiments::{
         e10_federated_failover, e11_guerrilla_relay, e12_moderation_tension, e13_financing_gap,
-        e14_usenet_collapse, e15_degradation_sweep, e1_naming_tradeoff, e2_naming_attacks,
-        e3_groupcomm_availability, e4_privacy, e5_storage_proofs, e6_durability,
+        e14_usenet_collapse, e15_degradation_sweep, e16_flash_crowd_sweep, e1_naming_tradeoff,
+        e2_naming_attacks, e3_groupcomm_availability, e4_privacy, e5_storage_proofs, e6_durability,
         e7_web_availability, e8_quality_vs_quantity, e9_chain_costs, t1_taxonomy,
         t2_storage_systems, t3_feasibility,
     };
@@ -233,6 +233,7 @@ fn print_reports() {
     println!("{}\n", e13_financing_gap(SEED).1);
     println!("{}\n", e14_usenet_collapse(SEED).1);
     println!("{}\n", e15_degradation_sweep(SEED).1);
+    println!("{}\n", e16_flash_crowd_sweep(SEED).1);
     println!("{}", agora::render_property_matrix());
     println!("{}", agora::naming_zooko_table());
 }
@@ -332,45 +333,42 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    match std::fs::read_to_string(&opts.baseline) {
-        Ok(text) => {
-            let baseline = match Json::parse(&text) {
-                Ok(b) => b,
-                Err(e) => {
-                    eprintln!("agora-harness: baseline {} is invalid: {e}", opts.baseline);
-                    return ExitCode::from(1);
-                }
-            };
-            let diffs = diff_json(&baseline, &artifact, opts.tolerance);
-            if diffs.is_empty() {
-                println!(
-                    "baseline check: OK ({} within tolerance {})",
-                    opts.baseline, opts.tolerance
-                );
-                ExitCode::SUCCESS
-            } else {
-                eprintln!(
-                    "baseline REGRESSION vs {} ({} difference(s), tolerance {}):",
-                    opts.baseline,
-                    diffs.len(),
-                    opts.tolerance
-                );
-                for d in diffs.iter().take(50) {
-                    eprintln!("  {d}");
-                }
-                if diffs.len() > 50 {
-                    eprintln!("  ... and {} more", diffs.len() - 50);
-                }
-                eprintln!("(intentional change? re-run with --update-baseline)");
-                ExitCode::from(2)
+    if std::path::Path::new(&opts.baseline).exists() {
+        let baseline = match read_json_file(&opts.baseline) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("agora-harness: invalid baseline: {e}");
+                return ExitCode::from(1);
             }
-        }
-        Err(_) => {
+        };
+        let diffs = diff_json(&baseline, &artifact, opts.tolerance);
+        if diffs.is_empty() {
             println!(
-                "no baseline at {}; run with --update-baseline to create one",
-                opts.baseline
+                "baseline check: OK ({} within tolerance {})",
+                opts.baseline, opts.tolerance
             );
             ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "baseline REGRESSION vs {} ({} difference(s), tolerance {}):",
+                opts.baseline,
+                diffs.len(),
+                opts.tolerance
+            );
+            for d in diffs.iter().take(50) {
+                eprintln!("  {d}");
+            }
+            if diffs.len() > 50 {
+                eprintln!("  ... and {} more", diffs.len() - 50);
+            }
+            eprintln!("(intentional change? re-run with --update-baseline)");
+            ExitCode::from(2)
         }
+    } else {
+        println!(
+            "no baseline at {}; run with --update-baseline to create one",
+            opts.baseline
+        );
+        ExitCode::SUCCESS
     }
 }

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use agora_chain::BlockHeader;
 use agora_crypto::{sha256, sha256_into};
-use agora_sim::{Ctx, DeviceClass, NodeId, Protocol, SimDuration, SimTime, Simulation};
+use agora_sim::{Ctx, DeviceClass, NodeId, Protocol, SimDuration, SimRng, SimTime, Simulation};
 
 use crate::json::Json;
 use crate::matrix::{MatrixRun, TrialStatus};
@@ -392,6 +392,90 @@ fn packed_events_per_sec(events: u64) -> f64 {
     events as f64 / secs
 }
 
+/// Zipf sampling throughput through the O(1) Vose alias table.
+fn zipf_alias_samples_per_sec(samples: u64) -> f64 {
+    let zipf = agora_workload::ZipfAlias::new(10_000, 0.9);
+    let mut rng = SimRng::new(11);
+    let mut acc = 0usize;
+    let started = Instant::now();
+    for _ in 0..samples {
+        acc = acc.wrapping_add(zipf.sample(&mut rng));
+    }
+    let secs = started.elapsed().as_secs_f64().max(1e-9);
+    std::hint::black_box(acc);
+    samples as f64 / secs
+}
+
+/// The O(log n) cumulative-table reference for the same distribution.
+fn zipf_cdf_samples_per_sec(samples: u64) -> f64 {
+    let table = agora_workload::zipf_reference(10_000, 0.9);
+    let mut rng = SimRng::new(11);
+    let mut acc = 0usize;
+    let started = Instant::now();
+    for _ in 0..samples {
+        acc = acc.wrapping_add(table.sample(&mut rng));
+    }
+    let secs = started.elapsed().as_secs_f64().max(1e-9);
+    std::hint::black_box(acc);
+    samples as f64 / secs
+}
+
+/// Idle protocol for replaying a workload schedule with no substrate cost:
+/// what's left is the engine + driver overhead the cohort layer must keep
+/// population-independent.
+struct Idle;
+
+impl Protocol for Idle {
+    type Msg = ();
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, ()>, _from: NodeId, _msg: ()) {}
+}
+
+/// Compile one diurnal day for `population` users aggregated into 64
+/// cohorts and replay it against an idle 64-node simulation. Returns
+/// (schedule events per wall second, schedule event count, represented
+/// population-scale requests) — the last two are the O(cohorts) claim in
+/// numbers: requests grow with population, events do not.
+fn workload_day_throughput(population: u64) -> (f64, u64, u64) {
+    use agora_workload::{
+        BoundedPareto, ChurnCurve, DemandModel, DiurnalCurve, LogNormalSessions, WorkloadDriver,
+        WorkloadSpec, ZoneMix,
+    };
+    let spec = WorkloadSpec {
+        population,
+        cohorts: 64,
+        actions_per_user_day: 20.0,
+        model: DemandModel {
+            zones: ZoneMix::global_three_region(DiurnalCurve::residential()),
+            flash: None,
+        },
+        ranks: 256,
+        zipf_alpha: 0.9,
+        sizes: BoundedPareto::new(2_000, 1_000_000, 1.3),
+        sessions: LogNormalSessions::new(300.0, 1.0),
+        tick: SimDuration::from_mins(15),
+        rep_cap: 2,
+        churn: Some(ChurnCurve {
+            offline_at_peak: 0.1,
+            offline_at_trough: 0.5,
+        }),
+    };
+    let mut sim: Simulation<Idle> = Simulation::new(17);
+    let nodes: Vec<NodeId> = (0..64)
+        .map(|_| sim.add_node(Idle, DeviceClass::PersonalComputer))
+        .collect();
+    let day = SimDuration::from_days(1);
+    let started = Instant::now();
+    let sched = spec.compile(17, &nodes, day);
+    let events = sched.len() as u64;
+    let requests = sched.total_requests();
+    let mut driver = WorkloadDriver::install(&sim, sched);
+    driver.run_for(&mut sim, day, &mut |_, d| {
+        std::hint::black_box(d.bytes);
+    });
+    let secs = started.elapsed().as_secs_f64().max(1e-9);
+    (events as f64 / secs, events, requests)
+}
+
 /// Build the full performance artifact from a completed matrix run.
 pub fn perf_to_json(run: &MatrixRun) -> Json {
     perf_to_json_with(run, PhaseProfiler::new())
@@ -457,6 +541,31 @@ pub fn perf_to_json_with(run: &MatrixRun, mut prof: PhaseProfiler) -> Json {
     engine.set("core_speedup", Json::Num(packed / reference.max(1e-9)));
     micro.set("engine", engine);
 
+    const ZIPF_SAMPLES: u64 = 2_000_000;
+    let mut workload = Json::obj();
+    let (alias, cdf) = prof.time("microbench/zipf_sampling", || {
+        (
+            median_of(&|| zipf_alias_samples_per_sec(ZIPF_SAMPLES)),
+            median_of(&|| zipf_cdf_samples_per_sec(ZIPF_SAMPLES)),
+        )
+    });
+    workload.set("zipf_alias_samples_per_sec", Json::Num(alias));
+    workload.set("zipf_cdf_samples_per_sec", Json::Num(cdf));
+    workload.set("zipf_alias_speedup", Json::Num(alias / cdf.max(1e-9)));
+    // One simulated day at 1M users, cohorted: the driver replays the whole
+    // population's demand as O(cohorts) events (86 400 sim-seconds).
+    let (day_eps, day_events, day_requests) = prof
+        .time_with_sim("microbench/workload_day_1m", || {
+            (workload_day_throughput(1_000_000), 86_400.0)
+        });
+    workload.set("day_1m_events_per_sec", Json::Num(day_eps));
+    workload.set("day_1m_schedule_events", Json::Num(day_events as f64));
+    workload.set(
+        "day_1m_represented_requests",
+        Json::Num(day_requests as f64),
+    );
+    micro.set("workload", workload);
+
     root.set("microbench", micro);
     root.set("breakdowns", prof.to_json());
     root
@@ -521,6 +630,28 @@ mod tests {
             .and_then(Json::as_f64)
             .expect("speedup");
         assert!(speedup > 0.0);
+        let workload = micro.get("workload").expect("workload section");
+        assert!(
+            workload
+                .get("zipf_alias_samples_per_sec")
+                .and_then(Json::as_f64)
+                .expect("alias throughput")
+                > 0.0
+        );
+        // The 1M-user day must be cohort-priced: far fewer schedule events
+        // than represented requests.
+        let events = workload
+            .get("day_1m_schedule_events")
+            .and_then(Json::as_f64)
+            .expect("schedule events");
+        let requests = workload
+            .get("day_1m_represented_requests")
+            .and_then(Json::as_f64)
+            .expect("requests");
+        assert!(
+            events > 0.0 && requests > 100.0 * events,
+            "{events} {requests}"
+        );
         let exp = perf
             .get("matrix")
             .and_then(|m| m.get("experiments"))

@@ -60,6 +60,18 @@ fn e15_i100(seed: u64) -> Metrics {
     agora::experiments::e15_metrics(seed, 1.0)
 }
 
+fn e16_p10k(seed: u64) -> Metrics {
+    agora::experiments::e16_metrics(seed, 10_000)
+}
+
+fn e16_p100k(seed: u64) -> Metrics {
+    agora::experiments::e16_metrics(seed, 100_000)
+}
+
+fn e16_p1m(seed: u64) -> Metrics {
+    agora::experiments::e16_metrics(seed, 1_000_000)
+}
+
 fn single(id: &'static str, title: &'static str, run: fn(u64) -> Metrics) -> ExperimentDef {
     ExperimentDef {
         id,
@@ -144,6 +156,24 @@ pub fn registry() -> Vec<ExperimentDef> {
                 },
             ],
         },
+        ExperimentDef {
+            id: "e16",
+            title: "Population-scale flash crowd (diurnal day, cohorted)",
+            variants: vec![
+                Variant {
+                    label: "p10k",
+                    run: e16_p10k,
+                },
+                Variant {
+                    label: "p100k",
+                    run: e16_p100k,
+                },
+                Variant {
+                    label: "p1m",
+                    run: e16_p1m,
+                },
+            ],
+        },
     ]
 }
 
@@ -152,9 +182,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_fifteen_experiments() {
+    fn registry_covers_all_sixteen_experiments() {
         let reg = registry();
-        assert_eq!(reg.len(), 15);
+        assert_eq!(reg.len(), 16);
         for (i, def) in reg.iter().enumerate() {
             assert_eq!(def.id, format!("e{}", i + 1));
             assert!(!def.variants.is_empty());

@@ -388,7 +388,14 @@ impl StorageNode {
             return;
         };
         let mut challenges = Vec::new();
-        for (object, rec) in c.objects.iter_mut() {
+        // Audit objects in key order: HashMap iteration order is randomized
+        // per process, and the op-id/challenge sequence must be reproducible.
+        let mut audit_order: Vec<Hash256> = c.objects.keys().copied().collect();
+        audit_order.sort_unstable();
+        for object in audit_order {
+            let Some(rec) = c.objects.get_mut(&object) else {
+                continue;
+            };
             // Audit one live shard per object per round, rotating.
             let live: Vec<usize> = (0..rec.shards.len())
                 .filter(|&i| rec.shards[i].alive)
@@ -404,7 +411,7 @@ impl StorageNode {
             };
             let op = c.next_op;
             c.next_op += 1;
-            challenges.push((op, *object, place.index, place.provider, audit));
+            challenges.push((op, object, place.index, place.provider, audit));
         }
         for (op, object, index, provider, audit) in challenges {
             let msg = StorageMsg::AuditChallenge {

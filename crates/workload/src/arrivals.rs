@@ -1,0 +1,317 @@
+//! Arrival-rate models: diurnal intensity curves, timezone mixes, and the
+//! flash-crowd primitive, composed into one [`DemandModel`] multiplier.
+//!
+//! All shapes are *multipliers over a base rate* normalized so that a flat
+//! day integrates to 1.0 × the configured daily volume: a population of P
+//! users each making R actions/day produces P·R expected demands per
+//! simulated day regardless of how the curve redistributes them across
+//! hours (the flash crowd, by design, adds volume on top).
+
+use agora_sim::SimDuration;
+
+/// Seconds in a simulated day.
+pub const DAY_SECS: f64 = 86_400.0;
+
+/// A 24-hour intensity curve, piecewise-constant per hour, normalized so
+/// its daily mean is exactly 1.0. Local time: hour 0 is midnight in the
+/// curve's own timezone.
+#[derive(Clone, Debug)]
+pub struct DiurnalCurve {
+    weights: [f64; 24],
+}
+
+impl DiurnalCurve {
+    /// Normalize raw hourly weights to a mean of 1.0.
+    pub fn new(raw: [f64; 24]) -> DiurnalCurve {
+        let sum: f64 = raw.iter().sum();
+        assert!(sum > 0.0 && sum.is_finite(), "diurnal curve needs mass");
+        let mut weights = raw;
+        for w in &mut weights {
+            assert!(*w >= 0.0, "negative hourly weight");
+            *w *= 24.0 / sum;
+        }
+        DiurnalCurve { weights }
+    }
+
+    /// A flat curve: multiplier 1.0 at every hour.
+    pub fn flat() -> DiurnalCurve {
+        DiurnalCurve { weights: [1.0; 24] }
+    }
+
+    /// Residential access pattern: quiet overnight trough, morning
+    /// shoulder, evening prime-time peak — the shape reported by ISP and
+    /// CDN traffic studies. Peak-to-trough ratio ≈ 5.
+    pub fn residential() -> DiurnalCurve {
+        DiurnalCurve::new([
+            0.5, 0.35, 0.25, 0.2, 0.2, 0.3, // 00–05: overnight trough
+            0.5, 0.8, 1.0, 1.1, 1.1, 1.15, // 06–11: morning ramp
+            1.2, 1.15, 1.1, 1.1, 1.2, 1.4, // 12–17: afternoon plateau
+            1.7, 2.0, 2.1, 1.9, 1.4, 0.9, // 18–23: evening prime time
+        ])
+    }
+
+    /// Intensity multiplier at a fraction of the local day in `[0, 1)`
+    /// (values outside wrap).
+    pub fn intensity(&self, day_frac: f64) -> f64 {
+        let f = day_frac.rem_euclid(1.0);
+        self.weights[((f * 24.0) as usize).min(23)]
+    }
+}
+
+/// A weighted mix of timezones sharing one [`DiurnalCurve`]: the global
+/// multiplier at UTC instant `t` is the weight-averaged local intensity.
+/// Spreading a population across offsets flattens the global curve — the
+/// same effect that lets follow-the-sun systems amortize capacity.
+#[derive(Clone, Debug)]
+pub struct ZoneMix {
+    zones: Vec<(i32, f64)>,
+    curve: DiurnalCurve,
+}
+
+impl ZoneMix {
+    /// All users in one timezone (UTC offset 0).
+    pub fn single(curve: DiurnalCurve) -> ZoneMix {
+        ZoneMix {
+            zones: vec![(0, 1.0)],
+            curve,
+        }
+    }
+
+    /// Explicit `(utc_offset_hours, weight)` zones; weights are normalized.
+    pub fn new(zones: Vec<(i32, f64)>, curve: DiurnalCurve) -> ZoneMix {
+        assert!(!zones.is_empty(), "zone mix needs at least one zone");
+        let total: f64 = zones.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.0 && total.is_finite(), "zone weights need mass");
+        let zones = zones.into_iter().map(|(o, w)| (o, w / total)).collect();
+        ZoneMix { zones, curve }
+    }
+
+    /// A three-region split roughly matching Internet population shares:
+    /// Americas (UTC−5, 30%), Europe/Africa (UTC+1, 35%), Asia/Pacific
+    /// (UTC+8, 35%).
+    pub fn global_three_region(curve: DiurnalCurve) -> ZoneMix {
+        ZoneMix::new(vec![(-5, 0.30), (1, 0.35), (8, 0.35)], curve)
+    }
+
+    /// The mix-wide multiplier at `t_secs` seconds of UTC sim time.
+    pub fn multiplier(&self, t_secs: f64) -> f64 {
+        let day_frac = t_secs / DAY_SECS;
+        self.zones
+            .iter()
+            .map(|&(offset, w)| w * self.curve.intensity(day_frac + offset as f64 / 24.0))
+            .sum()
+    }
+}
+
+/// A flash crowd pinned to a sim-time window: exponential ramp from 1× to
+/// `peak`×, a plateau, then exponential decay back to 1×. Multiplies the
+/// diurnal rate, so a prime-time flash is worse than a 4 a.m. one.
+#[derive(Clone, Copy, Debug)]
+pub struct FlashCrowd {
+    /// Onset (offset from workload start).
+    pub start: SimDuration,
+    /// Exponential ramp length.
+    pub ramp: SimDuration,
+    /// Time held at full peak.
+    pub plateau: SimDuration,
+    /// Exponential decay length.
+    pub decay: SimDuration,
+    /// Peak multiplier (≥ 1).
+    pub peak: f64,
+}
+
+impl FlashCrowd {
+    /// End of the episode (start + ramp + plateau + decay).
+    pub fn end(&self) -> SimDuration {
+        self.start + self.ramp + self.plateau + self.decay
+    }
+
+    /// Multiplier at `t_secs` seconds of sim time: 1 outside the window,
+    /// `peak^x` on the ramp (x ∈ [0,1]), `peak` on the plateau,
+    /// `peak^(1−y)` on the decay.
+    pub fn multiplier(&self, t_secs: f64) -> f64 {
+        let peak = self.peak.max(1.0);
+        let start = self.start.secs_f64();
+        let ramp_end = start + self.ramp.secs_f64();
+        let plateau_end = ramp_end + self.plateau.secs_f64();
+        let decay_end = plateau_end + self.decay.secs_f64();
+        if t_secs < start || t_secs >= decay_end {
+            1.0
+        } else if t_secs < ramp_end {
+            let x = (t_secs - start) / self.ramp.secs_f64().max(1e-9);
+            peak.powf(x)
+        } else if t_secs < plateau_end {
+            peak
+        } else {
+            let y = (t_secs - plateau_end) / self.decay.secs_f64().max(1e-9);
+            peak.powf(1.0 - y)
+        }
+    }
+}
+
+/// The composed demand model: a timezone-mixed diurnal baseline, times an
+/// optional flash crowd.
+#[derive(Clone, Debug)]
+pub struct DemandModel {
+    /// The diurnal baseline.
+    pub zones: ZoneMix,
+    /// Optional flash-crowd episode.
+    pub flash: Option<FlashCrowd>,
+}
+
+/// Sub-intervals per tick used by the midpoint quadrature in
+/// [`DemandModel::mean_over`].
+const QUAD_STEPS: usize = 4;
+
+impl DemandModel {
+    /// A flat, flash-free model (multiplier ≡ 1).
+    pub fn flat() -> DemandModel {
+        DemandModel {
+            zones: ZoneMix::single(DiurnalCurve::flat()),
+            flash: None,
+        }
+    }
+
+    /// The instantaneous rate multiplier at `t_secs`.
+    pub fn multiplier(&self, t_secs: f64) -> f64 {
+        let base = self.zones.multiplier(t_secs);
+        match &self.flash {
+            Some(f) => base * f.multiplier(t_secs),
+            None => base,
+        }
+    }
+
+    /// Mean multiplier over `[t0, t1)` by midpoint quadrature (piecewise
+    /// thinning integrates the rate per tick, then places reps by
+    /// rejection against [`DemandModel::peak_over`]).
+    pub fn mean_over(&self, t0: f64, t1: f64) -> f64 {
+        if t1 <= t0 {
+            return self.multiplier(t0);
+        }
+        let h = (t1 - t0) / QUAD_STEPS as f64;
+        (0..QUAD_STEPS)
+            .map(|i| self.multiplier(t0 + (i as f64 + 0.5) * h))
+            .sum::<f64>()
+            / QUAD_STEPS as f64
+    }
+
+    /// An upper bound on the multiplier over `[t0, t1)`: the max over the
+    /// endpoints and quadrature midpoints, padded 5% for the exponential
+    /// flash ramp between sample points. Used as the thinning envelope.
+    pub fn peak_over(&self, t0: f64, t1: f64) -> f64 {
+        let h = (t1 - t0).max(0.0) / QUAD_STEPS as f64;
+        let mut peak = self.multiplier(t0).max(self.multiplier(t1));
+        for i in 0..QUAD_STEPS {
+            peak = peak.max(self.multiplier(t0 + (i as f64 + 0.5) * h));
+        }
+        peak * 1.05
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_curve_is_unit() {
+        let c = DiurnalCurve::flat();
+        for h in 0..24 {
+            assert_eq!(c.intensity(h as f64 / 24.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn residential_curve_normalized_and_peaky() {
+        let c = DiurnalCurve::residential();
+        let mean: f64 = (0..24).map(|h| c.intensity(h as f64 / 24.0)).sum::<f64>() / 24.0;
+        assert!((mean - 1.0).abs() < 1e-12, "mean {mean}");
+        let trough = c.intensity(4.0 / 24.0);
+        let peak = c.intensity(20.0 / 24.0);
+        assert!(peak / trough > 4.0, "peak {peak} trough {trough}");
+    }
+
+    #[test]
+    fn intensity_wraps_across_midnight() {
+        let c = DiurnalCurve::residential();
+        assert_eq!(c.intensity(1.25), c.intensity(0.25));
+        assert_eq!(c.intensity(-0.5), c.intensity(0.5));
+    }
+
+    #[test]
+    fn zone_mix_flattens_the_globe() {
+        let single = ZoneMix::single(DiurnalCurve::residential());
+        let mixed = ZoneMix::global_three_region(DiurnalCurve::residential());
+        let spread = |z: &ZoneMix| {
+            let vals: Vec<f64> = (0..96).map(|i| z.multiplier(i as f64 * 900.0)).collect();
+            let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+            let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+            max / min
+        };
+        assert!(
+            spread(&mixed) < spread(&single),
+            "mixing timezones must flatten the curve"
+        );
+    }
+
+    #[test]
+    fn zone_mix_daily_mean_is_one() {
+        let mixed = ZoneMix::global_three_region(DiurnalCurve::residential());
+        // Hourly steps at hour offsets with integral weights: exact sum.
+        let mean: f64 = (0..24)
+            .map(|h| mixed.multiplier(h as f64 * 3600.0 + 1.0))
+            .sum::<f64>()
+            / 24.0;
+        assert!((mean - 1.0).abs() < 1e-9, "mean {mean}");
+    }
+
+    #[test]
+    fn flash_shape() {
+        let f = FlashCrowd {
+            start: SimDuration::from_secs(1000),
+            ramp: SimDuration::from_secs(100),
+            plateau: SimDuration::from_secs(200),
+            decay: SimDuration::from_secs(100),
+            peak: 16.0,
+        };
+        assert_eq!(f.multiplier(0.0), 1.0);
+        assert_eq!(f.multiplier(999.9), 1.0);
+        assert!(
+            (f.multiplier(1050.0) - 4.0).abs() < 1e-9,
+            "mid-ramp = sqrt(peak)"
+        );
+        assert_eq!(f.multiplier(1200.0), 16.0);
+        assert!((f.multiplier(1350.0) - 4.0).abs() < 1e-9, "mid-decay");
+        assert_eq!(f.multiplier(1400.0), 1.0);
+        assert_eq!(f.end(), SimDuration::from_secs(1400));
+    }
+
+    #[test]
+    fn demand_model_mean_and_peak_bound() {
+        let model = DemandModel {
+            zones: ZoneMix::single(DiurnalCurve::residential()),
+            flash: Some(FlashCrowd {
+                start: SimDuration::from_secs(43_200),
+                ramp: SimDuration::from_secs(1800),
+                plateau: SimDuration::from_secs(3600),
+                decay: SimDuration::from_secs(1800),
+                peak: 10.0,
+            }),
+        };
+        // peak_over must dominate the multiplier everywhere in the window.
+        for k in 0..96 {
+            let t0 = k as f64 * 900.0;
+            let t1 = t0 + 900.0;
+            let bound = model.peak_over(t0, t1);
+            for j in 0..30 {
+                let t = t0 + j as f64 * 30.0;
+                assert!(
+                    model.multiplier(t) <= bound + 1e-9,
+                    "t={t}: {} > {bound}",
+                    model.multiplier(t)
+                );
+            }
+        }
+        // Flat model integrates to 1 exactly.
+        assert!((DemandModel::flat().mean_over(0.0, DAY_SECS) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,93 @@
+//! The fixed paper-default load points used by the small experiments.
+//!
+//! E1–E15 drive the substrates with small constant-rate loads whose exact
+//! values are part of the regression contract: `BENCH_harness.json` rows
+//! must stay byte-identical across refactors. Those constants used to be
+//! scattered inline through `exp_comm.rs` / `exp_storage.rs`; they now
+//! live here, next to the distributions that generalize them, so the
+//! workload engine and the legacy experiments agree on what "one unit of
+//! load" means. **Changing any value here changes checked-in baselines.**
+
+/// The group-communication load shape shared by E3/E4 (and echoed by the
+/// larger E15/E16 clients): a small federation with a handful of posting
+/// and reading clients.
+#[derive(Clone, Copy, Debug)]
+pub struct CommLoad {
+    /// Federated instances (and the failure-fraction denominator).
+    pub instances: usize,
+    /// Clients homed on each instance.
+    pub clients_per_instance: usize,
+    /// Posts per client over the run.
+    pub posts_per_client: usize,
+    /// History reads per client at the end of the run.
+    pub reads_per_client: usize,
+    /// Post payload size in bytes.
+    pub post_bytes: u64,
+}
+
+impl CommLoad {
+    /// The values E3/E4 have used since the first harness baseline.
+    pub const fn paper_default() -> CommLoad {
+        CommLoad {
+            instances: 5,
+            clients_per_instance: 4,
+            posts_per_client: 3,
+            reads_per_client: 3,
+            post_bytes: 200,
+        }
+    }
+
+    /// Total client count.
+    pub const fn clients(&self) -> usize {
+        self.instances * self.clients_per_instance
+    }
+}
+
+/// The storage load shape shared by E5/E8: one erasure-coded object,
+/// repeatedly fetched, plus the sealing/audit probe sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct StorageLoad {
+    /// The stored object (E8's put) in bytes.
+    pub object_bytes: usize,
+    /// The audited object in E5's live-protocol phase, in bytes.
+    pub audit_object_bytes: usize,
+    /// The sealing-game input in E5's PoRep phase, in bytes.
+    pub seal_probe_bytes: usize,
+    /// GETs issued against the object per run.
+    pub gets: usize,
+}
+
+impl StorageLoad {
+    /// The values E5/E8 have used since the first harness baseline.
+    pub const fn paper_default() -> StorageLoad {
+        StorageLoad {
+            object_bytes: 1_000_000,
+            audit_object_bytes: 60_000,
+            seal_probe_bytes: 500_000,
+            gets: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_pinned() {
+        // These values are baked into BENCH_harness.json; a change here
+        // must be a deliberate baseline regeneration, never an accident.
+        let c = CommLoad::paper_default();
+        assert_eq!(
+            (c.instances, c.clients_per_instance, c.posts_per_client),
+            (5, 4, 3)
+        );
+        assert_eq!((c.reads_per_client, c.post_bytes), (3, 200));
+        assert_eq!(c.clients(), 20);
+        let s = StorageLoad::paper_default();
+        assert_eq!(s.object_bytes, 1_000_000);
+        assert_eq!(s.audit_object_bytes, 60_000);
+        assert_eq!(s.seal_probe_bytes, 500_000);
+        assert_eq!(s.gets, 8);
+    }
+}

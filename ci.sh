@@ -71,6 +71,19 @@ step "workload smoke: E16 deterministic across thread counts; e1-e15 baseline un
     --json "$CHAOS_TMP/e16_t8.json" >/dev/null
 cmp "$CHAOS_TMP/e16_t1.json" "$CHAOS_TMP/e16_t8.json"
 
+step "market smoke: E17 deterministic across thread counts; e1-e16 baseline untouched"
+# Same contract again: 1 thread writes a filtered baseline, 8 threads must
+# reproduce it exactly, raw artifacts byte-identical. The full-matrix
+# baseline diffs above already prove e1-e16 rows are unchanged with the
+# market subsystem compiled in but dormant.
+./target/release/agora-harness --filter e17 --threads 1 \
+    --baseline "$CHAOS_TMP/e17_baseline.json" --update-baseline \
+    --json "$CHAOS_TMP/e17_t1.json" >/dev/null
+./target/release/agora-harness --filter e17 --threads 8 \
+    --baseline "$CHAOS_TMP/e17_baseline.json" \
+    --json "$CHAOS_TMP/e17_t8.json" >/dev/null
+cmp "$CHAOS_TMP/e17_t1.json" "$CHAOS_TMP/e17_t8.json"
+
 step "trace smoke: deterministic TRACE jsonl + causal explain"
 ./target/release/agora-harness --trace dht --trace-out "$TRACE_TMP/a.jsonl" \
     --explain dht.lookup_secs
@@ -94,6 +107,17 @@ cmp "$TRACE_TMP/e16a.jsonl" "$TRACE_TMP/e16b.jsonl"
 ./target/release/agora-harness --validate-trace "$TRACE_TMP/e16a.jsonl"
 grep -q '"type":"span","key":"workload.demand"' "$TRACE_TMP/e16a.jsonl"
 grep -q '"type":"span","key":"workload.churn_kill"' "$TRACE_TMP/e16a.jsonl"
+# E17 under max chaos: the market.* span family (challenges, slashes,
+# repair traffic) must be present, the artifact deterministic, and a slash
+# explainable back to the audit oracle.
+./target/release/agora-harness --trace e17/i1.00 --trace-out "$TRACE_TMP/e17a.jsonl" \
+    --explain market.slash
+./target/release/agora-harness --trace e17/i1.00 --trace-out "$TRACE_TMP/e17b.jsonl" >/dev/null
+cmp "$TRACE_TMP/e17a.jsonl" "$TRACE_TMP/e17b.jsonl"
+./target/release/agora-harness --validate-trace "$TRACE_TMP/e17a.jsonl"
+grep -q '"type":"span","key":"market.challenge"' "$TRACE_TMP/e17a.jsonl"
+grep -q '"type":"span","key":"market.slash"' "$TRACE_TMP/e17a.jsonl"
+grep -q '"type":"span","key":"market.repair_bytes"' "$TRACE_TMP/e17a.jsonl"
 
 echo
 echo "full gate passed"

@@ -1,0 +1,54 @@
+//! Reed–Solomon kernels on the storage market's hot path: encode on
+//! placement, reconstruct on repair (fast path when all data shards
+//! survive, matrix-inversion path otherwise). These are the microbenchmark
+//! counterparts of the `market` section of BENCH_perf.json
+//! (crates/harness/src/perf.rs); the codec points match E17's sweep.
+
+use agora_storage::ReedSolomon;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const OBJECT_LEN: usize = 256 * 1024;
+
+fn payload() -> Vec<u8> {
+    (0..OBJECT_LEN).map(|i| (i % 249) as u8).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rs_encode_256k");
+    g.throughput(Throughput::Bytes(OBJECT_LEN as u64));
+    let data = payload();
+    // The E17 codec points: two erasure geometries plus replication-as-RS(1,m).
+    for (k, m) in [(4usize, 2usize), (8, 4), (1, 2)] {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        g.bench_function(format!("rs{k}_{m}"), |b| {
+            b.iter(|| black_box(rs.encode(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rs_reconstruct_256k");
+    g.throughput(Throughput::Bytes(OBJECT_LEN as u64));
+    let data = payload();
+    // Reconstruction cost as erasures grow: 0 lost data shards is the
+    // memcpy fast path; each additional loss pulls in one more parity row
+    // of the inverted system.
+    let (k, m) = (8usize, 4usize);
+    let rs = ReedSolomon::new(k, m).unwrap();
+    let shards = rs.encode(&data);
+    for erasures in [0usize, 1, 2, 4] {
+        let survivors: Vec<(usize, &[u8])> = (erasures..k + m)
+            .take(k)
+            .map(|i| (i, shards[i].as_slice()))
+            .collect();
+        g.bench_function(format!("rs8_4_lost{erasures}"), |b| {
+            b.iter(|| black_box(rs.reconstruct(&survivors, OBJECT_LEN).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(erasure, bench_encode, bench_reconstruct);
+criterion_main!(erasure);

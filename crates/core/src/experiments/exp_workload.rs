@@ -99,6 +99,16 @@ pub struct ClassOutcome {
     pub p95: f64,
     /// 99th-percentile latency (seconds).
     pub p99: f64,
+    /// True per-operation median (seconds): quantile of the substrate's
+    /// event-time completion histogram, free of the drain-granularity
+    /// bias the legacy `p50`/`p95`/`p99` fields carry for the storage and
+    /// swarm classes (their pending ops used to be timed at drain
+    /// boundaries only).
+    pub op_p50: f64,
+    /// True per-operation 95th percentile (seconds).
+    pub op_p95: f64,
+    /// True per-operation 99th percentile (seconds).
+    pub op_p99: f64,
     /// Busiest serving node's share of total weighted demand (1.0 = one
     /// node carries everything).
     pub busiest_share: f64,
@@ -302,6 +312,10 @@ fn run_centralized(seed: u64, population: u64) -> ClassOutcome {
         p50,
         p95,
         p99,
+        // comm.delivery_secs is already event-time: the op view is the same.
+        op_p50: p50,
+        op_p95: p95,
+        op_p99: p99,
         busiest_share: ledger.busiest_share(),
         peak_overload: ledger.peak_overload,
         requests,
@@ -407,6 +421,9 @@ fn run_federated(seed: u64, population: u64) -> ClassOutcome {
         p50,
         p95,
         p99,
+        op_p50: p50,
+        op_p95: p95,
+        op_p99: p99,
         busiest_share: ledger.busiest_share(),
         peak_overload: ledger.peak_overload,
         requests,
@@ -541,6 +558,9 @@ fn run_dht(seed: u64, population: u64) -> ClassOutcome {
         p50,
         p95,
         p99,
+        op_p50: p50,
+        op_p95: p95,
+        op_p99: p99,
         busiest_share: ledger.busiest_share(),
         peak_overload: ledger.peak_overload,
         requests,
@@ -656,11 +676,18 @@ fn run_storage(seed: u64, population: u64) -> ClassOutcome {
         out.resolve(w, ok);
     }
     let (p50, p95, p99) = quantiles(latencies);
+    // The legacy quantiles above time pending gets at drain boundaries
+    // (30 s granularity); the node's own event-time completion histogram
+    // gives the true per-op distribution.
+    let (op_p50, op_p95, op_p99) = histogram_quantiles(sim.metrics(), "storage.get_secs");
     ClassOutcome {
         availability: out.availability(),
         p50,
         p95,
         p99,
+        op_p50,
+        op_p95,
+        op_p99,
         busiest_share: ledger.busiest_share(),
         peak_overload: ledger.peak_overload,
         requests,
@@ -779,11 +806,15 @@ fn run_swarm(seed: u64, population: u64) -> ClassOutcome {
         out.resolve(w, ok);
     }
     let (p50, p95, p99) = quantiles(latencies);
+    let (op_p50, op_p95, op_p99) = histogram_quantiles(sim.metrics(), "web.visit_secs");
     ClassOutcome {
         availability: out.availability(),
         p50,
         p95,
         p99,
+        op_p50,
+        op_p95,
+        op_p99,
         busiest_share: ledger.busiest_share(),
         peak_overload: ledger.peak_overload,
         requests,
@@ -866,6 +897,8 @@ pub fn e16_flash_crowd_sweep(seed: u64) -> (Vec<E16Result>, Report) {
 fn class_metrics(m: &mut Metrics, prefix: &str, c: &ClassOutcome) {
     m.gauge_set(&format!("{prefix}.availability"), c.availability);
     m.gauge_set(&format!("{prefix}.p99_secs"), c.p99);
+    m.gauge_set(&format!("{prefix}.op_p50_secs"), c.op_p50);
+    m.gauge_set(&format!("{prefix}.op_p99_secs"), c.op_p99);
     m.gauge_set(&format!("{prefix}.busiest_share"), c.busiest_share);
     m.gauge_set(&format!("{prefix}.peak_overload"), c.peak_overload);
 }

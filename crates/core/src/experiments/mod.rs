@@ -9,6 +9,7 @@ pub mod exp_agenda;
 pub mod exp_chain;
 pub mod exp_comm;
 pub mod exp_governance;
+pub mod exp_market;
 pub mod exp_naming;
 pub mod exp_resilience;
 pub mod exp_storage;
@@ -28,6 +29,10 @@ pub use exp_comm::{
 pub use exp_governance::{
     e12_metrics, e12_moderation_tension, e13_financing_gap, e13_metrics, CostRow, E12Result,
     E13Result, Payer,
+};
+pub use exp_market::{
+    e17_market_point, e17_market_sweep, e17_metrics, e17_workload_metrics, e17_workload_point,
+    CodecPoint, E17Result, E17Workload, E17_INTENSITIES,
 };
 pub use exp_naming::{
     e1_metrics, e1_naming_tradeoff, e2_metrics, e2_naming_attacks, E1Result, E2Result,

@@ -392,6 +392,53 @@ fn packed_events_per_sec(events: u64) -> f64 {
     events as f64 / secs
 }
 
+/// Reed–Solomon encode throughput for one (k, m) point, in MiB of source
+/// data per second.
+fn erasure_encode_mib_s(k: usize, m: usize) -> f64 {
+    const LEN: usize = 256 * 1024;
+    const ITERS: u64 = 16;
+    let rs = agora::storage::ReedSolomon::new(k, m).expect("valid (k, m)");
+    let data: Vec<u8> = (0..LEN).map(|i| (i % 249) as u8).collect();
+    // Warm-up and keep the result live.
+    std::hint::black_box(rs.encode(&data));
+    let started = Instant::now();
+    let mut acc = 0usize;
+    for _ in 0..ITERS {
+        let shards = rs.encode(&data);
+        acc = acc.wrapping_add(shards[k + m - 1][0] as usize);
+    }
+    let secs = started.elapsed().as_secs_f64().max(1e-9);
+    std::hint::black_box(acc);
+    (LEN as u64 * ITERS) as f64 / secs / (1024.0 * 1024.0)
+}
+
+/// Reed–Solomon reconstruction throughput with `erasures` data shards lost
+/// (forcing the matrix-inversion path when `erasures > 0`), in MiB of
+/// recovered source data per second.
+fn erasure_reconstruct_mib_s(k: usize, m: usize, erasures: usize) -> f64 {
+    const LEN: usize = 256 * 1024;
+    const ITERS: u64 = 16;
+    assert!(erasures <= m);
+    let rs = agora::storage::ReedSolomon::new(k, m).expect("valid (k, m)");
+    let data: Vec<u8> = (0..LEN).map(|i| (i % 249) as u8).collect();
+    let shards = rs.encode(&data);
+    // Drop the first `erasures` data shards, substitute parity.
+    let survivors: Vec<(usize, &[u8])> = (erasures..k + m)
+        .take(k)
+        .map(|i| (i, shards[i].as_slice()))
+        .collect();
+    std::hint::black_box(rs.reconstruct(&survivors, LEN).expect("reconstructs"));
+    let started = Instant::now();
+    let mut acc = 0usize;
+    for _ in 0..ITERS {
+        let out = rs.reconstruct(&survivors, LEN).expect("reconstructs");
+        acc = acc.wrapping_add(out[LEN - 1] as usize);
+    }
+    let secs = started.elapsed().as_secs_f64().max(1e-9);
+    std::hint::black_box(acc);
+    (LEN as u64 * ITERS) as f64 / secs / (1024.0 * 1024.0)
+}
+
 /// Zipf sampling throughput through the O(1) Vose alias table.
 fn zipf_alias_samples_per_sec(samples: u64) -> f64 {
     let zipf = agora_workload::ZipfAlias::new(10_000, 0.9);
@@ -566,6 +613,33 @@ pub fn perf_to_json_with(run: &MatrixRun, mut prof: PhaseProfiler) -> Json {
     );
     micro.set("workload", workload);
 
+    // The storage market's hot path: RS encode on placement, reconstruct on
+    // repair. One entry per codec point E17 sweeps, plus the replication
+    // special case for scale.
+    let mut market = Json::obj();
+    let points: Vec<(usize, usize)> = vec![(4, 2), (8, 4), (1, 2)];
+    let codecs = prof.time("microbench/erasure", || {
+        points
+            .iter()
+            .map(|&(k, m)| {
+                (
+                    k,
+                    m,
+                    erasure_encode_mib_s(k, m),
+                    erasure_reconstruct_mib_s(k, m, m.min(k)),
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+    for (k, m, enc, rec) in codecs {
+        let mut e = Json::obj();
+        e.set("encode_mib_s", Json::Num(enc));
+        e.set("reconstruct_mib_s", Json::Num(rec));
+        e.set("overhead", Json::Num((k + m) as f64 / k as f64));
+        market.set(&format!("rs{k}_{m}"), e);
+    }
+    micro.set("market", market);
+
     root.set("microbench", micro);
     root.set("breakdowns", prof.to_json());
     root
@@ -652,6 +726,26 @@ mod tests {
             events > 0.0 && requests > 100.0 * events,
             "{events} {requests}"
         );
+        let market = micro.get("market").expect("market section");
+        for codec in ["rs4_2", "rs8_4", "rs1_2"] {
+            let point = market.get(codec).expect(codec);
+            assert!(
+                point
+                    .get("encode_mib_s")
+                    .and_then(Json::as_f64)
+                    .expect("encode throughput")
+                    > 0.0,
+                "{codec}"
+            );
+            assert!(
+                point
+                    .get("reconstruct_mib_s")
+                    .and_then(Json::as_f64)
+                    .expect("reconstruct throughput")
+                    > 0.0,
+                "{codec}"
+            );
+        }
         let exp = perf
             .get("matrix")
             .and_then(|m| m.get("experiments"))

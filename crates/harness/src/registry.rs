@@ -72,6 +72,18 @@ fn e16_p1m(seed: u64) -> Metrics {
     agora::experiments::e16_metrics(seed, 1_000_000)
 }
 
+fn e17_i000(seed: u64) -> Metrics {
+    agora::experiments::e17_metrics(seed, 0.0)
+}
+
+fn e17_i050(seed: u64) -> Metrics {
+    agora::experiments::e17_metrics(seed, 0.5)
+}
+
+fn e17_i100(seed: u64) -> Metrics {
+    agora::experiments::e17_metrics(seed, 1.0)
+}
+
 fn single(id: &'static str, title: &'static str, run: fn(u64) -> Metrics) -> ExperimentDef {
     ExperimentDef {
         id,
@@ -174,6 +186,28 @@ pub fn registry() -> Vec<ExperimentDef> {
                 },
             ],
         },
+        ExperimentDef {
+            id: "e17",
+            title: "Storage market: audit/slashing/repair under chaos",
+            variants: vec![
+                Variant {
+                    label: "i0.00",
+                    run: e17_i000,
+                },
+                Variant {
+                    label: "i0.50",
+                    run: e17_i050,
+                },
+                Variant {
+                    label: "i1.00",
+                    run: e17_i100,
+                },
+                Variant {
+                    label: "workload",
+                    run: agora::experiments::e17_workload_metrics,
+                },
+            ],
+        },
     ]
 }
 
@@ -182,9 +216,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_sixteen_experiments() {
+    fn registry_covers_all_seventeen_experiments() {
         let reg = registry();
-        assert_eq!(reg.len(), 16);
+        assert_eq!(reg.len(), 17);
         for (i, def) in reg.iter().enumerate() {
             assert_eq!(def.id, format!("e{}", i + 1));
             assert!(!def.variants.is_empty());

@@ -131,6 +131,27 @@ impl StorageContract {
         };
         (earned, slashed)
     }
+
+    /// Slash up to `amount` of the provider's remaining stake to `auditor`
+    /// — the market's per-miss penalty (the who-watches-the-watchers answer:
+    /// the challenger is paid out of the cheater's deposit). `stake_left`
+    /// tracks the unspent collateral across a contract's lifetime; the cut
+    /// is bounded by it so a contract can never pay out more than it
+    /// escrowed. Returns the amount actually moved.
+    pub fn slash_stake(
+        &self,
+        bank: &mut TokenBank,
+        auditor: Hash256,
+        stake_left: &mut u64,
+        amount: u64,
+    ) -> u64 {
+        let cut = amount.min(*stake_left);
+        if cut > 0 {
+            bank.transfer(self.provider, auditor, cut as i64);
+            *stake_left -= cut;
+        }
+        cut
+    }
 }
 
 #[cfg(test)]
@@ -213,5 +234,23 @@ mod tests {
     #[test]
     fn max_payout() {
         assert_eq!(contract().max_payout(), 50);
+    }
+
+    #[test]
+    fn slash_stake_is_bounded_by_remaining_collateral() {
+        let c = contract();
+        let auditor = sha256(b"auditor");
+        let mut bank = TokenBank::new();
+        let mut stake_left = c.collateral; // 100
+        assert_eq!(c.slash_stake(&mut bank, auditor, &mut stake_left, 60), 60);
+        assert_eq!(stake_left, 40);
+        // Second miss wants 60 but only 40 remains.
+        assert_eq!(c.slash_stake(&mut bank, auditor, &mut stake_left, 60), 40);
+        assert_eq!(stake_left, 0);
+        // Exhausted stake slashes nothing and moves no tokens.
+        assert_eq!(c.slash_stake(&mut bank, auditor, &mut stake_left, 60), 0);
+        assert_eq!(bank.balance(&auditor), 100);
+        assert_eq!(bank.balance(&c.provider), -100);
+        assert_eq!(bank.total(), 0);
     }
 }

@@ -126,6 +126,49 @@ impl TokenBank {
     }
 }
 
+/// EWMA audit-success reputation: the storage market's placement signal.
+///
+/// Each audit outcome folds into an exponentially-weighted moving average
+/// of pass (1.0) / fail (0.0), so a provider's standing tracks its *recent*
+/// reliability: one miss dents a long clean record only slightly, while a
+/// flapping or discarding provider converges to zero and falls below the
+/// placement floor. Fresh providers start at 1.0 (optimistic bootstrap —
+/// the market discovers cheaters through audits, not priors).
+#[derive(Clone, Debug)]
+pub struct EwmaReputation {
+    alpha: f64,
+    scores: HashMap<Hash256, f64>,
+}
+
+impl EwmaReputation {
+    /// New table with smoothing weight `alpha` in (0, 1]: the fraction of
+    /// the score replaced by each new observation.
+    pub fn new(alpha: f64) -> EwmaReputation {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        EwmaReputation {
+            alpha,
+            scores: HashMap::new(),
+        }
+    }
+
+    /// Fold one audit outcome into a provider's score.
+    pub fn observe(&mut self, provider: Hash256, passed: bool) {
+        let s = self.scores.entry(provider).or_insert(1.0);
+        let x = if passed { 1.0 } else { 0.0 };
+        *s = (1.0 - self.alpha) * *s + self.alpha * x;
+    }
+
+    /// A provider's standing (1.0 = fresh / perfect, → 0.0 = always missing).
+    pub fn score(&self, provider: &Hash256) -> f64 {
+        self.scores.get(provider).copied().unwrap_or(1.0)
+    }
+
+    /// Whether a provider clears the placement floor.
+    pub fn eligible(&self, provider: &Hash256, floor: f64) -> bool {
+        self.score(provider) >= floor
+    }
+}
+
 /// MaidSafe-style proof-of-resource standing.
 #[derive(Clone, Debug, Default)]
 pub struct ResourceScore {
@@ -203,6 +246,41 @@ mod tests {
         assert_eq!(bank.balance(&a), -30);
         assert_eq!(bank.balance(&b), 30);
         assert_eq!(bank.total(), 0);
+    }
+
+    #[test]
+    fn ewma_reputation_falls_fast_and_recovers_slowly() {
+        let mut rep = EwmaReputation::new(0.3);
+        let p = sha256(b"provider");
+        assert_eq!(rep.score(&p), 1.0, "fresh providers start optimistic");
+        assert!(rep.eligible(&p, 0.5));
+        // Three consecutive misses: 0.7, 0.49, 0.343 — below a 0.5 floor.
+        for _ in 0..3 {
+            rep.observe(p, false);
+        }
+        assert!(rep.score(&p) < 0.5);
+        assert!(!rep.eligible(&p, 0.5));
+        // Recovery is gradual: one pass does not restore standing.
+        rep.observe(p, true);
+        assert!(rep.score(&p) < 0.6);
+        for _ in 0..10 {
+            rep.observe(p, true);
+        }
+        assert!(
+            rep.eligible(&p, 0.5),
+            "sustained passes restore eligibility"
+        );
+    }
+
+    #[test]
+    fn ewma_reputation_one_miss_barely_dents_a_clean_record() {
+        let mut rep = EwmaReputation::new(0.1);
+        let p = sha256(b"steady");
+        for _ in 0..50 {
+            rep.observe(p, true);
+        }
+        rep.observe(p, false);
+        assert!(rep.score(&p) > 0.85, "{}", rep.score(&p));
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   (experiment E6).
 //! * [`attacks`] — Sybil / outsourcing / generation attacks against the
 //!   proof schemes (experiment E5).
+//! * [`market`] — the live storage market: erasure-coded placement by
+//!   reputation, staked contracts, a deterministic challenge oracle with
+//!   an Open → Resolved / Expired lifecycle, slashing, and a repair actor
+//!   (experiment E17).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +33,7 @@ pub mod contract;
 pub mod durability;
 pub mod erasure;
 pub mod incentives;
+pub mod market;
 pub mod node;
 pub mod profiles;
 pub mod proofs;
@@ -40,7 +45,10 @@ pub use chunk::{Chunk, Manifest, DEFAULT_CHUNK_SIZE};
 pub use contract::{ProofScheme, StorageContract};
 pub use durability::{simulate_durability, DurabilityParams, DurabilityResult};
 pub use erasure::{ErasureError, ReedSolomon};
-pub use incentives::{BitswapLedger, IncentiveScheme, ResourceScore, TokenBank};
+pub use incentives::{BitswapLedger, EwmaReputation, IncentiveScheme, ResourceScore, TokenBank};
+pub use market::{
+    ChallengeRecord, ChallengeState, MarketSpec, OracleSchedule, PlannedChallenge, StorageMarket,
+};
 pub use node::{ProviderStrategy, StorageMsg, StorageNode, StorageResult};
 pub use profiles::{render_table2, table2_profiles, BlockchainUsage, Redundancy, StorageProfile};
 pub use proofs::{

@@ -12,7 +12,7 @@ use std::rc::Rc;
 
 use agora_crypto::{sha256, Hash256};
 use agora_sim::retry::{CTR_RETRY_ATTEMPTS, CTR_RETRY_GAVE_UP};
-use agora_sim::{Ctx, NodeId, Protocol, Retrier, RetryPolicy, SimDuration};
+use agora_sim::{Ctx, NodeId, Protocol, Retrier, RetryPolicy, SimDuration, SimTime};
 
 use crate::erasure::ReedSolomon;
 use crate::proofs::{por_make_audits, por_respond, por_verify, Audit};
@@ -140,12 +140,17 @@ enum OpState {
     Put {
         object: Hash256,
         deadline_ticks: u32,
+        /// Op issue time, so completion records true event-time latency
+        /// (the `storage.put_secs` histogram) rather than poll granularity.
+        started: SimTime,
     },
     Get {
         object: Hash256,
         collected: Vec<(usize, Rc<[u8]>)>,
         deadline_ticks: u32,
         repair_index: Option<u32>,
+        /// Op issue time for the `storage.get_secs` latency histogram.
+        started: SimTime,
     },
     AuditWait {
         object: Hash256,
@@ -251,6 +256,53 @@ impl StorageNode {
         }
     }
 
+    /// Store a shard directly into a provider (the market's placement /
+    /// repair path), applying the provider's strategy exactly as a
+    /// `PutShard` message would. Returns whether the provider kept the
+    /// bytes — which the market deliberately ignores: cheaters are
+    /// discovered by audits, not by trusting the store path.
+    pub fn provider_store(
+        &mut self,
+        ctx: &mut Ctx<'_, StorageMsg>,
+        object: Hash256,
+        index: u32,
+        data: Rc<[u8]>,
+    ) -> bool {
+        let Role::Provider(p) = &mut self.role else {
+            panic!("provider_store on a client");
+        };
+        let keep = match p.strategy {
+            ProviderStrategy::Honest => true,
+            ProviderStrategy::DiscardAfterAck => false,
+            ProviderStrategy::PartialKeep(pct) => ctx.rng().chance(pct as f64 / 100.0),
+        };
+        if keep {
+            p.shards.insert((object, index), data);
+        }
+        keep
+    }
+
+    /// Answer a retrievability challenge from local state (providers only;
+    /// `None` = shard not held).
+    pub fn provider_digest(&self, object: &Hash256, index: u32, nonce: u64) -> Option<Hash256> {
+        match &self.role {
+            Role::Provider(p) => p
+                .shards
+                .get(&(*object, index))
+                .map(|d| por_respond(nonce, d)),
+            Role::Client(_) => None,
+        }
+    }
+
+    /// Borrow a held shard (providers only) — the market repair actor's
+    /// read path.
+    pub fn provider_shard(&self, object: &Hash256, index: u32) -> Option<Rc<[u8]>> {
+        match &self.role {
+            Role::Provider(p) => p.shards.get(&(*object, index)).cloned(),
+            Role::Client(_) => None,
+        }
+    }
+
     /// Live-shard count the client believes an object has.
     pub fn live_shards(&self, object: &Hash256) -> usize {
         match &self.role {
@@ -322,6 +374,7 @@ impl StorageNode {
             OpState::Put {
                 object,
                 deadline_ticks: MAX_OP_TICKS,
+                started: ctx.now(),
             },
         );
         ctx.set_timer(OP_TICK, op);
@@ -361,6 +414,7 @@ impl StorageNode {
                 collected: Vec::new(),
                 deadline_ticks: MAX_OP_TICKS,
                 repair_index: None,
+                started: ctx.now(),
             },
         );
         ctx.set_timer(OP_TICK, op);
@@ -476,6 +530,7 @@ impl StorageNode {
                 collected: Vec::new(),
                 deadline_ticks: MAX_OP_TICKS,
                 repair_index: Some(index),
+                started: ctx.now(),
             },
         );
         ctx.set_timer(OP_TICK, op);
@@ -491,6 +546,7 @@ impl StorageNode {
             object,
             collected,
             repair_index,
+            started,
             ..
         }) = c.ops.get(&op)
         else {
@@ -498,6 +554,7 @@ impl StorageNode {
         };
         let object = *object;
         let repair_index = *repair_index;
+        let started = *started;
         let rec = c.objects.get(&object).expect("record exists");
         if collected.len() < rec.k {
             return;
@@ -512,6 +569,8 @@ impl StorageNode {
                 match repair_index {
                     None => {
                         ctx.metrics().incr("storage.get_ok", 1);
+                        let took = ctx.now().since(started).secs_f64();
+                        ctx.metrics().sample("storage.get_secs", took);
                         c.results.insert(op, StorageResult::Retrieved(data));
                     }
                     Some(index) => {
@@ -633,19 +692,23 @@ impl Protocol for StorageNode {
                     }
                     // Complete any pending Put op once all acks are in.
                     if rec.shards.iter().all(|s| s.acked) {
-                        let done: Vec<u64> = c
+                        let done: Vec<(u64, SimTime)> = c
                             .ops
                             .iter()
-                            .filter(|(_, st)| {
-                                matches!(st, OpState::Put { object: o, .. } if *o == object)
+                            .filter_map(|(op, st)| match st {
+                                OpState::Put {
+                                    object: o, started, ..
+                                } if *o == object => Some((*op, *started)),
+                                _ => None,
                             })
-                            .map(|(op, _)| *op)
                             .collect();
                         let n = rec.shards.len() as u32;
-                        for op in done {
+                        for (op, started) in done {
                             c.ops.remove(&op);
                             c.retriers.remove(&op);
                             ctx.metrics().incr("storage.put_ok", 1);
+                            let took = ctx.now().since(started).secs_f64();
+                            ctx.metrics().sample("storage.put_secs", took);
                             c.results
                                 .insert(op, StorageResult::Stored { object, shards: n });
                         }
@@ -705,6 +768,7 @@ impl Protocol for StorageNode {
             Some(OpState::Put {
                 object,
                 deadline_ticks,
+                ..
             }) => {
                 let object = *object;
                 *deadline_ticks -= 1;

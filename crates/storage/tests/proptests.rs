@@ -8,8 +8,8 @@
 use agora_crypto::sha256;
 use agora_sim::SimRng;
 use agora_storage::{
-    por_make_audits, por_respond, por_verify, seal, unseal, Chunk, Manifest, ProofScheme,
-    ReedSolomon, SpacetimeRecord, StorageContract, TokenBank,
+    por_make_audits, por_respond, por_verify, seal, unseal, Chunk, Manifest, MarketSpec,
+    ProofScheme, ReedSolomon, SpacetimeRecord, StorageContract, TokenBank,
 };
 use proptest::prelude::*;
 
@@ -29,6 +29,52 @@ proptest! {
         let picks = rng.sample_indices(k + m, k);
         let avail: Vec<(usize, Vec<u8>)> = picks.iter().map(|&i| (i, shards[i].clone())).collect();
         prop_assert_eq!(rs.reconstruct(&avail, data.len()).expect("any k suffice"), data);
+    }
+
+    /// Encode∘decode is the identity at arbitrary (data length, k, m)
+    /// combinations — i.e. arbitrary shard sizes, including the k ∤ len
+    /// padding cases and single-byte shards — via the all-data fast path.
+    #[test]
+    fn rs_encode_decode_roundtrip_at_random_shard_sizes(
+        data in proptest::collection::vec(any::<u8>(), 1..5000),
+        k in 1usize..10,
+        m in 0usize..6,
+    ) {
+        let rs = ReedSolomon::new(k, m).expect("valid");
+        let shards = rs.encode(&data);
+        prop_assert_eq!(shards.len(), k + m);
+        let shard_len = data.len().div_ceil(k).max(1);
+        for s in &shards {
+            prop_assert_eq!(s.len(), shard_len);
+        }
+        let avail: Vec<(usize, Vec<u8>)> = (0..k).map(|i| (i, shards[i].clone())).collect();
+        prop_assert_eq!(rs.reconstruct(&avail, data.len()).expect("all data shards"), data);
+    }
+
+    /// The market's challenge oracle is a pure function of (spec, seed):
+    /// recompiling yields the identical schedule, sorted by open time, with
+    /// exactly rounds × objects challenges all targeting valid slots.
+    #[test]
+    fn market_oracle_is_deterministic_sorted_and_in_range(
+        seed in any::<u64>(),
+        objects in 1usize..12,
+        k in 1usize..9,
+        m in 1usize..5,
+    ) {
+        let spec = MarketSpec { objects, k, m, ..MarketSpec::default() };
+        let a = spec.compile_oracle(seed);
+        let b = spec.compile_oracle(seed);
+        prop_assert_eq!(a.challenges(), b.challenges());
+        prop_assert_eq!(a.len(), spec.rounds() as usize * objects);
+        let mut last = None;
+        for c in a.challenges() {
+            prop_assert!((c.object as usize) < objects);
+            prop_assert!((c.slot as usize) < k + m);
+            if let Some(prev) = last {
+                prop_assert!(c.at >= prev);
+            }
+            last = Some(c.at);
+        }
     }
 
     /// Fewer than k shards can never reconstruct.

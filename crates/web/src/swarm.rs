@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use agora_crypto::{sha256, Hash256};
 use agora_sim::retry::{CTR_RETRY_ATTEMPTS, CTR_RETRY_GAVE_UP};
-use agora_sim::{Ctx, NodeId, Protocol, Retrier, RetryPolicy, SimDuration};
+use agora_sim::{Ctx, NodeId, Protocol, Retrier, RetryPolicy, SimDuration, SimTime};
 
 use crate::site::{SignedManifest, SiteBundle};
 
@@ -118,6 +118,9 @@ struct Visit {
     manifest: Option<SignedManifest>,
     got: HashMap<u32, Vec<u8>>,
     ticks: u32,
+    /// When the visit was issued — feeds the `web.visit_secs` latency
+    /// histogram so experiments report true per-visit tail latency.
+    started: SimTime,
 }
 
 struct PeerState {
@@ -252,6 +255,7 @@ impl SwarmNode {
                 manifest: None,
                 got: HashMap::new(),
                 ticks: 0,
+                started: ctx.now(),
             },
         );
         ctx.set_timer(VISIT_TICK, op);
@@ -328,6 +332,8 @@ impl SwarmNode {
         ctx.multicast(&p.trackers, SwarmMsg::Announce { site }, 40);
         ctx.metrics().incr("web.visits_ok", 1);
         ctx.metrics().incr("web.bytes_fetched", bytes);
+        let took = ctx.now().since(v.started).secs_f64();
+        ctx.metrics().sample("web.visit_secs", took);
         ctx.trace_point("web.visits_ok", bytes as f64);
         p.results.insert(op, VisitResult::Ok { version, bytes });
     }

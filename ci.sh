@@ -84,6 +84,20 @@ step "market smoke: E17 deterministic across thread counts; e1-e16 baseline unto
     --json "$CHAOS_TMP/e17_t8.json" >/dev/null
 cmp "$CHAOS_TMP/e17_t1.json" "$CHAOS_TMP/e17_t8.json"
 
+step "shard smoke: --shards is invisible in the artifact; e1-e17 baseline untouched"
+# The sharded engine's identity contract at the CLI surface: 1 shard (the
+# serial oracle) writes a filtered baseline, 4 shards combined with 8
+# matrix threads must reproduce it exactly, raw artifacts byte-identical.
+# e16 is the sim-heaviest default experiment, so it exercises real
+# cross-shard traffic, churn and chaos through the window barriers.
+./target/release/agora-harness --filter e16 --shards 1 --threads 1 \
+    --baseline "$CHAOS_TMP/shard_baseline.json" --update-baseline \
+    --json "$CHAOS_TMP/shard_s1.json" >/dev/null
+./target/release/agora-harness --filter e16 --shards 4 --threads 8 \
+    --baseline "$CHAOS_TMP/shard_baseline.json" \
+    --json "$CHAOS_TMP/shard_s4.json" >/dev/null
+cmp "$CHAOS_TMP/shard_s1.json" "$CHAOS_TMP/shard_s4.json"
+
 step "trace smoke: deterministic TRACE jsonl + causal explain"
 ./target/release/agora-harness --trace dht --trace-out "$TRACE_TMP/a.jsonl" \
     --explain dht.lookup_secs

@@ -1,0 +1,120 @@
+//! Sharded-engine kernels: ring-flood events/s as the shard count sweeps
+//! {1, 2, 4, 8}, the cross-shard send-fraction sweep (successor stride
+//! selects which hops cross a shard boundary), and inline vs forced-thread
+//! lane workers at a fixed shard count. These are the microbenchmark
+//! counterparts of the `engine_parallel` section of BENCH_perf.json
+//! (crates/harness/src/perf.rs); identity with the serial oracle is proven
+//! by the engine's own test suite, so these only measure, never check.
+
+use agora_sim::{Ctx, DeviceClass, NodeId, Protocol, ShardWorkers, SimDuration, Simulation};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const NODES: u32 = 64;
+/// Stride 8 keeps every successor shard-local for all measured shard
+/// counts ({1, 2, 4, 8} all divide 8 under `shard_of = id % shards`).
+const LOCAL_STRIDE: u32 = 8;
+
+/// Token-passing flood: every node launches a 64-hop token every 100 ms,
+/// so the event queue stays saturated with message traffic plus timers.
+struct RingFlood {
+    next: NodeId,
+    hops: u64,
+}
+
+#[derive(Clone)]
+struct Token(u32);
+
+impl Protocol for RingFlood {
+    type Msg = Token;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Token>, _from: NodeId, msg: Token) {
+        self.hops += 1;
+        if msg.0 > 0 {
+            ctx.send(self.next, Token(msg.0 - 1), 128);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Token>, tag: u64) {
+        ctx.send(self.next, Token(64), 128);
+        ctx.set_timer(SimDuration::from_millis(100), tag);
+    }
+}
+
+/// Build the flood at a shard count; nodes selected by `cross_every`
+/// (every `cross_every`-th node; 0 = none) use stride 1, which crosses a
+/// shard boundary on every hop whenever `shards > 1`.
+fn flood_sim(shards: u32, workers: ShardWorkers, cross_every: u32) -> Simulation<RingFlood> {
+    let mut sim: Simulation<RingFlood> = Simulation::new(7);
+    sim.set_shards_with(shards, workers);
+    for i in 0..NODES {
+        let stride = if cross_every > 0 && i % cross_every == 0 {
+            1
+        } else {
+            LOCAL_STRIDE
+        };
+        let id = sim.add_node(
+            RingFlood {
+                next: NodeId((i + stride) % NODES),
+                hops: 0,
+            },
+            DeviceClass::DatacenterServer,
+        );
+        sim.with_ctx(id, |_, ctx| ctx.set_timer(SimDuration::from_millis(100), 0));
+    }
+    sim
+}
+
+fn run_flood(shards: u32, workers: ShardWorkers, cross_every: u32) -> u64 {
+    let mut sim = flood_sim(shards, workers, cross_every);
+    sim.run_for(SimDuration::from_secs(3));
+    black_box(sim.events_processed())
+}
+
+fn bench_shard_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard_ring_flood");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(1));
+    for shards in [1u32, 2, 4, 8] {
+        g.bench_function(format!("shards{shards}"), |b| {
+            b.iter(|| run_flood(shards, ShardWorkers::Auto, 0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cross_fraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard_cross_fraction_4shards");
+    g.sample_size(10);
+    // cross_every 0 → no cross-shard hops; 4 → ~1/4 of nodes cross;
+    // 2 → ~1/2; 1 → every hop crosses. Window math is identical in all
+    // four, so any spread is pure merge/routing cost.
+    for cross_every in [0u32, 4, 2, 1] {
+        g.bench_function(format!("cross_every{cross_every}"), |b| {
+            b.iter(|| run_flood(4, ShardWorkers::Auto, cross_every))
+        });
+    }
+    g.finish();
+}
+
+fn bench_worker_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard_workers_4shards");
+    g.sample_size(10);
+    // Inline vs forced threads at the same shard count: the gap is the
+    // barrier + channel overhead a multi-core host must amortize.
+    g.bench_function("inline", |b| {
+        b.iter(|| run_flood(4, ShardWorkers::Inline, 0))
+    });
+    g.bench_function("threads", |b| {
+        b.iter(|| run_flood(4, ShardWorkers::Threads, 0))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    shard,
+    bench_shard_sweep,
+    bench_cross_fraction,
+    bench_worker_modes
+);
+criterion_main!(shard);

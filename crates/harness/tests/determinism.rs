@@ -37,6 +37,32 @@ fn artifact_is_byte_identical_at_1_2_and_8_threads() {
     assert_eq!(two, eight, "2-thread vs 8-thread artifacts differ");
 }
 
+/// The sharded engine extends the same contract one level down: `--shards`
+/// parallelizes the event loop *inside* each trial, and the artifact must
+/// not know. One shard is literally the serial engine; four shards (with
+/// threads forced on via the matrix worker pool untouched) must render the
+/// identical bytes — and combining both knobs must change nothing either.
+#[test]
+fn artifact_is_byte_identical_at_1_and_4_engine_shards() {
+    let reg = registry();
+    let serial = run_to_json(&run_matrix(&reg, &light_config(1))).render();
+    let sharded = {
+        let mut cfg = light_config(1);
+        cfg.shards = 4;
+        run_to_json(&run_matrix(&reg, &cfg)).render()
+    };
+    assert_eq!(serial, sharded, "1-shard vs 4-shard artifacts differ");
+    let both_knobs = {
+        let mut cfg = light_config(8);
+        cfg.shards = 2;
+        run_to_json(&run_matrix(&reg, &cfg)).render()
+    };
+    assert_eq!(
+        serial, both_knobs,
+        "8 threads x 2 shards artifact differs from the serial oracle"
+    );
+}
+
 #[test]
 fn all_trials_complete_and_keep_matrix_order() {
     let run = run_matrix(&registry(), &light_config(4));

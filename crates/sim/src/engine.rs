@@ -7,7 +7,8 @@
 //! no real I/O; everything is deterministic given the seed.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::mem;
+use std::sync::mpsc;
 
 use crate::device::{DeviceClass, DeviceProfile};
 use crate::metrics::{CounterHandle, Metrics};
@@ -15,6 +16,9 @@ use crate::net::Network;
 #[cfg(feature = "trace")]
 use crate::net::SendFailure;
 use crate::rng::SimRng;
+use crate::shard::{
+    lane_window, LaneCmd, LaneOut, Scheduler, ShardState, ShardStats, ShardWorkers,
+};
 use crate::time::{SimDuration, SimTime};
 #[cfg(feature = "trace")]
 use crate::trace::{DropReason, NoopSink, TraceEvent, TraceKind, TraceSink};
@@ -107,25 +111,25 @@ pub trait Protocol {
     fn on_up(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
 }
 
-enum EventKind<M> {
+pub(crate) enum EventKind<M> {
     Deliver { to: NodeId, from: NodeId, msg: M },
     Timer { node: NodeId, tag: u64 },
     ChurnDown(NodeId),
     ChurnUp(NodeId),
 }
 
-struct Event<M> {
+pub(crate) struct Event<M> {
     /// `(at, seq)` packed big-endian into one word: micros in the high 64
     /// bits, insertion sequence in the low 64. A single `u128` comparison
     /// orders events by time with deterministic insertion-order tie-breaks —
     /// one branch in the heap's sift loops instead of two chained `cmp`s,
     /// and an 8-byte-smaller header than the unpacked `(SimTime, u64)` pair.
-    key: u128,
-    kind: EventKind<M>,
+    pub(crate) key: u128,
+    pub(crate) kind: EventKind<M>,
 }
 
 impl<M> Event<M> {
-    fn pack(at: SimTime, seq: u64) -> u128 {
+    pub(crate) fn pack(at: SimTime, seq: u64) -> u128 {
         ((at.micros() as u128) << 64) | seq as u128
     }
 
@@ -201,8 +205,7 @@ pub struct Ctx<'a, M> {
     now: SimTime,
     id: NodeId,
     net: &'a mut Network,
-    queue: &'a mut BinaryHeap<Event<M>>,
-    seq: &'a mut u64,
+    sched: &'a mut Scheduler<M>,
     rng: &'a mut SimRng,
     metrics: &'a mut Metrics,
     hot: HotCounters,
@@ -401,10 +404,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
     }
 
     fn push(&mut self, at: SimTime, kind: EventKind<M>) -> u128 {
-        *self.seq += 1;
-        let key = Event::<M>::pack(at, *self.seq);
-        self.queue.push(Event { key, kind });
-        key
+        self.sched.push(at, kind)
     }
 }
 
@@ -413,8 +413,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
 pub struct Simulation<P: Protocol> {
     protocols: Vec<P>,
     net: Network,
-    queue: BinaryHeap<Event<P::Msg>>,
-    seq: u64,
+    sched: Scheduler<P::Msg>,
     time: SimTime,
     rng: SimRng,
     metrics: Metrics,
@@ -435,6 +434,14 @@ impl<P: Protocol> Simulation<P> {
     /// inside `fn(seed) -> Metrics` experiment entry points without
     /// changing their signatures. Absent a factory, the no-op sink is used
     /// and every tap site reduces to one untaken branch.
+    ///
+    /// A shard count installed via [`crate::shard::with_shards`] is applied
+    /// the same way (`--shards N` in the harness); the default is one shard,
+    /// i.e. exactly today's serial engine. Sharding and tracing compose:
+    /// the sharded dispatch order is the serial order by construction, so
+    /// trace records are byte-identical at any shard count and no per-shard
+    /// sink merging is needed (that is the explicit trace-compatibility
+    /// choice — one sink, fed in canonical order from the dispatch thread).
     pub fn new(seed: u64) -> Simulation<P> {
         let mut metrics = Metrics::new();
         let hot = HotCounters::new(&mut metrics);
@@ -451,12 +458,10 @@ impl<P: Protocol> Simulation<P> {
                 seed,
             }
         };
-        #[allow(unused_mut)]
         let mut sim = Simulation {
             protocols: Vec::new(),
             net: Network::new(),
-            queue: BinaryHeap::new(),
-            seq: 0,
+            sched: Scheduler::new(),
             time: SimTime::ZERO,
             rng: SimRng::new(seed),
             metrics,
@@ -467,6 +472,10 @@ impl<P: Protocol> Simulation<P> {
             #[cfg(feature = "trace")]
             tracer,
         };
+        let (shards, workers) = crate::shard::configured_shards();
+        if shards > 1 {
+            sim.set_shards_with(shards, workers);
+        }
         trace_event!(
             sim.tracer,
             0,
@@ -475,6 +484,61 @@ impl<P: Protocol> Simulation<P> {
             TraceKind::SimStart { seed }
         );
         sim
+    }
+
+    /// Set the shard count ([`ShardWorkers::Auto`] execution). One shard —
+    /// the default — is exactly the serial engine, running today's code
+    /// path. More shards parallelize event-heap maintenance across lanes
+    /// while dispatching every handler on this thread in canonical key
+    /// order, so metrics, traces and protocol state are byte-identical at
+    /// any shard count (see [`crate::shard`] for the argument). May be
+    /// called at any point between `run_*` calls: pending events are
+    /// re-routed with their keys — and therefore the schedule — unchanged.
+    pub fn set_shards(&mut self, shards: u32) {
+        self.set_shards_with(shards, ShardWorkers::Auto);
+    }
+
+    /// [`Simulation::set_shards`] with an explicit worker mode (tests use
+    /// [`ShardWorkers::Threads`] to exercise the threaded path regardless
+    /// of host core count).
+    pub fn set_shards_with(&mut self, shards: u32, workers: ShardWorkers) {
+        let shards = shards.max(1);
+        if shards == self.shards() {
+            if let Some(state) = &mut self.sched.shard {
+                state.mode = workers;
+            }
+            return;
+        }
+        let pending: Vec<Event<P::Msg>> = match self.sched.shard.take() {
+            None => mem::take(&mut self.sched.serial).into_vec(),
+            Some(mut state) => state.drain_all(),
+        };
+        if shards == 1 {
+            self.sched.serial.extend(pending);
+        } else {
+            let mut state = ShardState::new(shards as usize, workers);
+            for ev in pending {
+                state.route(ev.key, ev.kind);
+            }
+            self.sched.shard = Some(Box::new(state));
+        }
+    }
+
+    /// Current shard count (1 = serial engine).
+    pub fn shards(&self) -> u32 {
+        self.sched
+            .shard
+            .as_ref()
+            .map_or(1, |state| state.shards() as u32)
+    }
+
+    /// Sharded-execution counters (all zero in serial mode). Not part of
+    /// the metrics artifact — see [`ShardStats`] for why.
+    pub fn shard_stats(&self) -> ShardStats {
+        self.sched
+            .shard
+            .as_ref()
+            .map_or_else(ShardStats::default, |state| state.stats)
     }
 
     /// Install a trace sink on an already-constructed simulation and enable
@@ -565,8 +629,7 @@ impl<P: Protocol> Simulation<P> {
             now: self.time,
             id,
             net: &mut self.net,
-            queue: &mut self.queue,
-            seq: &mut self.seq,
+            sched: &mut self.sched,
             rng: &mut self.rng,
             metrics: &mut self.metrics,
             hot: self.hot,
@@ -726,19 +789,23 @@ impl<P: Protocol> Simulation<P> {
     /// clock ends at `limit` (or the last event, whichever is later-capped).
     pub fn run_until(&mut self, limit: SimTime) {
         self.ensure_started();
-        while let Some(ev) = self.queue.peek() {
-            if ev.at() > limit {
-                break;
+        if self.sched.shard.is_some() {
+            self.run_windows(limit, None);
+        } else {
+            while let Some(ev) = self.sched.serial.peek() {
+                if ev.at() > limit {
+                    break;
+                }
+                let ev = self.sched.serial.pop().expect("peeked");
+                debug_assert!(ev.at() >= self.time, "time went backwards");
+                self.time = ev.at();
+                self.events += 1;
+                #[cfg(feature = "trace")]
+                {
+                    self.tracer.cur = ev.key;
+                }
+                self.dispatch(ev.kind);
             }
-            let ev = self.queue.pop().expect("peeked");
-            debug_assert!(ev.at() >= self.time, "time went backwards");
-            self.time = ev.at();
-            self.events += 1;
-            #[cfg(feature = "trace")]
-            {
-                self.tracer.cur = ev.key;
-            }
-            self.dispatch(ev.kind);
         }
         if self.time < limit {
             self.time = limit;
@@ -755,8 +822,12 @@ impl<P: Protocol> Simulation<P> {
     /// livelocked protocols in tests).
     pub fn run_idle(&mut self, max_events: u64) {
         self.ensure_started();
+        if self.sched.shard.is_some() {
+            self.run_windows(SimTime::MAX, Some(max_events));
+            return;
+        }
         let mut n = 0u64;
-        while let Some(ev) = self.queue.pop() {
+        while let Some(ev) = self.sched.serial.pop() {
             self.time = ev.at();
             self.events += 1;
             #[cfg(feature = "trace")]
@@ -769,9 +840,140 @@ impl<P: Protocol> Simulation<P> {
         }
     }
 
+    /// Sharded execution of events with time `<= limit`: lookahead-bounded
+    /// windows; lanes integrate + drain in parallel (or inline), the
+    /// dispatch thread commits in canonical key order. `guard` carries
+    /// `run_idle`'s livelock bound.
+    fn run_windows(&mut self, limit: SimTime, guard: Option<u64>) {
+        let state = self.sched.shard.as_mut().expect("sharded mode");
+        let threaded = match state.mode {
+            ShardWorkers::Inline => false,
+            ShardWorkers::Threads => true,
+            ShardWorkers::Auto => std::thread::available_parallelism()
+                .map(|n| n.get() > 1)
+                .unwrap_or(false),
+        };
+        // Lanes leave the shard state for the duration of the run: inline
+        // they are driven from this thread, threaded they move into scoped
+        // workers that only ever see `Copy` (key, slot) pairs — payloads
+        // (which may hold `Rc`s) stay here on the dispatch thread.
+        let mut lanes = mem::take(&mut state.lanes);
+        if threaded {
+            let workers = lanes.len();
+            std::thread::scope(|scope| {
+                let (out_tx, out_rx) = mpsc::channel::<LaneOut>();
+                let (back_tx, back_rx) = mpsc::channel();
+                let mut cmd_txs = Vec::with_capacity(workers);
+                for (lane, mut heap) in lanes.drain(..).enumerate() {
+                    let (cmd_tx, cmd_rx) = mpsc::channel::<LaneCmd>();
+                    cmd_txs.push(cmd_tx);
+                    let out_tx = out_tx.clone();
+                    let back_tx = back_tx.clone();
+                    scope.spawn(move || {
+                        while let Ok(cmd) = cmd_rx.recv() {
+                            if out_tx.send(lane_window(&mut heap, lane, cmd)).is_err() {
+                                break;
+                            }
+                        }
+                        // Dispatch side hung up (or panicked): hand the
+                        // lane back so the sim survives the run.
+                        let _ = back_tx.send((lane, heap));
+                    });
+                }
+                self.window_loop(limit, guard, &mut |cmds: Vec<LaneCmd>| {
+                    for (tx, cmd) in cmd_txs.iter().zip(cmds) {
+                        tx.send(cmd).expect("lane worker alive");
+                    }
+                    (0..workers)
+                        .map(|_| out_rx.recv().expect("lane worker alive"))
+                        .collect()
+                });
+                drop(cmd_txs);
+                let mut returned: Vec<Option<_>> = (0..workers).map(|_| None).collect();
+                for _ in 0..workers {
+                    let (lane, heap) = back_rx.recv().expect("lane worker returns heap");
+                    returned[lane] = Some(heap);
+                }
+                lanes = returned
+                    .into_iter()
+                    .map(|h| h.expect("all lanes"))
+                    .collect();
+            });
+        } else {
+            let lanes = &mut lanes;
+            self.window_loop(limit, guard, &mut |cmds: Vec<LaneCmd>| {
+                cmds.into_iter()
+                    .zip(lanes.iter_mut())
+                    .enumerate()
+                    .map(|(lane, (cmd, heap))| lane_window(heap, lane, cmd))
+                    .collect()
+            });
+        }
+        self.sched.shard.as_mut().expect("sharded mode").lanes = lanes;
+    }
+
+    /// The window loop proper, independent of how lane work is executed:
+    /// `exec` runs one `LaneCmd` per lane and returns their `LaneOut`s.
+    fn window_loop(
+        &mut self,
+        limit: SimTime,
+        guard: Option<u64>,
+        exec: &mut dyn FnMut(Vec<LaneCmd>) -> Vec<LaneOut>,
+    ) {
+        let mut dispatched = 0u64;
+        loop {
+            let state = self.sched.shard.as_mut().expect("sharded mode");
+            let Some(first) = state.next_key() else { break };
+            let t0 = (first >> 64) as u64;
+            if t0 > limit.micros() {
+                break;
+            }
+            // The lookahead is recomputed every window, so chaos latency
+            // storms (`latency_factor`) and partition changes take effect
+            // at the next barrier. Clamped to >= 1 us for guaranteed
+            // progress: a too-large window is safe (sub-window arrivals are
+            // absorbed through the overflow heap), a zero window would
+            // never advance.
+            let lookahead = self.net.lookahead().micros().max(1);
+            let w_end = t0
+                .saturating_add(lookahead)
+                .min(limit.micros().saturating_add(1));
+            let w_end_key = (w_end as u128) << 64;
+            let cmds = state.make_cmds(w_end_key);
+            let outs = exec(cmds);
+            let state = self.sched.shard.as_mut().expect("sharded mode");
+            state.begin_window(w_end_key, outs);
+            while let Some(ev) = self
+                .sched
+                .shard
+                .as_mut()
+                .expect("sharded mode")
+                .next_event()
+            {
+                debug_assert!(ev.at() >= self.time, "time went backwards");
+                self.time = ev.at();
+                self.events += 1;
+                #[cfg(feature = "trace")]
+                {
+                    self.tracer.cur = ev.key;
+                }
+                self.dispatch(ev.kind);
+                if let Some(max) = guard {
+                    dispatched += 1;
+                    assert!(dispatched < max, "run_idle exceeded {max} events");
+                }
+            }
+            self.sched
+                .shard
+                .as_mut()
+                .expect("sharded mode")
+                .end_window();
+        }
+    }
+
     /// Number of pending events (diagnostics).
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.sched.len()
     }
 
     /// Total events dispatched so far (throughput accounting for benchmarks;
@@ -794,8 +996,7 @@ impl<P: Protocol> Simulation<P> {
                     now: self.time,
                     id,
                     net: &mut self.net,
-                    queue: &mut self.queue,
-                    seq: &mut self.seq,
+                    sched: &mut self.sched,
                     rng: &mut self.rng,
                     metrics: &mut self.metrics,
                     hot: self.hot,
@@ -808,10 +1009,7 @@ impl<P: Protocol> Simulation<P> {
     }
 
     fn push(&mut self, at: SimTime, kind: EventKind<P::Msg>) -> u128 {
-        self.seq += 1;
-        let key = Event::<P::Msg>::pack(at, self.seq);
-        self.queue.push(Event { key, kind });
-        key
+        self.sched.push(at, kind)
     }
 
     fn transition(&mut self, id: NodeId, up: bool) {
@@ -845,8 +1043,7 @@ impl<P: Protocol> Simulation<P> {
             now: self.time,
             id,
             net: &mut self.net,
-            queue: &mut self.queue,
-            seq: &mut self.seq,
+            sched: &mut self.sched,
             rng: &mut self.rng,
             metrics: &mut self.metrics,
             hot: self.hot,
@@ -890,8 +1087,7 @@ impl<P: Protocol> Simulation<P> {
                     now: self.time,
                     id: to,
                     net: &mut self.net,
-                    queue: &mut self.queue,
-                    seq: &mut self.seq,
+                    sched: &mut self.sched,
                     rng: &mut self.rng,
                     metrics: &mut self.metrics,
                     hot: self.hot,
@@ -924,8 +1120,7 @@ impl<P: Protocol> Simulation<P> {
                     now: self.time,
                     id: node,
                     net: &mut self.net,
-                    queue: &mut self.queue,
-                    seq: &mut self.seq,
+                    sched: &mut self.sched,
                     rng: &mut self.rng,
                     metrics: &mut self.metrics,
                     hot: self.hot,
@@ -1389,5 +1584,330 @@ mod tests {
         assert_eq!(sim.node(b).pings_received, 0, "too early");
         sim.run_for(SimDuration::from_secs(10));
         assert_eq!(sim.node(b).pings_received, 1);
+    }
+
+    /// The sharded engine's contract: at any shard count, with any worker
+    /// mode, the event schedule — and therefore metrics, event counts and
+    /// the final clock — is identical to the serial oracle.
+    mod shard_identity {
+        use super::*;
+
+        /// Everything observable about a finished run, as one comparable
+        /// value. The metrics `Display` string covers every counter, gauge
+        /// and histogram byte-for-byte.
+        fn fingerprint(sim: &Simulation<PingPong>) -> (String, u64, SimTime) {
+            (
+                format!("{}", sim.metrics()),
+                sim.events_processed(),
+                sim.now(),
+            )
+        }
+
+        /// A deliberately hostile workload: mixed device classes, churn,
+        /// loss, chaos duplication + reordering, partitions, kill/revive,
+        /// loopback sends and microsecond timers (both land *inside* any
+        /// lookahead window, exercising the absorbed-overflow path), and a
+        /// mid-run latency storm that changes the lookahead between
+        /// barriers.
+        fn rich_scenario(mut sim: Simulation<PingPong>) -> Simulation<PingPong> {
+            let classes = [
+                DeviceClass::DatacenterServer,
+                DeviceClass::PersonalComputer,
+                DeviceClass::Smartphone,
+                DeviceClass::Tablet,
+            ];
+            let nodes: Vec<NodeId> = (0..12)
+                .map(|i| sim.add_node(PingPong::default(), classes[i % classes.len()]))
+                .collect();
+            for &n in &nodes[..6] {
+                sim.enable_churn(n);
+            }
+            sim.enable_chaos(17);
+            sim.set_chaos_dup_rate(0.2);
+            sim.set_chaos_reorder(SimDuration::from_millis(50));
+            sim.set_loss_rate(0.05);
+            for round in 0..20 {
+                for (i, &src) in nodes.iter().enumerate() {
+                    let dst = nodes[(i + 1 + round) % nodes.len()];
+                    sim.with_ctx(src, |_, ctx| ctx.send(dst, PpMsg::Ping, 256));
+                }
+                sim.with_ctx(nodes[round % nodes.len()], |_, ctx| {
+                    let me = ctx.id();
+                    ctx.send(me, PpMsg::Pong, 8);
+                    ctx.set_timer(SimDuration::from_micros(3), round as u64);
+                });
+                sim.run_for(SimDuration::from_millis(250));
+            }
+            sim.set_partition(nodes[0], 1);
+            sim.set_partition(nodes[1], 1);
+            sim.kill(nodes[2]);
+            for _ in 0..5 {
+                for (i, &src) in nodes.iter().enumerate() {
+                    let dst = nodes[(i + 3) % nodes.len()];
+                    sim.with_ctx(src, |_, ctx| ctx.send(dst, PpMsg::Ping, 512));
+                }
+                sim.run_for(SimDuration::from_millis(200));
+            }
+            sim.revive(nodes[2]);
+            sim.heal_partitions();
+            sim.set_chaos_latency_factor(4.0);
+            sim.run_for(SimDuration::from_secs(2));
+            sim.set_chaos_latency_factor(0.5);
+            sim.run_for(SimDuration::from_secs(1));
+            sim.set_chaos_latency_factor(1.0);
+            sim.run_for(SimDuration::from_secs(5));
+            sim
+        }
+
+        fn run_with(shards: u32, workers: ShardWorkers) -> (String, u64, SimTime) {
+            let mut sim: Simulation<PingPong> = Simulation::new(4242);
+            sim.set_shards_with(shards, workers);
+            let sim = rich_scenario(sim);
+            fingerprint(&sim)
+        }
+
+        #[test]
+        fn inline_sharding_matches_serial_oracle_at_many_shard_counts() {
+            let serial = run_with(1, ShardWorkers::Inline);
+            assert!(
+                serial.1 > 500,
+                "scenario must be nontrivial (got {} events)",
+                serial.1
+            );
+            for shards in [2, 3, 4, 8] {
+                assert_eq!(
+                    run_with(shards, ShardWorkers::Inline),
+                    serial,
+                    "shards={shards}"
+                );
+            }
+        }
+
+        #[test]
+        fn threaded_sharding_matches_serial_oracle() {
+            // Threads forced regardless of host core count, so the barrier
+            // protocol itself is exercised even on a 1-core runner.
+            let serial = run_with(1, ShardWorkers::Inline);
+            for shards in [2, 4, 8] {
+                assert_eq!(
+                    run_with(shards, ShardWorkers::Threads),
+                    serial,
+                    "shards={shards}"
+                );
+            }
+        }
+
+        #[test]
+        fn shard_count_can_change_mid_run_without_changing_the_schedule() {
+            let serial = run_with(1, ShardWorkers::Inline);
+            // Start serial, shard mid-flight, then de-shard again: pending
+            // events are re-routed with their keys unchanged each time.
+            let mut sim: Simulation<PingPong> = Simulation::new(4242);
+            let nodes: Vec<NodeId> = (0..12)
+                .map(|i| {
+                    sim.add_node(
+                        PingPong::default(),
+                        [
+                            DeviceClass::DatacenterServer,
+                            DeviceClass::PersonalComputer,
+                            DeviceClass::Smartphone,
+                            DeviceClass::Tablet,
+                        ][i % 4],
+                    )
+                })
+                .collect();
+            for &n in &nodes[..6] {
+                sim.enable_churn(n);
+            }
+            sim.enable_chaos(17);
+            sim.set_chaos_dup_rate(0.2);
+            sim.set_chaos_reorder(SimDuration::from_millis(50));
+            sim.set_loss_rate(0.05);
+            for round in 0..20 {
+                // Re-shard repeatedly while events are in flight.
+                match round {
+                    5 => sim.set_shards_with(4, ShardWorkers::Inline),
+                    10 => sim.set_shards(1),
+                    15 => sim.set_shards_with(3, ShardWorkers::Inline),
+                    _ => {}
+                }
+                for (i, &src) in nodes.iter().enumerate() {
+                    let dst = nodes[(i + 1 + round) % nodes.len()];
+                    sim.with_ctx(src, |_, ctx| ctx.send(dst, PpMsg::Ping, 256));
+                }
+                sim.with_ctx(nodes[round % nodes.len()], |_, ctx| {
+                    let me = ctx.id();
+                    ctx.send(me, PpMsg::Pong, 8);
+                    ctx.set_timer(SimDuration::from_micros(3), round as u64);
+                });
+                sim.run_for(SimDuration::from_millis(250));
+            }
+            sim.set_partition(nodes[0], 1);
+            sim.set_partition(nodes[1], 1);
+            sim.kill(nodes[2]);
+            for _ in 0..5 {
+                for (i, &src) in nodes.iter().enumerate() {
+                    let dst = nodes[(i + 3) % nodes.len()];
+                    sim.with_ctx(src, |_, ctx| ctx.send(dst, PpMsg::Ping, 512));
+                }
+                sim.run_for(SimDuration::from_millis(200));
+            }
+            sim.revive(nodes[2]);
+            sim.heal_partitions();
+            sim.set_chaos_latency_factor(4.0);
+            sim.run_for(SimDuration::from_secs(2));
+            sim.set_chaos_latency_factor(0.5);
+            sim.run_for(SimDuration::from_secs(1));
+            sim.set_chaos_latency_factor(1.0);
+            sim.run_for(SimDuration::from_secs(5));
+            assert_eq!(fingerprint(&sim), serial);
+        }
+
+        #[test]
+        fn run_idle_drains_identically_in_sharded_mode() {
+            let run = |shards: u32| {
+                let mut sim: Simulation<PingPong> = Simulation::new(9);
+                sim.set_shards_with(shards, ShardWorkers::Inline);
+                let a = sim.add_node(PingPong::default(), DeviceClass::DatacenterServer);
+                let b = sim.add_node(PingPong::default(), DeviceClass::PersonalComputer);
+                let c = sim.add_node(PingPong::default(), DeviceClass::Smartphone);
+                for _ in 0..10 {
+                    sim.with_ctx(a, |_, ctx| ctx.send(b, PpMsg::Ping, 64));
+                    sim.with_ctx(b, |_, ctx| ctx.send(c, PpMsg::Ping, 64));
+                }
+                sim.run_idle(100_000);
+                assert_eq!(sim.pending_events(), 0);
+                fingerprint(&sim)
+            };
+            let serial = run(1);
+            assert_eq!(run(2), serial);
+            assert_eq!(run(5), serial);
+        }
+
+        #[test]
+        fn run_idle_guard_still_catches_livelock_when_sharded() {
+            struct Storm;
+            impl Protocol for Storm {
+                type Msg = ();
+                fn on_message(&mut self, ctx: &mut Ctx<'_, ()>, from: NodeId, _msg: ()) {
+                    ctx.send(from, (), 8);
+                }
+            }
+            let result = std::panic::catch_unwind(|| {
+                let mut sim: Simulation<Storm> = Simulation::new(1);
+                sim.set_shards_with(2, ShardWorkers::Inline);
+                let a = sim.add_node(Storm, DeviceClass::DatacenterServer);
+                let b = sim.add_node(Storm, DeviceClass::DatacenterServer);
+                sim.with_ctx(a, |_, ctx| ctx.send(b, (), 8));
+                sim.run_idle(500);
+            });
+            assert!(result.is_err(), "guard must fire on an endless echo loop");
+        }
+
+        #[test]
+        fn loopback_and_zero_delay_timers_flow_through_the_absorbed_path() {
+            // Loopback (+1 us) and tiny timers always land inside the open
+            // window; identity relies on the overflow heap absorbing them.
+            let run = |shards: u32| {
+                let mut sim: Simulation<PingPong> = Simulation::new(11);
+                sim.set_shards_with(shards, ShardWorkers::Inline);
+                let a = sim.add_node(PingPong::default(), DeviceClass::DatacenterServer);
+                sim.with_ctx(a, |_, ctx| {
+                    let me = ctx.id();
+                    ctx.send(me, PpMsg::Pong, 8);
+                    ctx.set_timer(SimDuration::from_micros(0), 1);
+                    ctx.set_timer(SimDuration::from_micros(1), 2);
+                });
+                sim.run_for(SimDuration::from_secs(1));
+                fingerprint(&sim)
+            };
+            let serial = run(1);
+            assert_eq!(run(2), serial);
+            assert_eq!(run(4), serial);
+            // Sharded mode actually absorbed an in-window event rather than
+            // (unsoundly) deferring it past the barrier. Absorption only
+            // applies to pushes made while a window is open, so the
+            // loopback must originate *inside* a handler: a self-ping's
+            // reply (the pong, +1 us loopback) qualifies.
+            // (Two nodes, so the lookahead is a real link latency rather
+            // than the degenerate 1 us single-node clamp.)
+            let mut sim: Simulation<PingPong> = Simulation::new(11);
+            sim.set_shards_with(2, ShardWorkers::Inline);
+            let a = sim.add_node(PingPong::default(), DeviceClass::DatacenterServer);
+            let _b = sim.add_node(PingPong::default(), DeviceClass::DatacenterServer);
+            sim.with_ctx(a, |_, ctx| {
+                let me = ctx.id();
+                ctx.send(me, PpMsg::Ping, 8);
+            });
+            sim.run_for(SimDuration::from_secs(1));
+            assert_eq!(sim.node(a).pongs_received, 1, "self-ping answered");
+            assert!(sim.shard_stats().absorbed_events >= 1);
+        }
+
+        #[test]
+        fn shard_stats_report_windows_and_send_classes() {
+            let mut sim: Simulation<PingPong> = Simulation::new(4242);
+            sim.set_shards_with(4, ShardWorkers::Inline);
+            let sim = rich_scenario(sim);
+            let stats = sim.shard_stats();
+            assert!(stats.windows > 0, "windowed execution happened");
+            assert!(
+                stats.cross_events > 0 && stats.local_events > 0,
+                "a 12-node all-to-all workload has both local and cross-shard sends: {stats:?}"
+            );
+            let routed = stats.cross_events + stats.local_events + stats.absorbed_events;
+            assert!(
+                routed >= sim.events_processed(),
+                "every dispatched event was routed: routed={routed} dispatched={}",
+                sim.events_processed()
+            );
+            // Serial mode reports all-zero stats.
+            let serial: Simulation<PingPong> = Simulation::new(1);
+            assert_eq!(serial.shard_stats().windows, 0);
+            assert_eq!(serial.shard_stats().cross_fraction(), 0.0);
+        }
+
+        #[test]
+        fn with_shards_config_reaches_internally_constructed_sims() {
+            // The harness path: `--shards N` must apply inside
+            // `fn(seed) -> Metrics` entry points via the thread-local.
+            let fp = crate::with_shards(4, || {
+                let sim: Simulation<PingPong> = Simulation::new(4242);
+                assert_eq!(sim.shards(), 4);
+                fingerprint(&rich_scenario(sim))
+            });
+            assert_eq!(fp, run_with(1, ShardWorkers::Inline));
+            // Outside the closure the default is restored.
+            let sim: Simulation<PingPong> = Simulation::new(1);
+            assert_eq!(sim.shards(), 1);
+        }
+
+        #[cfg(feature = "trace")]
+        #[test]
+        fn trace_records_are_identical_at_any_shard_count() {
+            use crate::trace::SharedRecorder;
+            let run = |shards: u32| {
+                let rec = SharedRecorder::new(4096);
+                let mut sim: Simulation<PingPong> = Simulation::new(21);
+                sim.set_shards_with(shards, ShardWorkers::Inline);
+                sim.set_trace_sink(Box::new(rec.clone()));
+                let a = sim.add_node(PingPong::default(), DeviceClass::DatacenterServer);
+                let b = sim.add_node(PingPong::default(), DeviceClass::PersonalComputer);
+                let c = sim.add_node(PingPong::default(), DeviceClass::Smartphone);
+                for _ in 0..10 {
+                    sim.with_ctx(a, |_, ctx| ctx.send(b, PpMsg::Ping, 64));
+                    sim.with_ctx(c, |_, ctx| ctx.send(a, PpMsg::Ping, 64));
+                }
+                sim.run_for(SimDuration::from_secs(1));
+                let snap = rec.snapshot();
+                snap.events()
+                    .map(|e| format!("{:?}", e))
+                    .collect::<Vec<_>>()
+            };
+            let serial = run(1);
+            assert!(!serial.is_empty());
+            assert_eq!(run(2), serial);
+            assert_eq!(run(3), serial);
+        }
     }
 }

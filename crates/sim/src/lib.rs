@@ -56,6 +56,7 @@ pub mod metrics;
 pub mod net;
 pub mod retry;
 pub mod rng;
+pub mod shard;
 pub mod time;
 #[cfg(feature = "trace")]
 pub mod trace;
@@ -70,4 +71,5 @@ pub use metrics::{CounterHandle, Histogram, Metrics, P2Quantile};
 pub use net::Network;
 pub use retry::{Jitter, Retrier, RetryPolicy};
 pub use rng::{SimRng, ZipfTable};
+pub use shard::{shard_of, with_shards, ShardStats, ShardWorkers};
 pub use time::{SimDuration, SimTime};

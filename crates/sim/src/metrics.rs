@@ -130,6 +130,27 @@ impl Histogram {
     pub fn samples(&self) -> &[f64] {
         &self.samples
     }
+
+    /// Merge another histogram into this one by appending its samples in
+    /// recording order. Because `Histogram` retains every sample exactly,
+    /// the merge is *exact*: count, sum, mean, min/max (including the
+    /// empty-side infinity sentinels collapsing correctly — merging an
+    /// empty histogram changes nothing, merging *into* an empty one yields
+    /// a copy) and every percentile equal what one histogram recording the
+    /// concatenated stream would report. This is what lets per-shard metric
+    /// accumulators be combined deterministically.
+    ///
+    /// [`P2Quantile`] deliberately has no counterpart: its five-marker
+    /// state is a lossy sketch of one stream, and two sketches cannot be
+    /// combined exactly — merge the underlying `Histogram`s (or feed one
+    /// stream) where exactness matters.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
 }
 
 impl fmt::Display for Histogram {
@@ -420,10 +441,7 @@ impl Metrics {
             self.gauges.insert(k.clone(), *v);
         }
         for (k, h) in &other.histograms {
-            let dst = self.histograms.entry(k.clone()).or_default();
-            for &s in h.samples() {
-                dst.record(s);
-            }
+            self.histograms.entry(k.clone()).or_default().merge(h);
         }
     }
 }
@@ -705,6 +723,72 @@ mod tests {
             sketch.record(4.25);
         }
         assert_eq!(sketch.value(), 4.25);
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        // Merging must equal recording the concatenated stream.
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        let mut oracle = Histogram::new();
+        for v in [5.0, 1.0, 3.5] {
+            left.record(v);
+            oracle.record(v);
+        }
+        for v in [2.0, 9.0, -1.0, 3.5] {
+            right.record(v);
+            oracle.record(v);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), oracle.count());
+        assert_eq!(left.sum(), oracle.sum());
+        assert_eq!(left.mean(), oracle.mean());
+        assert_eq!(left.samples(), oracle.samples(), "recording order kept");
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(left.percentile(p), oracle.percentile(p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_empty_sides_and_sentinels() {
+        // Empty `other`: a no-op, sentinels untouched.
+        let mut h = Histogram::new();
+        h.record(4.0);
+        h.merge(&Histogram::new());
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.try_min(), Some(4.0));
+        assert_eq!(h.try_max(), Some(4.0));
+        // Empty `self`: becomes a copy; the infinity sentinels collapse to
+        // the merged-in data rather than poisoning min/max.
+        let mut empty = Histogram::new();
+        assert_eq!(empty.min(), f64::INFINITY);
+        empty.merge(&h);
+        assert_eq!(empty.try_min(), Some(4.0));
+        assert_eq!(empty.try_max(), Some(4.0));
+        assert_eq!(empty.min(), 4.0);
+        assert_eq!(empty.max(), 4.0);
+        // Empty-into-empty stays empty: `try_*` still refuse to answer.
+        let mut a = Histogram::new();
+        a.merge(&Histogram::new());
+        assert!(a.is_empty());
+        assert_eq!(a.try_min(), None);
+        assert_eq!(a.try_max(), None);
+    }
+
+    #[test]
+    fn histogram_merge_resets_lazy_sort() {
+        let mut h = Histogram::new();
+        h.record(5.0);
+        assert_eq!(h.percentile(0.0), 5.0); // sorts
+        let mut other = Histogram::new();
+        other.record(1.0);
+        h.merge(&other);
+        assert_eq!(h.percentile(0.0), 1.0, "merge must clear sorted flag");
+        // Self-merge via a clone doubles the samples exactly.
+        let snapshot = h.clone();
+        h.merge(&snapshot);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 12.0);
     }
 
     #[test]

@@ -83,6 +83,10 @@ pub struct Network {
     nodes: Vec<NodeNet>,
     loss_rate: f64,
     chaos: Option<Box<ChaosNet>>,
+    /// Cached [`Network::min_link_latency`], invalidated when nodes are
+    /// added (profiles are otherwise immutable). The sharded engine reads
+    /// the lookahead once per synchronization window.
+    min_link_cache: Option<SimDuration>,
 }
 
 impl Network {
@@ -91,10 +95,66 @@ impl Network {
             nodes: Vec::new(),
             loss_rate: 0.0,
             chaos: None,
+            min_link_cache: None,
+        }
+    }
+
+    /// The smallest nominal propagation latency between any two *distinct*
+    /// nodes: each link's base latency is the sum of the two endpoints'
+    /// access latencies, so the minimum over all pairs is the sum of the two
+    /// smallest per-node base latencies — computed in one O(n) pass rather
+    /// than the O(n²) all-pairs scan (which the unit test pins it against).
+    /// Zero when fewer than two nodes exist.
+    ///
+    /// This is the sharded engine's lookahead: no cross-shard send issued at
+    /// time `t` can *nominally* arrive before `t + min_link_latency()`.
+    /// Latency jitter (a log-normal factor that can dip below 1) and chaos
+    /// `latency_factor < 1` can undercut it; the engine absorbs such
+    /// arrivals deterministically rather than relying on the bound (see
+    /// [`crate::shard`]), and scales the lookahead by the chaos factor when
+    /// it shrinks latencies.
+    pub fn min_link_latency(&self) -> SimDuration {
+        let (mut lo1, mut lo2) = (u64::MAX, u64::MAX);
+        for node in &self.nodes {
+            let base = node.profile.base_latency.micros();
+            if base < lo1 {
+                lo2 = lo1;
+                lo1 = base;
+            } else if base < lo2 {
+                lo2 = base;
+            }
+        }
+        if lo2 == u64::MAX {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(lo1 + lo2)
+        }
+    }
+
+    /// Cached lookahead for the sharded engine: [`Network::min_link_latency`]
+    /// scaled down by the chaos `latency_factor` when that factor is below
+    /// one (storms that *shrink* latency shrink the safe window with them;
+    /// factors above one only ever increase latency, so the base bound
+    /// stays valid and the window stays wide).
+    pub(crate) fn lookahead(&mut self) -> SimDuration {
+        let base = match self.min_link_cache {
+            Some(cached) => cached,
+            None => {
+                let computed = self.min_link_latency();
+                self.min_link_cache = Some(computed);
+                computed
+            }
+        };
+        match self.chaos.as_deref() {
+            Some(c) if c.latency_factor < 1.0 => {
+                SimDuration::from_secs_f64(base.secs_f64() * c.latency_factor)
+            }
+            _ => base,
         }
     }
 
     pub(crate) fn add_node(&mut self, profile: DeviceProfile) {
+        self.min_link_cache = None;
         let up_bps_f64 = profile.uplink_bps.max(1) as f64;
         let down_bps_f64 = profile.downlink_bps.max(1) as f64;
         let base_latency_secs = profile.base_latency.secs_f64();
@@ -411,6 +471,95 @@ mod tests {
         let a = jittered(&profile, base, &mut rng);
         let b = jittered(&profile, base, &mut rng);
         assert_ne!(a, b);
+    }
+
+    /// The O(n) two-smallest derivation must agree with the brute-force
+    /// all-pairs scan on every mix of device classes.
+    fn brute_force_min_link(net: &Network) -> SimDuration {
+        let n = net.len();
+        let mut best: Option<u64> = None;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let pair = net.nodes[i].profile.base_latency.micros()
+                    + net.nodes[j].profile.base_latency.micros();
+                best = Some(best.map_or(pair, |b| b.min(pair)));
+            }
+        }
+        SimDuration::from_micros(best.unwrap_or(0))
+    }
+
+    #[test]
+    fn min_link_latency_matches_brute_force_all_pairs() {
+        use DeviceClass::*;
+        let mixes: &[&[DeviceClass]] = &[
+            &[DatacenterServer, DatacenterServer],
+            &[PersonalComputer, DatacenterServer],
+            &[Smartphone, Tablet, PersonalComputer, DatacenterServer],
+            &[Smartphone, Smartphone, Smartphone],
+            &[
+                DatacenterServer,
+                Smartphone,
+                PersonalComputer,
+                Tablet,
+                DatacenterServer,
+                Smartphone,
+            ],
+        ];
+        for classes in mixes {
+            let net = net_with(classes);
+            assert_eq!(
+                net.min_link_latency(),
+                brute_force_min_link(&net),
+                "mix {classes:?}"
+            );
+        }
+        // Heterogeneous custom profiles, including an order where the two
+        // smallest arrive last and out of order.
+        let mut net = Network::new();
+        for micros in [900u64, 40, 7_000, 12, 55] {
+            let mut p = DeviceClass::PersonalComputer.profile();
+            p.base_latency = SimDuration::from_micros(micros);
+            net.add_node(p);
+        }
+        assert_eq!(net.min_link_latency(), SimDuration::from_micros(12 + 40));
+        assert_eq!(net.min_link_latency(), brute_force_min_link(&net));
+    }
+
+    #[test]
+    fn min_link_latency_degenerate_and_cache_invalidation() {
+        let mut net = Network::new();
+        assert_eq!(net.min_link_latency(), SimDuration::ZERO);
+        net.add_node(DeviceClass::DatacenterServer.profile());
+        assert_eq!(net.min_link_latency(), SimDuration::ZERO, "one node");
+        assert_eq!(net.lookahead(), SimDuration::ZERO, "cache primed on empty");
+        // Adding a second node must invalidate the cached lookahead.
+        net.add_node(DeviceClass::DatacenterServer.profile());
+        let expected = net.min_link_latency();
+        assert!(expected > SimDuration::ZERO);
+        assert_eq!(net.lookahead(), expected);
+    }
+
+    #[test]
+    fn lookahead_scales_down_with_sub_unit_chaos_latency_factor() {
+        let mut net = net_with(&[DeviceClass::DatacenterServer, DeviceClass::DatacenterServer]);
+        let base = net.lookahead();
+        net.enable_chaos(1);
+        assert_eq!(net.lookahead(), base, "factor 1.0 is identity");
+        net.set_chaos_latency_factor(10.0);
+        assert_eq!(
+            net.lookahead(),
+            base,
+            "storms that only add latency keep the base bound valid"
+        );
+        net.set_chaos_latency_factor(0.25);
+        assert_eq!(
+            net.lookahead(),
+            SimDuration::from_secs_f64(base.secs_f64() * 0.25),
+            "shrinking latencies must shrink the window"
+        );
     }
 }
 

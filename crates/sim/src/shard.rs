@@ -1,0 +1,589 @@
+//! Conservatively-synchronized sharded execution for the DES engine.
+//!
+//! # Model
+//!
+//! Nodes are partitioned into `S` shards by [`shard_of`] (a pure function of
+//! node id and shard count). Each shard owns an *event lane*: a min-heap of
+//! `(packed u128 key, slab slot)` pairs — the same packed keys the serial
+//! engine uses (`(time_micros << 64) | seq`), so lane order is exactly serial
+//! order restricted to one shard. Event *payloads* never leave the dispatch
+//! thread: protocol messages routinely hold `Rc`s, so workers only ever see
+//! `Copy` key/slot pairs while the payloads sit in per-lane slabs.
+//!
+//! Execution proceeds in lookahead-bounded windows:
+//!
+//! 1. **Barrier (parallel).** Pick the earliest pending key `T0` and a window
+//!    `[T0, T0 + lookahead)`, where lookahead is the minimum cross-shard link
+//!    latency from the network model ([`crate::net::Network::min_link_latency`]).
+//!    Every lane — concurrently, on its own worker — integrates the staged
+//!    cross-shard sends addressed to it and drains its heap of all events
+//!    below the window end into a sorted run.
+//! 2. **Commit (serial).** The dispatch thread k-way-merges the `S` runs by
+//!    key and executes handlers in strictly ascending key order. Because the
+//!    packed keys are globally unique and time-ordered, this order is
+//!    *exactly* the serial engine's order; and because every handler, RNG
+//!    draw, metric update and sequence-number allocation happens on the one
+//!    dispatch thread in that order, every artifact — metrics, traces,
+//!    protocol state — is byte-identical to the serial engine by
+//!    construction, at any shard count. That is the identity argument: the
+//!    parallelism lives entirely in heap maintenance (integrate + drain +
+//!    sort), which is order-free bookkeeping, never in effects.
+//!
+//! Events scheduled *during* a window with a key below the window end
+//! (loopback sends, zero-delay timers, jitter- or chaos-shrunk deliveries
+//! that undercut the nominal lookahead) cannot wait for the next barrier, so
+//! they bypass the lanes and merge directly into the in-flight dispatch order
+//! through an overflow heap. Correctness therefore never depends on the
+//! lookahead being a true lower bound — a too-large window only grows the
+//! absorbed fraction, never reorders anything. The debug assertions guard the
+//! real invariant instead: dispatch keys are strictly increasing, and no
+//! staged cross-shard delivery is ever integrated at or below a key that has
+//! already been dispatched.
+//!
+//! Shard-execution counters ([`ShardStats`]) are deliberately **not** part of
+//! [`crate::metrics::Metrics`]: the metrics artifact must stay byte-identical
+//! across shard counts, and window/stall/cross-traffic numbers depend on the
+//! shard count by definition. They surface only through wall-clock artifacts
+//! (`BENCH_perf.json`), which are never CI-diffed.
+
+use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::mem;
+
+use crate::engine::{Event, EventKind, NodeId};
+
+/// What a worker sees of one pending event: its packed key and the slot of
+/// its payload in the destination lane's slab.
+pub(crate) type Pair = (u128, u32);
+
+type LaneHeap = BinaryHeap<Reverse<Pair>>;
+
+/// Shard assignment: a pure function of the node id and the shard count —
+/// no engine state, no RNG, no allocation order. `shards` must be nonzero.
+pub fn shard_of(node: NodeId, shards: u32) -> u32 {
+    debug_assert!(shards > 0, "shard count must be nonzero");
+    node.0 % shards
+}
+
+/// How lane maintenance is executed inside a window barrier.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ShardWorkers {
+    /// One OS thread per lane when more than one core is available,
+    /// dispatch-thread execution otherwise.
+    #[default]
+    Auto,
+    /// Run every lane's window on the dispatch thread (no threads spawned).
+    /// The work performed is identical to the threaded path, so results are
+    /// too — this is the right mode on single-core hosts.
+    Inline,
+    /// Always one OS thread per lane (scoped threads, spawned per `run_*`
+    /// call). Used by tests to exercise the threaded path regardless of the
+    /// host's core count.
+    Threads,
+}
+
+/// Counters describing sharded execution (windows, stalls, traffic mix).
+/// Kept outside [`crate::metrics::Metrics`] so the metrics artifact stays
+/// byte-identical across shard counts; report these through
+/// `BENCH_perf.json`-style wall-clock artifacts only.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ShardStats {
+    /// Synchronization windows executed.
+    pub windows: u64,
+    /// Lane-windows that produced an empty run: the lane had no event due
+    /// before the barrier. High stall fractions mean shards are idling.
+    pub barrier_stalls: u64,
+    /// Events routed between different shards (staged through a
+    /// `(src, dst)` queue and integrated at a barrier).
+    pub cross_events: u64,
+    /// Events routed within a single shard.
+    pub local_events: u64,
+    /// Events scheduled inside the window being dispatched (loopback,
+    /// zero-delay timers, deliveries that undercut the lookahead). They
+    /// merge directly into the dispatch order — deterministically — but
+    /// measure how often the lookahead bound was bypassed.
+    pub absorbed_events: u64,
+}
+
+impl ShardStats {
+    /// Fraction of lane-routed events that crossed a shard boundary.
+    pub fn cross_fraction(&self) -> f64 {
+        let total = self.cross_events + self.local_events;
+        if total == 0 {
+            0.0
+        } else {
+            self.cross_events as f64 / total as f64
+        }
+    }
+}
+
+/// Payload storage for one lane. Slots are reused LIFO; reuse order is
+/// driven only by the (deterministic) dispatch order, and slot numbers are
+/// never compared for event ordering (keys are globally unique), so slab
+/// layout cannot influence the schedule.
+struct Slab<T> {
+    items: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Slab<T> {
+    fn new() -> Slab<T> {
+        Slab {
+            items: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, v: T) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.items[slot as usize].is_none());
+                self.items[slot as usize] = Some(v);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.items.len()).expect("slab overflow");
+                self.items.push(Some(v));
+                slot
+            }
+        }
+    }
+
+    fn take(&mut self, slot: u32) -> T {
+        let v = self.items[slot as usize].take().expect("empty slab slot");
+        self.free.push(slot);
+        v
+    }
+}
+
+/// One lane's work order for a window: integrate `batches` (the staged
+/// cross-shard pairs addressed to this lane), then drain everything below
+/// `w_end_key` into `scratch` in ascending key order.
+pub(crate) struct LaneCmd {
+    pub(crate) w_end_key: u128,
+    /// Highest key already dispatched — the assertion floor: nothing staged
+    /// may be due at or before it.
+    pub(crate) floor: u128,
+    pub(crate) batches: Vec<Vec<Pair>>,
+    pub(crate) scratch: Vec<Pair>,
+}
+
+/// One lane's result: its sorted due-run, its post-drain head key, and the
+/// (emptied) batch buffers handed back for reuse.
+pub(crate) struct LaneOut {
+    pub(crate) lane: usize,
+    pub(crate) run: Vec<Pair>,
+    pub(crate) head: Option<u128>,
+    pub(crate) batches: Vec<Vec<Pair>>,
+}
+
+/// The pure per-lane window step, shared verbatim by the inline and threaded
+/// drivers — which is what makes the two modes trivially result-identical.
+pub(crate) fn lane_window(heap: &mut LaneHeap, lane: usize, cmd: LaneCmd) -> LaneOut {
+    let LaneCmd {
+        w_end_key,
+        floor,
+        mut batches,
+        mut scratch,
+    } = cmd;
+    let _ = floor; // used by the debug assertion only
+    for batch in &mut batches {
+        for &(key, slot) in batch.iter() {
+            debug_assert!(
+                key > floor,
+                "in-flight cross-shard delivery (key {key:#034x}) lands inside an \
+                 already-dispatched window (floor {floor:#034x})"
+            );
+            heap.push(Reverse((key, slot)));
+        }
+        batch.clear();
+    }
+    scratch.clear();
+    while let Some(&Reverse((key, _))) = heap.peek() {
+        if key >= w_end_key {
+            break;
+        }
+        scratch.push(heap.pop().expect("peeked").0);
+    }
+    LaneOut {
+        lane,
+        run: scratch,
+        head: heap.peek().map(|&Reverse((key, _))| key),
+        batches,
+    }
+}
+
+/// All sharded-mode scheduler state. Owned by [`Scheduler`] when the engine
+/// runs with more than one shard; absent (and costing one untaken branch per
+/// push) in serial mode.
+pub(crate) struct ShardState<M> {
+    shards: usize,
+    pub(crate) mode: ShardWorkers,
+    /// Per-lane pending-event heaps. Owned here between runs; moved into
+    /// scoped workers for the duration of a threaded `run_*` call.
+    pub(crate) lanes: Vec<LaneHeap>,
+    /// Cached post-drain head key per lane (staging between barriers never
+    /// touches the lanes, so these stay valid between windows).
+    heads: Vec<Option<u128>>,
+    /// Per-lane payload slabs, indexed by destination shard.
+    slabs: Vec<Slab<EventKind<M>>>,
+    /// Staging queues, indexed `src * shards + dst`. Append-only between
+    /// barriers; fully integrated at every barrier.
+    cross: Vec<Vec<Pair>>,
+    /// In-window arrivals (key below the current window end): merged
+    /// directly into the dispatch order instead of being staged.
+    overflow: BinaryHeap<Event<M>>,
+    /// Exclusive key bound of the window being dispatched; 0 between
+    /// windows (so external injections always stage).
+    window_end_key: u128,
+    /// Highest key dispatched so far (strictly increasing).
+    floor: u128,
+    /// Pending events across lanes, staging and overflow.
+    pending: usize,
+    /// Per-lane sorted runs for the window being dispatched.
+    runs: Vec<Vec<Pair>>,
+    cursors: Vec<usize>,
+    /// Merge heap over the runs' current heads: `(key, lane)`.
+    run_heads: BinaryHeap<Reverse<(u128, u32)>>,
+    /// Recycled buffers.
+    batch_pool: Vec<Vec<Pair>>,
+    scratch_pool: Vec<Vec<Pair>>,
+    pub(crate) stats: ShardStats,
+}
+
+impl<M> ShardState<M> {
+    pub(crate) fn new(shards: usize, mode: ShardWorkers) -> ShardState<M> {
+        debug_assert!(shards > 1, "serial mode needs no shard state");
+        ShardState {
+            shards,
+            mode,
+            lanes: (0..shards).map(|_| BinaryHeap::new()).collect(),
+            heads: vec![None; shards],
+            slabs: (0..shards).map(|_| Slab::new()).collect(),
+            cross: (0..shards * shards).map(|_| Vec::new()).collect(),
+            overflow: BinaryHeap::new(),
+            window_end_key: 0,
+            floor: 0,
+            pending: 0,
+            runs: (0..shards).map(|_| Vec::new()).collect(),
+            cursors: vec![0; shards],
+            run_heads: BinaryHeap::new(),
+            batch_pool: Vec::new(),
+            scratch_pool: Vec::new(),
+            stats: ShardStats::default(),
+        }
+    }
+
+    pub(crate) fn shards(&self) -> usize {
+        self.shards
+    }
+
+    pub(crate) fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Route a freshly-keyed event. In-window arrivals go to the overflow
+    /// heap (they are due before the next barrier); everything else is
+    /// staged on the `(src, dst)` queue for integration at the next barrier.
+    pub(crate) fn route(&mut self, key: u128, kind: EventKind<M>) {
+        self.pending += 1;
+        if key < self.window_end_key {
+            self.stats.absorbed_events += 1;
+            self.overflow.push(Event { key, kind });
+            return;
+        }
+        let (src, dst) = route_of(&kind, self.shards as u32);
+        if src != dst {
+            self.stats.cross_events += 1;
+        } else {
+            self.stats.local_events += 1;
+        }
+        let slot = self.slabs[dst as usize].insert(kind);
+        self.cross[src as usize * self.shards + dst as usize].push((key, slot));
+    }
+
+    /// Earliest pending key, or `None` when idle. Only called between
+    /// windows, when the overflow heap is empty and the staged queues hold
+    /// exactly the events routed since the last barrier.
+    pub(crate) fn next_key(&self) -> Option<u128> {
+        debug_assert!(self.overflow.is_empty(), "overflow must drain per window");
+        let mut min: Option<u128> = None;
+        for head in self.heads.iter().flatten() {
+            min = Some(min.map_or(*head, |m| m.min(*head)));
+        }
+        for queue in &self.cross {
+            for &(key, _) in queue {
+                min = Some(min.map_or(key, |m| m.min(key)));
+            }
+        }
+        min
+    }
+
+    /// Build one window's worth of lane commands, handing each lane its
+    /// staged batches and a recycled scratch buffer.
+    pub(crate) fn make_cmds(&mut self, w_end_key: u128) -> Vec<LaneCmd> {
+        let shards = self.shards;
+        (0..shards)
+            .map(|dst| LaneCmd {
+                w_end_key,
+                floor: self.floor,
+                batches: (0..shards)
+                    .map(|src| {
+                        let fresh = self.batch_pool.pop().unwrap_or_default();
+                        mem::replace(&mut self.cross[src * shards + dst], fresh)
+                    })
+                    .collect(),
+                scratch: self.scratch_pool.pop().unwrap_or_default(),
+            })
+            .collect()
+    }
+
+    /// Accept the lanes' window results and open the window for dispatch.
+    pub(crate) fn begin_window(&mut self, w_end_key: u128, outs: Vec<LaneOut>) {
+        debug_assert!(self.run_heads.is_empty());
+        self.window_end_key = w_end_key;
+        self.stats.windows += 1;
+        for out in outs {
+            let LaneOut {
+                lane,
+                run,
+                head,
+                batches,
+            } = out;
+            self.heads[lane] = head;
+            self.batch_pool.extend(batches);
+            if run.is_empty() {
+                self.stats.barrier_stalls += 1;
+                self.scratch_pool.push(run);
+            } else {
+                self.run_heads.push(Reverse((run[0].0, lane as u32)));
+                self.cursors[lane] = 0;
+                self.runs[lane] = run;
+            }
+        }
+    }
+
+    /// Pop the globally-next event of the open window: the minimum over the
+    /// lane runs and the overflow heap. Keys are globally unique, so the
+    /// choice — and therefore the whole dispatch order — is deterministic.
+    pub(crate) fn next_event(&mut self) -> Option<Event<M>> {
+        let run_key = self.run_heads.peek().map(|&Reverse((key, _))| key);
+        let ev = match (run_key, self.overflow.peek().map(|e| e.key)) {
+            (None, None) => return None,
+            (Some(rk), Some(ok)) if ok < rk => self.overflow.pop().expect("peeked"),
+            (None, Some(_)) => self.overflow.pop().expect("peeked"),
+            (Some(_), _) => {
+                let Reverse((key, lane)) = self.run_heads.pop().expect("peeked");
+                let lane = lane as usize;
+                let cur = self.cursors[lane];
+                let (run_key, slot) = self.runs[lane][cur];
+                debug_assert_eq!(run_key, key);
+                self.cursors[lane] = cur + 1;
+                if let Some(&(next, _)) = self.runs[lane].get(cur + 1) {
+                    self.run_heads.push(Reverse((next, lane as u32)));
+                }
+                Event {
+                    key,
+                    kind: self.slabs[lane].take(slot),
+                }
+            }
+        };
+        debug_assert!(self.floor < ev.key, "dispatch keys must strictly increase");
+        self.floor = ev.key;
+        self.pending -= 1;
+        Some(ev)
+    }
+
+    /// Close the window: recycle the consumed run buffers and restore the
+    /// "between windows" routing regime (everything stages).
+    pub(crate) fn end_window(&mut self) {
+        debug_assert!(self.run_heads.is_empty() && self.overflow.is_empty());
+        self.window_end_key = 0;
+        for run in &mut self.runs {
+            if !run.is_empty() {
+                run.clear();
+                self.scratch_pool.push(mem::take(run));
+            }
+        }
+    }
+
+    /// Tear the shard state down into a flat event list (for re-sharding or
+    /// returning to serial mode). Keys are preserved, so the schedule is
+    /// unaffected by when — or how often — the shard count changes.
+    pub(crate) fn drain_all(&mut self) -> Vec<Event<M>> {
+        let mut out = Vec::with_capacity(self.pending);
+        let shards = self.shards;
+        for lane in 0..shards {
+            for Reverse((key, slot)) in mem::take(&mut self.lanes[lane]) {
+                out.push(Event {
+                    key,
+                    kind: self.slabs[lane].take(slot),
+                });
+            }
+            self.heads[lane] = None;
+        }
+        for dst in 0..shards {
+            for src in 0..shards {
+                for (key, slot) in mem::take(&mut self.cross[src * shards + dst]) {
+                    out.push(Event {
+                        key,
+                        kind: self.slabs[dst].take(slot),
+                    });
+                }
+            }
+        }
+        out.extend(self.overflow.drain());
+        self.pending = 0;
+        out
+    }
+}
+
+/// `(source shard, destination shard)` of an event: deliveries originate at
+/// the sender's shard and land at the receiver's; timers and churn
+/// transitions are node-local by construction.
+fn route_of<M>(kind: &EventKind<M>, shards: u32) -> (u32, u32) {
+    match kind {
+        EventKind::Deliver { to, from, .. } => (shard_of(*from, shards), shard_of(*to, shards)),
+        EventKind::Timer { node, .. } => {
+            let s = shard_of(*node, shards);
+            (s, s)
+        }
+        EventKind::ChurnDown(id) | EventKind::ChurnUp(id) => {
+            let s = shard_of(*id, shards);
+            (s, s)
+        }
+    }
+}
+
+/// The engine's event scheduler: the serial heap in serial mode, the sharded
+/// lane machinery otherwise. Sequence numbers are allocated here — globally,
+/// in dispatch order — in both modes, which is what keeps packed keys (and
+/// therefore schedules) identical across shard counts.
+pub(crate) struct Scheduler<M> {
+    pub(crate) serial: BinaryHeap<Event<M>>,
+    pub(crate) shard: Option<Box<ShardState<M>>>,
+    pub(crate) seq: u64,
+}
+
+impl<M> Scheduler<M> {
+    pub(crate) fn new() -> Scheduler<M> {
+        Scheduler {
+            serial: BinaryHeap::new(),
+            shard: None,
+            seq: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, at: crate::time::SimTime, kind: EventKind<M>) -> u128 {
+        self.seq += 1;
+        let key = Event::<M>::pack(at, self.seq);
+        match &mut self.shard {
+            None => self.serial.push(Event { key, kind }),
+            Some(state) => state.route(key, kind),
+        }
+        key
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match &self.shard {
+            None => self.serial.len(),
+            Some(state) => state.pending(),
+        }
+    }
+}
+
+thread_local! {
+    static SHARD_CONFIG: Cell<(u32, ShardWorkers)> =
+        const { Cell::new((1, ShardWorkers::Auto)) };
+}
+
+/// Run `f` with every [`crate::Simulation`] constructed on this thread
+/// defaulting to `shards` shards ([`ShardWorkers::Auto`]). This is how a
+/// harness applies `--shards N` to simulations built deep inside
+/// `fn(seed) -> Metrics` experiment entry points without changing their
+/// signatures — the same pattern as `trace::with_thread_sink`. The previous
+/// configuration is restored on exit (including on unwind).
+pub fn with_shards<R>(shards: u32, f: impl FnOnce() -> R) -> R {
+    struct Restore((u32, ShardWorkers));
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SHARD_CONFIG.with(|c| c.set(self.0));
+        }
+    }
+    let prev = SHARD_CONFIG.with(|c| c.replace((shards.max(1), ShardWorkers::Auto)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The shard configuration `Simulation::new` should apply on this thread.
+pub(crate) fn configured_shards() -> (u32, ShardWorkers) {
+    SHARD_CONFIG.with(Cell::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_assignment_is_a_pure_function_of_id_and_count() {
+        // Same inputs, same output — across repeated calls, call orders,
+        // and interleaved other queries. No hidden state.
+        for shards in 1..=16u32 {
+            for id in 0..200u32 {
+                let first = shard_of(NodeId(id), shards);
+                let again = shard_of(NodeId(id), shards);
+                assert_eq!(first, again);
+                assert!(first < shards, "assignment must be in range");
+            }
+        }
+        // Interleaving queries for other (id, count) pairs changes nothing.
+        let probe = shard_of(NodeId(123), 8);
+        for id in (0..100).rev() {
+            let _ = shard_of(NodeId(id), 3);
+        }
+        assert_eq!(shard_of(NodeId(123), 8), probe);
+    }
+
+    #[test]
+    fn shard_of_one_maps_everything_to_shard_zero() {
+        for id in 0..64 {
+            assert_eq!(shard_of(NodeId(id), 1), 0);
+        }
+    }
+
+    #[test]
+    fn cross_fraction_handles_empty_and_mixed() {
+        let mut stats = ShardStats::default();
+        assert_eq!(stats.cross_fraction(), 0.0);
+        stats.cross_events = 1;
+        stats.local_events = 3;
+        assert_eq!(stats.cross_fraction(), 0.25);
+    }
+
+    #[test]
+    fn with_shards_restores_previous_config() {
+        assert_eq!(configured_shards().0, 1);
+        with_shards(4, || {
+            assert_eq!(configured_shards().0, 4);
+            with_shards(2, || assert_eq!(configured_shards().0, 2));
+            assert_eq!(configured_shards().0, 4);
+        });
+        assert_eq!(configured_shards().0, 1);
+        // Zero is clamped: "no sharding" rather than a degenerate state.
+        with_shards(0, || assert_eq!(configured_shards().0, 1));
+    }
+
+    #[test]
+    fn slab_reuses_slots_lifo() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(slab.take(a), "a");
+        // Freed slot 0 is reused before the slab grows.
+        assert_eq!(slab.insert("c"), 0);
+        assert_eq!(slab.take(b), "b");
+        assert_eq!(slab.take(0), "c");
+    }
+}

@@ -5,8 +5,92 @@
 
 //! Property-based tests for the simulator substrate.
 
-use agora_sim::{DeviceClass, Jitter, Retrier, RetryPolicy, SimDuration, SimRng, SimTime};
+use agora_sim::{
+    Ctx, DeviceClass, Jitter, NodeId, Protocol, Retrier, RetryPolicy, ShardWorkers, SimDuration,
+    SimRng, SimTime, Simulation,
+};
 use proptest::prelude::*;
+
+/// A message-relaying protocol for randomized engine workloads: each hop
+/// forwards to the next node in the ring (decrementing a TTL) and acks the
+/// sender, so one injected message fans out into a burst of traffic.
+#[derive(Clone)]
+struct Hop(u32);
+
+struct Relay;
+
+impl Protocol for Relay {
+    type Msg = Hop;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Hop>, from: NodeId, msg: Hop) {
+        if msg.0 > 0 {
+            let n = ctx.node_count() as u32;
+            let next = NodeId((ctx.id().0 + 1) % n);
+            ctx.send(next, Hop(msg.0 - 1), 64);
+            ctx.send(from, Hop(0), 32);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Hop>, tag: u64) {
+        // Timers re-inject a short relay, so churn/chaos interleave with
+        // fresh traffic mid-run.
+        let n = ctx.node_count() as u32;
+        let next = NodeId((ctx.id().0 + tag as u32 % n.max(1)) % n);
+        ctx.send(next, Hop(2), 48);
+    }
+}
+
+/// Build and run one randomized topology/workload; return everything
+/// observable (the full metrics artifact string, the dispatched-event count
+/// and the final clock).
+fn relay_run(
+    shards: u32,
+    workers: ShardWorkers,
+    seed: u64,
+    nodes: usize,
+    churn_every: usize,
+    loss: f64,
+    dup: f64,
+    reorder_ms: u64,
+    rounds: usize,
+) -> (String, u64, SimTime) {
+    let classes = [
+        DeviceClass::DatacenterServer,
+        DeviceClass::PersonalComputer,
+        DeviceClass::Smartphone,
+        DeviceClass::Tablet,
+    ];
+    let mut sim: Simulation<Relay> = Simulation::new(seed);
+    sim.set_shards_with(shards, workers);
+    let ids: Vec<NodeId> = (0..nodes)
+        .map(|i| sim.add_node(Relay, classes[i % classes.len()]))
+        .collect();
+    for (i, &id) in ids.iter().enumerate() {
+        if churn_every > 0 && i % churn_every == 0 {
+            sim.enable_churn(id);
+        }
+    }
+    sim.set_loss_rate(loss);
+    if dup > 0.0 || reorder_ms > 0 {
+        sim.enable_chaos(seed ^ 0x5eed);
+        sim.set_chaos_dup_rate(dup);
+        sim.set_chaos_reorder(SimDuration::from_millis(reorder_ms));
+    }
+    for round in 0..rounds {
+        let src = ids[round % ids.len()];
+        sim.with_ctx(src, |_, ctx| {
+            ctx.send(ids[(round + 1) % ids.len()], Hop(nodes as u32), 128);
+            ctx.set_timer(SimDuration::from_millis(7), round as u64);
+        });
+        sim.run_for(SimDuration::from_millis(400));
+    }
+    sim.run_for(SimDuration::from_secs(3));
+    (
+        format!("{}", sim.metrics()),
+        sim.events_processed(),
+        sim.now(),
+    )
+}
 
 proptest! {
     /// RNG streams are deterministic per seed and distinct across seeds.
@@ -121,6 +205,52 @@ proptest! {
             Ok(out)
         };
         prop_assert_eq!(run()?, run()?);
+    }
+
+    /// The sharded engine's metric artifacts are byte-identical to the
+    /// serial oracle on randomized topologies and workloads, at every
+    /// shard count, in both worker modes.
+    #[test]
+    fn sharded_engine_is_byte_identical_to_serial_oracle(
+        seed in any::<u64>(),
+        nodes in 2usize..24,
+        churn_every in 0usize..5,
+        loss in 0.0f64..0.3,
+        dup in 0.0f64..0.5,
+        reorder_ms in 0u64..80,
+        rounds in 1usize..8,
+    ) {
+        let oracle = relay_run(
+            1, ShardWorkers::Inline,
+            seed, nodes, churn_every, loss, dup, reorder_ms, rounds,
+        );
+        for shards in [2u32, 3, 8] {
+            let got = relay_run(
+                shards, ShardWorkers::Inline,
+                seed, nodes, churn_every, loss, dup, reorder_ms, rounds,
+            );
+            prop_assert_eq!(&got, &oracle, "shards={} (inline)", shards);
+        }
+        // One threaded config per case keeps runtime bounded while still
+        // exercising the barrier protocol under randomized workloads.
+        let threaded = relay_run(
+            4, ShardWorkers::Threads,
+            seed, nodes, churn_every, loss, dup, reorder_ms, rounds,
+        );
+        prop_assert_eq!(&threaded, &oracle, "shards=4 (threads)");
+    }
+
+    /// Shard assignment is a pure function of node id and shard count —
+    /// the property the whole routing layer rests on (also pinned by a
+    /// unit test in `shard.rs`; this covers the full input space).
+    #[test]
+    fn shard_assignment_is_pure_and_in_range(node in any::<u32>(), shards in 1u32..512) {
+        let a = agora_sim::shard_of(NodeId(node), shards);
+        let b = agora_sim::shard_of(NodeId(node), shards);
+        prop_assert_eq!(a, b);
+        prop_assert!(a < shards);
+        // shards=1 degenerates to the serial engine: everything in lane 0.
+        prop_assert_eq!(agora_sim::shard_of(NodeId(node), 1), 0);
     }
 
     /// Exponential samples are non-negative with roughly the right mean.

@@ -32,10 +32,15 @@ step "cargo bench --no-run (crates/bench sub-workspace, offline criterion shim)"
 step "cargo clippy (crates/bench) -- -D warnings -D clippy::perf"
 (cd crates/bench && cargo clippy --all-targets --release -- -D warnings -D clippy::perf)
 
-step "build + clippy with tracing compiled out (--no-default-features)"
+step "build + clippy with tracing + observe compiled out (--no-default-features)"
 cargo build --release -p agora-harness --no-default-features
 cargo clippy --release -p agora-harness --no-default-features --all-targets -- -D warnings -D clippy::perf
-step "baseline diff with the no-op sink build (must match BENCH_harness.json exactly)"
+step "baseline diff with probes + sinks compiled out (must match BENCH_harness.json exactly)"
+./target/release/agora-harness
+
+step "build + clippy with tracing off but the observe plane on; baseline still exact"
+cargo build --release -p agora-harness --no-default-features --features observe
+cargo clippy --release -p agora-harness --no-default-features --features observe --all-targets -- -D warnings -D clippy::perf
 ./target/release/agora-harness
 
 step "rebuild with tracing on; baseline diff must be byte-identical either way"
@@ -132,6 +137,28 @@ cmp "$TRACE_TMP/e17a.jsonl" "$TRACE_TMP/e17b.jsonl"
 grep -q '"type":"span","key":"market.challenge"' "$TRACE_TMP/e17a.jsonl"
 grep -q '"type":"span","key":"market.slash"' "$TRACE_TMP/e17a.jsonl"
 grep -q '"type":"span","key":"market.repair_bytes"' "$TRACE_TMP/e17a.jsonl"
+
+step "observe smoke: deterministic OBS jsonl, overload anomaly, causal explain"
+# Two runs must produce byte-identical artifacts; the schema checker must
+# accept them; E16 at 10k users must carry an overload anomaly; and the
+# anomaly must be explainable (points-only ring keeps onset-time firings).
+./target/release/agora-harness --observe e16/p10k --observe-out "$TRACE_TMP/obs_a.jsonl" \
+    --explain anomaly.overload > "$TRACE_TMP/obs_explain.txt"
+grep -q "causal chain for 'anomaly.overload'" "$TRACE_TMP/obs_explain.txt"
+./target/release/agora-harness --observe e16/p10k --observe-out "$TRACE_TMP/obs_b.jsonl" >/dev/null
+cmp "$TRACE_TMP/obs_a.jsonl" "$TRACE_TMP/obs_b.jsonl"
+./target/release/agora-harness --validate-obs "$TRACE_TMP/obs_a.jsonl"
+grep -q '"kind":"anomaly.overload"' "$TRACE_TMP/obs_a.jsonl"
+# The sharded engine must be invisible in the observe artifact.
+./target/release/agora-harness --observe e16/p10k --shards 4 \
+    --observe-out "$TRACE_TMP/obs_s4.jsonl" >/dev/null
+cmp "$TRACE_TMP/obs_a.jsonl" "$TRACE_TMP/obs_s4.jsonl"
+
+step "observe without tracing: OBS bytes must not depend on the trace feature"
+cargo build --release -p agora-harness --no-default-features --features observe
+./target/release/agora-harness --observe e16/p10k --observe-out "$TRACE_TMP/obs_notrace.jsonl" >/dev/null
+cmp "$TRACE_TMP/obs_a.jsonl" "$TRACE_TMP/obs_notrace.jsonl"
+cargo build --release -p agora-harness  # leave the default-feature binary in place
 
 echo
 echo "full gate passed"

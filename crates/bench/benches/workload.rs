@@ -65,7 +65,12 @@ fn bench_schedule_compile(c: &mut Criterion) {
     for population in [10_000u64, 1_000_000] {
         let spec = day_spec(population);
         g.bench_function(format!("p{population}"), |b| {
-            b.iter(|| black_box(spec.compile(17, &churnable, SimDuration::from_days(1)).len()))
+            b.iter(|| {
+                black_box(
+                    spec.compile(17, &churnable, SimDuration::from_days(1))
+                        .len(),
+                )
+            })
         });
     }
     g.finish();

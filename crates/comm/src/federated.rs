@@ -439,6 +439,7 @@ impl Protocol for FedNode {
                 let latency = (ctx.now().micros() - post.sent_at_micros) as f64 / 1e6;
                 ctx.metrics().sample("comm.delivery_secs", latency);
                 ctx.trace_point("comm.delivery_secs", latency);
+                ctx.probe_signal("comm.delivery_secs", latency);
             }
             (Role::Client(c), FedMsg::ReadResp { op, count }) => {
                 if let Some(pending) = c.pending_reads.remove(&op) {

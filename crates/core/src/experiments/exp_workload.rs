@@ -143,6 +143,7 @@ struct LoadLedger {
     uplink: HashMap<NodeId, f64>,
     total: HashMap<NodeId, f64>,
     tick_bytes: HashMap<NodeId, f64>,
+    tick_weight: f64,
     grand_total: f64,
     peak_overload: f64,
 }
@@ -156,6 +157,7 @@ impl LoadLedger {
                 .collect(),
             total: HashMap::new(),
             tick_bytes: HashMap::new(),
+            tick_weight: 0.0,
             grand_total: 0.0,
             peak_overload: 0.0,
         }
@@ -165,6 +167,7 @@ impl LoadLedger {
     fn add(&mut self, node: NodeId, weight: f64, bytes: u64) {
         *self.total.entry(node).or_insert(0.0) += weight;
         *self.tick_bytes.entry(node).or_insert(0.0) += weight * bytes as f64;
+        self.tick_weight += weight;
         self.grand_total += weight;
     }
 
@@ -181,14 +184,23 @@ impl LoadLedger {
     }
 
     /// Close a tick: fold this tick's per-node bytes into the peak
-    /// overload factor and reset the tick accumulator.
-    fn end_tick(&mut self) {
+    /// overload factor and reset the tick accumulators. Returns the tick's
+    /// weighted demand and its max utilization factor (> 1 means some
+    /// serving uplink cannot carry its attributed demand) so callers can
+    /// feed both to the probes: demand is the smooth surge-shaped series
+    /// (flash onset), utilization is the noisy saturation level.
+    fn end_tick(&mut self) -> (f64, f64) {
         let tick_secs = TICK.secs_f64();
+        let mut tick_util = 0.0f64;
         for (n, b) in self.tick_bytes.drain() {
             let uplink = self.uplink.get(&n).copied().unwrap_or(f64::INFINITY);
             let demand_bps = b * 8.0 / tick_secs;
-            self.peak_overload = self.peak_overload.max(demand_bps / uplink);
+            tick_util = tick_util.max(demand_bps / uplink);
         }
+        self.peak_overload = self.peak_overload.max(tick_util);
+        let tick_weight = self.tick_weight;
+        self.tick_weight = 0.0;
+        (tick_weight, tick_util)
     }
 
     fn busiest_share(&self) -> f64 {
@@ -299,7 +311,9 @@ fn run_centralized(seed: u64, population: u64) -> ClassOutcome {
                 None => true,
             });
         }
-        ledger.end_tick();
+        let (tick_demand, tick_util) = ledger.end_tick();
+        sim.probe_note("workload.demand", tick_demand);
+        sim.probe_note("net.uplink_util", tick_util);
     }
     sim.run_for(SimDuration::from_mins(10));
     for (g, op, w) in pending {
@@ -408,7 +422,9 @@ fn run_federated(seed: u64, population: u64) -> ClassOutcome {
                 None => true,
             });
         }
-        ledger.end_tick();
+        let (tick_demand, tick_util) = ledger.end_tick();
+        sim.probe_note("workload.demand", tick_demand);
+        sim.probe_note("net.uplink_util", tick_util);
     }
     sim.run_for(SimDuration::from_mins(10));
     for (g, op, w) in pending {
@@ -542,7 +558,9 @@ fn run_dht(seed: u64, population: u64) -> ClassOutcome {
                 None => true,
             });
         }
-        ledger.end_tick();
+        let (tick_demand, tick_util) = ledger.end_tick();
+        sim.probe_note("workload.demand", tick_demand);
+        sim.probe_note("net.uplink_util", tick_util);
     }
     sim.run_for(SimDuration::from_mins(10));
     for (g, op, w) in pending {
@@ -661,7 +679,9 @@ fn run_storage(seed: u64, population: u64) -> ClassOutcome {
                 },
             );
         }
-        ledger.end_tick();
+        let (tick_demand, tick_util) = ledger.end_tick();
+        sim.probe_note("workload.demand", tick_demand);
+        sim.probe_note("net.uplink_util", tick_util);
     }
     sim.run_for(SimDuration::from_mins(10));
     let now = sim.now();
@@ -791,7 +811,9 @@ fn run_swarm(seed: u64, population: u64) -> ClassOutcome {
                 },
             );
         }
-        ledger.end_tick();
+        let (tick_demand, tick_util) = ledger.end_tick();
+        sim.probe_note("workload.demand", tick_demand);
+        sim.probe_note("net.uplink_util", tick_util);
     }
     sim.run_for(SimDuration::from_mins(10));
     let now = sim.now();

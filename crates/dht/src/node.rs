@@ -468,6 +468,8 @@ impl DhtNode {
         ctx.metrics().sample("dht.lookup_hops", lk.hops as f64);
         ctx.trace_point("dht.lookup_secs", elapsed);
         ctx.trace_point("dht.lookup_hops", lk.hops as f64);
+        ctx.probe_signal("dht.lookup_secs", elapsed);
+        ctx.probe_signal("dht.lookup_hops", lk.hops as f64);
         self.results.insert(op, result);
     }
 
@@ -499,6 +501,8 @@ impl DhtNode {
                 ctx.metrics().sample("dht.lookup_hops", hops as f64);
                 ctx.trace_point("dht.lookup_secs", elapsed);
                 ctx.trace_point("dht.lookup_hops", hops as f64);
+                ctx.probe_signal("dht.lookup_secs", elapsed);
+                ctx.probe_signal("dht.lookup_hops", hops as f64);
                 self.results.insert(op, DhtResult::Found { data, hops });
                 return;
             }

@@ -25,6 +25,11 @@
 //!   installed and writes a deterministic, CI-diffable `TRACE_*.jsonl`;
 //!   `--explain <metric>` walks a recorded sample's causal chain back to
 //!   the external injection that started it.
+//! * **Ops plane** ([`observe`], feature `observe`, default-on):
+//!   `--observe <target>` replays one trial with the `agora-observer`
+//!   signal probes installed and streams a deterministic, CI-diffable
+//!   `OBS_*.jsonl` of cadence frames and anomaly-detector firings;
+//!   `--watch` adds a wall-clock heartbeat on stderr (never in artifacts).
 //!
 //! The `agora-harness` binary (src/main.rs) drives all of this from the
 //! command line; `agora-harness --reports` regenerates the classic
@@ -33,12 +38,15 @@
 pub mod baseline;
 pub mod json;
 pub mod matrix;
+#[cfg(feature = "observe")]
+pub mod observe;
 pub mod perf;
 pub mod pool;
 pub mod registry;
 pub mod report;
 #[cfg(feature = "trace")]
 pub mod trace;
+pub mod watch;
 
 pub use baseline::{diff_json, DiffEntry};
 pub use json::{read_json_file, Json};

@@ -13,6 +13,10 @@
 //!   agora-harness --trace dht             # replay one trial, write TRACE_dht.jsonl
 //!   agora-harness --trace e3/f0.20 --explain e3.downtime_secs
 //!   agora-harness --validate-trace TRACE_dht.jsonl
+//!   agora-harness --observe e16/p10k      # replay one trial, write OBS_e16_p10k.jsonl
+//!   agora-harness --observe e16/p1m --explain anomaly.overload
+//!   agora-harness --validate-obs OBS_e16_p10k.jsonl
+//!   agora-harness --watch                 # wall-clock heartbeat on stderr
 //!
 //! Exit codes: 0 ok; 1 usage error; 2 baseline regression; 3 trial panics.
 
@@ -40,6 +44,13 @@ struct Options {
     trace_cap: Option<usize>,
     explain: Option<String>,
     validate_trace: Option<String>,
+    observe: Option<String>,
+    #[cfg_attr(not(feature = "observe"), allow(dead_code))]
+    observe_out: Option<String>,
+    #[cfg_attr(not(feature = "observe"), allow(dead_code))]
+    observe_cadence_secs: Option<u64>,
+    validate_obs: Option<String>,
+    watch: bool,
 }
 
 /// Handle `--trace`, `--explain`, and `--validate-trace`.
@@ -113,6 +124,150 @@ fn run_trace_mode(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Handle `--observe` and `--validate-obs`.
+#[cfg(feature = "observe")]
+fn run_observe_mode(opts: &Options) -> ExitCode {
+    use agora_harness::observe;
+    use std::cell::{Cell, RefCell};
+    use std::io::Write;
+    use std::rc::Rc;
+
+    if let Some(path) = &opts.validate_obs {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("agora-harness: reading {path}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        return match observe::validate_obs_jsonl(&text) {
+            Ok(s) => {
+                println!(
+                    "{path}: OK ({} sim(s), {} frame(s), {} anomaly record(s))",
+                    s.sims, s.frames, s.anomalies
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("agora-harness: {path}: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let target = opts
+        .observe
+        .clone()
+        .expect("observe dispatch needs a target");
+    #[cfg(not(feature = "trace"))]
+    if opts.explain.is_some() {
+        eprintln!(
+            "agora-harness: --explain alongside --observe needs the 'trace' feature \
+             (the causal walk reads the flight recorder)"
+        );
+        return ExitCode::from(1);
+    }
+    #[cfg(feature = "trace")]
+    let trace_ring = opts.explain.as_ref().map(|_| {
+        opts.trace_cap
+            .unwrap_or(agora_sim::trace::DEFAULT_RING_CAPACITY)
+    });
+    #[cfg(not(feature = "trace"))]
+    let trace_ring = None;
+
+    let mut obs_cfg = agora_observer::ObserverConfig::default();
+    if let Some(secs) = opts.observe_cadence_secs {
+        if secs == 0 {
+            eprintln!("agora-harness: --observe-cadence must be >= 1 (seconds)");
+            return ExitCode::from(1);
+        }
+        obs_cfg.cadence = agora_sim::SimDuration::from_secs(secs);
+    }
+
+    let out_path = opts
+        .observe_out
+        .clone()
+        .unwrap_or_else(|| format!("OBS_{}.jsonl", target.replace('/', "_")));
+    let file = match std::fs::File::create(&out_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("agora-harness: creating {out_path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let writer = Rc::new(RefCell::new(std::io::BufWriter::new(file)));
+    let write_failed = Rc::new(Cell::new(false));
+    let sink_writer = Rc::clone(&writer);
+    let sink_failed = Rc::clone(&write_failed);
+    // Each record is flushed as soon as the observer emits it, so a long
+    // run's artifact is `tail -f`-able and survives a mid-run interrupt.
+    let sink = Box::new(move |line: &str| {
+        let mut w = sink_writer.borrow_mut();
+        if writeln!(w, "{line}").and_then(|_| w.flush()).is_err() {
+            sink_failed.set(true);
+        }
+    });
+
+    let _watch = opts
+        .watch
+        .then(|| agora_harness::watch::start(1, Duration::from_secs(2)));
+    let run = match observe::run_observe_target(
+        &registry(),
+        &opts.cfg,
+        &target,
+        obs_cfg,
+        trace_ring,
+        sink,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("agora-harness: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    agora_harness::watch::trial_finished();
+    drop(writer);
+    if write_failed.get() {
+        eprintln!("agora-harness: writing {out_path} failed mid-stream");
+        return ExitCode::from(1);
+    }
+    println!(
+        "observed {}/{} (seed {}): {} sim(s), {} frame(s), {} anomaly record(s)",
+        run.target,
+        run.variant,
+        run.seed,
+        run.summary.sims,
+        run.summary.frames,
+        run.summary.anomalies.values().sum::<u64>()
+    );
+    println!("wrote observe artifact to {out_path} (deterministic; safe to diff in CI)");
+
+    #[cfg(feature = "trace")]
+    if let Some(metric) = &opts.explain {
+        let rec = run.recorder.as_ref().expect("ring installed for --explain");
+        match agora_harness::trace::explain_metric(rec, metric) {
+            Some(ex) => {
+                print!("{}", ex.text);
+                println!("(resolved causal depth: {})", ex.depth);
+            }
+            None => {
+                eprintln!("agora-harness: no recorded sample for metric '{metric}' in this run");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(not(feature = "observe"))]
+fn run_observe_mode(_opts: &Options) -> ExitCode {
+    eprintln!(
+        "agora-harness: --observe/--validate-obs require the 'observe' feature; \
+         this binary was built with --no-default-features"
+    );
+    ExitCode::from(1)
+}
+
 #[cfg(not(feature = "trace"))]
 fn run_trace_mode(_opts: &Options) -> ExitCode {
     eprintln!(
@@ -137,6 +292,11 @@ fn parse_args() -> Result<Options, String> {
         trace_cap: None,
         explain: None,
         validate_trace: None,
+        observe: None,
+        observe_out: None,
+        observe_cadence_secs: None,
+        validate_obs: None,
+        watch: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -199,6 +359,17 @@ fn parse_args() -> Result<Options, String> {
             }
             "--explain" => opts.explain = Some(value("--explain")?),
             "--validate-trace" => opts.validate_trace = Some(value("--validate-trace")?),
+            "--observe" => opts.observe = Some(value("--observe")?),
+            "--observe-out" => opts.observe_out = Some(value("--observe-out")?),
+            "--observe-cadence" => {
+                opts.observe_cadence_secs = Some(
+                    value("--observe-cadence")?
+                        .parse()
+                        .map_err(|e| format!("--observe-cadence: {e}"))?,
+                )
+            }
+            "--validate-obs" => opts.validate_obs = Some(value("--validate-obs")?),
+            "--watch" => opts.watch = true,
             "--update-baseline" => opts.update_baseline = true,
             "--speedup" => opts.speedup = true,
             "--reports" => opts.reports = true,
@@ -262,11 +433,23 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // Observe mode wins when both could apply: `--observe X --explain M`
+    // explains M against the observed run's recording, not a trace replay.
+    if opts.observe.is_some() || opts.validate_obs.is_some() {
+        return run_observe_mode(&opts);
+    }
+
     if opts.trace.is_some() || opts.explain.is_some() || opts.validate_trace.is_some() {
         return run_trace_mode(&opts);
     }
 
     let reg = registry();
+
+    let _watch = opts.watch.then(|| {
+        let trials = agora_harness::matrix::build_trials(&reg, &opts.cfg).len();
+        let total = if opts.speedup { trials * 2 } else { trials };
+        agora_harness::watch::start(total, Duration::from_secs(2))
+    });
 
     if opts.speedup {
         let serial_cfg = MatrixConfig {

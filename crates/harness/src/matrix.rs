@@ -158,6 +158,7 @@ pub fn run_matrix(registry: &[ExperimentDef], cfg: &MatrixConfig) -> MatrixRun {
                 Metrics::new(),
             ),
         };
+        crate::watch::trial_finished();
         TrialOutcome {
             spec: spec.clone(),
             status,

@@ -401,6 +401,71 @@ fn e16_class_run(shards: u32) -> (f64, u64, f64) {
     (events as f64 / wall, events, wall)
 }
 
+/// The `observer` section: the same E16-class flash-crowd day as
+/// `engine_parallel`, unobserved (probes compiled in but dormant — the
+/// per-dispatch cost is one predicted branch) and then with a full
+/// observer installed at coarse and fine sampling cadences. The overhead
+/// ratio is the price of the observe plane on a real protocol day; the
+/// compiled-out-entirely baseline is proven byte-identical by ci.sh, not
+/// timed here (one binary cannot measure both feature configs).
+#[cfg(feature = "observe")]
+fn observer_to_json(prof: &mut PhaseProfiler) -> Json {
+    use agora_observer::{Observer, ObserverConfig};
+
+    let mut out = Json::obj();
+    out.set(
+        "cores",
+        Json::Num(
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) as f64,
+        ),
+    );
+    out.set(
+        "note",
+        Json::Str(
+            "E16-class day at 1 shard: dormant prober vs observer at each \
+             cadence; frame counts are deterministic, wall-clock is not"
+                .to_owned(),
+        ),
+    );
+    let (_, _, unobserved_wall) = prof.time("microbench/observer_unobserved", || e16_class_run(1));
+    out.set("unobserved_wall_secs", Json::Num(unobserved_wall));
+    for cadence_secs in [300u64, 60] {
+        let obs = Observer::new(
+            ObserverConfig {
+                cadence: SimDuration::from_secs(cadence_secs),
+                ..ObserverConfig::default()
+            },
+            Box::new(drop),
+        );
+        let handle = obs.clone();
+        let cadence = handle.cadence();
+        let (_, events, wall) = prof.time(
+            &format!("microbench/observer_cadence{cadence_secs}s"),
+            || {
+                agora_sim::probe::with_thread_probe(
+                    move || (handle.make_sink(), cadence),
+                    || e16_class_run(1),
+                )
+            },
+        );
+        let summary = obs.summary();
+        let mut point = Json::obj();
+        point.set("events", Json::Num(events as f64));
+        point.set("wall_secs", Json::Num(wall));
+        point.set(
+            "overhead_vs_unobserved",
+            Json::Num(wall / unobserved_wall.max(1e-9)),
+        );
+        point.set("frames", Json::Num(summary.frames as f64));
+        point.set(
+            "anomalies",
+            Json::Num(summary.anomalies.values().sum::<u64>() as f64),
+        );
+        out.set(&format!("cadence{cadence_secs}s"), point);
+    }
+    out
+}
+
 /// One measurement point of the `engine_parallel` section.
 fn shard_point_json(eps: f64, stats: &agora_sim::ShardStats) -> Json {
     let mut e = Json::obj();
@@ -857,6 +922,8 @@ pub fn perf_to_json_with(run: &MatrixRun, mut prof: PhaseProfiler) -> Json {
 
     root.set("microbench", micro);
     root.set("engine_parallel", engine_parallel_to_json(&mut prof));
+    #[cfg(feature = "observe")]
+    root.set("observer", observer_to_json(&mut prof));
     root.set("breakdowns", prof.to_json());
     root
 }

@@ -15,6 +15,8 @@ use crate::metrics::{CounterHandle, Metrics};
 use crate::net::Network;
 #[cfg(feature = "trace")]
 use crate::net::SendFailure;
+#[cfg(feature = "probe")]
+use crate::probe::{NoopProbe, ProbeFrame, ProbeSink};
 use crate::rng::SimRng;
 use crate::shard::{
     lane_window, LaneCmd, LaneOut, Scheduler, ShardState, ShardStats, ShardWorkers,
@@ -68,6 +70,70 @@ impl Tracer {
 /// Pseudo-node stamped on records that concern the whole simulation.
 #[cfg(feature = "trace")]
 const TRACE_SIM_NODE: NodeId = NodeId(u32::MAX);
+
+/// The engine's probe state (see [`crate::probe`]): the installed sink, a
+/// cached enabled flag (the only thing the hot path reads when no sink is
+/// installed), the sampling cadence, and the engine-side bookkeeping —
+/// total and per-node pending-event counts maintained at the two scheduler
+/// push funnels and the dispatch decrement, so frame queue statistics are a
+/// pure function of the canonical event order and never consult the
+/// scheduler's internal (shard-dependent) layout.
+#[cfg(feature = "probe")]
+struct Prober {
+    sink: Box<dyn ProbeSink>,
+    on: bool,
+    /// Sampling cadence in micros (`u64::MAX` when no sink is installed).
+    every: u64,
+    /// Next cadence boundary in micros; a frame fires at the first
+    /// dispatched event whose time reaches it.
+    next_at: u64,
+    /// Undispatched events across all nodes.
+    pending: u64,
+    /// Per-node pending-event depth, indexed by `NodeId`.
+    depth: Vec<u32>,
+    seed: u64,
+}
+
+#[cfg(feature = "probe")]
+impl Prober {
+    fn target<M>(kind: &EventKind<M>) -> NodeId {
+        match kind {
+            EventKind::Deliver { to, .. } => *to,
+            EventKind::Timer { node, .. } => *node,
+            EventKind::ChurnDown(id) | EventKind::ChurnUp(id) => *id,
+        }
+    }
+
+    /// An event entered the scheduler. Saturating arithmetic so a sink
+    /// installed mid-run (after events were already queued) degrades to
+    /// approximate counts instead of underflowing; the factory path
+    /// (installation at `Simulation::new`) is always exact.
+    #[inline]
+    fn note_push<M>(&mut self, kind: &EventKind<M>) {
+        if !self.on {
+            return;
+        }
+        self.pending += 1;
+        let ix = Self::target(kind).index();
+        if ix >= self.depth.len() {
+            self.depth.resize(ix + 1, 0);
+        }
+        self.depth[ix] += 1;
+    }
+
+    /// An event left the scheduler for dispatch.
+    #[inline]
+    fn note_dispatch<M>(&mut self, kind: &EventKind<M>) {
+        if !self.on {
+            return;
+        }
+        self.pending = self.pending.saturating_sub(1);
+        let ix = Self::target(kind).index();
+        if let Some(d) = self.depth.get_mut(ix) {
+            *d = d.saturating_sub(1);
+        }
+    }
+}
 
 /// Identifier of a simulated node. Dense indices into the engine's tables.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -173,6 +239,11 @@ struct HotCounters {
     dropped: CounterHandle,
     dropped_receiver_down: CounterHandle,
     timer_dropped_node_down: CounterHandle,
+    /// Timer drops under the `net.*` family so network-facing dashboards
+    /// see them next to `net.dropped` without changing its semantics (a
+    /// dropped timer never had a message on the wire). Same value as
+    /// `timer.dropped_node_down`; registered invisibly like every handle.
+    timer_dropped: CounterHandle,
     churn_up: CounterHandle,
     churn_down: CounterHandle,
     /// Messages duplicated / reorder-delayed by the chaos layer. Registered
@@ -192,6 +263,7 @@ impl HotCounters {
             dropped: metrics.counter_handle("net.dropped"),
             dropped_receiver_down: metrics.counter_handle("net.dropped_receiver_down"),
             timer_dropped_node_down: metrics.counter_handle("timer.dropped_node_down"),
+            timer_dropped: metrics.counter_handle("net.timer_dropped"),
             churn_up: metrics.counter_handle("churn.up"),
             churn_down: metrics.counter_handle("churn.down"),
             chaos_duplicated: metrics.counter_handle("chaos.duplicated"),
@@ -211,6 +283,8 @@ pub struct Ctx<'a, M> {
     hot: HotCounters,
     #[cfg(feature = "trace")]
     tracer: &'a mut Tracer,
+    #[cfg(feature = "probe")]
+    prober: &'a mut Prober,
 }
 
 impl<'a, M: Clone> Ctx<'a, M> {
@@ -388,6 +462,24 @@ impl<'a, M: Clone> Ctx<'a, M> {
     #[inline(always)]
     pub fn trace_point(&mut self, _name: &'static str, _value: f64) {}
 
+    /// Emit a named probe signal — a substrate health sample (a lookup
+    /// latency, a seeder count) delivered to the installed probe sink in
+    /// canonical event order, stamped with this node and the current
+    /// simulated time. One untaken branch when no sink is installed.
+    /// Conventionally `name` is the metric key the sample annotates.
+    #[cfg(feature = "probe")]
+    pub fn probe_signal(&mut self, name: &'static str, value: f64) {
+        if self.prober.on {
+            self.prober.sink.on_signal(self.now, self.id, name, value);
+        }
+    }
+
+    /// Probe-signal no-op: the `probe` feature is compiled out, so this
+    /// vanishes entirely. Protocol crates call it unconditionally.
+    #[cfg(not(feature = "probe"))]
+    #[inline(always)]
+    pub fn probe_signal(&mut self, _name: &'static str, _value: f64) {}
+
     /// The deterministic RNG (shared engine-wide).
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng
@@ -404,6 +496,8 @@ impl<'a, M: Clone> Ctx<'a, M> {
     }
 
     fn push(&mut self, at: SimTime, kind: EventKind<M>) -> u128 {
+        #[cfg(feature = "probe")]
+        self.prober.note_push(&kind);
         self.sched.push(at, kind)
     }
 }
@@ -423,6 +517,8 @@ pub struct Simulation<P: Protocol> {
     started: Vec<bool>,
     #[cfg(feature = "trace")]
     tracer: Tracer,
+    #[cfg(feature = "probe")]
+    prober: Prober,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -458,6 +554,26 @@ impl<P: Protocol> Simulation<P> {
                 seed,
             }
         };
+        // The probe factory (`crate::probe::with_thread_probe`) is consulted
+        // the same way as the trace factory: that is how a harness samples
+        // simulations constructed deep inside experiment entry points.
+        #[cfg(feature = "probe")]
+        let prober = {
+            let (sink, on, every): (Box<dyn ProbeSink>, bool, u64) =
+                match crate::probe::make_thread_probe() {
+                    Some((sink, cadence)) => (sink, true, cadence.micros().max(1)),
+                    None => (Box::new(NoopProbe), false, u64::MAX),
+                };
+            Prober {
+                sink,
+                on,
+                every,
+                next_at: every,
+                pending: 0,
+                depth: Vec::new(),
+                seed,
+            }
+        };
         let mut sim = Simulation {
             protocols: Vec::new(),
             net: Network::new(),
@@ -471,6 +587,8 @@ impl<P: Protocol> Simulation<P> {
             started: Vec::new(),
             #[cfg(feature = "trace")]
             tracer,
+            #[cfg(feature = "probe")]
+            prober,
         };
         let (shards, workers) = crate::shard::configured_shards();
         if shards > 1 {
@@ -483,6 +601,10 @@ impl<P: Protocol> Simulation<P> {
             TRACE_SIM_NODE,
             TraceKind::SimStart { seed }
         );
+        #[cfg(feature = "probe")]
+        if sim.prober.on {
+            sim.prober.sink.on_sim_start(seed);
+        }
         sim
     }
 
@@ -552,6 +674,25 @@ impl<P: Protocol> Simulation<P> {
         let seed = self.tracer.seed;
         self.tracer
             .emit(0, self.time, TRACE_SIM_NODE, TraceKind::SimStart { seed });
+    }
+
+    /// Install a probe sink with the given sampling cadence on an
+    /// already-constructed simulation. Probing never touches the RNG or
+    /// metrics counters the simulation would otherwise produce, so the
+    /// simulated outcome is identical with or without a sink (`anomaly.*`
+    /// counters fire only when a sink returns anomalies). For exact queue
+    /// accounting install the sink before events are scheduled; installed
+    /// later, queue statistics start approximate and converge as the
+    /// pre-existing events drain.
+    #[cfg(feature = "probe")]
+    pub fn set_probe_sink(&mut self, mut sink: Box<dyn ProbeSink>, cadence: SimDuration) {
+        sink.on_sim_start(self.prober.seed);
+        let every = cadence.micros().max(1);
+        self.prober.sink = sink;
+        self.prober.on = true;
+        self.prober.every = every;
+        self.prober.next_at = (self.time.micros() / every + 1).saturating_mul(every);
+        self.prober.pending = self.sched.len() as u64;
     }
 
     /// Add a node of the given device class. Its `on_start` runs at the time
@@ -635,6 +776,8 @@ impl<P: Protocol> Simulation<P> {
             hot: self.hot,
             #[cfg(feature = "trace")]
             tracer: &mut self.tracer,
+            #[cfg(feature = "probe")]
+            prober: &mut self.prober,
         };
         Some(f(&mut self.protocols[id.index()], &mut ctx))
     }
@@ -769,6 +912,40 @@ impl<P: Protocol> Simulation<P> {
     #[cfg(not(feature = "trace"))]
     pub fn trace_note(&mut self, _name: &'static str, _value: f64) {}
 
+    /// Emit a named probe signal from outside any protocol handler (market
+    /// audits, harness-level controllers); stamped with
+    /// [`crate::probe::PROBE_SIM_NODE`]. One untaken branch when no sink is
+    /// installed.
+    #[cfg(feature = "probe")]
+    pub fn probe_note(&mut self, name: &'static str, value: f64) {
+        if self.prober.on {
+            self.prober
+                .sink
+                .on_signal(self.time, crate::probe::PROBE_SIM_NODE, name, value);
+        }
+    }
+
+    /// Probe-signal no-op (`probe` feature disabled).
+    #[cfg(not(feature = "probe"))]
+    #[inline(always)]
+    pub fn probe_note(&mut self, _name: &'static str, _value: f64) {}
+
+    /// Whether a probe sink is installed. Callers with a non-trivial signal
+    /// to compute (rollups over collections) should gate on this so the
+    /// computation disappears along with the probes.
+    #[cfg(feature = "probe")]
+    pub fn probe_active(&self) -> bool {
+        self.prober.on
+    }
+
+    /// Probe-active no-op (`probe` feature disabled): always `false`, so
+    /// gated signal computations constant-fold away.
+    #[cfg(not(feature = "probe"))]
+    #[inline(always)]
+    pub fn probe_active(&self) -> bool {
+        false
+    }
+
     /// Metrics collected so far.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
@@ -804,6 +981,8 @@ impl<P: Protocol> Simulation<P> {
                 {
                     self.tracer.cur = ev.key;
                 }
+                #[cfg(feature = "probe")]
+                self.probe_tick(&ev.kind);
                 self.dispatch(ev.kind);
             }
         }
@@ -834,6 +1013,8 @@ impl<P: Protocol> Simulation<P> {
             {
                 self.tracer.cur = ev.key;
             }
+            #[cfg(feature = "probe")]
+            self.probe_tick(&ev.kind);
             self.dispatch(ev.kind);
             n += 1;
             assert!(n < max_events, "run_idle exceeded {max_events} events");
@@ -957,6 +1138,8 @@ impl<P: Protocol> Simulation<P> {
                 {
                     self.tracer.cur = ev.key;
                 }
+                #[cfg(feature = "probe")]
+                self.probe_tick(&ev.kind);
                 self.dispatch(ev.kind);
                 if let Some(max) = guard {
                     dispatched += 1;
@@ -1002,6 +1185,8 @@ impl<P: Protocol> Simulation<P> {
                     hot: self.hot,
                     #[cfg(feature = "trace")]
                     tracer: &mut self.tracer,
+                    #[cfg(feature = "probe")]
+                    prober: &mut self.prober,
                 };
                 self.protocols[i].on_start(&mut ctx);
             }
@@ -1009,7 +1194,76 @@ impl<P: Protocol> Simulation<P> {
     }
 
     fn push(&mut self, at: SimTime, kind: EventKind<P::Msg>) -> u128 {
+        #[cfg(feature = "probe")]
+        self.prober.note_push(&kind);
         self.sched.push(at, kind)
+    }
+
+    /// Per-dispatch probe bookkeeping: maintain queue counts, and sample a
+    /// frame when the clock reaches the next cadence boundary. Called with
+    /// the event already popped, after the tracer's causal cursor is set, so
+    /// anomaly trace points parent to the event that triggered the sample.
+    #[cfg(feature = "probe")]
+    #[inline]
+    fn probe_tick(&mut self, kind: &EventKind<P::Msg>) {
+        self.prober.note_dispatch(kind);
+        if self.prober.on && self.time.micros() >= self.prober.next_at {
+            self.probe_frame();
+        }
+    }
+
+    /// Build and deliver one probe frame; cold — runs once per cadence
+    /// boundary, never on the per-event path.
+    #[cfg(feature = "probe")]
+    #[cold]
+    fn probe_frame(&mut self) {
+        let every = self.prober.every;
+        self.prober.next_at = (self.time.micros() / every + 1).saturating_mul(every);
+        let mut queue_max_depth = 0u32;
+        let mut queue_max_node = 0u32;
+        let mut queue_nonzero = 0u32;
+        for (ix, &d) in self.prober.depth.iter().enumerate() {
+            if d > 0 {
+                queue_nonzero += 1;
+                if d > queue_max_depth {
+                    queue_max_depth = d;
+                    queue_max_node = ix as u32;
+                }
+            }
+        }
+        let (
+            uplink_max_backlog_secs,
+            uplink_busy_nodes,
+            downlink_max_backlog_secs,
+            downlink_busy_nodes,
+        ) = self.net.backlog_stats(self.time);
+        let frame = ProbeFrame {
+            now: self.time,
+            events: self.events,
+            pending: self.prober.pending,
+            queue_max_depth,
+            queue_max_node: NodeId(queue_max_node),
+            queue_nonzero,
+            uplink_max_backlog_secs,
+            uplink_busy_nodes,
+            downlink_max_backlog_secs,
+            downlink_busy_nodes,
+            metrics: &self.metrics,
+        };
+        let anomalies = self.prober.sink.on_frame(&frame);
+        for a in anomalies {
+            self.metrics.incr(a.kind, 1);
+            trace_event!(
+                self.tracer,
+                self.tracer.cur,
+                self.time,
+                TRACE_SIM_NODE,
+                TraceKind::Point {
+                    name: a.kind,
+                    value: a.value,
+                }
+            );
+        }
     }
 
     fn transition(&mut self, id: NodeId, up: bool) {
@@ -1049,6 +1303,8 @@ impl<P: Protocol> Simulation<P> {
             hot: self.hot,
             #[cfg(feature = "trace")]
             tracer: &mut self.tracer,
+            #[cfg(feature = "probe")]
+            prober: &mut self.prober,
         };
         if up {
             self.protocols[id.index()].on_up(&mut ctx);
@@ -1093,6 +1349,8 @@ impl<P: Protocol> Simulation<P> {
                     hot: self.hot,
                     #[cfg(feature = "trace")]
                     tracer: &mut self.tracer,
+                    #[cfg(feature = "probe")]
+                    prober: &mut self.prober,
                 };
                 self.protocols[to.index()].on_message(&mut ctx, from, msg);
             }
@@ -1100,6 +1358,7 @@ impl<P: Protocol> Simulation<P> {
                 if !self.net.is_up(node) {
                     self.metrics
                         .incr_handle(self.hot.timer_dropped_node_down, 1);
+                    self.metrics.incr_handle(self.hot.timer_dropped, 1);
                     trace_event!(
                         self.tracer,
                         self.tracer.cur,
@@ -1126,6 +1385,8 @@ impl<P: Protocol> Simulation<P> {
                     hot: self.hot,
                     #[cfg(feature = "trace")]
                     tracer: &mut self.tracer,
+                    #[cfg(feature = "probe")]
+                    prober: &mut self.prober,
                 };
                 self.protocols[node.index()].on_timer(&mut ctx, tag);
             }
@@ -1368,6 +1629,31 @@ mod tests {
         sim.run_for(SimDuration::from_secs(2));
         assert_eq!(sim.metrics().counter("timer.dropped_node_down"), 1);
         assert_eq!(sim.metrics().counter("net.dropped"), 0);
+    }
+
+    #[test]
+    fn timer_drops_surface_under_net_timer_dropped() {
+        // `net.timer_dropped` mirrors `timer.dropped_node_down` so timer
+        // drops sit next to the `net.*` family in dashboards, while
+        // `net.dropped` stays message-only (pinned above).
+        let (mut sim, a, _b) = two_node_sim();
+        sim.with_ctx(a, |_, ctx| {
+            ctx.set_timer(SimDuration::from_secs(1), 7);
+            ctx.set_timer(SimDuration::from_secs(1), 8);
+        });
+        sim.kill(a);
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(sim.metrics().counter("net.timer_dropped"), 2);
+        assert_eq!(sim.metrics().counter("timer.dropped_node_down"), 2);
+        assert_eq!(sim.metrics().counter("net.dropped"), 0);
+        // And it stays invisible in artifacts when no timer was dropped.
+        let (mut clean, c, d) = two_node_sim();
+        clean.with_ctx(c, |_, ctx| ctx.send(d, PpMsg::Ping, 64));
+        clean.run_for(SimDuration::from_secs(1));
+        assert!(!clean
+            .metrics()
+            .counters()
+            .any(|(k, _)| k == "net.timer_dropped"));
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   observability layer: a [`trace::TraceSink`] tap in the engine with a
 //!   bounded flight recorder and causal provenance keys. Compiled out by
 //!   default — the untraced engine is byte-for-byte the pre-trace engine.
+//! * (behind the `probe` cargo feature) the [`probe`](crate::probe) signals
+//!   layer: a [`probe::ProbeSink`] tap that samples engine state (queue
+//!   depths, link backlogs, counters) on a sim-time cadence and carries
+//!   named substrate health signals — the deterministic feed for
+//!   `agora-observer`. Compiled out by default, same contract as `trace`.
 //!
 //! ## Design
 //!
@@ -54,6 +59,8 @@ pub mod device;
 pub mod engine;
 pub mod metrics;
 pub mod net;
+#[cfg(feature = "probe")]
+pub mod probe;
 pub mod retry;
 pub mod rng;
 pub mod shard;
@@ -69,7 +76,11 @@ pub use device::{DeviceClass, DeviceProfile};
 pub use engine::{Ctx, NodeId, Protocol, Simulation};
 pub use metrics::{CounterHandle, Histogram, Metrics, P2Quantile};
 pub use net::Network;
+#[cfg(feature = "probe")]
+pub use probe::{with_thread_probe, ProbeAnomaly, ProbeFrame, ProbeSink, PROBE_SIM_NODE};
 pub use retry::{Jitter, Retrier, RetryPolicy};
 pub use rng::{SimRng, ZipfTable};
-pub use shard::{shard_of, with_shards, ShardStats, ShardWorkers};
+pub use shard::{
+    shard_of, watch_counters as shard_watch_counters, with_shards, ShardStats, ShardWorkers,
+};
 pub use time::{SimDuration, SimTime};

@@ -416,6 +416,15 @@ impl Metrics {
             .map(|(k, &ix)| (k.as_str(), self.counter_vals[ix]))
     }
 
+    /// Snapshot all touched counters as owned `(key, value)` pairs in key
+    /// order — the form probe-frame consumers keep across sampling
+    /// boundaries to compute per-interval deltas without borrowing the
+    /// registry. Visibility matches [`Metrics::counters`]: registered but
+    /// never-incremented counters are absent.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.counters().map(|(k, v)| (k.to_owned(), v)).collect()
+    }
+
     /// Iterate gauges in key order.
     pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
         self.gauges.iter().map(|(k, v)| (k.as_str(), *v))

@@ -268,6 +268,37 @@ impl Network {
         self.nodes.len()
     }
 
+    /// Link-saturation summary at `now` for the probe layer: the largest
+    /// per-node uplink and downlink backlog — seconds of serialization
+    /// already committed beyond `now` — and how many nodes have any at all.
+    /// A pure read of the reservation cursors, so the result is a function
+    /// of the canonical event order only.
+    #[cfg(feature = "probe")]
+    pub(crate) fn backlog_stats(&self, now: SimTime) -> (f64, u32, f64, u32) {
+        let mut up_max = 0u64;
+        let mut up_busy = 0u32;
+        let mut down_max = 0u64;
+        let mut down_busy = 0u32;
+        for node in &self.nodes {
+            let up = node.uplink_free.micros().saturating_sub(now.micros());
+            if up > 0 {
+                up_busy += 1;
+                up_max = up_max.max(up);
+            }
+            let down = node.downlink_free.micros().saturating_sub(now.micros());
+            if down > 0 {
+                down_busy += 1;
+                down_max = down_max.max(down);
+            }
+        }
+        (
+            up_max as f64 / 1e6,
+            up_busy,
+            down_max as f64 / 1e6,
+            down_busy,
+        )
+    }
+
     pub(crate) fn is_up(&self, id: NodeId) -> bool {
         self.nodes[id.index()].up
     }

@@ -50,8 +50,25 @@ use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::mem;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::engine::{Event, EventKind, NodeId};
+
+/// Process-wide window/stall tallies for the harness's `--watch` heartbeat:
+/// relaxed atomics bumped alongside the per-run [`ShardStats`], cumulative
+/// over every sharded run in the process. Wall-clock telemetry only — they
+/// feed stderr, never an artifact, so reading them mid-run is harmless.
+static WATCH_WINDOWS: AtomicU64 = AtomicU64::new(0);
+static WATCH_STALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative `(windows, barrier_stalls)` across all sharded runs in this
+/// process so far. Deltas between two reads give live progress.
+pub fn watch_counters() -> (u64, u64) {
+    (
+        WATCH_WINDOWS.load(Ordering::Relaxed),
+        WATCH_STALLS.load(Ordering::Relaxed),
+    )
+}
 
 /// What a worker sees of one pending event: its packed key and the slot of
 /// its payload in the destination lane's slab.
@@ -344,6 +361,7 @@ impl<M> ShardState<M> {
         debug_assert!(self.run_heads.is_empty());
         self.window_end_key = w_end_key;
         self.stats.windows += 1;
+        WATCH_WINDOWS.fetch_add(1, Ordering::Relaxed);
         for out in outs {
             let LaneOut {
                 lane,
@@ -355,6 +373,7 @@ impl<M> ShardState<M> {
             self.batch_pool.extend(batches);
             if run.is_empty() {
                 self.stats.barrier_stalls += 1;
+                WATCH_STALLS.fetch_add(1, Ordering::Relaxed);
                 self.scratch_pool.push(run);
             } else {
                 self.run_heads.push(Reverse((run[0].0, lane as u32)));

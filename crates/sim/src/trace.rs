@@ -425,6 +425,14 @@ impl TraceSink for FlightRecorder {
             self.ring[self.head] = ev.clone();
             self.head = (self.head + 1) % self.cap;
             self.evicted += 1;
+            // Surface overflow in the span table so a capped run's artifact
+            // says how much of the ring was lost instead of truncating
+            // silently (`evicted()` is only reachable from code, not from
+            // the serialized trace).
+            self.spans
+                .entry("trace.ring_evicted".to_owned())
+                .or_default()
+                .count += 1;
         }
     }
 }
@@ -525,6 +533,23 @@ mod tests {
         assert_eq!(keys, vec![3, 4, 5], "oldest evicted first");
         // Spans saw all five records regardless of eviction.
         assert_eq!(rec.span("churn.up").unwrap().count, 5);
+    }
+
+    #[test]
+    fn ring_eviction_is_counted_in_the_span_table() {
+        let mut rec = FlightRecorder::new(3);
+        for i in 0..3u64 {
+            rec.record(&ev(i as u128 + 1, 0, i, TraceKind::ChurnUp));
+        }
+        // Ring exactly full: nothing evicted, nothing surfaced.
+        assert!(rec.span("trace.ring_evicted").is_none());
+        for i in 3..5u64 {
+            rec.record(&ev(i as u128 + 1, 0, i, TraceKind::ChurnUp));
+        }
+        // Two overflows: the span count matches `evicted()`, so serialized
+        // traces carry the overflow tally without a side channel.
+        assert_eq!(rec.evicted(), 2);
+        assert_eq!(rec.span("trace.ring_evicted").unwrap().count, 2);
     }
 
     #[test]

@@ -487,6 +487,25 @@ impl StorageMarket {
             self.repair_object(sim, oi);
         }
         self.history.push(ch);
+        // Market health after every verdict: fraction of slots still
+        // funded+alive and the stake backing them. Gated so the O(slots)
+        // rollup vanishes along with the probes.
+        if sim.probe_active() {
+            let (mut alive, mut total, mut stake) = (0u64, 0u64, 0u64);
+            for obj in &self.objects {
+                for slot in &obj.slots {
+                    total += 1;
+                    if slot.alive {
+                        alive += 1;
+                        stake += slot.stake_left;
+                    }
+                }
+            }
+            if total > 0 {
+                sim.probe_note("storage.funded_ratio", alive as f64 / total as f64);
+                sim.probe_note("storage.stake_at_risk", stake as f64);
+            }
+        }
     }
 
     /// The repair actor: re-encode every dead slot of one object from any

@@ -349,6 +349,8 @@ impl Protocol for SwarmNode {
                 if !v.contains(&from) {
                     v.push(from);
                 }
+                // Per-site seeder census as seen by this tracker.
+                ctx.probe_signal("swarm.seeders", v.len() as f64);
             }
             (Role::Tracker(index), SwarmMsg::GetPeers { site, req }) => {
                 let peers = index.get(&site).cloned().unwrap_or_default();

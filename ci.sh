@@ -35,7 +35,11 @@ step "cargo clippy (crates/bench) -- -D warnings -D clippy::perf"
 step "build + clippy with tracing + observe compiled out (--no-default-features)"
 cargo build --release -p agora-harness --no-default-features
 cargo clippy --release -p agora-harness --no-default-features --all-targets -- -D warnings -D clippy::perf
-step "baseline diff with probes + sinks compiled out (must match BENCH_harness.json exactly)"
+# Note: the probe layer itself is always compiled in (agora core carries
+# the reactive-policy plane unconditionally); --no-default-features strips
+# the flight recorder and the observer ops plane. The sink slot stays a
+# no-op for every experiment that doesn't install one.
+step "baseline diff with tracing + observer compiled out (must match BENCH_harness.json exactly)"
 ./target/release/agora-harness
 
 step "build + clippy with tracing off but the observe plane on; baseline still exact"
@@ -103,6 +107,29 @@ step "shard smoke: --shards is invisible in the artifact; e1-e17 baseline untouc
     --json "$CHAOS_TMP/shard_s4.json" >/dev/null
 cmp "$CHAOS_TMP/shard_s1.json" "$CHAOS_TMP/shard_s4.json"
 
+step "policy smoke: E16 policy variants deterministic across threads and shards"
+# The reactive-control plane acts only at drain boundaries off probe-frame
+# state, so the policy-on artifact — including the exact policy.* action
+# counters — must be byte-identical at any thread or shard count. The
+# policy-OFF dormancy proof is the full-matrix baseline diffs above: every
+# pre-policy row of BENCH_harness.json reproduces exactly with the policy
+# crate compiled in.
+./target/release/agora-harness --filter e16p/p10k --threads 1 \
+    --baseline "$CHAOS_TMP/policy_baseline.json" --update-baseline \
+    --json "$CHAOS_TMP/policy_t1.json" >/dev/null
+./target/release/agora-harness --filter e16p/p10k --threads 8 \
+    --baseline "$CHAOS_TMP/policy_baseline.json" \
+    --json "$CHAOS_TMP/policy_t8.json" >/dev/null
+cmp "$CHAOS_TMP/policy_t1.json" "$CHAOS_TMP/policy_t8.json"
+./target/release/agora-harness --filter e16p/p10k --shards 4 --threads 8 \
+    --baseline "$CHAOS_TMP/policy_baseline.json" \
+    --json "$CHAOS_TMP/policy_s4.json" >/dev/null
+cmp "$CHAOS_TMP/policy_t1.json" "$CHAOS_TMP/policy_s4.json"
+
+step "experiments report: --reports regenerates experiments_output.txt byte-for-byte"
+./target/release/agora-harness --reports > "$CHAOS_TMP/reports.txt"
+cmp "$CHAOS_TMP/reports.txt" experiments_output.txt
+
 step "trace smoke: deterministic TRACE jsonl + causal explain"
 ./target/release/agora-harness --trace dht --trace-out "$TRACE_TMP/a.jsonl" \
     --explain dht.lookup_secs
@@ -137,6 +164,26 @@ cmp "$TRACE_TMP/e17a.jsonl" "$TRACE_TMP/e17b.jsonl"
 grep -q '"type":"span","key":"market.challenge"' "$TRACE_TMP/e17a.jsonl"
 grep -q '"type":"span","key":"market.slash"' "$TRACE_TMP/e17a.jsonl"
 grep -q '"type":"span","key":"market.repair_bytes"' "$TRACE_TMP/e17a.jsonl"
+# E16p at 100k users: the policy.* span family (reactive decisions minted
+# from probe-frame verdicts at drain boundaries) must be present and the
+# artifact deterministic. 100k, not 10k: the flash crowd has to push a
+# node past saturation before admission control sheds anything.
+./target/release/agora-harness --trace e16p/p100k --trace-out "$TRACE_TMP/pola.jsonl" >/dev/null
+./target/release/agora-harness --trace e16p/p100k --trace-out "$TRACE_TMP/polb.jsonl" >/dev/null
+cmp "$TRACE_TMP/pola.jsonl" "$TRACE_TMP/polb.jsonl"
+./target/release/agora-harness --validate-trace "$TRACE_TMP/pola.jsonl"
+grep -q '"type":"span","key":"policy.engage"' "$TRACE_TMP/pola.jsonl"
+grep -q '"type":"span","key":"policy.shed"' "$TRACE_TMP/pola.jsonl"
+grep -q '"type":"span","key":"policy.replicate"' "$TRACE_TMP/pola.jsonl"
+grep -q '"type":"span","key":"policy.seed"' "$TRACE_TMP/pola.jsonl"
+# A shed decision is explainable back to the demand delivery that tripped
+# it. Sheds stop once the flash crowd passes and the hysteresis releases,
+# so the default ring evicts them by end of day — retain the whole run.
+./target/release/agora-harness --trace e16p/p100k --trace-cap 2097152 \
+    --trace-out "$TRACE_TMP/pol_full.jsonl" \
+    --explain policy.shed > "$TRACE_TMP/pol_explain.txt"
+grep -q "causal chain for 'policy.shed'" "$TRACE_TMP/pol_explain.txt"
+rm -f "$TRACE_TMP/pol_full.jsonl"
 
 step "observe smoke: deterministic OBS jsonl, overload anomaly, causal explain"
 # Two runs must produce byte-identical artifacts; the schema checker must

@@ -1,0 +1,114 @@
+//! Reactive-policy kernels: (1) the `PolicyHub` decision core fed
+//! synthetic frames directly — the per-frame cost every policy-on
+//! simulation pays at probe cadence, with the utilization signal either
+//! sweeping through the engage/release hysteresis bands or parked below
+//! both (the dormant, never-engaged floor); (2) the action-recording hot
+//! path (`PolicyHandle::record`), which substrate reconcile loops hit once
+//! per shed/replicate/seed decision; and (3) a whole E16 class-day with
+//! the shed policy on vs off, via the public cohort runners — the
+//! end-to-end overhead the `policy` section of BENCH_perf.json
+//! (crates/harness/src/perf.rs) tracks across PRs.
+
+use agora_policy::{PolicyConfig, PolicyHub, SIG_UPLINK_UTIL};
+use agora_sim::probe::ProbeFrame;
+use agora_sim::{Metrics, NodeId, SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const KERNEL_FRAMES: u64 = 10_000;
+
+/// Drive `KERNEL_FRAMES` probe frames through a full hub sink. `util_of`
+/// shapes the uplink-utilization signal; the sweep variant crosses the
+/// engage threshold (1.0) and release threshold (0.5) repeatedly so the
+/// hysteresis state machine exercises every transition.
+fn run_kernel(util_of: fn(u64) -> f64) -> u64 {
+    let hub = PolicyHub::new(PolicyConfig::default());
+    let handle = hub.handle();
+    let mut sink = hub.into_sink();
+    sink.on_sim_start(7);
+    let metrics = Metrics::new();
+    for i in 0..KERNEL_FRAMES {
+        let now = SimTime::ZERO + SimDuration::from_secs(300 * i);
+        sink.on_signal(now, NodeId(0), SIG_UPLINK_UTIL, util_of(i));
+        let frame = ProbeFrame {
+            now,
+            events: i,
+            pending: 0,
+            queue_max_depth: 0,
+            queue_max_node: NodeId(0),
+            queue_nonzero: 0,
+            uplink_max_backlog_secs: 0.0,
+            uplink_busy_nodes: 0,
+            downlink_max_backlog_secs: 0.0,
+            downlink_busy_nodes: 0,
+            metrics: &metrics,
+        };
+        black_box(sink.on_frame(&frame));
+    }
+    black_box(handle.engages() + handle.releases())
+}
+
+fn bench_decision_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_frames");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(KERNEL_FRAMES));
+    g.bench_function("engage_release_sweep", |b| {
+        b.iter(|| run_kernel(|i| 0.75 + 0.75 * ((i as f64) * 0.05).sin()))
+    });
+    g.bench_function("dormant_floor", |b| b.iter(|| run_kernel(|_| 0.25)));
+    g.finish();
+}
+
+const RECORDS: u64 = 100_000;
+
+/// The reconcile-loop hot path: one counter bump per policy action, into
+/// the pending-flush map and the running totals.
+fn bench_record(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_record");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(RECORDS));
+    g.bench_function("action_totals", |b| {
+        b.iter(|| {
+            let hub = PolicyHub::new(PolicyConfig::default());
+            let handle = hub.handle();
+            for i in 0..RECORDS {
+                match i % 3 {
+                    0 => handle.record("policy.shed", 1),
+                    1 => handle.record("policy.replicate", 1),
+                    _ => handle.record("policy.cache", 1),
+                }
+            }
+            black_box(handle.total("policy.shed"))
+        })
+    });
+    g.finish();
+}
+
+/// End-to-end policy overhead: the same E16 DHT class-day (1M-user flash
+/// crowd, 8-cohort aggregation) with the shed policy off vs on. The delta
+/// is the whole reactive plane — probe frames at drain cadence, hub
+/// dispatch, the shed queue and its retry stream.
+fn bench_e16_day(c: &mut Criterion) {
+    let runners = agora::experiments::e16_cohort_runners();
+    let find = |name: &str| {
+        runners
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, f)| *f)
+            .expect("runner registered")
+    };
+    let off = find("dht.off");
+    let shed = find("dht.shed");
+    let mut g = c.benchmark_group("policy_e16_dht_day");
+    g.sample_size(10);
+    g.bench_function("policy_off", |b| {
+        b.iter(|| black_box(off(20171130, 1_000_000, 8).peak_overload))
+    });
+    g.bench_function("policy_shed", |b| {
+        b.iter(|| black_box(shed(20171130, 1_000_000, 8).peak_overload))
+    });
+    g.finish();
+}
+
+criterion_group!(policy, bench_decision_kernel, bench_record, bench_e16_day);
+criterion_main!(policy);

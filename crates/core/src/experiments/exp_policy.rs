@@ -1,0 +1,309 @@
+//! E16 policy variants: demand-adaptive substrates.
+//!
+//! The E16 day replayed on the consumer-uplink classes with a reactive
+//! policy engaged: a `PolicyHub` (crate `agora-policy`) installed as the
+//! simulation's probe sink watches observer verdicts and the modeled
+//! `net.uplink_util` signal, and the runner acts on its hysteresis level
+//! at drain boundaries — gateways cache hot keys (`dht/cache`), admission
+//! control sheds and backs arrivals off (`dht/shed`), the storage client
+//! re-replicates hot objects through the market path
+//! (`storage/replicate`), reserve seeders auto-join the swarm
+//! (`swarm/seeders`).
+//!
+//! Per pair the headline number is the **absorbed fraction**: how much of
+//! the policy-off peak uplink overload the policy removed. Seeds match
+//! [`e16_population_point`](super::e16_population_point) exactly, so the
+//! policy-off rows here are byte-identical to E16's own rows — the
+//! dormancy proof that an uninstalled policy changes nothing.
+
+use agora_sim::Metrics;
+
+use super::exp_workload::{
+    run_dht_impl, run_storage_impl, run_swarm_impl, ClassOutcome, DhtPolicy, PolicyStats, COHORTS,
+    E16_POPULATIONS,
+};
+use super::Report;
+
+/// One policy's on/off pair on one substrate class, same seed both ways.
+#[derive(Clone, Debug)]
+pub struct PolicyPair {
+    /// Substrate class ("dht", "storage", "swarm").
+    pub class: &'static str,
+    /// Policy name ("cache", "shed", "replicate", "seeders").
+    pub policy: &'static str,
+    /// The policy-off outcome (byte-identical to the E16 row).
+    pub off: ClassOutcome,
+    /// The policy-on outcome under the same seed.
+    pub on: ClassOutcome,
+    /// Engagement cycles and exact recorded action totals.
+    pub stats: PolicyStats,
+}
+
+impl PolicyPair {
+    /// Fraction of the policy-off peak uplink overload the policy
+    /// absorbed: `(off - on) / off`. Zero when the day never overloaded.
+    pub fn absorbed(&self) -> f64 {
+        if self.off.peak_overload <= 0.0 {
+            return 0.0;
+        }
+        (self.off.peak_overload - self.on.peak_overload) / self.off.peak_overload
+    }
+}
+
+/// E16 policy results at one population.
+#[derive(Clone, Debug)]
+pub struct E16PolicyResult {
+    /// Simulated population.
+    pub population: u64,
+    /// All four policy pairs.
+    pub pairs: Vec<PolicyPair>,
+}
+
+/// Run every policy pair at one population. Class seeds match
+/// [`e16_population_point`](super::e16_population_point) (`seed + 2..=4`)
+/// so the off rows reproduce E16's rows exactly.
+pub fn e16_policy_point(seed: u64, population: u64) -> E16PolicyResult {
+    let (dht_off, _) = run_dht_impl(seed + 2, population, COHORTS, DhtPolicy::Off);
+    let (dht_cache, cache_stats) = run_dht_impl(seed + 2, population, COHORTS, DhtPolicy::Cache);
+    let (dht_shed, shed_stats) = run_dht_impl(seed + 2, population, COHORTS, DhtPolicy::Shed);
+    let (sto_off, _) = run_storage_impl(seed + 3, population, COHORTS, false);
+    let (sto_on, sto_stats) = run_storage_impl(seed + 3, population, COHORTS, true);
+    let (sw_off, _) = run_swarm_impl(seed + 4, population, COHORTS, false);
+    let (sw_on, sw_stats) = run_swarm_impl(seed + 4, population, COHORTS, true);
+    E16PolicyResult {
+        population,
+        pairs: vec![
+            PolicyPair {
+                class: "dht",
+                policy: "cache",
+                off: dht_off,
+                on: dht_cache,
+                stats: cache_stats,
+            },
+            PolicyPair {
+                class: "dht",
+                policy: "shed",
+                off: dht_off,
+                on: dht_shed,
+                stats: shed_stats,
+            },
+            PolicyPair {
+                class: "storage",
+                policy: "replicate",
+                off: sto_off,
+                on: sto_on,
+                stats: sto_stats,
+            },
+            PolicyPair {
+                class: "swarm",
+                policy: "seeders",
+                off: sw_off,
+                on: sw_on,
+                stats: sw_stats,
+            },
+        ],
+    }
+}
+
+/// E16p: sweep the population grid with each policy engaged and report
+/// the absorbed fraction of the policy-off overload peak.
+pub fn e16_policy_sweep(seed: u64) -> (Vec<E16PolicyResult>, Report) {
+    let results: Vec<E16PolicyResult> = E16_POPULATIONS
+        .iter()
+        .map(|&p| e16_policy_point(seed, p))
+        .collect();
+    let mut body = String::from(
+        "The E16 day replayed with reactive overload policies subscribed\n\
+         to the probe plane (hysteresis over observer verdicts and the\n\
+         modeled uplink-utilization signal; actions at drain boundaries\n\
+         only). Policy-off rows are byte-identical to E16's; absorbed =\n\
+         fraction of the policy-off peak uplink overload removed:\n",
+    );
+    for r in &results {
+        body.push_str(&format!("\n  population {:>9}:\n", r.population));
+        for p in &r.pairs {
+            body.push_str(&format!(
+                "    {:<7} {:<9} overload {:>9.2} -> {:>9.2}  absorbed {:>5.1}%  \
+                 avail {:>5.3} -> {:>5.3}  engages {:>2}\n",
+                p.class,
+                p.policy,
+                p.off.peak_overload,
+                p.on.peak_overload,
+                p.absorbed() * 100.0,
+                p.off.availability,
+                p.on.availability,
+                p.stats.engages,
+            ));
+        }
+    }
+    let last = &results[results.len() - 1];
+    let best = last
+        .pairs
+        .iter()
+        .max_by(|a, b| a.absorbed().total_cmp(&b.absorbed()))
+        .expect("four pairs");
+    let still = last
+        .pairs
+        .iter()
+        .map(|p| p.on.peak_overload)
+        .fold(f64::MAX, f64::min);
+    body.push_str(&format!(
+        "\nVerdict: reactive control bends E16's curve without flattening\n\
+         it. At 1M users the best absorber ({} {}) removes {:.0}% of the\n\
+         {:.0}x policy-off peak, yet every consumer-uplink substrate still\n\
+         ends the day overloaded (best remaining peak {:.1}x): demand\n\
+         adaptivity narrows — but does not close — the gap the paper's\n\
+         \"roughly sufficient\" capacity argument (S5) leaves at the one\n\
+         node the flash crowd actually hits.\n",
+        best.class,
+        best.policy,
+        best.absorbed() * 100.0,
+        best.off.peak_overload,
+        still,
+    ));
+    (
+        results,
+        Report {
+            id: "E16p",
+            title: "Demand-adaptive substrates: reactive overload policies",
+            claim: "a decentralized substrate can defend itself against the \
+                    flash crowd the paper warns about only by sensing \
+                    overload and adapting — caching, shedding, replicating, \
+                    or recruiting capacity — and even then the consumer \
+                    uplink remains the binding constraint",
+            body,
+        },
+    )
+}
+
+/// Flatten the policy pairs at one population into harness metrics (keys
+/// `e16.policy.*`). Gauges carry the outcome deltas; counters carry the
+/// exact action totals recorded through the policy handle.
+pub fn e16_policy_metrics(seed: u64, population: u64) -> Metrics {
+    let r = e16_policy_point(seed, population);
+    let mut m = Metrics::new();
+    for p in &r.pairs {
+        let prefix = format!("e16.policy.{}_{}", p.class, p.policy);
+        m.gauge_set(&format!("{prefix}.off_peak_overload"), p.off.peak_overload);
+        m.gauge_set(&format!("{prefix}.peak_overload"), p.on.peak_overload);
+        m.gauge_set(&format!("{prefix}.absorbed"), p.absorbed());
+        m.gauge_set(&format!("{prefix}.availability"), p.on.availability);
+        m.gauge_set(&format!("{prefix}.busiest_share"), p.on.busiest_share);
+        m.incr(&format!("{prefix}.engages"), p.stats.engages);
+        m.incr(&format!("{prefix}.releases"), p.stats.releases);
+        for (kind, n) in &p.stats.actions {
+            let k = kind.strip_prefix("policy.").unwrap_or(kind);
+            m.incr(&format!("{prefix}.{k}"), *n);
+        }
+    }
+    m
+}
+
+/// A policy-parameterized E16 class runner: `(seed, population,
+/// cohorts) -> ClassOutcome`.
+pub type CohortRunner = fn(u64, u64, u32) -> ClassOutcome;
+
+/// The policy-parameterized E16 class runners, keyed for the perf
+/// artifact's cohort-error section: `cohorts == population` is the exact
+/// per-user ground truth the standard 8-cohort approximation is measured
+/// against.
+pub fn e16_cohort_runners() -> Vec<(&'static str, CohortRunner)> {
+    fn dht_off(s: u64, p: u64, c: u32) -> ClassOutcome {
+        run_dht_impl(s, p, c, DhtPolicy::Off).0
+    }
+    fn dht_cache(s: u64, p: u64, c: u32) -> ClassOutcome {
+        run_dht_impl(s, p, c, DhtPolicy::Cache).0
+    }
+    fn dht_shed(s: u64, p: u64, c: u32) -> ClassOutcome {
+        run_dht_impl(s, p, c, DhtPolicy::Shed).0
+    }
+    fn storage_off(s: u64, p: u64, c: u32) -> ClassOutcome {
+        run_storage_impl(s, p, c, false).0
+    }
+    fn storage_rebalance(s: u64, p: u64, c: u32) -> ClassOutcome {
+        run_storage_impl(s, p, c, true).0
+    }
+    fn swarm_off(s: u64, p: u64, c: u32) -> ClassOutcome {
+        run_swarm_impl(s, p, c, false).0
+    }
+    fn swarm_seeders(s: u64, p: u64, c: u32) -> ClassOutcome {
+        run_swarm_impl(s, p, c, true).0
+    }
+    vec![
+        ("dht.off", dht_off),
+        ("dht.cache", dht_cache),
+        ("dht.shed", dht_shed),
+        ("storage.off", storage_off),
+        ("storage.rebalance", storage_rebalance),
+        ("swarm.off", swarm_off),
+        ("swarm.seeders", swarm_seeders),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_engage_and_absorb_overload_at_scale() {
+        let r = e16_policy_point(81, 1_000_000);
+        assert_eq!(r.pairs.len(), 4);
+        for p in &r.pairs {
+            assert!(
+                p.stats.engages >= 1,
+                "{}/{} never engaged at 1M users",
+                p.class,
+                p.policy
+            );
+            assert!(
+                p.off.peak_overload > 1.0,
+                "{}/{} off-day never overloaded",
+                p.class,
+                p.policy
+            );
+        }
+        let best = r
+            .pairs
+            .iter()
+            .map(PolicyPair::absorbed)
+            .fold(f64::MIN, f64::max);
+        assert!(best > 0.1, "no policy absorbed >10% of the peak: {r:#?}");
+    }
+
+    #[test]
+    fn policy_off_rows_reproduce_e16() {
+        let e16 = super::super::e16_population_point(61, 10_000);
+        let p = e16_policy_point(61, 10_000);
+        assert_eq!(p.pairs[0].off.peak_overload, e16.dht.peak_overload);
+        assert_eq!(p.pairs[0].off.availability, e16.dht.availability);
+        assert_eq!(p.pairs[2].off.peak_overload, e16.storage.peak_overload);
+        assert_eq!(p.pairs[3].off.peak_overload, e16.swarm.peak_overload);
+        // The two dht pairs share one off row.
+        assert_eq!(p.pairs[0].off.busiest_share, p.pairs[1].off.busiest_share);
+    }
+
+    #[test]
+    fn policy_runs_are_deterministic() {
+        let a = e16_policy_point(83, 100_000);
+        let b = e16_policy_point(83, 100_000);
+        for (x, y) in a.pairs.iter().zip(&b.pairs) {
+            assert_eq!(x.on.peak_overload, y.on.peak_overload);
+            assert_eq!(x.on.availability, y.on.availability);
+            assert_eq!(x.stats.engages, y.stats.engages);
+            assert_eq!(x.stats.releases, y.stats.releases);
+            assert_eq!(x.stats.actions, y.stats.actions);
+        }
+    }
+
+    #[test]
+    fn cohort_runners_cover_every_policy_and_accept_exact_mode() {
+        let runners = e16_cohort_runners();
+        assert_eq!(runners.len(), 7);
+        // Exact mode on a small population: cohorts == population.
+        let (name, run) = runners[0];
+        assert_eq!(name, "dht.off");
+        let exact = run(91, 200, 200);
+        let approx = run(91, 200, COHORTS);
+        assert!(exact.requests > 0 && approx.requests > 0);
+    }
+}

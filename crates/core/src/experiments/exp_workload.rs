@@ -20,13 +20,15 @@
 //! population-scaled observable: at 10k users the flash crowd is noise,
 //! at 1M it saturates whoever the demand skew concentrates on.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use agora_comm::{CentralNode, FedNode, ModerationPolicy, PostLabel, ReadResult, ReplicationMode};
 use agora_crypto::{sha256, Hash256};
 use agora_dht::{Contact, DhtConfig, DhtNode, DhtResult};
+use agora_policy::{PolicyConfig, PolicyHandle, PolicyHub};
 use agora_sim::{
-    DeviceClass, Metrics, NodeId, P2Quantile, SimDuration, SimRng, SimTime, Simulation,
+    DeviceClass, Jitter, Metrics, NodeId, P2Quantile, Protocol, Retrier, RetryPolicy, SimDuration,
+    SimRng, SimTime, Simulation,
 };
 use agora_storage::{ProviderStrategy, StorageNode, StorageResult};
 use agora_web::{SitePublisher, SwarmNode, VisitResult};
@@ -45,7 +47,7 @@ const DAY: SimDuration = SimDuration::from_days(1);
 /// the classes without an event-time latency histogram).
 const DRAIN: SimDuration = SimDuration::from_secs(30);
 /// Cohorts the population aggregates into.
-const COHORTS: u32 = 8;
+pub(crate) const COHORTS: u32 = 8;
 /// Representative demands per cohort-tick.
 const REP_CAP: u32 = 2;
 /// Content catalogue size.
@@ -61,9 +63,16 @@ pub const E16_POPULATIONS: [u64; 3] = [10_000, 100_000, 1_000_000];
 /// The E16 workload: one diurnal day, three timezone regions, flash crowd
 /// at 12:45 UTC ramping to 12× over 30 min, held an hour.
 fn e16_spec(population: u64) -> WorkloadSpec {
+    e16_spec_cohorts(population, COHORTS)
+}
+
+/// [`e16_spec`] with the cohort count as a knob: `cohorts == population`
+/// is exact per-user generation (every cohort is one real user), the
+/// ground truth the cohort approximation is measured against.
+pub(crate) fn e16_spec_cohorts(population: u64, cohorts: u32) -> WorkloadSpec {
     WorkloadSpec {
         population,
-        cohorts: COHORTS,
+        cohorts,
         actions_per_user_day: 20.0,
         model: DemandModel {
             zones: ZoneMix::global_three_region(DiurnalCurve::residential()),
@@ -86,6 +95,85 @@ fn e16_spec(population: u64) -> WorkloadSpec {
             offline_at_trough: 0.5,
         }),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Reactive policy plumbing (DESIGN.md §17). A PolicyHub installed as the
+// simulation's probe sink watches the same frames and observer verdicts
+// the trace plane sees; runners poll its handle and act only at drain
+// boundaries — deterministic sim times in the canonical event order — so
+// policy-on runs stay byte-identical at any harness thread count or
+// engine shard count. Policy-off runs never construct a hub: they are
+// byte-identical to the pre-policy runners.
+// ---------------------------------------------------------------------------
+
+/// Which reactive policy a DHT run engages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum DhtPolicy {
+    /// No policy: byte-identical to the pre-policy runner.
+    Off,
+    /// Gateways cache hot keys while overloaded and serve repeats off
+    /// their own uplinks (`policy.cache`).
+    Cache,
+    /// Admission control: shed a level-scaled fraction of arrivals into a
+    /// bounded backoff queue while overloaded (`policy.shed`).
+    Shed,
+}
+
+/// What a policy did during a run: engagement cycles plus the exact
+/// per-action totals recorded through the [`PolicyHandle`].
+#[derive(Clone, Debug, Default)]
+pub struct PolicyStats {
+    /// How many times the policy engaged.
+    pub engages: u64,
+    /// How many times the policy released.
+    pub releases: u64,
+    /// Exact recorded action totals by kind (`policy.shed`, ...).
+    pub actions: BTreeMap<&'static str, u64>,
+}
+
+fn stats_of(handle: Option<&PolicyHandle>) -> PolicyStats {
+    handle.map_or_else(PolicyStats::default, |h| PolicyStats {
+        engages: h.engages(),
+        releases: h.releases(),
+        actions: h.totals(),
+    })
+}
+
+/// Wire a fresh policy hub into `sim` as its probe sink and return the
+/// handle runners poll at drain boundaries.
+fn install_policy<P: Protocol>(sim: &mut Simulation<P>) -> PolicyHandle {
+    let hub = PolicyHub::new(PolicyConfig::default());
+    let handle = hub.handle();
+    let cadence = hub.cadence();
+    sim.set_probe_sink(hub.into_sink(), cadence);
+    handle
+}
+
+/// Client backoff under admission control: decorrelated exponential from
+/// one minute toward a fifteen-minute cap, eight attempts total.
+fn shed_retry() -> RetryPolicy {
+    RetryPolicy {
+        base: SimDuration::from_secs(60),
+        factor: 2.0,
+        cap: SimDuration::from_mins(15),
+        max_attempts: 8,
+        jitter: Jitter::Decorrelated,
+        hedge_after: None,
+    }
+}
+
+/// Bound on demands deferred by admission control; arrivals shed past
+/// this are dropped outright (`policy.shed_drop`).
+const SHED_QUEUE_CAP: usize = 4096;
+
+/// A demand deferred by admission control, waiting out its backoff.
+struct ShedItem {
+    rank: usize,
+    weight: f64,
+    bytes: u64,
+    due: SimTime,
+    retrier: Retrier,
 }
 
 /// One architecture's outcome under the E16 day.
@@ -455,10 +543,20 @@ fn run_federated(seed: u64, population: u64) -> ClassOutcome {
 // ---------------------------------------------------------------------------
 
 fn run_dht(seed: u64, population: u64) -> ClassOutcome {
+    run_dht_impl(seed, population, COHORTS, DhtPolicy::Off).0
+}
+
+pub(crate) fn run_dht_impl(
+    seed: u64,
+    population: u64,
+    cohorts: u32,
+    policy: DhtPolicy,
+) -> (ClassOutcome, PolicyStats) {
     const DEVICES: usize = 24;
     const GATEWAYS: usize = 4;
-    let spec = e16_spec(population);
+    let spec = e16_spec_cohorts(population, cohorts);
     let mut sim: Simulation<DhtNode> = Simulation::new(seed);
+    let handle = (policy != DhtPolicy::Off).then(|| install_policy(&mut sim));
     let boot_key = sha256(b"e16-dht-0");
     let mut keys: Vec<Hash256> = Vec::new();
     let mut ids: Vec<NodeId> = Vec::new();
@@ -533,6 +631,9 @@ fn run_dht(seed: u64, population: u64) -> ClassOutcome {
     let mut out = Outcomes::default();
     let mut pending: Vec<(NodeId, u64, f64)> = Vec::new();
     let mut rr = 0usize;
+    let mut shed_rng = SimRng::new(seed ^ 0x5ED);
+    let mut shed_q: Vec<ShedItem> = Vec::new();
+    let mut cache_on = false;
     let base = sim.now();
     let ticks = DAY.micros() / TICK.micros();
     for k in 0..ticks {
@@ -543,9 +644,43 @@ fn run_dht(seed: u64, population: u64) -> ClassOutcome {
             driver.run_until(&mut sim, t, &mut |sim, d| {
                 out.total_w += d.weight;
                 let rank = d.rank as usize % RANKS;
-                ledger.add(closest[rank], d.weight, d.bytes);
+                let engaged = handle.as_ref().is_some_and(|h| h.engaged());
+                if policy == DhtPolicy::Shed && engaged {
+                    // Level-scaled admission control: shed lvl/(lvl+2) of
+                    // arrivals into the backoff queue instead of serving
+                    // them at the peak.
+                    let h = handle.as_ref().expect("engaged implies handle");
+                    let lvl = f64::from(h.level());
+                    if shed_rng.f64() < lvl / (lvl + 2.0) {
+                        if shed_q.len() >= SHED_QUEUE_CAP {
+                            h.record("policy.shed_drop", 1);
+                            out.resolve(d.weight, false);
+                        } else {
+                            let mut retrier = Retrier::new(shed_retry());
+                            let b = retrier.next_backoff(&mut shed_rng).expect("first backoff");
+                            shed_q.push(ShedItem {
+                                rank,
+                                weight: d.weight,
+                                bytes: d.bytes,
+                                due: sim.now() + b,
+                                retrier,
+                            });
+                            h.record("policy.shed", 1);
+                        }
+                        return;
+                    }
+                }
                 let g = gateways[rr % gateways.len()];
                 rr += 1;
+                if policy == DhtPolicy::Cache && engaged && sim.node(g).cached(&content_keys[rank])
+                {
+                    // The gateway answers the repeat off its own uplink
+                    // instead of concentrating on the overlay anchor.
+                    ledger.add(g, d.weight, d.bytes);
+                    handle.as_ref().expect("engaged").record("policy.cache", 1);
+                } else {
+                    ledger.add(closest[rank], d.weight, d.bytes);
+                }
                 if let Some(op) = sim.with_ctx(g, |n, ctx| n.start_get(ctx, content_keys[rank])) {
                     pending.push((g, op, d.weight));
                 }
@@ -557,6 +692,62 @@ fn run_dht(seed: u64, population: u64) -> ClassOutcome {
                 }
                 None => true,
             });
+            // Drain-boundary reconcile: the only place policy state takes
+            // effect on the substrate, at a deterministic sim time.
+            if let Some(h) = &handle {
+                match policy {
+                    DhtPolicy::Cache => {
+                        if h.engaged() != cache_on {
+                            cache_on = h.engaged();
+                            for &g in &gateways {
+                                sim.node_mut(g).set_cache(cache_on);
+                            }
+                            let kind = if cache_on {
+                                "policy.cache_on"
+                            } else {
+                                "policy.cache_off"
+                            };
+                            h.record(kind, 1);
+                        }
+                    }
+                    DhtPolicy::Shed => {
+                        let now = sim.now();
+                        let engaged = h.engaged();
+                        let mut still = Vec::with_capacity(shed_q.len());
+                        for mut item in shed_q.drain(..) {
+                            if now < item.due {
+                                still.push(item);
+                            } else if engaged {
+                                // Still overloaded: back off again, or give
+                                // up once the attempt budget runs out.
+                                match item.retrier.next_backoff(&mut shed_rng) {
+                                    Some(b) => {
+                                        item.due = now + b;
+                                        still.push(item);
+                                    }
+                                    None => {
+                                        h.record("policy.shed_give_up", 1);
+                                        out.resolve(item.weight, false);
+                                    }
+                                }
+                            } else {
+                                // Released: admit the deferred demand.
+                                ledger.add(closest[item.rank], item.weight, item.bytes);
+                                let g = gateways[rr % gateways.len()];
+                                rr += 1;
+                                if let Some(op) = sim
+                                    .with_ctx(g, |n, ctx| n.start_get(ctx, content_keys[item.rank]))
+                                {
+                                    pending.push((g, op, item.weight));
+                                }
+                                h.record("policy.shed_admit", 1);
+                            }
+                        }
+                        shed_q = still;
+                    }
+                    DhtPolicy::Off => {}
+                }
+            }
         }
         let (tick_demand, tick_util) = ledger.end_tick();
         sim.probe_note("workload.demand", tick_demand);
@@ -570,19 +761,29 @@ fn run_dht(seed: u64, population: u64) -> ClassOutcome {
         );
         out.resolve(w, ok);
     }
-    let (p50, p95, p99) = histogram_quantiles(sim.metrics(), "dht.lookup_secs");
-    ClassOutcome {
-        availability: out.availability(),
-        p50,
-        p95,
-        p99,
-        op_p50: p50,
-        op_p95: p95,
-        op_p99: p99,
-        busiest_share: ledger.busiest_share(),
-        peak_overload: ledger.peak_overload,
-        requests,
+    // Demands still queued when the day ends never completed.
+    if let Some(h) = &handle {
+        for item in shed_q.drain(..) {
+            h.record("policy.shed_give_up", 1);
+            out.resolve(item.weight, false);
+        }
     }
+    let (p50, p95, p99) = histogram_quantiles(sim.metrics(), "dht.lookup_secs");
+    (
+        ClassOutcome {
+            availability: out.availability(),
+            p50,
+            p95,
+            p99,
+            op_p50: p50,
+            op_p95: p95,
+            op_p99: p99,
+            busiest_share: ledger.busiest_share(),
+            peak_overload: ledger.peak_overload,
+            requests,
+        },
+        stats_of(handle.as_ref()),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -595,12 +796,22 @@ fn run_dht(seed: u64, population: u64) -> ClassOutcome {
 // ---------------------------------------------------------------------------
 
 fn run_storage(seed: u64, population: u64) -> ClassOutcome {
+    run_storage_impl(seed, population, COHORTS, false).0
+}
+
+pub(crate) fn run_storage_impl(
+    seed: u64,
+    population: u64,
+    cohorts: u32,
+    rebalance: bool,
+) -> (ClassOutcome, PolicyStats) {
     const PROVIDERS: usize = 12;
     const OBJECTS: usize = 16;
     const K: usize = 4;
     const M: usize = 2;
-    let spec = e16_spec(population);
+    let spec = e16_spec_cohorts(population, cohorts);
     let mut sim = Simulation::new(seed);
+    let handle = rebalance.then(|| install_policy(&mut sim));
     let providers: Vec<NodeId> = (0..PROVIDERS)
         .map(|_| {
             sim.add_node(
@@ -615,6 +826,7 @@ fn run_storage(seed: u64, population: u64) -> ClassOutcome {
     );
     let mut sizes_rng = SimRng::new(seed ^ 0x0B1E);
     let mut objects: Vec<Hash256> = Vec::new();
+    let mut datas: Vec<Vec<u8>> = Vec::new();
     for o in 0..OBJECTS {
         let size = (spec.sizes.sample(&mut sizes_rng) as usize).max(K * 64);
         let data = vec![(o as u8).wrapping_mul(37).wrapping_add(1); size];
@@ -622,6 +834,7 @@ fn run_storage(seed: u64, population: u64) -> ClassOutcome {
             .with_ctx(client, |n, ctx| n.start_put(ctx, &data, K, M))
             .expect("client up");
         objects.push(object);
+        datas.push(data);
         sim.run_for(SimDuration::from_secs(5));
     }
     sim.run_for(SimDuration::from_mins(5));
@@ -637,6 +850,26 @@ fn run_storage(seed: u64, population: u64) -> ClassOutcome {
             order[..K].to_vec()
         })
         .collect();
+    // The re-balanced serving set per object: the original k data-shard
+    // holders plus k more from a second seeded shuffle — the modeled
+    // attribution once the policy has re-replicated an object.
+    let expanded: Vec<Vec<NodeId>> = (0..OBJECTS)
+        .map(|o| {
+            let mut order = providers.clone();
+            SimRng::new(seed ^ 0x9A8 ^ o as u64).shuffle(&mut order);
+            let mut set = placement[o].clone();
+            for &p in &order {
+                if set.len() >= 2 * K {
+                    break;
+                }
+                if !set.contains(&p) {
+                    set.push(p);
+                }
+            }
+            set
+        })
+        .collect();
+    let mut replicated = 0usize;
 
     let sched = spec.compile(seed ^ 0xE16, &providers, DAY);
     let requests = sched.total_requests();
@@ -659,7 +892,12 @@ fn run_storage(seed: u64, population: u64) -> ClassOutcome {
             driver.run_until(&mut sim, t, &mut |sim, d| {
                 out.total_w += d.weight;
                 let o = d.rank as usize % OBJECTS;
-                ledger.spread(&placement[o], d.weight, d.bytes);
+                // Re-replicated objects serve off twice the providers.
+                if o < replicated {
+                    ledger.spread(&expanded[o], d.weight, d.bytes);
+                } else {
+                    ledger.spread(&placement[o], d.weight, d.bytes);
+                }
                 if let Some(op) = sim.with_ctx(client, |n, ctx| n.start_get(ctx, objects[o])) {
                     pending.push((op, sim.now(), d.weight));
                 }
@@ -678,6 +916,24 @@ fn run_storage(seed: u64, population: u64) -> ClassOutcome {
                     None => true,
                 },
             );
+            // Drain-boundary reconcile: each escalation level re-publishes
+            // one more of the hottest objects through the real market
+            // path; replicas persist after the policy releases.
+            if let Some(h) = &handle {
+                let want = if h.engaged() {
+                    (h.level() as usize).min(OBJECTS)
+                } else {
+                    replicated
+                };
+                while replicated < want {
+                    let data = &datas[replicated];
+                    sim.with_ctx(client, |n, ctx| {
+                        n.start_put(ctx, data, K, M);
+                    });
+                    h.record("policy.replicate", 1);
+                    replicated += 1;
+                }
+            }
         }
         let (tick_demand, tick_util) = ledger.end_tick();
         sim.probe_note("workload.demand", tick_demand);
@@ -700,18 +956,21 @@ fn run_storage(seed: u64, population: u64) -> ClassOutcome {
     // (30 s granularity); the node's own event-time completion histogram
     // gives the true per-op distribution.
     let (op_p50, op_p95, op_p99) = histogram_quantiles(sim.metrics(), "storage.get_secs");
-    ClassOutcome {
-        availability: out.availability(),
-        p50,
-        p95,
-        p99,
-        op_p50,
-        op_p95,
-        op_p99,
-        busiest_share: ledger.busiest_share(),
-        peak_overload: ledger.peak_overload,
-        requests,
-    }
+    (
+        ClassOutcome {
+            availability: out.availability(),
+            p50,
+            p95,
+            p99,
+            op_p50,
+            op_p95,
+            op_p99,
+            busiest_share: ledger.busiest_share(),
+            peak_overload: ledger.peak_overload,
+            requests,
+        },
+        stats_of(handle.as_ref()),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -722,9 +981,19 @@ fn run_storage(seed: u64, population: u64) -> ClassOutcome {
 // ---------------------------------------------------------------------------
 
 fn run_swarm(seed: u64, population: u64) -> ClassOutcome {
+    run_swarm_impl(seed, population, COHORTS, false).0
+}
+
+pub(crate) fn run_swarm_impl(
+    seed: u64,
+    population: u64,
+    cohorts: u32,
+    seeder_pool: bool,
+) -> (ClassOutcome, PolicyStats) {
     const SEEDERS: usize = 20;
     const GATEWAYS: usize = 6;
-    let spec = e16_spec(population);
+    const POOL: usize = 24;
+    let spec = e16_spec_cohorts(population, cohorts);
     let mut sim = Simulation::new(seed);
     let tracker = sim.add_node(SwarmNode::tracker(), DeviceClass::DatacenterServer);
     let origin = sim.add_node(SwarmNode::peer(tracker), DeviceClass::PersonalComputer);
@@ -734,6 +1003,17 @@ fn run_swarm(seed: u64, population: u64) -> ClassOutcome {
     let gateways: Vec<NodeId> = (0..GATEWAYS)
         .map(|_| sim.add_node(SwarmNode::peer(tracker), DeviceClass::PersonalComputer))
         .collect();
+    // Reserve seeders for the auto-join policy: always-on peers holding
+    // nothing until activated. Only created when the policy is on — the
+    // off run's node set (and therefore its bytes) is untouched.
+    let pool: Vec<NodeId> = if seeder_pool {
+        (0..POOL)
+            .map(|_| sim.add_node(SwarmNode::peer(tracker), DeviceClass::PersonalComputer))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let handle = seeder_pool.then(|| install_policy(&mut sim));
     let mut publisher = SitePublisher::new(b"e16-site");
     let content = vec![42u8; 200_000];
     let bundle = publisher.publish(&[("index.html", content.as_slice())]);
@@ -767,11 +1047,13 @@ fn run_swarm(seed: u64, population: u64) -> ClassOutcome {
             .iter()
             .map(|&id| (id, DeviceClass::PersonalComputer)),
     );
+    swarm_members.extend(pool.iter().map(|&id| (id, DeviceClass::PersonalComputer)));
     let mut ledger = LoadLedger::new(&swarm_members);
     let mut out = Outcomes::default();
     let mut pending: Vec<(NodeId, u64, SimTime, f64)> = Vec::new();
     let mut latencies: Vec<f64> = Vec::new();
     let mut rr = 0usize;
+    let mut active = 0usize;
     let base = sim.now();
     let ticks = DAY.micros() / TICK.micros();
     for k in 0..ticks {
@@ -782,12 +1064,20 @@ fn run_swarm(seed: u64, population: u64) -> ClassOutcome {
             driver.run_until(&mut sim, t, &mut |sim, d| {
                 out.total_w += d.weight;
                 // Serving capacity: whoever is up and has the pieces —
-                // the origin, the seed wave, and the gateways themselves.
+                // the origin, the seed wave, the gateways themselves, and
+                // any policy-activated reserve seeders that finished
+                // fetching the site.
                 let live: Vec<NodeId> = churnable
                     .iter()
                     .chain(gateways.iter())
                     .copied()
                     .filter(|&n| sim.is_up(n))
+                    .chain(
+                        pool[..active]
+                            .iter()
+                            .copied()
+                            .filter(|&p| sim.node(p).seeds(&site)),
+                    )
                     .collect();
                 ledger.spread(&live, d.weight, d.bytes);
                 let g = gateways[rr % gateways.len()];
@@ -810,6 +1100,29 @@ fn run_swarm(seed: u64, population: u64) -> ClassOutcome {
                     None => true,
                 },
             );
+            // Drain-boundary reconcile: four reserve seeders join per
+            // escalation level; all retire once the policy releases.
+            if let Some(h) = &handle {
+                let want = if h.engaged() {
+                    (h.level() as usize * 4).min(pool.len())
+                } else {
+                    0
+                };
+                while active < want {
+                    let p = pool[active];
+                    sim.with_ctx(p, |n, ctx| {
+                        n.start_visit(ctx, site);
+                    });
+                    h.record("policy.seed", 1);
+                    active += 1;
+                }
+                while active > want {
+                    active -= 1;
+                    let p = pool[active];
+                    sim.with_ctx(p, |n, ctx| n.retire(ctx, site));
+                    h.record("policy.retire", 1);
+                }
+            }
         }
         let (tick_demand, tick_util) = ledger.end_tick();
         sim.probe_note("workload.demand", tick_demand);
@@ -829,18 +1142,21 @@ fn run_swarm(seed: u64, population: u64) -> ClassOutcome {
     }
     let (p50, p95, p99) = quantiles(latencies);
     let (op_p50, op_p95, op_p99) = histogram_quantiles(sim.metrics(), "web.visit_secs");
-    ClassOutcome {
-        availability: out.availability(),
-        p50,
-        p95,
-        p99,
-        op_p50,
-        op_p95,
-        op_p99,
-        busiest_share: ledger.busiest_share(),
-        peak_overload: ledger.peak_overload,
-        requests,
-    }
+    (
+        ClassOutcome {
+            availability: out.availability(),
+            p50,
+            p95,
+            p99,
+            op_p50,
+            op_p95,
+            op_p99,
+            busiest_share: ledger.busiest_share(),
+            peak_overload: ledger.peak_overload,
+            requests,
+        },
+        stats_of(handle.as_ref()),
+    )
 }
 
 /// E16 at a single population: the same day on all five classes.

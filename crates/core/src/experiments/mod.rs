@@ -11,6 +11,7 @@ pub mod exp_comm;
 pub mod exp_governance;
 pub mod exp_market;
 pub mod exp_naming;
+pub mod exp_policy;
 pub mod exp_resilience;
 pub mod exp_storage;
 pub mod exp_usenet;
@@ -37,6 +38,10 @@ pub use exp_market::{
 pub use exp_naming::{
     e1_metrics, e1_naming_tradeoff, e2_metrics, e2_naming_attacks, E1Result, E2Result,
 };
+pub use exp_policy::{
+    e16_cohort_runners, e16_policy_metrics, e16_policy_point, e16_policy_sweep, CohortRunner,
+    E16PolicyResult, PolicyPair,
+};
 pub use exp_resilience::{
     e15_degradation_point, e15_degradation_sweep, e15_metrics, DegradationPoint, E15Result,
     E15_INTENSITIES,
@@ -48,7 +53,7 @@ pub use exp_storage::{
 pub use exp_usenet::{e14_metrics, e14_usenet_collapse, E14Result, UsenetRow};
 pub use exp_web::{e7_metrics, e7_web_availability, E7Result};
 pub use exp_workload::{
-    e16_flash_crowd_sweep, e16_metrics, e16_population_point, ClassOutcome, E16Result,
+    e16_flash_crowd_sweep, e16_metrics, e16_population_point, ClassOutcome, E16Result, PolicyStats,
     E16_POPULATIONS,
 };
 

@@ -36,6 +36,10 @@ pub struct DhtConfig {
     pub republish_interval: SimDuration,
     /// How long replicas hold a value without hearing from the origin.
     pub value_ttl: SimDuration,
+    /// How long a hot-key cache entry stays servable once caching is
+    /// switched on (see [`DhtNode::set_cache`]). Decay, not refresh: a
+    /// cached value is never republished, it just expires.
+    pub cache_ttl: SimDuration,
 }
 
 impl Default for DhtConfig {
@@ -49,6 +53,7 @@ impl Default for DhtConfig {
             max_ticks: 60,
             republish_interval: SimDuration::from_mins(30),
             value_ttl: SimDuration::from_mins(75),
+            cache_ttl: SimDuration::from_mins(5),
         }
     }
 }
@@ -179,6 +184,11 @@ pub struct DhtNode {
     table: RoutingTable,
     store: HashMap<Hash256, StoredValue>,
     origin_values: HashMap<Hash256, Rc<[u8]>>,
+    /// Hot-key cache: values seen in GET replies, servable to our own
+    /// lookups and to FindValue queries while `cache_on`. Empty (and
+    /// dormant, byte-for-byte) until [`DhtNode::set_cache`] enables it.
+    cache: HashMap<Hash256, StoredValue>,
+    cache_on: bool,
     lookups: HashMap<u64, Lookup>,
     results: HashMap<u64, DhtResult>,
     next_op: u64,
@@ -195,6 +205,8 @@ impl DhtNode {
             table,
             store: HashMap::new(),
             origin_values: HashMap::new(),
+            cache: HashMap::new(),
+            cache_on: false,
             lookups: HashMap::new(),
             results: HashMap::new(),
             next_op: 0,
@@ -222,13 +234,59 @@ impl DhtNode {
         self.store.contains_key(key)
     }
 
+    /// Switch hot-key caching on or off. Off (the default) is fully
+    /// dormant — no lookups change, no extra state accrues. Switching off
+    /// drops the cache so disengaging a policy reverts the node cleanly.
+    pub fn set_cache(&mut self, on: bool) {
+        self.cache_on = on;
+        if !on {
+            self.cache.clear();
+        }
+    }
+
+    /// Unexpired entries currently cached (diagnostics).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether `key` currently has a cache entry. Freshness is enforced
+    /// at lookup time; expired entries linger only until the next lookup
+    /// or maintenance pass prunes them.
+    pub fn cached(&self, key: &Hash256) -> bool {
+        self.cache.contains_key(key)
+    }
+
     /// Begin an iterative FIND_NODE. Returns the operation id.
     pub fn start_find_node(&mut self, ctx: &mut Ctx<'_, DhtMsg>, target: Hash256) -> u64 {
         self.begin(ctx, OpKind::FindNode, target, None)
     }
 
-    /// Begin a GET (iterative FIND_VALUE).
+    /// Begin a GET (iterative FIND_VALUE). With caching enabled, an
+    /// unexpired cache entry answers immediately — zero hops, zero RPCs —
+    /// and the lookup never reaches the network.
     pub fn start_get(&mut self, ctx: &mut Ctx<'_, DhtMsg>, key: Hash256) -> u64 {
+        if self.cache_on {
+            let fresh = self
+                .cache
+                .get(&key)
+                .is_some_and(|v| ctx.now().since(v.refreshed_at) <= self.cfg.cache_ttl);
+            if fresh {
+                let data = self.cache[&key].data.clone();
+                let op = self.next_op;
+                self.next_op += 1;
+                ctx.metrics().incr("dht.cache_hit", 1);
+                ctx.metrics().incr("dht.get_found", 1);
+                ctx.metrics().sample("dht.lookup_secs", 0.0);
+                ctx.metrics().sample("dht.lookup_hops", 0.0);
+                ctx.trace_point("dht.cache_hit", 1.0);
+                ctx.probe_signal("dht.lookup_secs", 0.0);
+                ctx.probe_signal("dht.lookup_hops", 0.0);
+                self.results.insert(op, DhtResult::Found { data, hops: 0 });
+                return op;
+            }
+            // Expired entries decay lazily at the point of use.
+            self.cache.remove(&key);
+        }
         self.begin(ctx, OpKind::Get, key, None)
     }
 
@@ -494,7 +552,17 @@ impl DhtNode {
             if lk.kind == OpKind::Get {
                 let hops = lk.hops;
                 let started = lk.started;
+                let target = lk.target;
                 self.lookups.remove(&op);
+                if self.cache_on {
+                    self.cache.insert(
+                        target,
+                        StoredValue {
+                            data: data.clone(),
+                            refreshed_at: ctx.now(),
+                        },
+                    );
+                }
                 ctx.metrics().incr("dht.get_found", 1);
                 let elapsed = ctx.now().since(started).secs_f64();
                 ctx.metrics().sample("dht.lookup_secs", elapsed);
@@ -527,6 +595,11 @@ impl DhtNode {
         let ttl = self.cfg.value_ttl;
         self.store
             .retain(|k, v| now.since(v.refreshed_at) <= ttl || self.origin_values.contains_key(k));
+        // Decay the hot-key cache (a no-op on the empty map when caching
+        // has never been on).
+        let cache_ttl = self.cfg.cache_ttl;
+        self.cache
+            .retain(|_, v| now.since(v.refreshed_at) <= cache_ttl);
         // Republish everything we originated, in key order: HashMap
         // iteration order is randomized per process, and the op-id/message
         // sequence it produces must be reproducible across runs.
@@ -590,14 +663,28 @@ impl Protocol for DhtNode {
                     key: sender_key,
                     addr: from,
                 });
-                if let Some(v) = self.store.get(&target) {
+                // Authoritative replicas first; then, with caching on, a
+                // fresh cache entry — this is what shortens lookup paths
+                // for everyone else once a hot key has been fetched once.
+                let mut hit = self.store.get(&target).map(|v| (v.data.clone(), false));
+                if hit.is_none() && self.cache_on {
+                    if let Some(v) = self.cache.get(&target) {
+                        if ctx.now().since(v.refreshed_at) <= self.cfg.cache_ttl {
+                            hit = Some((v.data.clone(), true));
+                        }
+                    }
+                }
+                if let Some((data, from_cache)) = hit {
                     let reply = DhtMsg::Value {
                         op,
                         sender_key: self.key,
-                        data: v.data.clone(),
+                        data,
                     };
                     let size = reply.wire_size();
                     ctx.send(from, reply, size);
+                    if from_cache {
+                        ctx.metrics().incr("dht.cache_serve", 1);
+                    }
                 } else {
                     let mut closer = self.table.closest(&target, self.cfg.k);
                     closer.retain(|c| c.key != sender_key);
@@ -915,6 +1002,77 @@ mod tests {
             .filter(|&&id| id != ids[1] && sim.node(id).holds(&key))
             .count();
         assert_eq!(holders_after, 0, "replicas should expire");
+    }
+
+    #[test]
+    fn hot_key_cache_serves_repeats_and_stays_dormant_by_default() {
+        // Same topology, seed, and GET sequence, once with the gateway
+        // caching and once without: the caching run answers repeat GETs
+        // locally (cache_hit > 0, fewer RPCs) while the default run never
+        // touches the cache counters — the dormancy contract.
+        let run = |cache: bool| {
+            let (mut sim, ids, _) = build(20, 8);
+            let key = sha256(b"hot-key");
+            sim.with_ctx(ids[0], |n, ctx| n.start_put(ctx, key, b"v".to_vec()))
+                .unwrap();
+            sim.run_for(SimDuration::from_secs(30));
+            if cache {
+                sim.node_mut(ids[9]).set_cache(true);
+            }
+            let mut found = 0;
+            for _ in 0..5 {
+                let op = sim
+                    .with_ctx(ids[9], |n, ctx| n.start_get(ctx, key))
+                    .unwrap();
+                sim.run_for(SimDuration::from_secs(20));
+                if let Some(DhtResult::Found { .. }) = sim.node_mut(ids[9]).take_result(op) {
+                    found += 1;
+                }
+            }
+            (
+                found,
+                sim.metrics().counter("dht.cache_hit"),
+                sim.metrics().counter("dht.rpc_sent"),
+            )
+        };
+        let (found_off, hits_off, sent_off) = run(false);
+        assert_eq!(found_off, 5);
+        assert_eq!(hits_off, 0, "dormant config must not cache");
+        let (found_on, hits_on, sent_on) = run(true);
+        assert_eq!(found_on, 5);
+        assert_eq!(hits_on, 4, "repeat GETs within TTL hit the cache");
+        assert!(sent_on < sent_off, "cache hits save RPCs");
+    }
+
+    #[test]
+    fn cache_entries_decay_after_ttl_and_clear_on_disable() {
+        let (mut sim, ids, _) = build(20, 9);
+        let key = sha256(b"decaying");
+        sim.with_ctx(ids[0], |n, ctx| n.start_put(ctx, key, b"v".to_vec()))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(30));
+        sim.node_mut(ids[9]).set_cache(true);
+        let op = sim
+            .with_ctx(ids[9], |n, ctx| n.start_get(ctx, key))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(20));
+        assert!(sim.node_mut(ids[9]).take_result(op).is_some());
+        assert_eq!(sim.node(ids[9]).cache_len(), 1);
+        // Outlive the cache TTL (default 5 min): the next GET misses the
+        // cache and goes back to the network.
+        sim.run_for(SimDuration::from_mins(6));
+        let op = sim
+            .with_ctx(ids[9], |n, ctx| n.start_get(ctx, key))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(20));
+        match sim.node_mut(ids[9]).take_result(op) {
+            Some(DhtResult::Found { hops, .. }) => assert!(hops > 0, "expired entry must re-fetch"),
+            other => panic!("get failed: {other:?}"),
+        }
+        // Disengage: the cache drops with the switch.
+        assert_eq!(sim.node(ids[9]).cache_len(), 1);
+        sim.node_mut(ids[9]).set_cache(false);
+        assert_eq!(sim.node(ids[9]).cache_len(), 0);
     }
 
     #[test]

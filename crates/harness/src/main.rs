@@ -7,6 +7,7 @@
 //!   agora-harness --threads 1 --json out.json
 //!   agora-harness --shards 4              # sharded engine inside each trial
 //!   agora-harness --filter e1,e3 --seeds 5
+//!   agora-harness --filter e16p/p10k  # one variant of one experiment
 //!   agora-harness --perf BENCH_perf.json   # also write wall-clock artifact
 //!   agora-harness --speedup               # measure serial vs parallel wall clock
 //!   agora-harness --reports               # classic experiments_output.txt stream
@@ -387,9 +388,9 @@ fn parse_args() -> Result<Options, String> {
 fn print_reports() {
     use agora::experiments::{
         e10_federated_failover, e11_guerrilla_relay, e12_moderation_tension, e13_financing_gap,
-        e14_usenet_collapse, e15_degradation_sweep, e16_flash_crowd_sweep, e17_market_sweep,
-        e1_naming_tradeoff, e2_naming_attacks, e3_groupcomm_availability, e4_privacy,
-        e5_storage_proofs, e6_durability, e7_web_availability, e8_quality_vs_quantity,
+        e14_usenet_collapse, e15_degradation_sweep, e16_flash_crowd_sweep, e16_policy_sweep,
+        e17_market_sweep, e1_naming_tradeoff, e2_naming_attacks, e3_groupcomm_availability,
+        e4_privacy, e5_storage_proofs, e6_durability, e7_web_availability, e8_quality_vs_quantity,
         e9_chain_costs, t1_taxonomy, t2_storage_systems, t3_feasibility,
     };
     const SEED: u64 = 20171130; // HotNets-XVI, day one
@@ -414,6 +415,7 @@ fn print_reports() {
     println!("{}\n", e14_usenet_collapse(SEED).1);
     println!("{}\n", e15_degradation_sweep(SEED).1);
     println!("{}\n", e16_flash_crowd_sweep(SEED).1);
+    println!("{}\n", e16_policy_sweep(SEED).1);
     println!("{}\n", e17_market_sweep(SEED).1);
     println!("{}", agora::render_property_matrix());
     println!("{}", agora::naming_zooko_table());

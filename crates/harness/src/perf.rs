@@ -13,7 +13,9 @@ use std::time::{Duration, Instant};
 
 use agora_chain::BlockHeader;
 use agora_crypto::{sha256, sha256_into};
-use agora_sim::{Ctx, DeviceClass, NodeId, Protocol, SimDuration, SimRng, SimTime, Simulation};
+use agora_sim::{
+    Ctx, DeviceClass, Metrics, NodeId, Protocol, SimDuration, SimRng, SimTime, Simulation,
+};
 
 use crate::json::Json;
 use crate::matrix::{MatrixRun, TrialStatus};
@@ -803,6 +805,112 @@ fn workload_day_throughput(population: u64) -> (f64, u64, u64) {
     (events as f64 / secs, events, requests)
 }
 
+/// Throughput of the policy decision kernel: a synthetic frame stream
+/// with a sinusoidal utilization signal sweeping through the engage and
+/// release bands, driven through a full `PolicyHub` sink — the per-frame
+/// cost every policy-on simulation pays at probe cadence.
+fn policy_frames_per_sec(frames: u64) -> f64 {
+    use agora_policy::{PolicyConfig, PolicyHub, SIG_UPLINK_UTIL};
+    use agora_sim::probe::ProbeFrame;
+    let hub = PolicyHub::new(PolicyConfig::default());
+    let handle = hub.handle();
+    let mut sink = hub.into_sink();
+    sink.on_sim_start(7);
+    let metrics = Metrics::new();
+    let started = Instant::now();
+    for i in 0..frames {
+        let now = SimTime::ZERO + SimDuration::from_secs(300 * i);
+        let util = 0.75 + 0.75 * ((i as f64) * 0.05).sin();
+        sink.on_signal(now, NodeId(0), SIG_UPLINK_UTIL, util);
+        let frame = ProbeFrame {
+            now,
+            events: i,
+            pending: 0,
+            queue_max_depth: 0,
+            queue_max_node: NodeId(0),
+            queue_nonzero: 0,
+            uplink_max_backlog_secs: 0.0,
+            uplink_busy_nodes: 0,
+            downlink_max_backlog_secs: 0.0,
+            downlink_busy_nodes: 0,
+            metrics: &metrics,
+        };
+        std::hint::black_box(sink.on_frame(&frame));
+    }
+    std::hint::black_box(handle.level());
+    frames as f64 / started.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Cohort-approximation error per policy runner: the same E16 class day
+/// generated exactly — one cohort per user, the ground truth the
+/// O(cohorts) aggregation approximates — and with the standard 8-cohort
+/// aggregation, seed-paired at two seeds. The exact runs are the
+/// expensive half, so they run on the sharded engine across the
+/// machine's cores. Exact cost is wildly class-dependent (a swarm visit
+/// is a whole piece-exchange session, a DHT lookup is a few RPCs), so
+/// the DHT runners take a 5× larger exact population — the 10k-user
+/// per-user ground-truth run — while the rest stay at the base.
+fn cohort_error_to_json(prof: &mut PhaseProfiler, population: u64) -> Json {
+    const SEED: u64 = 20171130;
+    let shards = std::thread::available_parallelism().map_or(1, |n| n.get() as u32);
+    let rel = |a: f64, b: f64| {
+        if b.abs() <= f64::EPSILON {
+            a - b
+        } else {
+            (a - b) / b
+        }
+    };
+    let mut out = Json::obj();
+    out.set("population", Json::Num(population as f64));
+    out.set("cohorts_approx", Json::Num(8.0));
+    out.set("exact_shards", Json::Num(f64::from(shards)));
+    for (name, run) in agora::experiments::e16_cohort_runners() {
+        let pop = if name.starts_with("dht.") {
+            population * 5
+        } else {
+            population
+        };
+        let label = format!("cohort_error/{name}");
+        let pairs = prof.time_with_sim(&label, || {
+            let pairs: Vec<_> = (0..2u64)
+                .map(|s| {
+                    let approx = run(SEED + s, pop, 8);
+                    let exact = agora_sim::with_shards(shards, || run(SEED + s, pop, pop as u32));
+                    (approx, exact)
+                })
+                .collect();
+            // Two simulated days per seed, two seeds.
+            (pairs, 4.0 * 86_400.0)
+        });
+        let mut e = Json::obj();
+        e.set("population", Json::Num(pop as f64));
+        e.set("exact_peak_overload", Json::Num(pairs[0].1.peak_overload));
+        e.set("approx_peak_overload", Json::Num(pairs[0].0.peak_overload));
+        type OutcomeField = fn(&agora::experiments::ClassOutcome) -> f64;
+        let fields: [(&str, OutcomeField); 3] = [
+            ("peak_overload", |c| c.peak_overload),
+            ("availability", |c| c.availability),
+            ("busiest_share", |c| c.busiest_share),
+        ];
+        for (key, get) in fields {
+            let errs: Vec<f64> = pairs.iter().map(|(a, x)| rel(get(a), get(x))).collect();
+            let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+            let max_abs = errs.iter().map(|e| e.abs()).fold(0.0, f64::max);
+            e.set(&format!("{key}_rel_err_mean"), Json::Num(mean));
+            e.set(&format!("{key}_rel_err_max_abs"), Json::Num(max_abs));
+        }
+        out.set(name, e);
+    }
+    out
+}
+
+/// The base population the artifact's `cohort_error` section replays
+/// exactly (one cohort per user; the DHT runners take 5× this — a
+/// 10,000-user per-user ground truth). Sized so the seven exact
+/// class-days stay in wall-clock budget; tests use a smaller population
+/// through [`perf_to_json_scaled`].
+pub const COHORT_ERROR_POPULATION: u64 = 2_000;
+
 /// Build the full performance artifact from a completed matrix run.
 pub fn perf_to_json(run: &MatrixRun) -> Json {
     perf_to_json_with(run, PhaseProfiler::new())
@@ -811,7 +919,17 @@ pub fn perf_to_json(run: &MatrixRun) -> Json {
 /// [`perf_to_json`] with a caller-provided profiler: phases the caller
 /// already timed (matrix execution, report rendering, …) are merged with
 /// the microbenchmark phases measured here into the `breakdowns` section.
-pub fn perf_to_json_with(run: &MatrixRun, mut prof: PhaseProfiler) -> Json {
+pub fn perf_to_json_with(run: &MatrixRun, prof: PhaseProfiler) -> Json {
+    perf_to_json_scaled(run, prof, COHORT_ERROR_POPULATION)
+}
+
+/// [`perf_to_json_with`] with the cohort-error population as a knob, so
+/// the artifact shape can be exercised at toy scale in tests.
+pub fn perf_to_json_scaled(
+    run: &MatrixRun,
+    mut prof: PhaseProfiler,
+    cohort_population: u64,
+) -> Json {
     const MINING_ITERS: u64 = 200_000;
     const CORE_EVENTS: u64 = 2_000_000;
 
@@ -920,6 +1038,43 @@ pub fn perf_to_json_with(run: &MatrixRun, mut prof: PhaseProfiler) -> Json {
     }
     micro.set("market", market);
 
+    // The reactive-control plane: decision-kernel throughput plus the
+    // wall-clock overhead a policy-on class day pays over policy-off.
+    const POLICY_FRAMES: u64 = 1_000_000;
+    let mut policy = Json::obj();
+    let pol_fps = prof.time("microbench/policy_kernel", || {
+        median_of(&|| policy_frames_per_sec(POLICY_FRAMES))
+    });
+    policy.set("frames_per_sec", Json::Num(pol_fps));
+    let runners = agora::experiments::e16_cohort_runners();
+    let find = |n: &str| {
+        runners
+            .iter()
+            .find(|(name, _)| *name == n)
+            .expect("known runner")
+            .1
+    };
+    let (off_wall, on_wall) = prof.time_with_sim("microbench/policy_day_overhead", || {
+        let t0 = Instant::now();
+        std::hint::black_box(find("dht.off")(20171130, 1_000_000, 8));
+        let off_wall = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        std::hint::black_box(find("dht.shed")(20171130, 1_000_000, 8));
+        ((off_wall, t1.elapsed().as_secs_f64()), 2.0 * 86_400.0)
+    });
+    policy.set("e16_dht_day_off_secs", Json::Num(off_wall));
+    policy.set("e16_dht_day_shed_secs", Json::Num(on_wall));
+    policy.set(
+        "policy_on_overhead",
+        Json::Num(on_wall / off_wall.max(1e-9)),
+    );
+    root.set("policy", policy);
+
+    root.set(
+        "cohort_error",
+        cohort_error_to_json(&mut prof, cohort_population),
+    );
+
     root.set("microbench", micro);
     root.set("engine_parallel", engine_parallel_to_json(&mut prof));
     #[cfg(feature = "observe")]
@@ -971,7 +1126,9 @@ mod tests {
     #[test]
     fn perf_artifact_has_expected_shape() {
         let run = tiny_run();
-        let perf = perf_to_json(&run);
+        // Toy cohort-error population: the exact (one cohort per user)
+        // runs are the expensive part of the artifact.
+        let perf = perf_to_json_scaled(&run, PhaseProfiler::new(), 200);
         assert!(perf.get("matrix").is_some());
         let micro = perf.get("microbench").expect("microbench section");
         assert!(
@@ -1067,6 +1224,50 @@ mod tests {
             serial.get("speedup_vs_serial").and_then(Json::as_f64),
             Some(1.0)
         );
+
+        // The policy section reports the control plane's costs.
+        let policy = perf.get("policy").expect("policy section");
+        assert!(
+            policy
+                .get("frames_per_sec")
+                .and_then(Json::as_f64)
+                .expect("kernel throughput")
+                > 0.0
+        );
+        assert!(
+            policy
+                .get("policy_on_overhead")
+                .and_then(Json::as_f64)
+                .expect("day overhead")
+                > 0.0
+        );
+
+        // The cohort-error section covers every policy runner, with the
+        // exact-mode ground truth recorded alongside the relative errors.
+        let cohort = perf.get("cohort_error").expect("cohort_error section");
+        assert_eq!(cohort.get("population").and_then(Json::as_f64), Some(200.0));
+        for runner in [
+            "dht.off",
+            "dht.cache",
+            "dht.shed",
+            "storage.off",
+            "storage.rebalance",
+            "swarm.off",
+            "swarm.seeders",
+        ] {
+            let e = cohort.get(runner).unwrap_or_else(|| panic!("{runner}"));
+            assert!(
+                e.get("exact_peak_overload")
+                    .and_then(Json::as_f64)
+                    .is_some(),
+                "{runner}"
+            );
+            let err = e
+                .get("peak_overload_rel_err_mean")
+                .and_then(Json::as_f64)
+                .expect("rel err");
+            assert!(err.is_finite(), "{runner}: {err}");
+        }
     }
 
     #[test]
@@ -1118,7 +1319,7 @@ mod tests {
         let run = tiny_run();
         let mut prof = PhaseProfiler::new();
         prof.record("matrix", run.wall, None);
-        let perf = perf_to_json_with(&run, prof);
+        let perf = perf_to_json_scaled(&run, prof, 200);
         let phases = match perf.get("breakdowns").and_then(|b| b.get("phases")) {
             Some(Json::Arr(v)) => v,
             other => panic!("breakdowns.phases must be an array, got {other:?}"),

@@ -72,6 +72,18 @@ fn e16_p1m(seed: u64) -> Metrics {
     agora::experiments::e16_metrics(seed, 1_000_000)
 }
 
+fn e16p_p10k(seed: u64) -> Metrics {
+    agora::experiments::e16_policy_metrics(seed, 10_000)
+}
+
+fn e16p_p100k(seed: u64) -> Metrics {
+    agora::experiments::e16_policy_metrics(seed, 100_000)
+}
+
+fn e16p_p1m(seed: u64) -> Metrics {
+    agora::experiments::e16_policy_metrics(seed, 1_000_000)
+}
+
 fn e17_i000(seed: u64) -> Metrics {
     agora::experiments::e17_metrics(seed, 0.0)
 }
@@ -208,6 +220,29 @@ pub fn registry() -> Vec<ExperimentDef> {
                 },
             ],
         },
+        // Appended after e17 (not folded into the e16 def) so every
+        // pre-policy trial keeps its positional index — and therefore its
+        // derived seed and its exact bytes in BENCH_harness.json. The
+        // policy-off dormancy proof rests on that: adding the reactive
+        // plane changed nothing upstream.
+        ExperimentDef {
+            id: "e16p",
+            title: "Demand-adaptive policies under the E16 flash crowd",
+            variants: vec![
+                Variant {
+                    label: "p10k",
+                    run: e16p_p10k,
+                },
+                Variant {
+                    label: "p100k",
+                    run: e16p_p100k,
+                },
+                Variant {
+                    label: "p1m",
+                    run: e16p_p1m,
+                },
+            ],
+        },
     ]
 }
 
@@ -218,9 +253,12 @@ mod tests {
     #[test]
     fn registry_covers_all_seventeen_experiments() {
         let reg = registry();
-        assert_eq!(reg.len(), 17);
-        for (i, def) in reg.iter().enumerate() {
+        assert_eq!(reg.len(), 18);
+        for (i, def) in reg.iter().take(17).enumerate() {
             assert_eq!(def.id, format!("e{}", i + 1));
+        }
+        assert_eq!(reg[17].id, "e16p", "policy def rides after e17");
+        for def in &reg {
             assert!(!def.variants.is_empty());
         }
     }

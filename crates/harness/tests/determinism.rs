@@ -63,6 +63,48 @@ fn artifact_is_byte_identical_at_1_and_4_engine_shards() {
     );
 }
 
+/// The policy-on E16 variants extend the contract to the reactive-control
+/// plane: every policy decision (shed, cache toggle, replication, seeder
+/// activation) happens at a drain boundary off probe-frame state, so the
+/// artifact — including the `policy.*` action counters — must not know how
+/// many harness threads or engine shards ran it.
+fn policy_config(threads: usize, shards: u32) -> MatrixConfig {
+    MatrixConfig {
+        root_seed: 99,
+        seeds_per_variant: 2,
+        threads,
+        shards,
+        filter: Some(vec!["e16p/p10k".to_owned()]),
+        ..MatrixConfig::default()
+    }
+}
+
+#[test]
+fn policy_artifact_is_byte_identical_at_1_and_8_threads() {
+    let reg = registry();
+    let one = run_to_json(&run_matrix(&reg, &policy_config(1, 1))).render();
+    let eight = run_to_json(&run_matrix(&reg, &policy_config(8, 1))).render();
+    assert_eq!(
+        one, eight,
+        "policy-on artifact differs across thread counts"
+    );
+    assert!(
+        one.contains("e16.policy.dht_shed.shed") && one.contains("e16.policy.storage_replicate"),
+        "policy variant artifact should carry policy action counters"
+    );
+}
+
+#[test]
+fn policy_artifact_is_byte_identical_at_1_and_4_engine_shards() {
+    let reg = registry();
+    let serial = run_to_json(&run_matrix(&reg, &policy_config(1, 1))).render();
+    let sharded = run_to_json(&run_matrix(&reg, &policy_config(1, 4))).render();
+    assert_eq!(
+        serial, sharded,
+        "policy-on artifact differs across shard counts"
+    );
+}
+
 #[test]
 fn all_trials_complete_and_keep_matrix_order() {
     let run = run_matrix(&registry(), &light_config(4));

@@ -68,12 +68,18 @@ pub enum SwarmMsg {
         /// The bytes if held.
         data: Option<Vec<u8>>,
     },
+    /// Peer → tracker: I no longer serve this site (a policy-managed
+    /// seeder standing down after the crowd passes).
+    Retire {
+        /// Site address.
+        site: Hash256,
+    },
 }
 
 impl SwarmMsg {
     fn wire_size(&self) -> u64 {
         match self {
-            SwarmMsg::Announce { .. } => 40,
+            SwarmMsg::Announce { .. } | SwarmMsg::Retire { .. } => 40,
             SwarmMsg::GetPeers { .. } | SwarmMsg::GetManifest { .. } => 48,
             SwarmMsg::Peers { peers, .. } => 16 + peers.len() as u64 * 4,
             SwarmMsg::ManifestResp { manifest, .. } => {
@@ -218,6 +224,20 @@ impl SwarmNode {
         true
     }
 
+    /// Stop seeding `site`: drop the local copy and tell the trackers.
+    /// The inverse of the seed-on-visit default — policy-managed pool
+    /// seeders call this when the overload passes. Dormant unless called.
+    pub fn retire(&mut self, ctx: &mut Ctx<'_, SwarmMsg>, site: Hash256) {
+        let Role::Peer(p) = &mut self.role else {
+            panic!("retire on tracker")
+        };
+        if p.sites.remove(&site).is_none() {
+            return;
+        }
+        ctx.multicast(&p.trackers, SwarmMsg::Retire { site }, 40);
+        ctx.metrics().incr("web.retired", 1);
+    }
+
     /// Whether this peer fully seeds `site` (all pieces held).
     pub fn seeds(&self, site: &Hash256) -> bool {
         match &self.role {
@@ -351,6 +371,12 @@ impl Protocol for SwarmNode {
                 }
                 // Per-site seeder census as seen by this tracker.
                 ctx.probe_signal("swarm.seeders", v.len() as f64);
+            }
+            (Role::Tracker(index), SwarmMsg::Retire { site }) => {
+                if let Some(v) = index.get_mut(&site) {
+                    v.retain(|&p| p != from);
+                    ctx.probe_signal("swarm.seeders", v.len() as f64);
+                }
             }
             (Role::Tracker(index), SwarmMsg::GetPeers { site, req }) => {
                 let peers = index.get(&site).cloned().unwrap_or_default();
@@ -575,6 +601,46 @@ mod tests {
             other => panic!("visit failed: {other:?}"),
         }
         assert!(sim.node(peers[1]).seeds(&site), "visitor became a seeder");
+    }
+
+    #[test]
+    fn retired_seeder_leaves_the_index_and_stops_serving() {
+        let (mut sim, _tracker, peers) = build(4, 12);
+        let (site, bundle) = publish_site(30_000);
+        sim.with_ctx(peers[0], |n, ctx| n.host_site(ctx, &bundle))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(2));
+        // A second seeder joins via visit, then stands down.
+        let op = sim
+            .with_ctx(peers[1], |n, ctx| n.start_visit(ctx, site))
+            .unwrap();
+        sim.run_for(SimDuration::from_mins(2));
+        assert!(matches!(
+            sim.node_mut(peers[1]).take_result(op),
+            Some(VisitResult::Ok { .. })
+        ));
+        assert!(sim.node(peers[1]).seeds(&site));
+        sim.with_ctx(peers[1], |n, ctx| n.retire(ctx, site))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(2));
+        assert!(!sim.node(peers[1]).seeds(&site), "local copy dropped");
+        assert_eq!(sim.metrics().counter("web.retired"), 1);
+        // Retiring a site we never held is a no-op (idempotent for the
+        // policy's reconcile loop).
+        sim.with_ctx(peers[1], |n, ctx| n.retire(ctx, site))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(sim.metrics().counter("web.retired"), 1);
+        // The origin still serves later visitors; the tracker no longer
+        // points anyone at the retired peer.
+        let op2 = sim
+            .with_ctx(peers[2], |n, ctx| n.start_visit(ctx, site))
+            .unwrap();
+        sim.run_for(SimDuration::from_mins(2));
+        assert!(matches!(
+            sim.node_mut(peers[2]).take_result(op2),
+            Some(VisitResult::Ok { .. })
+        ));
     }
 
     #[test]

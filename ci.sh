@@ -126,6 +126,24 @@ cmp "$CHAOS_TMP/policy_t1.json" "$CHAOS_TMP/policy_t8.json"
     --json "$CHAOS_TMP/policy_s4.json" >/dev/null
 cmp "$CHAOS_TMP/policy_t1.json" "$CHAOS_TMP/policy_s4.json"
 
+step "app smoke: E18 deterministic across threads and shards; e1-e17 baseline untouched"
+# Same contract as the policy smoke: the delta-sync substrate (push
+# fan-out, summary pulls, churn-driven bootstraps) must render the exact
+# same rows — staleness histograms included — at any thread or shard
+# count. The full-matrix baseline diffs above already prove every
+# pre-app row of BENCH_harness.json reproduces with agora-app compiled in.
+./target/release/agora-harness --filter e18/p10k --threads 1 \
+    --baseline "$CHAOS_TMP/app_baseline.json" --update-baseline \
+    --json "$CHAOS_TMP/app_t1.json" >/dev/null
+./target/release/agora-harness --filter e18/p10k --threads 8 \
+    --baseline "$CHAOS_TMP/app_baseline.json" \
+    --json "$CHAOS_TMP/app_t8.json" >/dev/null
+cmp "$CHAOS_TMP/app_t1.json" "$CHAOS_TMP/app_t8.json"
+./target/release/agora-harness --filter e18/p10k --shards 4 --threads 8 \
+    --baseline "$CHAOS_TMP/app_baseline.json" \
+    --json "$CHAOS_TMP/app_s4.json" >/dev/null
+cmp "$CHAOS_TMP/app_t1.json" "$CHAOS_TMP/app_s4.json"
+
 step "experiments report: --reports regenerates experiments_output.txt byte-for-byte"
 ./target/release/agora-harness --reports > "$CHAOS_TMP/reports.txt"
 cmp "$CHAOS_TMP/reports.txt" experiments_output.txt
@@ -176,6 +194,17 @@ grep -q '"type":"span","key":"policy.engage"' "$TRACE_TMP/pola.jsonl"
 grep -q '"type":"span","key":"policy.shed"' "$TRACE_TMP/pola.jsonl"
 grep -q '"type":"span","key":"policy.replicate"' "$TRACE_TMP/pola.jsonl"
 grep -q '"type":"span","key":"policy.seed"' "$TRACE_TMP/pola.jsonl"
+# E18 at 10k users: the app.* span family (submits, delta pushes, merges,
+# publish-to-apply lag) must be present, the artifact deterministic, and a
+# subscriber's delta lag explainable back to the push that carried it.
+./target/release/agora-harness --trace e18/p10k --trace-out "$TRACE_TMP/appa.jsonl" \
+    --explain app.delta_lag > "$TRACE_TMP/app_explain.txt"
+grep -q "causal chain for 'app.delta_lag'" "$TRACE_TMP/app_explain.txt"
+./target/release/agora-harness --trace e18/p10k --trace-out "$TRACE_TMP/appb.jsonl" >/dev/null
+cmp "$TRACE_TMP/appa.jsonl" "$TRACE_TMP/appb.jsonl"
+./target/release/agora-harness --validate-trace "$TRACE_TMP/appa.jsonl"
+grep -q '"type":"span","key":"app.delta"' "$TRACE_TMP/appa.jsonl"
+grep -q '"type":"span","key":"app.merge"' "$TRACE_TMP/appa.jsonl"
 # A shed decision is explainable back to the demand delivery that tripped
 # it. Sheds stop once the flash crowd passes and the hysteresis releases,
 # so the default ring evicts them by end of day — retain the whole run.

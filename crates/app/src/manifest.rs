@@ -1,0 +1,238 @@
+//! Contract identity: signed, key-addressed app manifests plus per-delta
+//! certificates, built on the same `SimKeyPair`/`Hash256` machinery as
+//! `agora-web`'s `SignedManifest`.
+//!
+//! The app address is the publisher key's fingerprint — the mutable-app
+//! analogue of a ZeroNet site address. Discovery carries only manifest
+//! *bytes* (the DHT can't move live key material); possession of the
+//! address lets any node check that a fetched manifest is structurally
+//! valid and self-addressed, while full authorship verification happens
+//! once a [`SignedContract`] value arrives over the sync path.
+
+use agora_crypto::{
+    tagged_hash, Dec, DecodeError, Enc, Hash256, SimKeyPair, SimPublicKey, SimSignature,
+    PK_WIRE_SIZE, SIG_WIRE_SIZE,
+};
+
+use crate::contract::ContractKind;
+
+/// The manifest of one mutable app: its address, contract kind, human
+/// name, and schema version.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppManifest {
+    /// App address: the publisher key's fingerprint.
+    pub app: Hash256,
+    /// Which contract governs the state.
+    pub kind: ContractKind,
+    /// Human-readable name.
+    pub name: String,
+    /// Contract schema version (bumped on incompatible op changes).
+    pub schema: u32,
+}
+
+impl AppManifest {
+    /// Canonical encoding (what gets signed and what discovery stores).
+    pub fn encode(&self) -> Vec<u8> {
+        Enc::new()
+            .hash(&self.app)
+            .u8(self.kind.tag())
+            .str(&self.name)
+            .u32(self.schema)
+            .done()
+    }
+
+    /// Decode an encoded manifest.
+    pub fn decode(buf: &[u8]) -> Result<AppManifest, DecodeError> {
+        let mut d = Dec::new(buf);
+        let app = d.hash()?;
+        let kind = ContractKind::from_tag(d.u8()?)?;
+        let name = d.str()?;
+        let schema = d.u32()?;
+        Ok(AppManifest {
+            app,
+            kind,
+            name,
+            schema,
+        })
+    }
+
+    /// Domain-separated manifest hash.
+    pub fn hash(&self) -> Hash256 {
+        tagged_hash("app-manifest", &self.encode())
+    }
+
+    /// Structural check for a manifest fetched from discovery under
+    /// `addr`: it must be self-addressed (the signature check happens
+    /// later, in-memory, via [`SignedContract::verify`]).
+    pub fn addressed_to(&self, addr: &Hash256) -> bool {
+        self.app == *addr
+    }
+
+    /// Wire size.
+    pub fn wire_size(&self) -> u64 {
+        self.encode().len() as u64
+    }
+}
+
+/// A manifest plus publisher authorship proof.
+#[derive(Clone, Debug)]
+pub struct SignedContract {
+    /// The manifest.
+    pub manifest: AppManifest,
+    /// Publisher key (must fingerprint to `manifest.app`).
+    pub author: SimPublicKey,
+    /// Signature over the canonical manifest encoding.
+    pub signature: SimSignature,
+}
+
+impl SignedContract {
+    /// Verify authorship: the key matches the app address and signs the
+    /// manifest bytes.
+    pub fn verify(&self) -> bool {
+        self.author.id() == self.manifest.app
+            && self.author.verify(&self.manifest.encode(), &self.signature)
+    }
+
+    /// Wire size.
+    pub fn wire_size(&self) -> u64 {
+        self.manifest.wire_size() + PK_WIRE_SIZE + SIG_WIRE_SIZE
+    }
+}
+
+/// A per-delta certificate: the publisher's signature binding delta bytes
+/// to the app address and a publish sequence number, so subscribers can
+/// reject spoofed or replayed-out-of-context deltas.
+#[derive(Clone, Debug)]
+pub struct DeltaCert {
+    /// Publisher log length after this delta.
+    pub pub_seq: u64,
+    /// Hash of the delta bytes.
+    pub delta_hash: Hash256,
+    /// Signature over `(app, pub_seq, delta_hash)`.
+    pub signature: SimSignature,
+}
+
+impl DeltaCert {
+    fn signable(app: &Hash256, pub_seq: u64, delta_hash: &Hash256) -> Vec<u8> {
+        Enc::new().hash(app).u64(pub_seq).hash(delta_hash).done()
+    }
+
+    /// Sign a delta for an app.
+    pub fn sign(keys: &SimKeyPair, app: &Hash256, pub_seq: u64, delta: &[u8]) -> DeltaCert {
+        let delta_hash = tagged_hash("app-delta", delta);
+        DeltaCert {
+            pub_seq,
+            delta_hash,
+            signature: keys.sign(&Self::signable(app, pub_seq, &delta_hash)),
+        }
+    }
+
+    /// Verify against the claimed author, app address, and delta bytes.
+    pub fn verify(&self, author: &SimPublicKey, app: &Hash256, delta: &[u8]) -> bool {
+        self.delta_hash == tagged_hash("app-delta", delta)
+            && author.verify(
+                &Self::signable(app, self.pub_seq, &self.delta_hash),
+                &self.signature,
+            )
+    }
+
+    /// Wire size.
+    pub fn wire_size(&self) -> u64 {
+        8 + 32 + SIG_WIRE_SIZE
+    }
+}
+
+/// An app publisher's signing identity.
+pub struct AppPublisher {
+    keys: SimKeyPair,
+}
+
+impl AppPublisher {
+    /// Fresh identity from seed material.
+    pub fn new(seed: &[u8]) -> AppPublisher {
+        AppPublisher {
+            keys: SimKeyPair::from_seed(seed),
+        }
+    }
+
+    /// The app address this identity publishes under.
+    pub fn app_id(&self) -> Hash256 {
+        self.keys.public().id()
+    }
+
+    /// Build and sign the manifest for this app.
+    pub fn sign_manifest(&self, kind: ContractKind, name: &str, schema: u32) -> SignedContract {
+        let manifest = AppManifest {
+            app: self.app_id(),
+            kind,
+            name: name.to_owned(),
+            schema,
+        };
+        let signature = self.keys.sign(&manifest.encode());
+        SignedContract {
+            manifest,
+            author: self.keys.public(),
+            signature,
+        }
+    }
+
+    /// Sign a delta certificate.
+    pub fn sign_delta(&self, pub_seq: u64, delta: &[u8]) -> DeltaCert {
+        DeltaCert::sign(&self.keys, &self.app_id(), pub_seq, delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_contract_verifies_and_rejects_wrong_author() {
+        let p = AppPublisher::new(b"app-pub-1");
+        let sc = p.sign_manifest(ContractKind::Guestbook, "guestbook", 1);
+        assert!(sc.verify());
+        assert_eq!(sc.manifest.app, p.app_id());
+
+        let other = AppPublisher::new(b"app-pub-2");
+        let mut forged = sc.clone();
+        forged.author = other.sign_manifest(ContractKind::Guestbook, "g", 1).author;
+        assert!(!forged.verify(), "wrong key must not verify");
+    }
+
+    #[test]
+    fn manifest_codec_round_trips_and_checks_address() {
+        let p = AppPublisher::new(b"app-pub-3");
+        let sc = p.sign_manifest(ContractKind::KvDoc, "docs", 2);
+        let bytes = sc.manifest.encode();
+        let back = AppManifest::decode(&bytes).unwrap();
+        assert_eq!(back, sc.manifest);
+        assert!(back.addressed_to(&p.app_id()));
+        assert!(!back.addressed_to(&Hash256([9; 32])));
+        assert_eq!(back.wire_size(), bytes.len() as u64);
+    }
+
+    #[test]
+    fn delta_cert_binds_app_seq_and_bytes() {
+        let p = AppPublisher::new(b"app-pub-4");
+        let delta = b"delta-bytes".to_vec();
+        let cert = p.sign_delta(7, &delta);
+        let author = p.sign_manifest(ContractKind::Guestbook, "g", 1).author;
+        assert!(cert.verify(&author, &p.app_id(), &delta));
+        assert!(!cert.verify(&author, &p.app_id(), b"tampered"));
+        assert!(!cert.verify(&author, &Hash256([1; 32]), &delta));
+        let mut replay = cert.clone();
+        replay.pub_seq = 8;
+        assert!(!replay.verify(&author, &p.app_id(), &delta));
+    }
+
+    #[test]
+    fn manifest_decode_rejects_bad_kind_tag() {
+        let p = AppPublisher::new(b"app-pub-5");
+        let mut bytes = p
+            .sign_manifest(ContractKind::Guestbook, "g", 1)
+            .manifest
+            .encode();
+        bytes[32] = 9; // kind tag byte follows the 32-byte app hash
+        assert!(AppManifest::decode(&bytes).is_err());
+    }
+}

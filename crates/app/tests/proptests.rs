@@ -1,0 +1,158 @@
+// Property tests need the external `proptest` crate, which hermetic
+// (offline) builds cannot fetch. To run them: re-add `proptest = "1"` to this
+// crate's [dev-dependencies] and build with RUSTFLAGS="--cfg agora_proptest".
+#![cfg(agora_proptest)]
+
+//! Property-based tests pinning the contract laws the delta-sync
+//! substrate relies on: CRDT join laws (commutative, associative,
+//! idempotent) for both shipped contracts, summary→delta round-trip
+//! exactness, and subscriber convergence from any delta interleaving.
+
+use agora_app::{Contract, GuestEntry, Guestbook, KvDoc, KvWrite, OpLog, VersionVector};
+use agora_crypto::sha256;
+use proptest::prelude::*;
+
+/// A random valid guestbook state: per-writer contiguous op prefixes.
+fn guestbook_state() -> impl Strategy<Value = OpLog<GuestEntry>> {
+    proptest::collection::vec((0u32..4, 1usize..6), 0..4).prop_map(|writers| {
+        let mut log = OpLog::new();
+        for (w, n) in writers {
+            for _ in 0..n {
+                let have = log.summarize().get(w);
+                log.append(
+                    w,
+                    GuestEntry {
+                        body: format!("w{w}-{have}").into_bytes(),
+                    },
+                );
+            }
+        }
+        log
+    })
+}
+
+/// A random valid KV state: per-writer contiguous write prefixes.
+fn kv_state() -> impl Strategy<Value = OpLog<KvWrite>> {
+    proptest::collection::vec((0u32..4, 1usize..5, 0u64..100), 0..4).prop_map(|writers| {
+        let mut log = OpLog::new();
+        for (w, n, stamp0) in writers {
+            for i in 0..n {
+                log.append(
+                    w,
+                    KvWrite {
+                        path: format!("p{}.html", (w as usize + i) % 3),
+                        stamp: stamp0 + i as u64,
+                        value_hash: sha256(format!("v{w}-{i}").as_bytes()),
+                        len: 1 + i as u64,
+                        delete: i % 4 == 3,
+                    },
+                );
+            }
+        }
+        log
+    })
+}
+
+/// Split a state's ops into `k` deltas by round-robin (an arbitrary
+/// partition of a history into push units).
+fn partition<O: Clone>(state: &OpLog<O>, k: usize) -> Vec<OpLog<O>> {
+    let k = k.max(1);
+    let mut parts: Vec<OpLog<O>> = (0..k).map(|_| OpLog::new()).collect();
+    for (i, (key, op)) in state.ops.iter().enumerate() {
+        parts[i % k].ops.insert(*key, op.clone());
+    }
+    parts
+}
+
+/// The join laws, generic over both contracts (states double as deltas).
+macro_rules! join_laws {
+    ($name:ident, $contract:ty, $strat:expr) => {
+        proptest! {
+            #[test]
+            fn $name(a in $strat, b in $strat, c in $strat) {
+                type C = $contract;
+                // Commutative.
+                prop_assert_eq!(
+                    C::merge_deltas(&a, &b),
+                    C::merge_deltas(&b, &a)
+                );
+                // Associative.
+                prop_assert_eq!(
+                    C::merge_deltas(&C::merge_deltas(&a, &b), &c),
+                    C::merge_deltas(&a, &C::merge_deltas(&b, &c))
+                );
+                // Idempotent.
+                prop_assert_eq!(C::merge_deltas(&a, &a), a.clone());
+            }
+        }
+    };
+}
+
+join_laws!(guestbook_join_laws, Guestbook, guestbook_state());
+join_laws!(kv_join_laws, KvDoc, kv_state());
+
+proptest! {
+    /// `delta_from_summary` is exact: for two valid states drawn from a
+    /// common history, B's suffix past A's summary merged into A equals
+    /// the full join of A and B — and a holder of the join is missing
+    /// nothing.
+    #[test]
+    fn summary_round_trip_is_exact(full in guestbook_state(), k in 1usize..4) {
+        // A = an arbitrary per-writer prefix of the history, B = full.
+        let summary_full = full.summarize();
+        let mut a = OpLog::new();
+        for (&(w, s), op) in &full.ops {
+            if s <= summary_full.get(w).saturating_sub(k as u64) {
+                a.ops.insert((w, s), op.clone());
+            }
+        }
+        prop_assert!(Guestbook::validate_state(&a));
+        let delta = Guestbook::delta_from_summary(&full, &Guestbook::summarize(&a));
+        // Exactness: delta ∪ A == full, and |delta| == |full| - |A|.
+        let rejoined = Guestbook::apply(&a, &delta);
+        prop_assert_eq!(&rejoined, &full);
+        prop_assert_eq!(delta.len(), full.len() - a.len());
+        // A holder of everything needs nothing.
+        let empty = Guestbook::delta_from_summary(&full, &Guestbook::summarize(&full));
+        prop_assert!(empty.is_empty());
+    }
+
+    /// A subscriber that receives the publisher's deltas in *any*
+    /// interleaving (here: every rotation of an arbitrary partition,
+    /// with duplicates) converges to the same state, for both contracts.
+    #[test]
+    fn subscriber_converges_from_any_interleaving(
+        full in kv_state(),
+        k in 1usize..5,
+        rot in 0usize..5,
+        dup in any::<bool>(),
+    ) {
+        let parts = partition(&full, k);
+        let n = parts.len();
+        let mut replica = KvDoc::empty();
+        for i in 0..n {
+            let d = &parts[(i + rot) % n];
+            replica = KvDoc::apply(&replica, d);
+            if dup {
+                // Redelivery is harmless: the join is idempotent.
+                replica = KvDoc::apply(&replica, d);
+            }
+        }
+        prop_assert_eq!(&replica, &full);
+        // The materialized LWW views agree too.
+        prop_assert_eq!(KvDoc::materialize(&replica), KvDoc::materialize(&full));
+    }
+
+    /// Codecs are canonical: decode(encode(x)) == x and re-encoding is
+    /// byte-identical, for states, deltas, and summaries.
+    #[test]
+    fn codecs_round_trip_canonically(state in kv_state()) {
+        let bytes = KvDoc::encode_state(&state);
+        let back = KvDoc::decode_state(&bytes).unwrap();
+        prop_assert_eq!(&back, &state);
+        prop_assert_eq!(KvDoc::encode_state(&back), bytes);
+        let vv = KvDoc::summarize(&state);
+        let vv_back = VersionVector::decode(&vv.encode()).unwrap();
+        prop_assert_eq!(vv_back, vv);
+    }
+}

@@ -1,0 +1,125 @@
+//! Contract kernels of the `agora-app` substrate: (1) merge throughput —
+//! singleton deltas folded one at a time into a growing state, the
+//! subscriber's per-push hot path, swept over delta count for both
+//! shipped contracts; (2) batch joins of pre-partitioned histories (the
+//! anti-entropy pull path, where one `merge_deltas` carries a whole
+//! missing suffix); and (3) summary-vs-state size over growing logs —
+//! the constant-size handshake a subscriber ships to fetch exactly what
+//! it lacks, which the `app` section of BENCH_perf.json
+//! (crates/harness/src/perf.rs) records across PRs.
+
+use agora_app::{kv_value_hash, Contract, GuestEntry, Guestbook, KvDoc, KvWrite, OpLog};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const WRITERS: u64 = 8;
+
+fn guest_delta(i: u64) -> OpLog<GuestEntry> {
+    Guestbook::singleton_delta(
+        (i % WRITERS) as u32,
+        i / WRITERS + 1,
+        GuestEntry {
+            body: format!("entry {i}: merge benchmark payload").into_bytes(),
+        },
+    )
+}
+
+fn kv_delta(i: u64) -> OpLog<KvWrite> {
+    KvDoc::singleton_delta(
+        (i % WRITERS) as u32,
+        i / WRITERS + 1,
+        KvWrite {
+            path: format!("page-{}.html", i % 16),
+            stamp: i,
+            value_hash: kv_value_hash(&i.to_le_bytes()),
+            len: 1_000 + i,
+            delete: i % 7 == 6,
+        },
+    )
+}
+
+/// One delta per push: throughput of `apply` as the state grows.
+fn bench_merge_throughput(c: &mut Criterion) {
+    for deltas in [256u64, 1024, 4096] {
+        let mut g = c.benchmark_group(format!("contract_merge_{deltas}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(deltas));
+        let guest: Vec<_> = (0..deltas).map(guest_delta).collect();
+        g.bench_function("guestbook", |b| {
+            b.iter(|| {
+                let mut state = Guestbook::empty();
+                for d in &guest {
+                    state = Guestbook::apply(&state, d);
+                }
+                black_box(state.len())
+            })
+        });
+        let kv: Vec<_> = (0..deltas).map(kv_delta).collect();
+        g.bench_function("kvdoc", |b| {
+            b.iter(|| {
+                let mut state = KvDoc::empty();
+                for d in &kv {
+                    state = KvDoc::apply(&state, d);
+                }
+                black_box(state.len())
+            })
+        });
+        g.finish();
+    }
+}
+
+/// The pull path: one `merge_deltas` joining two halves of a history.
+fn bench_batch_join(c: &mut Criterion) {
+    const OPS: u64 = 4096;
+    let mut left = KvDoc::empty();
+    let mut right = KvDoc::empty();
+    for i in 0..OPS {
+        let d = kv_delta(i);
+        if i % 2 == 0 {
+            left = KvDoc::apply(&left, &d);
+        } else {
+            right = KvDoc::apply(&right, &d);
+        }
+    }
+    let mut g = c.benchmark_group("contract_join");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("kvdoc_halves", |b| {
+        b.iter(|| black_box(KvDoc::merge_deltas(black_box(&left), black_box(&right))).len())
+    });
+    g.finish();
+}
+
+/// Summary vs state size: encode both over a growing log and report the
+/// ratio through the measured element count (criterion has no direct
+/// bytes axis in the shim; the printed sizes are the artifact's job).
+fn bench_summary_scaling(c: &mut Criterion) {
+    for ops in [128u64, 2048] {
+        let mut state = KvDoc::empty();
+        for i in 0..ops {
+            state = KvDoc::apply(&state, &kv_delta(i));
+        }
+        let summary = KvDoc::summarize(&state);
+        let mut g = c.benchmark_group(format!("contract_summary_{ops}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Bytes(KvDoc::encode_state(&state).len() as u64));
+        g.bench_function("encode_state", |b| {
+            b.iter(|| black_box(KvDoc::encode_state(black_box(&state))).len())
+        });
+        g.bench_function("encode_summary", |b| {
+            b.iter(|| black_box(black_box(&summary).encode()).len())
+        });
+        g.bench_function("delta_from_summary_empty", |b| {
+            b.iter(|| KvDoc::delta_from_summary(black_box(&state), black_box(&summary)).len())
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_merge_throughput,
+    bench_batch_join,
+    bench_summary_scaling
+);
+criterion_main!(benches);

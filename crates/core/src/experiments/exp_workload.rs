@@ -226,18 +226,18 @@ pub struct E16Result {
 }
 
 /// Weighted per-node load accounting shared by every class.
-struct LoadLedger {
+pub(crate) struct LoadLedger {
     /// uplink_bps per attributable serving node.
     uplink: HashMap<NodeId, f64>,
     total: HashMap<NodeId, f64>,
     tick_bytes: HashMap<NodeId, f64>,
     tick_weight: f64,
     grand_total: f64,
-    peak_overload: f64,
+    pub(crate) peak_overload: f64,
 }
 
 impl LoadLedger {
-    fn new(serving: &[(NodeId, DeviceClass)]) -> LoadLedger {
+    pub(crate) fn new(serving: &[(NodeId, DeviceClass)]) -> LoadLedger {
         LoadLedger {
             uplink: serving
                 .iter()
@@ -252,7 +252,7 @@ impl LoadLedger {
     }
 
     /// Attribute `weight` requests of `bytes` each to one node.
-    fn add(&mut self, node: NodeId, weight: f64, bytes: u64) {
+    pub(crate) fn add(&mut self, node: NodeId, weight: f64, bytes: u64) {
         *self.total.entry(node).or_insert(0.0) += weight;
         *self.tick_bytes.entry(node).or_insert(0.0) += weight * bytes as f64;
         self.tick_weight += weight;
@@ -277,7 +277,7 @@ impl LoadLedger {
     /// serving uplink cannot carry its attributed demand) so callers can
     /// feed both to the probes: demand is the smooth surge-shaped series
     /// (flash onset), utilization is the noisy saturation level.
-    fn end_tick(&mut self) -> (f64, f64) {
+    pub(crate) fn end_tick(&mut self) -> (f64, f64) {
         let tick_secs = TICK.secs_f64();
         let mut tick_util = 0.0f64;
         for (n, b) in self.tick_bytes.drain() {
@@ -291,7 +291,7 @@ impl LoadLedger {
         (tick_weight, tick_util)
     }
 
-    fn busiest_share(&self) -> f64 {
+    pub(crate) fn busiest_share(&self) -> f64 {
         if self.grand_total <= 0.0 {
             return 0.0;
         }
@@ -300,7 +300,7 @@ impl LoadLedger {
 }
 
 /// P² quantiles over an iterator of latency samples.
-fn quantiles<I: IntoIterator<Item = f64>>(samples: I) -> (f64, f64, f64) {
+pub(crate) fn quantiles<I: IntoIterator<Item = f64>>(samples: I) -> (f64, f64, f64) {
     let (mut q50, mut q95, mut q99) = (P2Quantile::p50(), P2Quantile::p95(), P2Quantile::p99());
     for s in samples {
         q50.record(s);
@@ -311,7 +311,7 @@ fn quantiles<I: IntoIterator<Item = f64>>(samples: I) -> (f64, f64, f64) {
 }
 
 /// Quantiles straight from a recorded substrate histogram.
-fn histogram_quantiles(m: &Metrics, key: &str) -> (f64, f64, f64) {
+pub(crate) fn histogram_quantiles(m: &Metrics, key: &str) -> (f64, f64, f64) {
     quantiles(
         m.histogram(key)
             .map(|h| h.samples().to_vec())

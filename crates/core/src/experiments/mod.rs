@@ -6,6 +6,7 @@
 //! [`Report`] for the harness binaries.
 
 pub mod exp_agenda;
+pub mod exp_app;
 pub mod exp_chain;
 pub mod exp_comm;
 pub mod exp_governance;
@@ -23,6 +24,7 @@ use std::fmt;
 pub use exp_agenda::{
     e10_federated_failover, e10_metrics, e11_guerrilla_relay, e11_metrics, E10Result, E11Result,
 };
+pub use exp_app::{e18_app_point, e18_app_sweep, e18_metrics, AppOutcome, E18Result};
 pub use exp_chain::{e9_chain_costs, e9_metrics, E9Result};
 pub use exp_comm::{
     e3_groupcomm_availability, e3_metrics, e4_metrics, e4_privacy, E3Result, E4Result,

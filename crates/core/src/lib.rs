@@ -46,6 +46,7 @@ pub use taxonomy::{render_table1, table1_registry, Problem, ProjectEntry};
 pub use agora_naming::render_zooko_table as naming_zooko_table;
 
 // Re-export the substrate crates so downstream users need only one dependency.
+pub use agora_app as app;
 pub use agora_chain as chain;
 pub use agora_comm as comm;
 pub use agora_crypto as crypto;

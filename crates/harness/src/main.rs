@@ -389,9 +389,10 @@ fn print_reports() {
     use agora::experiments::{
         e10_federated_failover, e11_guerrilla_relay, e12_moderation_tension, e13_financing_gap,
         e14_usenet_collapse, e15_degradation_sweep, e16_flash_crowd_sweep, e16_policy_sweep,
-        e17_market_sweep, e1_naming_tradeoff, e2_naming_attacks, e3_groupcomm_availability,
-        e4_privacy, e5_storage_proofs, e6_durability, e7_web_availability, e8_quality_vs_quantity,
-        e9_chain_costs, t1_taxonomy, t2_storage_systems, t3_feasibility,
+        e17_market_sweep, e18_app_sweep, e1_naming_tradeoff, e2_naming_attacks,
+        e3_groupcomm_availability, e4_privacy, e5_storage_proofs, e6_durability,
+        e7_web_availability, e8_quality_vs_quantity, e9_chain_costs, t1_taxonomy,
+        t2_storage_systems, t3_feasibility,
     };
     const SEED: u64 = 20171130; // HotNets-XVI, day one
     println!("{}\n", t1_taxonomy());
@@ -417,6 +418,7 @@ fn print_reports() {
     println!("{}\n", e16_flash_crowd_sweep(SEED).1);
     println!("{}\n", e16_policy_sweep(SEED).1);
     println!("{}\n", e17_market_sweep(SEED).1);
+    println!("{}\n", e18_app_sweep(SEED).1);
     println!("{}", agora::render_property_matrix());
     println!("{}", agora::naming_zooko_table());
 }

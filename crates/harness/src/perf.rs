@@ -721,6 +721,60 @@ fn erasure_reconstruct_mib_s(k: usize, m: usize, erasures: usize) -> f64 {
     (LEN as u64 * ITERS) as f64 / secs / (1024.0 * 1024.0)
 }
 
+/// Contract-merge throughput: singleton deltas folded one at a time into
+/// a growing guestbook state (the subscriber's per-push hot path), in
+/// ops merged per second.
+fn contract_merge_ops_per_sec(deltas: u64) -> f64 {
+    use agora::app::{Contract, GuestEntry, Guestbook};
+    const WRITERS: u64 = 4;
+    let pushes: Vec<_> = (0..deltas)
+        .map(|i| {
+            Guestbook::singleton_delta(
+                (i % WRITERS) as u32,
+                i / WRITERS + 1,
+                GuestEntry {
+                    body: format!("entry {i}: merge benchmark payload").into_bytes(),
+                },
+            )
+        })
+        .collect();
+    let started = Instant::now();
+    let mut state = Guestbook::empty();
+    for d in &pushes {
+        state = Guestbook::apply(&state, d);
+    }
+    let secs = started.elapsed().as_secs_f64().max(1e-9);
+    std::hint::black_box(&state);
+    deltas as f64 / secs
+}
+
+/// Summary (version vector) bytes vs canonical state bytes for a KV doc
+/// of `ops` writes from eight writers: the constant-size handshake a
+/// subscriber ships to fetch exactly its missing suffix.
+fn contract_summary_sizes(ops: u64) -> (u64, u64) {
+    use agora::app::{kv_value_hash, Contract, KvDoc, KvWrite};
+    const WRITERS: u64 = 8;
+    let mut state = KvDoc::empty();
+    for i in 0..ops {
+        let d = KvDoc::singleton_delta(
+            (i % WRITERS) as u32,
+            i / WRITERS + 1,
+            KvWrite {
+                path: format!("page-{}.html", i % 16),
+                stamp: i,
+                value_hash: kv_value_hash(&i.to_le_bytes()),
+                len: 1_000 + i,
+                delete: false,
+            },
+        );
+        state = KvDoc::apply(&state, &d);
+    }
+    (
+        KvDoc::summarize(&state).encode().len() as u64,
+        KvDoc::encode_state(&state).len() as u64,
+    )
+}
+
 /// Zipf sampling throughput through the O(1) Vose alias table.
 fn zipf_alias_samples_per_sec(samples: u64) -> f64 {
     let zipf = agora_workload::ZipfAlias::new(10_000, 0.9);
@@ -1038,6 +1092,27 @@ pub fn perf_to_json_scaled(
     }
     micro.set("market", market);
 
+    // The app substrate's hot path: per-push delta merges into contract
+    // state, and the summary a subscriber ships vs the state it spares.
+    let mut app = Json::obj();
+    let merges = prof.time("microbench/contract_merge", || {
+        [256u64, 1024, 4096]
+            .iter()
+            .map(|&n| (n, median_of(&|| contract_merge_ops_per_sec(n))))
+            .collect::<Vec<_>>()
+    });
+    for (n, ops_s) in merges {
+        app.set(&format!("merge_{n}_ops_per_sec"), Json::Num(ops_s));
+    }
+    for ops in [128u64, 2048] {
+        let (summary, state) = contract_summary_sizes(ops);
+        let mut e = Json::obj();
+        e.set("summary_bytes", Json::Num(summary as f64));
+        e.set("state_bytes", Json::Num(state as f64));
+        app.set(&format!("kv_{ops}_ops"), e);
+    }
+    micro.set("app", app);
+
     // The reactive-control plane: decision-kernel throughput plus the
     // wall-clock overhead a policy-on class day pays over policy-off.
     const POLICY_FRAMES: u64 = 1_000_000;
@@ -1144,6 +1219,26 @@ mod tests {
             .and_then(Json::as_f64)
             .expect("speedup");
         assert!(speedup > 0.0);
+        let app = micro.get("app").expect("app section");
+        assert!(
+            app.get("merge_256_ops_per_sec")
+                .and_then(Json::as_f64)
+                .expect("merge throughput")
+                > 0.0
+        );
+        let kv = app.get("kv_2048_ops").expect("kv size point");
+        let summary = kv
+            .get("summary_bytes")
+            .and_then(Json::as_f64)
+            .expect("summary bytes");
+        let state = kv
+            .get("state_bytes")
+            .and_then(Json::as_f64)
+            .expect("state bytes");
+        assert!(
+            summary * 10.0 < state,
+            "the summary must be tiny next to the state: {summary} vs {state}"
+        );
         let workload = micro.get("workload").expect("workload section");
         assert!(
             workload

@@ -84,6 +84,18 @@ fn e16p_p1m(seed: u64) -> Metrics {
     agora::experiments::e16_policy_metrics(seed, 1_000_000)
 }
 
+fn e18_p10k(seed: u64) -> Metrics {
+    agora::experiments::e18_metrics(seed, 10_000)
+}
+
+fn e18_p100k(seed: u64) -> Metrics {
+    agora::experiments::e18_metrics(seed, 100_000)
+}
+
+fn e18_p1m(seed: u64) -> Metrics {
+    agora::experiments::e18_metrics(seed, 1_000_000)
+}
+
 fn e17_i000(seed: u64) -> Metrics {
     agora::experiments::e17_metrics(seed, 0.0)
 }
@@ -243,6 +255,26 @@ pub fn registry() -> Vec<ExperimentDef> {
                 },
             ],
         },
+        // Same rule as e16p: appended last so every earlier trial keeps
+        // its positional index, derived seed, and exact baseline bytes.
+        ExperimentDef {
+            id: "e18",
+            title: "Typed-contract apps: delta sync vs centralized hosting",
+            variants: vec![
+                Variant {
+                    label: "p10k",
+                    run: e18_p10k,
+                },
+                Variant {
+                    label: "p100k",
+                    run: e18_p100k,
+                },
+                Variant {
+                    label: "p1m",
+                    run: e18_p1m,
+                },
+            ],
+        },
     ]
 }
 
@@ -253,11 +285,12 @@ mod tests {
     #[test]
     fn registry_covers_all_seventeen_experiments() {
         let reg = registry();
-        assert_eq!(reg.len(), 18);
+        assert_eq!(reg.len(), 19);
         for (i, def) in reg.iter().take(17).enumerate() {
             assert_eq!(def.id, format!("e{}", i + 1));
         }
         assert_eq!(reg[17].id, "e16p", "policy def rides after e17");
+        assert_eq!(reg[18].id, "e18", "app def rides after e16p");
         for def in &reg {
             assert!(!def.variants.is_empty());
         }

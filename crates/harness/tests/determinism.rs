@@ -105,6 +105,42 @@ fn policy_artifact_is_byte_identical_at_1_and_4_engine_shards() {
     );
 }
 
+/// The E18 app variants extend the contract to the delta-sync substrate:
+/// subscriber sets, push fan-out, and merge order all iterate sorted
+/// structures, so the artifact — delta-lag staleness included — must not
+/// know how many harness threads or engine shards ran it.
+fn app_config(threads: usize, shards: u32) -> MatrixConfig {
+    MatrixConfig {
+        root_seed: 99,
+        seeds_per_variant: 2,
+        threads,
+        shards,
+        filter: Some(vec!["e18/p10k".to_owned()]),
+        ..MatrixConfig::default()
+    }
+}
+
+#[test]
+fn app_artifact_is_byte_identical_at_1_and_8_threads() {
+    let reg = registry();
+    let one = run_to_json(&run_matrix(&reg, &app_config(1, 1))).render();
+    let eight = run_to_json(&run_matrix(&reg, &app_config(8, 1))).render();
+    assert_eq!(one, eight, "app artifact differs across thread counts");
+    assert!(
+        one.contains("e18.guestbook.contract.stale_p99_secs")
+            && one.contains("e18.kv.central.peak_overload"),
+        "app variant artifact should carry both modes' gauges"
+    );
+}
+
+#[test]
+fn app_artifact_is_byte_identical_at_1_and_4_engine_shards() {
+    let reg = registry();
+    let serial = run_to_json(&run_matrix(&reg, &app_config(1, 1))).render();
+    let sharded = run_to_json(&run_matrix(&reg, &app_config(1, 4))).render();
+    assert_eq!(serial, sharded, "app artifact differs across shard counts");
+}
+
 #[test]
 fn all_trials_complete_and_keep_matrix_order() {
     let run = run_matrix(&registry(), &light_config(4));

@@ -306,6 +306,89 @@ mod tests {
     }
 
     #[test]
+    fn merge_both_sides_edited_reports_conflict_and_ours_wins() {
+        // A common parent, then both forks edit the same two files in
+        // divergent ways: every edited path is a conflict, none of the
+        // untouched paths are, and ours wins each conflicted path.
+        let mut parent = SitePublisher::new(b"parent");
+        let base = parent.publish(&[
+            ("index.html", b"<h1>v0</h1>".as_slice()),
+            ("style.css", b"body{}".as_slice()),
+            ("keep.txt", b"same".as_slice()),
+        ]);
+        let mut ours = SitePublisher::fork(b"fork-ours", &base.signed.manifest);
+        let our_manifest = ours
+            .publish(&[
+                ("index.html", b"<h1>ours</h1>".as_slice()),
+                ("style.css", b"body{color:red}".as_slice()),
+                ("keep.txt", b"same".as_slice()),
+            ])
+            .signed
+            .manifest;
+        let mut theirs = SitePublisher::fork(b"fork-theirs", &base.signed.manifest);
+        let their_manifest = theirs
+            .publish(&[
+                ("index.html", b"<h1>theirs</h1>".as_slice()),
+                ("style.css", b"body{color:blue}".as_slice()),
+                ("keep.txt", b"same".as_slice()),
+            ])
+            .signed
+            .manifest;
+        let (merged, conflicts) = merge_files(&our_manifest, &their_manifest);
+        assert_eq!(merged.len(), 3);
+        let mut conflicted: Vec<&str> = conflicts.iter().map(|c| c.path.as_str()).collect();
+        conflicted.sort_unstable();
+        assert_eq!(conflicted, ["index.html", "style.css"]);
+        for c in &conflicts {
+            let winner = merged.iter().find(|f| f.path == c.path).unwrap();
+            assert_eq!(winner.content_hash, c.ours, "ours wins {}", c.path);
+            assert_ne!(c.ours, c.theirs);
+        }
+        // Output stays path-sorted.
+        assert!(merged.windows(2).all(|w| w[0].path < w[1].path));
+    }
+
+    #[test]
+    fn merge_delete_vs_edit_resurrects_without_conflict() {
+        // Ours deleted a file (absent from our manifest); theirs edited
+        // it. File-table merge is a union: the edited copy survives and
+        // no conflict is reported — deletions cannot be distinguished
+        // from never-having-had the file. The symmetric case (we edited,
+        // they deleted) keeps our copy, also conflict-free.
+        let mut parent = SitePublisher::new(b"parent-del");
+        let base = parent.publish(&[
+            ("index.html", b"<h1>v0</h1>".as_slice()),
+            ("old.js", b"legacy()".as_slice()),
+        ]);
+        let mut ours = SitePublisher::fork(b"del-ours", &base.signed.manifest);
+        let our_manifest = ours
+            .publish(&[("index.html", b"<h1>v0</h1>".as_slice())]) // old.js deleted
+            .signed
+            .manifest;
+        let mut theirs = SitePublisher::fork(b"del-theirs", &base.signed.manifest);
+        let their_manifest = theirs
+            .publish(&[
+                ("index.html", b"<h1>v0</h1>".as_slice()),
+                ("old.js", b"modern()".as_slice()), // old.js edited
+            ])
+            .signed
+            .manifest;
+        let (merged, conflicts) = merge_files(&our_manifest, &their_manifest);
+        assert!(
+            conflicts.is_empty(),
+            "delete-vs-edit is silent: {conflicts:?}"
+        );
+        let revived = merged.iter().find(|f| f.path == "old.js").unwrap();
+        assert_eq!(revived.content_hash, sha256(b"modern()"));
+
+        // Symmetric: edit-vs-delete keeps the editing side's copy.
+        let (merged2, conflicts2) = merge_files(&their_manifest, &our_manifest);
+        assert!(conflicts2.is_empty());
+        assert!(merged2.iter().any(|f| f.path == "old.js"));
+        assert_eq!(merged.len(), merged2.len());
+    }
+
+    #[test]
     fn bundle_pieces_reassemble() {
         let mut p = SitePublisher::new(b"big-site");
         let big = vec![7u8; 100_000];
